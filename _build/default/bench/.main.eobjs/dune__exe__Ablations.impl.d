@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Baseline Brick Bytes Char Core Dessim Fab List Metrics Printf Random Result Simnet String Util Workload

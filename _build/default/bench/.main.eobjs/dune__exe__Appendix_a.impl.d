@@ -1,0 +1,1 @@
+bench/appendix_a.ml: List Printf Quorum Util

@@ -1,0 +1,1 @@
+bench/fig5.ml: Array Brick Bytes Core Dessim Format Linearize Printf Simnet String Util

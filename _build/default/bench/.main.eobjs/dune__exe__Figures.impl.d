@@ -1,0 +1,1 @@
+bench/figures.ml: Format List Printf Reliability String Util

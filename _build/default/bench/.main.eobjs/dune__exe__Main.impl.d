@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Appendix_a Array Fig5 Figures List Micro Printf String Sys Table1

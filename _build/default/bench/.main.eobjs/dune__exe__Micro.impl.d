@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Bytes Char Erasure Hashtbl Instance List Measure Printf Staged String Test Time Toolkit Util

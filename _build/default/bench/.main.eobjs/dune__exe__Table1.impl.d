@@ -1,0 +1,1 @@
+bench/table1.ml: Baseline Bytes Core Dessim Metrics Printf Util

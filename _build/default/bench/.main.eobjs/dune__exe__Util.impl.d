@@ -1,0 +1,1 @@
+bench/util.ml: Array Bytes Char Core Dessim Float Metrics Printf String

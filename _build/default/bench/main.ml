@@ -1,0 +1,43 @@
+(* Experiment harness: regenerates every table and figure of the paper
+   (see DESIGN.md section 3 for the experiment index) plus the ablation
+   studies and compute microbenchmarks.
+
+   Usage:  dune exec bench/main.exe [-- section ...]
+   where section is any of: t1 f2 f3 f5 a1 x1 x2 x3 x4 micro.
+   With no argument every section runs. *)
+
+let sections =
+  [
+    ("t1", Table1.run);
+    ("f2", Figures.figure2);
+    ("f3", Figures.figure3);
+    ("f5", Fig5.run);
+    ("a1", Appendix_a.run);
+    ("x1", Ablations.x1);
+    ("x2", Ablations.x2);
+    ("x3", Ablations.x3);
+    ("x4", Ablations.x4);
+    ("x5", Ablations.x5);
+    ("x6", Ablations.x6);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  Printf.printf
+    "FAB reproduction: experiment harness for \"A Decentralized Algorithm\n\
+     for Erasure-Coded Virtual Disks\" (DSN 2004). Paper values are printed\n\
+     next to measured values; EXPERIMENTS.md records the comparison.\n";
+  List.iter
+    (fun name ->
+      match List.assoc_opt (String.lowercase_ascii name) sections with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown section %S (known: %s)\n" name
+            (String.concat " " (List.map fst sections));
+          exit 1)
+    requested

@@ -1,0 +1,60 @@
+(* Microbenchmarks (Bechamel): raw throughput of the erasure-coding
+   primitives this implementation hand-rolls — the compute cost a FAB
+   brick pays per block on the wire-side of the protocol. *)
+
+open Bechamel
+open Toolkit
+
+let block_size = 4096
+
+let stripe m =
+  Array.init m (fun i -> Bytes.make block_size (Char.chr (33 + i)))
+
+let make_tests () =
+  let mk_codec name codec m =
+    let data = stripe m in
+    let enc = Erasure.Codec.encode codec data in
+    let n = Erasure.Codec.n codec in
+    let decode_input = List.init m (fun i -> (n - m + i, enc.(n - m + i))) in
+    let new_block = Bytes.make block_size 'z' in
+    [
+      Test.make ~name:(name ^ " encode")
+        (Staged.stage (fun () -> ignore (Erasure.Codec.encode codec data)));
+      Test.make
+        ~name:(name ^ " decode (parity-heavy)")
+        (Staged.stage (fun () ->
+             ignore (Erasure.Codec.decode codec decode_input)));
+      Test.make ~name:(name ^ " modify")
+        (Staged.stage (fun () ->
+             ignore
+               (Erasure.Codec.modify codec ~data_idx:0 ~parity_idx:0
+                  ~old_data:data.(0) ~new_data:new_block ~old_parity:enc.(m))));
+    ]
+  in
+  Test.make_grouped ~name:"erasure" ~fmt:"%s %s"
+    (mk_codec "rs(5,8)" (Erasure.Codec.rs ~m:5 ~n:8) 5
+    @ mk_codec "rs(10,14)" (Erasure.Codec.rs ~m:10 ~n:14) 10
+    @ mk_codec "parity(4,5)" (Erasure.Codec.parity ~m:4) 4)
+
+let run () =
+  Util.section "MICRO | erasure-coding primitive throughput (4 KiB blocks)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances (make_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  Printf.printf "  %-38s %16s %16s\n" "primitive" "ns/op" "MB/s (per block)";
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] when ns > 0. ->
+          let mbps = float_of_int block_size /. ns *. 1e9 /. 1e6 in
+          Printf.printf "  %-38s %16.1f %16.1f\n" name ns mbps
+      | _ -> Printf.printf "  %-38s %16s %16s\n" name "(n/a)" "(n/a)")
+    rows

@@ -1,0 +1,195 @@
+(* fab_sim: command-line front end to the FAB simulator.
+
+   Subcommands:
+     workload  - run a synthetic workload against a simulated volume
+     mttdl     - reliability (figure 2/3 style) tables
+     quorum    - m-quorum system parameters for a code geometry
+
+   Examples:
+     fab_sim workload -m 5 -n 8 --clients 4 --ops 500 --profile web
+     fab_sim workload -m 1 -n 3 --drop 0.1 --profile oltp
+     fab_sim mttdl --capacity 256
+     fab_sim quorum -m 5 -n 8 *)
+
+open Cmdliner
+
+(* ---------------- workload ---------------- *)
+
+let profile_conv =
+  let parse = function
+    | "web" -> Ok Workload.Gen.web_server
+    | "oltp" -> Ok Workload.Gen.oltp
+    | "backup" -> Ok Workload.Gen.backup
+    | "ingest" -> Ok Workload.Gen.ingest
+    | s -> Error (`Msg (Printf.sprintf "unknown profile %S" s))
+  in
+  let print fmt (spec : Workload.Gen.spec) =
+    Format.fprintf fmt "profile(read=%.2f)" spec.Workload.Gen.read_fraction
+  in
+  Arg.conv (parse, print)
+
+let run_workload m n bricks stripes block_size clients ops profile drop seed
+    optimized trace =
+  if m < 1 || n <= m then `Error (false, "need 1 <= m < n")
+  else begin
+    if trace then Core.Trace.enable_stderr ();
+    let volume =
+      Fab.Volume.create ~m ~n
+        ?bricks:(if bricks = 0 then None else Some bricks)
+        ~stripes ~block_size ~seed ~optimized_modify:optimized
+        ~net_config:{ Simnet.Net.default_config with drop }
+        ()
+    in
+    let cluster = Fab.Volume.cluster volume in
+    let nbricks = Array.length cluster.Core.Cluster.bricks in
+    Printf.printf
+      "volume: %d-of-%d code, %d bricks, %d stripes, %dB blocks, drop=%.2f\n"
+      m n nbricks stripes block_size drop;
+    let stats = Array.init clients (fun _ -> Workload.Client.fresh_stats ()) in
+    let started = Dessim.Engine.now cluster.Core.Cluster.engine in
+    for c = 0 to clients - 1 do
+      let gen =
+        Workload.Gen.make profile
+          ~capacity_blocks:(Fab.Volume.capacity_blocks volume)
+          ~rng:(Random.State.make [| seed; c |])
+      in
+      Workload.Client.spawn volume ~coord:(c mod nbricks) ~gen ~ops
+        ~payload_tag:(Char.chr (97 + (c mod 26)))
+        stats.(c)
+    done;
+    Fab.Volume.run ~horizon:10_000_000. volume;
+    let elapsed = Dessim.Engine.now cluster.Core.Cluster.engine -. started in
+    let metrics = cluster.Core.Cluster.metrics in
+    let total field = Array.fold_left (fun acc s -> acc + field s) 0 stats in
+    let ops_done = total (fun s -> s.Workload.Client.ops) in
+    Printf.printf "clients: %d x %d ops, elapsed %.0f delta\n" clients ops
+      elapsed;
+    Printf.printf "  completed ops : %d (%d reads, %d writes, %d aborted)\n"
+      ops_done
+      (total (fun s -> s.Workload.Client.reads))
+      (total (fun s -> s.Workload.Client.writes))
+      (total (fun s -> s.Workload.Client.aborts));
+    Printf.printf "  throughput    : %.2f ops / kdelta\n"
+      (float_of_int ops_done /. elapsed *. 1000.);
+    Array.iteri
+      (fun i s ->
+        Printf.printf "  client %d      : %s\n" i
+          (Format.asprintf "%a" Metrics.Summary.pp s.Workload.Client.latency))
+      stats;
+    Printf.printf "  network       : %.0f messages, %.1f KiB payload\n"
+      (Metrics.Registry.value metrics "net.msgs")
+      (Metrics.Registry.value metrics "net.bytes" /. 1024.);
+    Printf.printf "  disk          : %.0f reads, %.0f writes, %.0f NVRAM writes\n"
+      (Metrics.Registry.value metrics "disk.reads")
+      (Metrics.Registry.value metrics "disk.writes")
+      (Metrics.Registry.value metrics "nvram.writes");
+    `Ok ()
+  end
+
+let workload_cmd =
+  let m = Arg.(value & opt int 5 & info [ "m"; "data-blocks" ] ~doc:"Data blocks per stripe.") in
+  let n = Arg.(value & opt int 8 & info [ "n"; "total-blocks" ] ~doc:"Total blocks per stripe.") in
+  let bricks =
+    Arg.(value & opt int 0 & info [ "bricks" ] ~doc:"Bricks (default: n).")
+  in
+  let stripes =
+    Arg.(value & opt int 64 & info [ "stripes" ] ~doc:"Stripes in the volume.")
+  in
+  let block_size =
+    Arg.(value & opt int 1024 & info [ "block-size" ] ~doc:"Block size in bytes.")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Concurrent clients.")
+  in
+  let ops =
+    Arg.(value & opt int 200 & info [ "ops" ] ~doc:"Operations per client.")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt profile_conv Workload.Gen.web_server
+      & info [ "profile" ] ~doc:"Workload profile: web, oltp, backup, ingest.")
+  in
+  let drop =
+    Arg.(value & opt float 0. & info [ "drop" ] ~doc:"Message drop probability.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let optimized =
+    Arg.(value & flag & info [ "optimized-modify" ]
+           ~doc:"Use the section 5.2 bandwidth-optimized block writes.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"Print a protocol trace (every message and operation) to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Run a synthetic workload on a simulated volume")
+    Term.(
+      ret
+        (const run_workload $ m $ n $ bricks $ stripes $ block_size $ clients
+        $ ops $ profile $ drop $ seed $ optimized $ trace))
+
+(* ---------------- mttdl ---------------- *)
+
+let run_mttdl capacity =
+  let p = Reliability.Params.default in
+  let open Reliability.Model in
+  Printf.printf "MTTDL at %g TB logical capacity (%s)\n\n" capacity
+    (Format.asprintf "%a" Reliability.Params.pp p);
+  Printf.printf "  %-30s %10s %12s %8s\n" "scheme" "overhead" "MTTDL (yr)"
+    "bricks";
+  List.iter
+    (fun (name, scheme, brick) ->
+      Printf.printf "  %-30s %10.2f %12.3e %8d\n" name
+        (storage_overhead p scheme brick)
+        (mttdl_years p scheme brick ~logical_tb:capacity)
+        (bricks_needed p scheme brick ~logical_tb:capacity))
+    [
+      ("striping / reliable R5", Striping, Reliable_r5);
+      ("2-way replication / R0", Replication 2, R0);
+      ("3-way replication / R0", Replication 3, R0);
+      ("4-way replication / R0", Replication 4, R0);
+      ("4-way replication / R5", Replication 4, R5);
+      ("E.C.(5,7) / R0", Erasure (5, 7), R0);
+      ("E.C.(5,8) / R0", Erasure (5, 8), R0);
+      ("E.C.(5,8) / R5", Erasure (5, 8), R5);
+      ("E.C.(5,10) / R0", Erasure (5, 10), R0);
+    ];
+  `Ok ()
+
+let mttdl_cmd =
+  let capacity =
+    Arg.(value & opt float 256. & info [ "capacity" ] ~doc:"Logical TB.")
+  in
+  Cmd.v
+    (Cmd.info "mttdl" ~doc:"Reliability model tables (figures 2 and 3)")
+    Term.(ret (const run_mttdl $ capacity))
+
+(* ---------------- quorum ---------------- *)
+
+let run_quorum m n =
+  match Quorum.Mquorum.create ~n ~m with
+  | q ->
+      Printf.printf "%s\n" (Format.asprintf "%a" Quorum.Mquorum.pp q);
+      Printf.printf "  quorum size     : %d\n" (Quorum.Mquorum.quorum_size q);
+      Printf.printf "  tolerated crashes: %d\n" (Quorum.Mquorum.f q);
+      Printf.printf "  storage overhead : %.2fx\n"
+        (float_of_int n /. float_of_int m);
+      Printf.printf "  small-write cost : %d disk I/Os (2(n-m+1))\n"
+        (2 * (n - m + 1));
+      `Ok ()
+  | exception Invalid_argument msg -> `Error (false, msg)
+
+let quorum_cmd =
+  let m = Arg.(value & opt int 5 & info [ "m"; "data-blocks" ] ~doc:"Data blocks.") in
+  let n = Arg.(value & opt int 8 & info [ "n"; "total-blocks" ] ~doc:"Total blocks.") in
+  Cmd.v
+    (Cmd.info "quorum" ~doc:"m-quorum system parameters for a geometry")
+    Term.(ret (const run_quorum $ m $ n))
+
+let () =
+  let info =
+    Cmd.info "fab_sim" ~version:"1.0.0"
+      ~doc:"Simulate FAB: decentralized erasure-coded virtual disks (DSN 2004)"
+  in
+  exit (Cmd.eval (Cmd.group info [ workload_cmd; mttdl_cmd; quorum_cmd ]))

@@ -1,0 +1,1 @@
+examples/failure_recovery.ml: Array Brick Bytes Char Core Dessim Fab List Printf Simnet

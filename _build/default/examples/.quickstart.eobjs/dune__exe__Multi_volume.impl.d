@@ -1,0 +1,1 @@
+examples/multi_volume.ml: Array Brick Bytes Core Fab List Printf String

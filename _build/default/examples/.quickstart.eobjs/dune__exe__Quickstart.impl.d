@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Brick Bytes Core Fab Printf String

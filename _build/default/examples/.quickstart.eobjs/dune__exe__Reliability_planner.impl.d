@@ -1,0 +1,1 @@
+examples/reliability_planner.ml: Array Format List Printf Reliability Sys

@@ -1,0 +1,1 @@
+examples/web_workload.ml: Array Char Core Dessim Fab Metrics Printf Random Workload

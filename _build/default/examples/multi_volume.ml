@@ -1,0 +1,77 @@
+(* A FAB brick pool hosting volumes with different redundancy
+   policies — the paper's system view: one pool of bricks, many
+   logical volumes, each tuned for its own capacity-vs-availability
+   trade (section 1.1, section 1.2).
+
+   Run with:  dune exec examples/multi_volume.exe *)
+
+module Pool = Fab.Pool
+module Volume = Fab.Volume
+
+let ok = function
+  | Some (Ok x) -> x
+  | Some (Error `Aborted) -> failwith "operation aborted"
+  | None -> failwith "operation did not complete"
+
+let () =
+  (* Ten bricks; all volumes share them. *)
+  let pool = Pool.create ~bricks:10 ~block_size:1024 () in
+
+  (* An archive volume: 5-of-8 erasure coding, 1.6x storage overhead,
+     survives 1 crash while staying cheap. *)
+  let archive =
+    Pool.create_volume pool ~name:"archive" ~m:5 ~n:8 ~stripes:8 ()
+  in
+  (* A metadata volume: 4-way replication, 4x overhead, survives 1
+     crash with single-block read cost. *)
+  let metadata =
+    Pool.create_volume pool ~name:"metadata" ~m:1 ~n:4 ~stripes:16 ()
+  in
+  (* A scratch volume: 2-of-8 coding tolerating 3 simultaneous crashes. *)
+  let scratch =
+    Pool.create_volume pool ~name:"scratch" ~m:2 ~n:8 ~stripes:4 ()
+  in
+  Printf.printf "pool of %d bricks hosts volumes: %s\n" (Pool.bricks pool)
+    (String.concat ", " (Pool.volume_names pool));
+  List.iter
+    (fun (name, v, overhead, survives) ->
+      Printf.printf "  %-9s %4d blocks, %.2fx storage, survives %d crashes\n"
+        name (Volume.capacity_blocks v) overhead survives)
+    [
+      ("archive", archive, 8. /. 5., 1);
+      ("metadata", metadata, 4.0, 1);
+      ("scratch", scratch, 4.0, 3);
+    ];
+
+  (* Fill each with its own pattern through different coordinators. *)
+  let fill name v tag =
+    let data = Bytes.make (Volume.capacity_blocks v * 1024) tag in
+    ok (Pool.run_op pool (fun () -> Volume.write v ~coord:0 ~lba:0 data));
+    Printf.printf "filled %s with %C\n" name tag
+  in
+  fill "archive" archive 'a';
+  fill "metadata" metadata 'm';
+  fill "scratch" scratch 's';
+
+  (* Crash three bricks: scratch (f = 3) sails on; archive and
+     metadata (f = 1) stall until bricks recover — but never corrupt. *)
+  let bricks = (Pool.cluster pool).Core.Cluster.bricks in
+  List.iter (fun i -> Brick.crash bricks.(i)) [ 1; 4; 7 ];
+  print_endline "crashed bricks 1, 4, 7";
+  let read v = Pool.run_op ~horizon:300. pool (fun () -> Volume.read v ~coord:0 ~lba:0 ~count:2) in
+  (match read scratch with
+  | Some (Ok b) -> Printf.printf "scratch readable: %C\n" (Bytes.get b 0)
+  | _ -> print_endline "scratch unreadable?!");
+  (match read archive with
+  | None -> print_endline "archive stalls (needs a quorum) - safe, just unavailable"
+  | Some (Ok _) -> print_endline "archive readable"
+  | Some (Error `Aborted) -> print_endline "archive aborted");
+  List.iter (fun i -> Brick.recover bricks.(i)) [ 1; 4 ];
+  print_endline "recovered bricks 1 and 4 (7 still down)";
+  (match read archive with
+  | Some (Ok b) -> Printf.printf "archive readable again: %C\n" (Bytes.get b 0)
+  | _ -> print_endline "archive still unavailable?!");
+  (match read metadata with
+  | Some (Ok b) -> Printf.printf "metadata readable again: %C\n" (Bytes.get b 0)
+  | _ -> print_endline "metadata still unavailable?!");
+  print_endline "done."

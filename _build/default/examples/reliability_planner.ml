@@ -1,0 +1,71 @@
+(* Capacity planning with the reliability model: given a target
+   logical capacity and MTTDL, which redundancy scheme is cheapest?
+
+   Run with:  dune exec examples/reliability_planner.exe [capacity_tb] [target_years]
+
+   This is the calculation behind figures 2 and 3, packaged the way a
+   storage architect would use it. *)
+
+module Model = Reliability.Model
+module Params = Reliability.Params
+
+let () =
+  let capacity_tb =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 256.
+  in
+  let target_years =
+    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 1e6
+  in
+  let p = Params.default in
+  Printf.printf "Planning %g TB logical capacity, target MTTDL %.1e years\n"
+    capacity_tb target_years;
+  Printf.printf "Brick model: %s\n\n" (Format.asprintf "%a" Params.pp p);
+  let candidates =
+    List.concat
+      [
+        [ ("striping", Model.Striping, Model.Reliable_r5) ];
+        List.concat_map
+          (fun k ->
+            [
+              (Printf.sprintf "%d-way replication/R0" k, Model.Replication k, Model.R0);
+              (Printf.sprintf "%d-way replication/R5" k, Model.Replication k, Model.R5);
+            ])
+          [ 2; 3; 4; 5 ];
+        List.concat_map
+          (fun n ->
+            [
+              (Printf.sprintf "E.C.(5,%d)/R0" n, Model.Erasure (5, n), Model.R0);
+              (Printf.sprintf "E.C.(5,%d)/R5" n, Model.Erasure (5, n), Model.R5);
+            ])
+          [ 6; 7; 8; 9; 10 ];
+      ]
+  in
+  let evaluated =
+    List.map
+      (fun (name, scheme, brick) ->
+        let mttdl = Model.mttdl_years p scheme brick ~logical_tb:capacity_tb in
+        let overhead = Model.storage_overhead p scheme brick in
+        let bricks = Model.bricks_needed p scheme brick ~logical_tb:capacity_tb in
+        (name, mttdl, overhead, bricks, Model.tolerated scheme))
+      candidates
+  in
+  let sorted =
+    List.sort (fun (_, _, o1, _, _) (_, _, o2, _, _) -> compare o1 o2) evaluated
+  in
+  Printf.printf "  %-26s %12s %10s %8s %12s %8s\n" "scheme" "MTTDL (yr)"
+    "overhead" "bricks" "survives" "meets?";
+  List.iter
+    (fun (name, mttdl, overhead, bricks, tol) ->
+      Printf.printf "  %-26s %12.2e %10.2f %8d %9d dn %8s\n" name mttdl
+        overhead bricks tol
+        (if mttdl >= target_years then "YES" else "-"))
+    sorted;
+  match
+    List.filter (fun (_, mttdl, _, _, _) -> mttdl >= target_years) sorted
+  with
+  | [] -> Printf.printf "\nNo candidate meets the target; add redundancy.\n"
+  | (name, mttdl, overhead, bricks, _) :: _ ->
+      Printf.printf
+        "\nCheapest scheme meeting the target: %s\n\
+        \  (%.2fx raw storage, %d bricks, MTTDL %.2e years)\n"
+        name overhead bricks mttdl

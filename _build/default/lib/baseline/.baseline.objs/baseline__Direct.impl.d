@@ -1,0 +1,1 @@
+lib/baseline/direct.ml: Array Brick Bytes Dessim Erasure Fun Hashtbl List Metrics Quorum Simnet

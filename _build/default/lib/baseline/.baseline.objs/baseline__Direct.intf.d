@@ -1,0 +1,1 @@
+lib/baseline/direct.mli: Bytes Dessim

@@ -1,0 +1,1 @@
+lib/baseline/ls97.ml: Array Brick Bytes Core Dessim Fun Hashtbl List Metrics Quorum Simnet

@@ -1,0 +1,1 @@
+lib/baseline/ls97.mli: Brick Bytes Dessim Metrics Simnet

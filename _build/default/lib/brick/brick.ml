@@ -1,0 +1,59 @@
+type hook = int
+
+type t = {
+  id : int;
+  engine : Dessim.Engine.t;
+  mutable alive : bool;
+  mutable crash_count : int;
+  mutable next_hook : int;
+  crash_hooks : (int, unit -> unit) Hashtbl.t;
+  disk_reads : Metrics.Counter.t;
+  disk_writes : Metrics.Counter.t;
+  nvram_writes : Metrics.Counter.t;
+}
+
+let create ?(metrics = Metrics.Registry.create ()) engine ~id =
+  {
+    id;
+    engine;
+    alive = true;
+    crash_count = 0;
+    next_hook = 0;
+    crash_hooks = Hashtbl.create 8;
+    disk_reads = Metrics.Registry.counter metrics "disk.reads";
+    disk_writes = Metrics.Registry.counter metrics "disk.writes";
+    nvram_writes = Metrics.Registry.counter metrics "nvram.writes";
+  }
+
+let id t = t.id
+let engine t = t.engine
+let is_alive t = t.alive
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    t.crash_count <- t.crash_count + 1;
+    (* Collect first: a hook may (de)register hooks while running. *)
+    let hooks = Hashtbl.fold (fun _ f acc -> f :: acc) t.crash_hooks [] in
+    Hashtbl.reset t.crash_hooks;
+    List.iter (fun f -> f ()) hooks
+  end
+
+let recover t = t.alive <- true
+
+let add_crash_hook t f =
+  let h = t.next_hook in
+  t.next_hook <- t.next_hook + 1;
+  Hashtbl.replace t.crash_hooks h f;
+  h
+
+let remove_crash_hook t h = Hashtbl.remove t.crash_hooks h
+
+let count_disk_read ?(blocks = 1) t =
+  Metrics.Counter.incr ~by:(float_of_int blocks) t.disk_reads
+
+let count_disk_write ?(blocks = 1) t =
+  Metrics.Counter.incr ~by:(float_of_int blocks) t.disk_writes
+
+let count_nvram_write t = Metrics.Counter.incr t.nvram_writes
+let crash_count t = t.crash_count

@@ -1,0 +1,59 @@
+(** A brick: a crash-recovery process with persistent storage.
+
+    The paper's model (section 2) has processes that fail by crashing
+    and may later recover; each process has persistent storage whose
+    contents survive crashes ([store(var)] in section 4.2), while
+    volatile state is lost. A [Brick.t] models exactly that envelope:
+
+    - an alive/crashed flag consulted by message handlers (a crashed
+      brick silently drops incoming messages);
+    - crash hooks, run at crash time, used to cancel in-flight
+      coordinator fibers (a crashed coordinator abandons its
+      operations) and clear volatile caches;
+    - storage-cost accounting that mirrors Table 1's cost model:
+      block reads and writes against the on-disk log are counted
+      under ["disk.reads"] / ["disk.writes"], timestamp-only updates
+      are NVRAM writes under ["nvram.writes"] and cost no disk I/O.
+
+    The actual persistent data structures (the per-stripe [ord-ts] and
+    [log]) live in the register layer; they simply survive crashes
+    because nothing clears them, faithfully modelling NVRAM-backed
+    metadata plus disk-backed logs. *)
+
+type t
+
+val create : ?metrics:Metrics.Registry.t -> Dessim.Engine.t -> id:int -> t
+val id : t -> int
+val engine : t -> Dessim.Engine.t
+
+val is_alive : t -> bool
+(** Freshly created bricks are alive. *)
+
+val crash : t -> unit
+(** Mark the brick crashed and run (then discard) all crash hooks.
+    Idempotent. *)
+
+val recover : t -> unit
+(** Bring a crashed brick back up. Persistent state is intact; all
+    volatile state was dropped by the crash hooks. Idempotent. *)
+
+type hook
+(** Handle for deregistering a crash hook. *)
+
+val add_crash_hook : t -> (unit -> unit) -> hook
+(** [add_crash_hook t f] runs [f] (once) if the brick crashes. Use
+    {!remove_crash_hook} when the protected resource completes
+    normally. *)
+
+val remove_crash_hook : t -> hook -> unit
+
+val count_disk_read : ?blocks:int -> t -> unit
+(** Account reading [blocks] (default 1) block-sized records from the
+    on-disk log. *)
+
+val count_disk_write : ?blocks:int -> t -> unit
+val count_nvram_write : t -> unit
+
+val crash_count : t -> int
+(** How many times this brick has crashed so far (for tests and fault
+    statistics). *)

@@ -1,0 +1,1 @@
+lib/core/clock.ml: Dessim Float Stdlib Timestamp

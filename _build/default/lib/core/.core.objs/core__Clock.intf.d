@@ -1,0 +1,1 @@
+lib/core/clock.mli: Dessim Timestamp

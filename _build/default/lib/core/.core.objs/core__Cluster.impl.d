@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Brick Clock Config Coordinator Dessim Erasure Message Metrics Quorum Replica Simnet

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Brick Config Coordinator Dessim Message Metrics Quorum Replica Simnet

@@ -1,0 +1,1 @@
+lib/core/config.ml: Array Dessim Erasure Message Metrics Quorum Simnet

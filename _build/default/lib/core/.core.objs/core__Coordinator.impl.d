@@ -1,0 +1,1 @@
+lib/core/coordinator.ml: Array Brick Bytes Clock Config Dessim Erasure List Message Option Quorum Random Result Timestamp Trace

@@ -1,0 +1,1 @@
+lib/core/coordinator.mli: Brick Bytes Clock Config

@@ -1,0 +1,1 @@
+lib/core/message.ml: Array Bytes Format List Simnet String Timestamp

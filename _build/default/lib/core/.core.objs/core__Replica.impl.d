@@ -1,0 +1,1 @@
+lib/core/replica.ml: Array Brick Bytes Config Erasure Hashtbl List Message Option Quorum Slog Timestamp Trace

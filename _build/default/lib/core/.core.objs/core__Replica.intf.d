@@ -1,0 +1,1 @@
+lib/core/replica.mli: Brick Config Slog Timestamp

@@ -1,0 +1,1 @@
+lib/core/slog.ml: Bytes Char Map Timestamp

@@ -1,0 +1,1 @@
+lib/core/slog.mli: Bytes Timestamp

@@ -1,0 +1,1 @@
+lib/core/timestamp.mli: Format

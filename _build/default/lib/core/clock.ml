@@ -1,0 +1,35 @@
+type source =
+  | Logical
+  | Realtime of { engine : Dessim.Engine.t; skew : float; resolution : float }
+
+type t = { pid : int; source : source; mutable last : int }
+
+let logical ~pid = { pid; source = Logical; last = 0 }
+
+let realtime engine ~pid ~skew ~resolution =
+  if resolution <= 0. then
+    invalid_arg "Core.Clock.realtime: resolution <= 0";
+  { pid; source = Realtime { engine; skew; resolution }; last = 0 }
+
+let new_ts t =
+  let time =
+    match t.source with
+    | Logical -> t.last + 1
+    | Realtime { engine; skew; resolution } ->
+        let wall =
+          int_of_float (Float.max 0. (Dessim.Engine.now engine +. skew)
+                        /. resolution)
+        in
+        (* Enforce per-process monotonicity even if the quantized wall
+           clock has not ticked since the last call. *)
+        Stdlib.max wall (t.last + 1)
+  in
+  t.last <- time;
+  Timestamp.make ~time ~pid:t.pid
+
+let observe t ts =
+  match (t.source, ts) with
+  | Logical, Timestamp.Ts { time; _ } -> t.last <- Stdlib.max t.last time
+  | Logical, _ | Realtime _, _ -> ()
+
+let pid t = t.pid

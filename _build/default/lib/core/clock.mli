@@ -1,0 +1,36 @@
+(** Timestamp sources ([newTS] in paper section 2.3).
+
+    Two implementations, both satisfying UNIQUENESS (via the pid
+    tie-break), MONOTONICITY, and PROGRESS:
+
+    - {!logical}: a Lamport-style counter. {!observe} lets a
+      coordinator fold timestamps seen in replies back into the
+      counter, which keeps abort rates low without affecting safety.
+    - {!realtime}: the simulation clock plus a fixed per-process skew,
+      quantized to a resolution. This models the paper's
+      loosely-synchronized clocks; with a large skew, a slow
+      coordinator proposes stale timestamps and its operations abort,
+      which is exactly the behaviour the abort-rate experiment (X1)
+      measures. *)
+
+type t
+
+val logical : pid:int -> t
+
+val realtime :
+  Dessim.Engine.t -> pid:int -> skew:float -> resolution:float -> t
+(** [realtime engine ~pid ~skew ~resolution] reads
+    [(now + skew) / resolution] as the time component, bumped when
+    necessary to stay strictly monotonic.
+    @raise Invalid_argument if [resolution <= 0]. *)
+
+val new_ts : t -> Timestamp.t
+(** Strictly greater than any timestamp previously returned by this
+    clock, and distinct from every timestamp of every other clock. *)
+
+val observe : t -> Timestamp.t -> unit
+(** Fold a remotely-seen timestamp into the clock: subsequent
+    {!new_ts} results exceed it. No-op on {!realtime} clocks — real
+    clocks do not jump forward, they abort and retry instead. *)
+
+val pid : t -> int

@@ -1,0 +1,95 @@
+type t = {
+  engine : Dessim.Engine.t;
+  net : ((Message.t, Message.t) Quorum.Rpc.envelope) Simnet.Net.t;
+  rpc : (Message.t, Message.t) Quorum.Rpc.t;
+  metrics : Metrics.Registry.t;
+  cfg : Config.t;
+  bricks : Brick.t array;
+  replicas : Replica.t array;
+  coordinators : Coordinator.t array;
+}
+
+type clock_kind =
+  | Logical
+  | Realtime of { skew_of : int -> float; resolution : float }
+
+let default_codec ~m ~n =
+  if m = 1 then Erasure.Codec.replication ~n
+  else if n = m + 1 then Erasure.Codec.parity ~m
+  else Erasure.Codec.rs ~m ~n
+
+(* Shared wiring: engine, network, RPC, bricks, replicas and
+   coordinators around a configuration built by [make_cfg]. *)
+let wire ~seed ~net_config ~nbricks ~clock ~retry_every ~make_cfg =
+  let engine = Dessim.Engine.create ~seed () in
+  let metrics = Metrics.Registry.create () in
+  let net = Simnet.Net.create ~metrics engine ~config:net_config ~n:nbricks in
+  let rpc =
+    Quorum.Rpc.create ~net ~req_bytes:Message.bytes_on_wire
+      ~rep_bytes:Message.bytes_on_wire ?retry_every
+      ~grace:(net_config.Simnet.Net.delay +. net_config.Simnet.Net.jitter)
+      ()
+  in
+  let cfg = make_cfg ~engine ~rpc ~metrics in
+  let bricks =
+    Array.init nbricks (fun id -> Brick.create ~metrics engine ~id)
+  in
+  let replicas = Array.map (fun b -> Replica.create cfg ~brick:b) bricks in
+  let coordinators =
+    Array.map
+      (fun b ->
+        let pid = Brick.id b in
+        let clk =
+          match clock with
+          | Logical -> Clock.logical ~pid
+          | Realtime { skew_of; resolution } ->
+              Clock.realtime engine ~pid ~skew:(skew_of pid) ~resolution
+        in
+        Coordinator.create cfg ~brick:b ~clock:clk)
+      bricks
+  in
+  { engine; net; rpc; metrics; cfg; bricks; replicas; coordinators }
+
+let create ?(seed = 42) ?(net_config = Simnet.Net.default_config) ?bricks
+    ?layout ?(block_size = 1024) ?(clock = Logical) ?gc_enabled
+    ?optimized_modify ?retry_every ~m ~n () =
+  let nbricks = match bricks with Some b -> b | None -> n in
+  if nbricks < n then invalid_arg "Core.Cluster.create: bricks < n";
+  let layout =
+    match layout with
+    | Some f -> f
+    | None ->
+        if nbricks = n then fun _ -> Array.init n (fun i -> i)
+        else fun s -> Array.init n (fun i -> (s + i) mod nbricks)
+  in
+  let codec = default_codec ~m ~n in
+  let mq = Quorum.Mquorum.create ~n ~m in
+  wire ~seed ~net_config ~nbricks ~clock ~retry_every
+    ~make_cfg:(fun ~engine ~rpc ~metrics ->
+      Config.create ~codec ~mq ~block_size ~engine ~rpc ~metrics ~layout
+        ?gc_enabled ?optimized_modify ())
+
+let create_policied ?(seed = 42) ?(net_config = Simnet.Net.default_config)
+    ?(block_size = 1024) ?(clock = Logical) ?gc_enabled ?optimized_modify
+    ?retry_every ~bricks:nbricks ~policy_of () =
+  if nbricks < 1 then invalid_arg "Core.Cluster.create_policied: no bricks";
+  wire ~seed ~net_config ~nbricks ~clock ~retry_every
+    ~make_cfg:(fun ~engine ~rpc ~metrics ->
+      Config.create_policied ~policy_of ~block_size ~engine ~rpc ~metrics
+        ?gc_enabled ?optimized_modify ())
+
+let run ?(horizon = 100_000.) t =
+  Dessim.Engine.run ~until:(Dessim.Engine.now t.engine +. horizon) t.engine
+
+let spawn ?(coord = 0) t f =
+  Dessim.Fiber.spawn (fun () -> f t.coordinators.(coord))
+
+let run_op ?(coord = 0) ?horizon t f =
+  let result = ref None in
+  spawn ~coord t (fun c -> result := Some (f c));
+  run ?horizon t;
+  !result
+
+let crash t i = Brick.crash t.bricks.(i)
+let recover t i = Brick.recover t.bricks.(i)
+let snapshot t = Metrics.Snapshot.take t.metrics

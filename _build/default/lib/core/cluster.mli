@@ -1,0 +1,81 @@
+(** Turn-key deployment of a storage-register system inside the
+    simulator: engine, network, RPC layer, [bricks] bricks each running
+    a replica, and a coordinator handle per brick.
+
+    This is the entry point used by tests, examples and benchmarks; the
+    FAB volume layer builds on it with a multi-stripe layout. *)
+
+type t = {
+  engine : Dessim.Engine.t;
+  net : ((Message.t, Message.t) Quorum.Rpc.envelope) Simnet.Net.t;
+  rpc : (Message.t, Message.t) Quorum.Rpc.t;
+  metrics : Metrics.Registry.t;
+  cfg : Config.t;
+  bricks : Brick.t array;
+  replicas : Replica.t array;
+  coordinators : Coordinator.t array;
+}
+
+type clock_kind =
+  | Logical  (** Lamport clocks with reply-driven catch-up. *)
+  | Realtime of { skew_of : int -> float; resolution : float }
+      (** Loosely synchronized clocks; [skew_of pid] is the fixed
+          offset of brick [pid]'s clock. *)
+
+val create :
+  ?seed:int ->
+  ?net_config:Simnet.Net.config ->
+  ?bricks:int ->
+  ?layout:(int -> Simnet.Net.addr array) ->
+  ?block_size:int ->
+  ?clock:clock_kind ->
+  ?gc_enabled:bool ->
+  ?optimized_modify:bool ->
+  ?retry_every:float ->
+  m:int ->
+  n:int ->
+  unit ->
+  t
+(** [create ~m ~n ()] builds an m-of-n system. Defaults: Reed-Solomon
+    codec ([replication] when [m = 1], XOR [parity] when [n = m + 1]),
+    [bricks = n], identity layout (brick [i] stores block [i] of every
+    stripe) when [bricks = n] and a rotating layout (stripe [s] uses
+    bricks [(s + i) mod bricks]) otherwise, 1 KiB blocks, logical
+    clocks, deterministic network with unit delay, GC on. *)
+
+val create_policied :
+  ?seed:int ->
+  ?net_config:Simnet.Net.config ->
+  ?block_size:int ->
+  ?clock:clock_kind ->
+  ?gc_enabled:bool ->
+  ?optimized_modify:bool ->
+  ?retry_every:float ->
+  bricks:int ->
+  policy_of:(int -> Config.policy) ->
+  unit ->
+  t
+(** Heterogeneous deployment: each stripe's codec, quorum system and
+    members come from [policy_of] (which may be backed by a mutable
+    table — multi-volume brick pools allocate stripe ranges on the
+    fly, see {!Fab.Pool}). *)
+
+val run : ?horizon:float -> t -> unit
+(** Drive the simulation until quiescence (or until [horizon] virtual
+    time units from now, default 100_000). *)
+
+val run_op : ?coord:int -> ?horizon:float -> t -> (Coordinator.t -> 'a) -> 'a option
+(** [run_op t f] spawns [f (coordinator coord)] as a fiber, runs the
+    engine, and returns the result — [None] if the fiber did not
+    complete (its coordinator crashed, or the horizon hit). *)
+
+val spawn : ?coord:int -> t -> (Coordinator.t -> unit) -> unit
+(** Spawn a fiber without running the engine; for concurrent
+    multi-client scenarios combined with {!run} and
+    {!Dessim.Engine.schedule}. *)
+
+val crash : t -> int -> unit
+val recover : t -> int -> unit
+
+val snapshot : t -> Metrics.Snapshot.t
+(** Snapshot all counters (messages, bytes, disk I/O). *)

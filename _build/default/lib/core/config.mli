@@ -1,0 +1,84 @@
+(** Shared configuration of a storage-register deployment.
+
+    One [Config.t] describes a set of bricks jointly serving many
+    stripes. Each stripe is governed by a {!policy} — its erasure
+    codec, its m-quorum parameters and the addresses of the bricks
+    storing its blocks. A single-volume deployment uses one uniform
+    policy; a FAB brick pool hosting several logical volumes with
+    different redundancy schemes maps disjoint stripe ranges to
+    different policies ({!Fab.Pool}). Every brick — replicas and
+    coordinators — holds the same configuration, mirroring FAB's
+    replicated volume-layout metadata. *)
+
+type policy = {
+  codec : Erasure.Codec.t;
+  mq : Quorum.Mquorum.t;
+  members : Simnet.Net.addr array;
+      (** Index [i] stores encoded block [i] (data for [i < m], parity
+          for [i >= m]). *)
+}
+
+val make_policy :
+  codec:Erasure.Codec.t ->
+  mq:Quorum.Mquorum.t ->
+  members:Simnet.Net.addr array ->
+  policy
+(** @raise Invalid_argument if the codec's (m, n), the quorum system's
+    (m, n) and the member count disagree. *)
+
+type t = {
+  policy_of : int -> policy;  (** stripe -> its policy *)
+  block_size : int;
+  engine : Dessim.Engine.t;
+  rpc : (Message.t, Message.t) Quorum.Rpc.t;
+  metrics : Metrics.Registry.t;
+  gc_enabled : bool;
+      (** Send asynchronous garbage-collection messages after complete
+          writes (paper section 5.1). *)
+  optimized_modify : bool;
+      (** Use the bandwidth-optimized block-write messages (section
+          5.2): new block to p_j, precomputed delta to parities,
+          timestamp-only to other data processes. *)
+}
+
+val create :
+  codec:Erasure.Codec.t ->
+  mq:Quorum.Mquorum.t ->
+  block_size:int ->
+  engine:Dessim.Engine.t ->
+  rpc:(Message.t, Message.t) Quorum.Rpc.t ->
+  metrics:Metrics.Registry.t ->
+  layout:(int -> Simnet.Net.addr array) ->
+  ?gc_enabled:bool ->
+  ?optimized_modify:bool ->
+  unit ->
+  t
+(** Uniform deployment: every stripe uses the same codec and quorum
+    system; [layout stripe] gives the members.
+    @raise Invalid_argument if the codec's (m, n) disagree with the
+    quorum system's, or [block_size <= 0]. *)
+
+val create_policied :
+  policy_of:(int -> policy) ->
+  block_size:int ->
+  engine:Dessim.Engine.t ->
+  rpc:(Message.t, Message.t) Quorum.Rpc.t ->
+  metrics:Metrics.Registry.t ->
+  ?gc_enabled:bool ->
+  ?optimized_modify:bool ->
+  unit ->
+  t
+(** Heterogeneous deployment: [policy_of stripe] may differ per
+    stripe (multi-volume brick pools).
+    @raise Invalid_argument if [block_size <= 0]. *)
+
+val policy : t -> stripe:int -> policy
+val codec : t -> stripe:int -> Erasure.Codec.t
+val m : t -> stripe:int -> int
+val n : t -> stripe:int -> int
+val quorum_size : t -> stripe:int -> int
+val members : t -> stripe:int -> Simnet.Net.addr list
+val members_array : t -> stripe:int -> Simnet.Net.addr array
+
+val pos_of_addr : t -> stripe:int -> Simnet.Net.addr -> int option
+(** The block position a brick holds for a stripe, per the policy. *)

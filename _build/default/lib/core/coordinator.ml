@@ -1,0 +1,542 @@
+module Ts = Timestamp
+
+type t = { cfg : Config.t; brick : Brick.t; clock : Clock.t }
+
+type 'a outcome = ('a, [ `Aborted ]) result
+
+let create cfg ~brick ~clock = { cfg; brick; clock }
+
+(* Wrap an operation with lifecycle tracing. *)
+let traced t ~stripe name f =
+  Trace.op ~coord:(Brick.id t.brick) ~stripe name `Start;
+  let result = f () in
+  Trace.op ~coord:(Brick.id t.brick) ~stripe name
+    (match result with Ok _ -> `Ok | Error `Aborted -> `Abort);
+  result
+let brick t = t.brick
+let clock t = t.clock
+
+(* Fold every reply's cur_ts into the coordinator's clock so that a
+   retry after an abort proposes a fresh-enough timestamp. *)
+let observe_replies t replies =
+  List.iter
+    (fun (_, reply) ->
+      match reply with
+      | Message.Read_r { cur_ts; _ }
+      | Message.Order_r { cur_ts; _ }
+      | Message.Order_read_r { cur_ts; _ }
+      | Message.Write_r { cur_ts; _ }
+      | Message.Modify_r { cur_ts; _ } ->
+          Clock.observe t.clock cur_ts
+      | _ -> ())
+    replies
+
+let quorum_call ?until t ~stripe make_req =
+  let members = Config.members t.cfg ~stripe in
+  let replies =
+    Quorum.Rpc.call t.cfg.Config.rpc ~coord:t.brick ~members
+      ~quorum:(Config.quorum_size t.cfg ~stripe) ?until make_req
+  in
+  observe_replies t replies;
+  replies
+
+(* Pick m distinct random members as read targets. *)
+let pick_targets t ~stripe =
+  let members = Array.copy (Config.members_array t.cfg ~stripe) in
+  let rng = Dessim.Engine.rng t.cfg.Config.engine in
+  let n = Array.length members in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = members.(i) in
+    members.(i) <- members.(j);
+    members.(j) <- tmp
+  done;
+  Array.to_list (Array.sub members 0 (Config.m t.cfg ~stripe))
+
+let pos_of t ~stripe addr =
+  match Config.pos_of_addr t.cfg ~stripe addr with
+  | Some pos -> pos
+  | None -> invalid_arg "Core.Coordinator: reply from non-member"
+
+(* Check the fast-read success conditions shared by read-stripe and
+   read-block: all statuses true and a single version visible. *)
+let unanimous_version replies =
+  let statuses_ok =
+    List.for_all
+      (fun (_, r) ->
+        match r with Message.Read_r { status; _ } -> status | _ -> false)
+      replies
+  in
+  if not statuses_ok then None
+  else
+    match replies with
+    | (_, Message.Read_r { val_ts; _ }) :: _
+      when List.for_all
+             (fun (_, r) ->
+               match r with
+               | Message.Read_r { val_ts = ts'; _ } -> Ts.equal ts' val_ts
+               | _ -> false)
+             replies ->
+        Some val_ts
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 1: stripe access                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* fast-read-stripe (lines 5-11): one round, no state modified. *)
+let fast_read_stripe t ~stripe =
+  let targets = pick_targets t ~stripe in
+  let until replies =
+    List.for_all (fun a -> List.mem_assoc a replies) targets
+  in
+  let replies =
+    quorum_call ~until t ~stripe (fun _ -> Message.Read { stripe; targets })
+  in
+  match unanimous_version replies with
+  | None -> None
+  | Some _ ->
+      let blocks =
+        List.filter_map
+          (fun (src, r) ->
+            match r with
+            | Message.Read_r { block = Some b; _ } ->
+                Some (pos_of t ~stripe src, b)
+            | _ -> None)
+          replies
+      in
+      if List.length blocks >= Config.m t.cfg ~stripe then
+        Some
+          (Erasure.Codec.decode
+             (Config.codec t.cfg ~stripe)
+             (List.filteri (fun i _ -> i < Config.m t.cfg ~stripe) blocks))
+      else None
+
+let all_status_true replies =
+  List.for_all
+    (fun (_, r) ->
+      match r with
+      | Message.Order_r { status; _ }
+      | Message.Order_read_r { status; _ }
+      | Message.Write_r { status; _ }
+      | Message.Modify_r { status; _ } ->
+          status
+      | _ -> false)
+    replies
+
+(* store-stripe (lines 34-37): each member receives only its own
+   encoded block. *)
+let store_stripe t ~stripe data ts =
+  let enc = Erasure.Codec.encode (Config.codec t.cfg ~stripe) data in
+  let replies =
+    quorum_call t ~stripe (fun dst ->
+        Message.Write { stripe; block = enc.(pos_of t ~stripe dst); ts })
+  in
+  if all_status_true replies then begin
+    if t.cfg.Config.gc_enabled then
+      Quorum.Rpc.notify t.cfg.Config.rpc ~coord:t.brick
+        ~members:(Config.members t.cfg ~stripe)
+        (Message.Gc { stripe; before = ts });
+    Ok ()
+  end
+  else Error `Aborted
+
+(* read-prev-stripe (lines 24-33): walk versions newest-first until one
+   has at least m surviving blocks. *)
+let read_prev_stripe t ~stripe ts =
+  let rec loop max =
+    let replies =
+      quorum_call t ~stripe (fun _ ->
+          Message.Order_read { stripe; target = Message.All; max; ts })
+    in
+    if not (all_status_true replies) then Error `Aborted
+    else begin
+      let infos =
+        List.filter_map
+          (fun (src, r) ->
+            match r with
+            | Message.Order_read_r { lts; block; _ } ->
+                Some (src, lts, block)
+            | _ -> None)
+          replies
+      in
+      let max' =
+        List.fold_left (fun acc (_, lts, _) -> Ts.max acc lts) Ts.low infos
+      in
+      let blocks =
+        List.filter_map
+          (fun (src, lts, block) ->
+            match block with
+            | Some b when Ts.equal lts max' -> Some (pos_of t ~stripe src, b)
+            | _ -> None)
+          infos
+      in
+      if List.length blocks >= Config.m t.cfg ~stripe then
+        Ok
+          (Erasure.Codec.decode
+             (Config.codec t.cfg ~stripe)
+             (List.filteri (fun i _ -> i < Config.m t.cfg ~stripe) blocks))
+      else if Ts.equal max' Ts.low then
+        (* Nothing older remains anywhere in this quorum, yet no
+           version had m blocks. Unreachable in well-formed histories
+           (every quorum sees at least the initial nil version, and a
+           complete write is visible in every quorum); abort
+           defensively rather than loop forever. *)
+        Error `Aborted
+      else loop max'
+    end
+  in
+  loop Ts.high
+
+(* recover (lines 17-23). *)
+let recover_with t ~stripe ~patch =
+  let ts = Clock.new_ts t.clock in
+  match read_prev_stripe t ~stripe ts with
+  | Error `Aborted -> Error `Aborted
+  | Ok data -> (
+      patch data;
+      match store_stripe t ~stripe data ts with
+      | Ok () -> Ok data
+      | Error `Aborted -> Error `Aborted)
+
+let recover t ~stripe =
+  traced t ~stripe "recover" (fun () -> recover_with t ~stripe ~patch:ignore)
+
+(* read-stripe (lines 1-4). *)
+let read_stripe t ~stripe =
+  traced t ~stripe "read-stripe" (fun () ->
+      match fast_read_stripe t ~stripe with
+      | Some data -> Ok data
+      | None -> recover t ~stripe)
+
+let check_stripe_shape t ~stripe data =
+  if Array.length data <> Config.m t.cfg ~stripe then
+    invalid_arg "Core.Coordinator.write_stripe: wrong block count";
+  Array.iter
+    (fun b ->
+      if Bytes.length b <> t.cfg.Config.block_size then
+        invalid_arg "Core.Coordinator.write_stripe: wrong block size")
+    data
+
+(* write-stripe (lines 12-16). *)
+let write_stripe t ~stripe data =
+  check_stripe_shape t ~stripe data;
+  traced t ~stripe "write-stripe" (fun () ->
+      let ts = Clock.new_ts t.clock in
+      let replies =
+        quorum_call t ~stripe (fun _ -> Message.Order { stripe; ts })
+      in
+      if not (all_status_true replies) then Error `Aborted
+      else store_stripe t ~stripe data ts)
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 3: block access                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_block_shape t ~stripe j b =
+  if j < 0 || j >= Config.m t.cfg ~stripe then
+    invalid_arg "Core.Coordinator: block index out of range";
+  if Bytes.length b <> t.cfg.Config.block_size then
+    invalid_arg "Core.Coordinator: wrong block size"
+
+(* read-block (lines 61-69). *)
+let read_block t ~stripe j =
+  if j < 0 || j >= Config.m t.cfg ~stripe then
+    invalid_arg "Core.Coordinator: block index out of range";
+  traced t ~stripe "read-block" (fun () ->
+  let addr_j = (Config.members_array t.cfg ~stripe).(j) in
+  let targets = [ addr_j ] in
+  let until replies = List.mem_assoc addr_j replies in
+  let replies =
+    quorum_call ~until t ~stripe (fun _ -> Message.Read { stripe; targets })
+  in
+  let fast =
+    match unanimous_version replies with
+    | None -> None
+    | Some _ -> (
+        match List.assoc_opt addr_j replies with
+        | Some (Message.Read_r { block = Some b; _ }) -> Some b
+        | _ -> None)
+  in
+  match fast with
+  | Some b -> Ok b
+  | None -> (
+      match recover t ~stripe with
+      | Ok data -> Ok data.(j)
+      | Error `Aborted -> Error `Aborted))
+
+(* fast-write-block (lines 74-82). *)
+let fast_write_block t ~stripe j b ts =
+  let addr_j = (Config.members_array t.cfg ~stripe).(j) in
+  let until replies = List.mem_assoc addr_j replies in
+  let replies =
+    quorum_call ~until t ~stripe (fun _ ->
+        Message.Order_read
+          { stripe; target = Message.Addr addr_j; max = Ts.high; ts })
+  in
+  if not (all_status_true replies) then None
+  else
+    match List.assoc_opt addr_j replies with
+    | Some (Message.Order_read_r { lts = tsj; block = Some bj; _ }) ->
+        let make_req =
+          if t.cfg.Config.optimized_modify then (fun dst ->
+            let pos = pos_of t ~stripe dst in
+            let payload =
+              if pos = j then Some b
+              else if pos >= Config.m t.cfg ~stripe then
+                Some (Erasure.Codec.delta ~old_data:bj ~new_data:b)
+              else None
+            in
+            Message.Modify_delta { stripe; j; payload; tsj; ts })
+          else fun _ -> Message.Modify { stripe; j; bj; b; tsj; ts }
+        in
+        let replies = quorum_call t ~stripe make_req in
+        if all_status_true replies then begin
+          if t.cfg.Config.gc_enabled then
+            Quorum.Rpc.notify t.cfg.Config.rpc ~coord:t.brick
+              ~members:(Config.members t.cfg ~stripe)
+              (Message.Gc { stripe; before = ts });
+          Some (Ok ())
+        end
+        else Some (Error `Aborted)
+    | Some _ | None -> None
+
+(* slow-write-block (lines 83-87): reconstruct, patch block j, store. *)
+let slow_write_block t ~stripe j b ts =
+  match read_prev_stripe t ~stripe ts with
+  | Error `Aborted -> Error `Aborted
+  | Ok data ->
+      data.(j) <- b;
+      store_stripe t ~stripe data ts
+
+(* ------------------------------------------------------------------ *)
+(* Footnote-2 extension: contiguous multi-block access                 *)
+(* ------------------------------------------------------------------ *)
+
+let check_range t ~stripe j0 len =
+  if len < 1 || j0 < 0 || j0 + len > Config.m t.cfg ~stripe then
+    invalid_arg "Core.Coordinator: block range out of bounds"
+
+let range_addrs t ~stripe j0 len =
+  let layout = Config.members_array t.cfg ~stripe in
+  List.init len (fun i -> layout.(j0 + i))
+
+(* read-blocks: the fast read targets exactly the range; any anomaly
+   falls back to full recovery. *)
+let read_blocks t ~stripe j0 ~len =
+  check_range t ~stripe j0 len;
+  if len = Config.m t.cfg ~stripe then read_stripe t ~stripe
+  else
+    traced t ~stripe "read-blocks" @@ fun () ->
+    begin
+    let targets = range_addrs t ~stripe j0 len in
+    let until replies =
+      List.for_all (fun a -> List.mem_assoc a replies) targets
+    in
+    let replies =
+      quorum_call ~until t ~stripe (fun _ -> Message.Read { stripe; targets })
+    in
+    let fast =
+      match unanimous_version replies with
+      | None -> None
+      | Some _ ->
+          let blocks =
+            List.map
+              (fun a ->
+                match List.assoc_opt a replies with
+                | Some (Message.Read_r { block = Some b; _ }) -> Some b
+                | _ -> None)
+              targets
+          in
+          if List.for_all Option.is_some blocks then
+            Some (Array.of_list (List.map Option.get blocks))
+          else None
+    in
+    match fast with
+    | Some blocks -> Ok blocks
+    | None -> (
+        match recover t ~stripe with
+        | Ok data -> Ok (Array.sub data j0 len)
+        | Error `Aborted -> Error `Aborted)
+  end
+
+(* fast-write-blocks: one Order&Read round fetching the range's current
+   blocks, then one Modify_multi round. The range's blocks must all be
+   at the same version timestamp; mixed versions (e.g. after an
+   interleaved single-block write) take the slow path. *)
+let fast_write_blocks t ~stripe j0 news ts =
+  let len = Array.length news in
+  let targets = range_addrs t ~stripe j0 len in
+  let until replies =
+    List.for_all (fun a -> List.mem_assoc a replies) targets
+  in
+  let replies =
+    quorum_call ~until t ~stripe (fun _ ->
+        Message.Order_read
+          { stripe; target = Message.Addrs targets; max = Ts.high; ts })
+  in
+  if not (all_status_true replies) then None
+  else begin
+    let infos =
+      List.map
+        (fun a ->
+          match List.assoc_opt a replies with
+          | Some (Message.Order_read_r { lts; block = Some b; _ }) ->
+              Some (lts, b)
+          | _ -> None)
+        targets
+    in
+    if not (List.for_all Option.is_some infos) then None
+    else
+      let infos = List.map Option.get infos in
+      let tsj = fst (List.hd infos) in
+      if not (List.for_all (fun (l, _) -> Ts.equal l tsj) infos) then None
+      else begin
+        let olds = Array.of_list (List.map snd infos) in
+        let replies =
+          quorum_call t ~stripe (fun _ ->
+              Message.Modify_multi { stripe; j0; olds; news; tsj; ts })
+        in
+        if all_status_true replies then begin
+          if t.cfg.Config.gc_enabled then
+            Quorum.Rpc.notify t.cfg.Config.rpc ~coord:t.brick
+              ~members:(Config.members t.cfg ~stripe)
+              (Message.Gc { stripe; before = ts });
+          Some (Ok ())
+        end
+        else Some (Error `Aborted)
+      end
+  end
+
+let slow_write_blocks t ~stripe j0 news ts =
+  match read_prev_stripe t ~stripe ts with
+  | Error `Aborted -> Error `Aborted
+  | Ok data ->
+      Array.iteri (fun i b -> data.(j0 + i) <- b) news;
+      store_stripe t ~stripe data ts
+
+let write_blocks t ~stripe j0 news =
+  let len = Array.length news in
+  check_range t ~stripe j0 len;
+  Array.iter
+    (fun b ->
+      if Bytes.length b <> t.cfg.Config.block_size then
+        invalid_arg "Core.Coordinator: wrong block size")
+    news;
+  if len = Config.m t.cfg ~stripe then write_stripe t ~stripe news
+  else
+    traced t ~stripe "write-blocks" @@ fun () ->
+    let ts = Clock.new_ts t.clock in
+    match fast_write_blocks t ~stripe j0 news ts with
+    | Some (Ok ()) -> Ok ()
+    | Some (Error `Aborted) | None -> slow_write_blocks t ~stripe j0 news ts
+
+(* write-block (lines 70-73). *)
+let write_block t ~stripe j b =
+  check_block_shape t ~stripe j b;
+  traced t ~stripe "write-block" (fun () ->
+  let ts = Clock.new_ts t.clock in
+  match fast_write_block t ~stripe j b ts with
+  | Some (Ok ()) -> Ok ()
+  | Some (Error `Aborted) | None ->
+      (* Per the paper, any fast-path failure falls back to the slow
+         path with the same timestamp. If the fast path's Modify
+         partially applied, replicas that logged it will refuse the
+         slow path's messages and the operation aborts — the partial
+         write is then rolled forward or back by the next read. *)
+      slow_write_block t ~stripe j b ts)
+
+(* ------------------------------------------------------------------ *)
+(* Scrubbing: detect and repair silent block corruption               *)
+(* ------------------------------------------------------------------ *)
+
+(* All m-subsets of positions [0, k). *)
+let rec subsets k lo n =
+  if k = 0 then [ [] ]
+  else if lo >= n then []
+  else
+    List.map (fun s -> lo :: s) (subsets (k - 1) (lo + 1) n)
+    @ subsets k (lo + 1) n
+
+let scrub t ~stripe =
+  traced t ~stripe "scrub" @@ fun () ->
+  let m = Config.m t.cfg ~stripe in
+  let members = Config.members t.cfg ~stripe in
+  let ts = Clock.new_ts t.clock in
+  let until replies = List.length replies = List.length members in
+  let replies =
+    quorum_call ~until t ~stripe (fun _ ->
+        Message.Order_read { stripe; target = Message.All; max = Ts.high; ts })
+  in
+  if not (all_status_true replies) then Error `Aborted
+  else begin
+    let infos =
+      List.filter_map
+        (fun (src, r) ->
+          match r with
+          | Message.Order_read_r { lts; block = Some b; _ } ->
+              Some (pos_of t ~stripe src, lts, b)
+          | _ -> None)
+        replies
+    in
+    let version =
+      List.fold_left (fun acc (_, lts, _) -> Ts.max acc lts) Ts.low infos
+    in
+    let current =
+      List.filter_map
+        (fun (pos, lts, b) -> if Ts.equal lts version then Some (pos, b) else None)
+        infos
+    in
+    if List.length current < m then Error `Aborted
+    else begin
+      let codec = Config.codec t.cfg ~stripe in
+      (* Find the decoding subset whose codeword disagrees with the
+         fewest collected blocks; the disagreeing blocks are the
+         corrupted ones. Sound for up to (n - m) / 2 corruptions (the
+         Reed-Solomon error-correction bound): the clean codeword then
+         has strictly fewer mismatches than any other. *)
+      let arr = Array.of_list current in
+      let best = ref None in
+      List.iter
+        (fun subset ->
+          let blocks = List.map (fun i -> arr.(i)) subset in
+          let data = Erasure.Codec.decode codec blocks in
+          let enc = Erasure.Codec.encode codec data in
+          let mismatches =
+            List.filter_map
+              (fun (pos, b) ->
+                if Bytes.equal b enc.(pos) then None else Some pos)
+              current
+          in
+          match !best with
+          | Some (_, prev) when List.length prev <= List.length mismatches -> ()
+          | _ -> best := Some (data, mismatches))
+        (subsets m 0 (Array.length arr));
+      match !best with
+      | None -> Error `Aborted
+      | Some (_, []) ->
+          (* Clean: release the ordering we took by completing with the
+             current data so future operations see a consistent
+             ord-ts/log pair. A cheap no-op write-back. *)
+          let data =
+            Erasure.Codec.decode codec
+              (List.filteri (fun i _ -> i < m) current)
+          in
+          Result.map (fun () -> []) (store_stripe t ~stripe data ts)
+      | Some (data, corrupted) ->
+          (* Rewrite the whole stripe from the consistent codeword. *)
+          Result.map
+            (fun () -> List.sort compare corrupted)
+            (store_stripe t ~stripe data ts)
+    end
+  end
+
+let with_retries ?(attempts = 3) _t f =
+  let rec go left =
+    match f () with
+    | Ok v -> Ok v
+    | Error `Aborted when left > 1 -> go (left - 1)
+    | Error `Aborted -> Error `Aborted
+  in
+  if attempts < 1 then invalid_arg "Core.Coordinator.with_retries: attempts < 1";
+  go attempts

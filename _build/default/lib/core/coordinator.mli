@@ -1,0 +1,87 @@
+(** The coordinator side of the storage-register protocol:
+    Algorithm 1 (stripe access) and Algorithm 3 (block access).
+
+    Any brick can coordinate any operation; the designation is
+    per-operation. All operations must run inside a {!Dessim.Fiber} —
+    they suspend on quorum replies. If the coordinator brick crashes
+    mid-operation the fiber is cancelled and the operation becomes a
+    partial operation, whose fate (roll forward or roll back) the next
+    read's recovery decides, per the paper's strict linearizability.
+
+    Operations return [Error `Aborted] when a replica refuses a
+    timestamp — which happens only under concurrent conflicting
+    operations on the same stripe or badly skewed clocks (section 3).
+    The caller may retry with a fresh operation. *)
+
+type t
+
+val create : Config.t -> brick:Brick.t -> clock:Clock.t -> t
+(** [create cfg ~brick ~clock] makes [brick] able to coordinate
+    operations. The same brick typically also runs a {!Replica}. *)
+
+val brick : t -> Brick.t
+val clock : t -> Clock.t
+
+type 'a outcome = ('a, [ `Aborted ]) result
+
+val read_stripe : t -> stripe:int -> Bytes.t array outcome
+(** Read the whole stripe: [m] data blocks. One round trip in the
+    common case; falls back to the two-phase recovery otherwise. *)
+
+val write_stripe : t -> stripe:int -> Bytes.t array -> unit outcome
+(** Two-phase write of [m] data blocks.
+    @raise Invalid_argument if the stripe shape is wrong (block count
+    or block size). *)
+
+val read_block : t -> stripe:int -> int -> Bytes.t outcome
+(** [read_block t ~stripe j] reads data block [j] (in [0, m)). *)
+
+val write_block : t -> stripe:int -> int -> Bytes.t -> unit outcome
+(** [write_block t ~stripe j b] writes data block [j], updating parity
+    blocks via the erasure code's [modify] primitive on the fast path. *)
+
+val read_blocks : t -> stripe:int -> int -> len:int -> Bytes.t array outcome
+(** [read_blocks t ~stripe j0 ~len] reads the contiguous data blocks
+    [j0 .. j0+len-1] in one protocol operation (the multi-block
+    extension of the paper's footnote 2). Costs one round trip on the
+    fast path regardless of [len]; [len = m] degenerates to
+    {!read_stripe}.
+    @raise Invalid_argument if the range is out of bounds. *)
+
+val write_blocks : t -> stripe:int -> int -> Bytes.t array -> unit outcome
+(** [write_blocks t ~stripe j0 news] writes the contiguous data blocks
+    starting at position [j0] in one protocol operation: a single
+    Order&Read round fetches the range's current contents, and a
+    single Modify round updates the range and folds every change into
+    each parity block. [Array.length news = m] degenerates to
+    {!write_stripe}.
+    @raise Invalid_argument if the range is out of bounds or a block
+    has the wrong size. *)
+
+val recover : t -> stripe:int -> Bytes.t array outcome
+(** Expose the recovery procedure directly (used by tests and by
+    brick-rebuild tooling): reconstructs the most recent complete
+    version and writes it back at a fresh timestamp. *)
+
+val scrub : t -> stripe:int -> int list outcome
+(** [scrub t ~stripe] audits the stripe's newest version end to end:
+    it gathers every replica's current block, searches for the
+    consistent codeword, and rewrites the stripe if any block
+    disagrees with it — repairing silent media corruption (bit rot)
+    that the normal read path, which trusts timestamps, cannot see.
+    Returns the positions that were found corrupted (empty on a clean
+    stripe). Identification is sound while at most [(n - m) / 2] blocks
+    of the current version are corrupt — the classic Reed-Solomon
+    error-correction bound: beyond it several codewords explain the
+    observed blocks equally well. The scrub also refreshes the stripe
+    at a new timestamp, so it doubles as the re-sync pass a recovered
+    brick runs. *)
+
+val with_retries : ?attempts:int -> t -> (unit -> 'a outcome) -> 'a outcome
+(** [with_retries t f] runs [f] and re-runs it after an abort, up to
+    [attempts] times (default 3) in total. Retrying is the client-side
+    protocol the paper assumes: each attempt is a fresh operation with
+    a fresh timestamp, and because the coordinator's logical clock has
+    observed the replicas' timestamps during the failed attempt, a
+    retry that lost only to a stale clock succeeds immediately.
+    Genuine write-write conflicts may still abort. *)

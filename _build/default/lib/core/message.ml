@@ -1,0 +1,113 @@
+type target = All | Addr of Simnet.Net.addr | Addrs of Simnet.Net.addr list
+
+type t =
+  | Read of { stripe : int; targets : Simnet.Net.addr list }
+  | Order of { stripe : int; ts : Timestamp.t }
+  | Order_read of {
+      stripe : int;
+      target : target;
+      max : Timestamp.t;
+      ts : Timestamp.t;
+    }
+  | Write of { stripe : int; block : Bytes.t; ts : Timestamp.t }
+  | Modify of {
+      stripe : int;
+      j : int;
+      bj : Bytes.t;
+      b : Bytes.t;
+      tsj : Timestamp.t;
+      ts : Timestamp.t;
+    }
+  | Modify_delta of {
+      stripe : int;
+      j : int;
+      payload : Bytes.t option;
+      tsj : Timestamp.t;
+      ts : Timestamp.t;
+    }
+  | Modify_multi of {
+      stripe : int;
+      j0 : int;
+      olds : Bytes.t array;
+      news : Bytes.t array;
+      tsj : Timestamp.t;
+      ts : Timestamp.t;
+    }
+  | Gc of { stripe : int; before : Timestamp.t }
+  | Read_r of {
+      status : bool;
+      val_ts : Timestamp.t;
+      block : Bytes.t option;
+      cur_ts : Timestamp.t;
+    }
+  | Order_r of { status : bool; cur_ts : Timestamp.t }
+  | Order_read_r of {
+      status : bool;
+      lts : Timestamp.t;
+      block : Bytes.t option;
+      cur_ts : Timestamp.t;
+    }
+  | Write_r of { status : bool; cur_ts : Timestamp.t }
+  | Modify_r of { status : bool; cur_ts : Timestamp.t }
+
+let opt_len = function Some b -> Bytes.length b | None -> 0
+
+let bytes_on_wire = function
+  | Read _ | Order _ | Order_read _ | Gc _ -> 0
+  | Write { block; _ } -> Bytes.length block
+  | Modify { bj; b; _ } -> Bytes.length bj + Bytes.length b
+  | Modify_delta { payload; _ } -> opt_len payload
+  | Modify_multi { olds; news; _ } ->
+      Array.fold_left (fun acc b -> acc + Bytes.length b) 0 olds
+      + Array.fold_left (fun acc b -> acc + Bytes.length b) 0 news
+  | Read_r { block; _ } | Order_read_r { block; _ } -> opt_len block
+  | Order_r _ | Write_r _ | Modify_r _ -> 0
+
+let stripe = function
+  | Read { stripe; _ }
+  | Order { stripe; _ }
+  | Order_read { stripe; _ }
+  | Write { stripe; _ }
+  | Modify { stripe; _ }
+  | Modify_delta { stripe; _ }
+  | Modify_multi { stripe; _ }
+  | Gc { stripe; _ } ->
+      Some stripe
+  | Read_r _ | Order_r _ | Order_read_r _ | Write_r _ | Modify_r _ -> None
+
+let pp fmt m =
+  let ts = Timestamp.to_string in
+  match m with
+  | Read { stripe; targets } ->
+      Format.fprintf fmt "Read{s=%d targets=[%s]}" stripe
+        (String.concat "," (List.map string_of_int targets))
+  | Order { stripe; ts = t } -> Format.fprintf fmt "Order{s=%d ts=%s}" stripe (ts t)
+  | Order_read { stripe; target; max; ts = t } ->
+      Format.fprintf fmt "Order&Read{s=%d tgt=%s max=%s ts=%s}" stripe
+        (match target with
+        | All -> "ALL"
+        | Addr a -> string_of_int a
+        | Addrs l -> String.concat "+" (List.map string_of_int l))
+        (ts max) (ts t)
+  | Write { stripe; ts = t; _ } ->
+      Format.fprintf fmt "Write{s=%d ts=%s}" stripe (ts t)
+  | Modify { stripe; j; tsj; ts = t; _ } ->
+      Format.fprintf fmt "Modify{s=%d j=%d tsj=%s ts=%s}" stripe j (ts tsj)
+        (ts t)
+  | Modify_delta { stripe; j; tsj; ts = t; payload } ->
+      Format.fprintf fmt "ModifyDelta{s=%d j=%d tsj=%s ts=%s payload=%b}"
+        stripe j (ts tsj) (ts t) (payload <> None)
+  | Modify_multi { stripe; j0; olds; tsj; ts = t; _ } ->
+      Format.fprintf fmt "ModifyMulti{s=%d j0=%d len=%d tsj=%s ts=%s}" stripe
+        j0 (Array.length olds) (ts tsj) (ts t)
+  | Gc { stripe; before } ->
+      Format.fprintf fmt "Gc{s=%d before=%s}" stripe (ts before)
+  | Read_r { status; val_ts; block; _ } ->
+      Format.fprintf fmt "Read-R{%b val_ts=%s blk=%b}" status (ts val_ts)
+        (block <> None)
+  | Order_r { status; _ } -> Format.fprintf fmt "Order-R{%b}" status
+  | Order_read_r { status; lts; block; _ } ->
+      Format.fprintf fmt "Order&Read-R{%b lts=%s blk=%b}" status (ts lts)
+        (block <> None)
+  | Write_r { status; _ } -> Format.fprintf fmt "Write-R{%b}" status
+  | Modify_r { status; _ } -> Format.fprintf fmt "Modify-R{%b}" status

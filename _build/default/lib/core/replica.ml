@@ -1,0 +1,274 @@
+module Ts = Timestamp
+
+type stripe_state = { mutable ord_ts : Ts.t; log : Slog.t }
+
+type t = {
+  cfg : Config.t;
+  brick : Brick.t;
+  states : (int, stripe_state) Hashtbl.t;
+  mutable gc_removed : int;
+}
+
+let brick t = t.brick
+
+let state t stripe =
+  match Hashtbl.find_opt t.states stripe with
+  | Some s -> s
+  | None ->
+      let s =
+        { ord_ts = Ts.low; log = Slog.create ~block_size:t.cfg.Config.block_size }
+      in
+      Hashtbl.add t.states stripe s;
+      s
+
+(* The replica's current notion of the most recent timestamp, carried
+   on every reply so that coordinators with logical clocks can catch
+   up after an abort. *)
+let cur_ts st = Ts.max st.ord_ts (Slog.max_ts st.log)
+
+let my_pos t stripe =
+  Config.pos_of_addr t.cfg ~stripe (Brick.id t.brick)
+
+let set_ord_ts t st ts =
+  st.ord_ts <- ts;
+  Brick.count_nvram_write t.brick
+
+(* [Read, targets] — Algorithm 2, lines 38-44. *)
+let handle_read t stripe targets =
+  let st = state t stripe in
+  let val_ts = Slog.max_ts st.log in
+  let status = Ts.( >= ) val_ts st.ord_ts in
+  let block =
+    if status && List.mem (Brick.id t.brick) targets then begin
+      Brick.count_disk_read t.brick;
+      Some (snd (Slog.max_block st.log))
+    end
+    else None
+  in
+  Message.Read_r { status; val_ts; block; cur_ts = cur_ts st }
+
+(* [Order, ts] — lines 45-48. Re-delivery of an Order already in force
+   (ord_ts = ts) re-acknowledges. *)
+let handle_order t stripe ts =
+  let st = state t stripe in
+  let fresh = Ts.( > ) ts (Slog.max_ts st.log) && Ts.( >= ) ts st.ord_ts in
+  let status = fresh || Ts.equal st.ord_ts ts in
+  if fresh && not (Ts.equal st.ord_ts ts) then set_ord_ts t st ts;
+  Message.Order_r { status; cur_ts = cur_ts st }
+
+(* [Order&Read, j, max, ts] — lines 49-56. *)
+let handle_order_read t stripe target max ts =
+  let st = state t stripe in
+  let status = Ts.( > ) ts (Slog.max_ts st.log) && Ts.( >= ) ts st.ord_ts in
+  let lts = ref Ts.low and block = ref None in
+  if status then begin
+    if not (Ts.equal st.ord_ts ts) then set_ord_ts t st ts;
+    let wanted =
+      match target with
+      | Message.All -> true
+      | Message.Addr a -> a = Brick.id t.brick
+      | Message.Addrs l -> List.mem (Brick.id t.brick) l
+    in
+    if wanted then
+      match Slog.max_below st.log max with
+      | Some (l, b) ->
+          lts := l;
+          block := b;
+          if b <> None then Brick.count_disk_read t.brick
+      | None -> ()
+  end;
+  Message.Order_read_r { status; lts = !lts; block = !block; cur_ts = cur_ts st }
+
+(* [Write, b, ts] — lines 57-60. A re-delivered Write whose entry is
+   already logged with the same content re-acknowledges; an entry at
+   [ts] with different content (a Modify got there first, e.g. via a
+   slow write-block reusing its fast phase's timestamp) refuses, as
+   the paper's status check does — acknowledging would let two
+   replicas disagree on the content of version [ts]. *)
+let handle_write t stripe block ts =
+  let st = state t stripe in
+  let already =
+    match Slog.find st.log ts with
+    | Some (Some existing) -> Bytes.equal existing block
+    | Some None -> false
+    | None -> false
+  in
+  let status =
+    already
+    || ((not (Slog.mem st.log ts))
+       && Ts.( > ) ts (Slog.max_ts st.log)
+       && Ts.( >= ) ts st.ord_ts)
+  in
+  if status && not already then begin
+    Slog.add st.log ts (Some block);
+    Brick.count_disk_write t.brick;
+    Brick.count_nvram_write t.brick
+  end;
+  Message.Write_r { status; cur_ts = cur_ts st }
+
+(* Compute this replica's new log entry for a block-level write of
+   data position [j]: the new block at p_j, a re-encoded parity block
+   at parity processes, a timestamp-only marker elsewhere. *)
+let modify_entry t st ~stripe ~pos ~j ~bj ~b =
+  let m = Config.m t.cfg ~stripe in
+  if pos = j then Some b
+  else if pos >= m then begin
+    Brick.count_disk_read t.brick;
+    let old_parity = snd (Slog.max_block st.log) in
+    Some
+      (Erasure.Codec.modify
+         (Config.codec t.cfg ~stripe)
+         ~data_idx:j ~parity_idx:(pos - m) ~old_data:bj ~new_data:b
+         ~old_parity)
+  end
+  else None
+
+(* [Modify, j, bj, b, tsj, ts] — Algorithm 3, lines 88-98. *)
+let handle_modify t stripe j bj b tsj ts =
+  let st = state t stripe in
+  let already = Slog.mem st.log ts in
+  let status =
+    already
+    || (Ts.equal tsj (Slog.max_ts st.log) && Ts.( >= ) ts st.ord_ts)
+  in
+  if status && not already then begin
+    match my_pos t stripe with
+    | None -> ()
+    | Some pos ->
+        let entry = modify_entry t st ~stripe ~pos ~j ~bj ~b in
+        Slog.add st.log ts entry;
+        if entry <> None then Brick.count_disk_write t.brick;
+        Brick.count_nvram_write t.brick
+  end;
+  Message.Modify_r { status; cur_ts = cur_ts st }
+
+(* Bandwidth-optimized Modify (section 5.2): p_j receives the new
+   block, parity processes receive the precomputed delta to fold into
+   their current block, other data processes receive no payload. *)
+let handle_modify_delta t stripe j payload tsj ts =
+  let st = state t stripe in
+  let already = Slog.mem st.log ts in
+  let status =
+    already
+    || (Ts.equal tsj (Slog.max_ts st.log) && Ts.( >= ) ts st.ord_ts)
+  in
+  if status && not already then begin
+    match my_pos t stripe with
+    | None -> ()
+    | Some pos ->
+        let m = Config.m t.cfg ~stripe in
+        let entry =
+          match payload with
+          | Some payload when pos = j -> Some payload
+          | Some payload when pos >= m ->
+              Brick.count_disk_read t.brick;
+              let old_parity = snd (Slog.max_block st.log) in
+              Some
+                (Erasure.Codec.apply_delta
+                   (Config.codec t.cfg ~stripe)
+                   ~data_idx:j ~parity_idx:(pos - m) ~delta:payload
+                   ~old_parity)
+          | Some _ | None -> None
+        in
+        Slog.add st.log ts entry;
+        if entry <> None then Brick.count_disk_write t.brick;
+        Brick.count_nvram_write t.brick
+  end;
+  Message.Modify_r { status; cur_ts = cur_ts st }
+
+(* [Modify_multi, j0, olds, news, tsj, ts] — the footnote-2 extension
+   of the Modify handler to a contiguous range of data blocks. A data
+   process inside the range stores its new block, a parity process
+   folds every block's change into its current parity block, and data
+   processes outside the range log a timestamp-only marker. *)
+let handle_modify_multi t stripe j0 olds news tsj ts =
+  let st = state t stripe in
+  let already = Slog.mem st.log ts in
+  let status =
+    already
+    || (Ts.equal tsj (Slog.max_ts st.log) && Ts.( >= ) ts st.ord_ts)
+  in
+  if status && not already then begin
+    match my_pos t stripe with
+    | None -> ()
+    | Some pos ->
+        let m = Config.m t.cfg ~stripe in
+        let len = Array.length olds in
+        let entry =
+          if pos >= j0 && pos < j0 + len then Some news.(pos - j0)
+          else if pos >= m then begin
+            Brick.count_disk_read t.brick;
+            let parity = ref (snd (Slog.max_block st.log)) in
+            for i = 0 to len - 1 do
+              parity :=
+                Erasure.Codec.modify
+                  (Config.codec t.cfg ~stripe)
+                  ~data_idx:(j0 + i) ~parity_idx:(pos - m) ~old_data:olds.(i)
+                  ~new_data:news.(i) ~old_parity:!parity
+            done;
+            Some !parity
+          end
+          else None
+        in
+        Slog.add st.log ts entry;
+        if entry <> None then Brick.count_disk_write t.brick;
+        Brick.count_nvram_write t.brick
+  end;
+  Message.Modify_r { status; cur_ts = cur_ts st }
+
+(* [Gc, before] — section 5.1. One-way; no reply. *)
+let handle_gc t stripe before =
+  match Hashtbl.find_opt t.states stripe with
+  | None -> ()
+  | Some st -> t.gc_removed <- t.gc_removed + Slog.gc st.log ~before
+
+let dispatch t msg =
+  match msg with
+    | Message.Read { stripe; targets } -> Some (handle_read t stripe targets)
+    | Message.Order { stripe; ts } -> Some (handle_order t stripe ts)
+    | Message.Order_read { stripe; target; max; ts } ->
+        Some (handle_order_read t stripe target max ts)
+    | Message.Write { stripe; block; ts } ->
+        Some (handle_write t stripe block ts)
+    | Message.Modify { stripe; j; bj; b; tsj; ts } ->
+        Some (handle_modify t stripe j bj b tsj ts)
+    | Message.Modify_delta { stripe; j; payload; tsj; ts } ->
+        Some (handle_modify_delta t stripe j payload tsj ts)
+    | Message.Modify_multi { stripe; j0; olds; news; tsj; ts } ->
+        Some (handle_modify_multi t stripe j0 olds news tsj ts)
+    | Message.Gc { stripe; before } ->
+        handle_gc t stripe before;
+        None
+    | Message.Read_r _ | Message.Order_r _ | Message.Order_read_r _
+    | Message.Write_r _ | Message.Modify_r _ ->
+        None
+
+let handle t ~src (msg : Message.t) : Message.t option =
+  if not (Brick.is_alive t.brick) then None
+  else begin
+    Trace.replica_recv ~brick:(Brick.id t.brick) ~src msg;
+    let reply = dispatch t msg in
+    (match reply with
+    | Some r -> Trace.replica_reply ~brick:(Brick.id t.brick) ~dst:src r
+    | None -> ());
+    reply
+  end
+
+let create cfg ~brick =
+  let t = { cfg; brick; states = Hashtbl.create 64; gc_removed = 0 } in
+  Quorum.Rpc.serve cfg.Config.rpc ~addr:(Brick.id brick) (fun ~src msg ->
+      handle t ~src msg);
+  t
+
+let ord_ts t ~stripe =
+  match Hashtbl.find_opt t.states stripe with
+  | Some st -> st.ord_ts
+  | None -> Ts.low
+
+let log t ~stripe =
+  Option.map (fun st -> st.log) (Hashtbl.find_opt t.states stripe)
+
+let stripes t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.states [] |> List.sort compare
+
+let gc_removed t = t.gc_removed

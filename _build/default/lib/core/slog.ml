@@ -1,0 +1,97 @@
+module TsMap = Map.Make (struct
+  type t = Timestamp.t
+
+  let compare = Timestamp.compare
+end)
+
+type t = {
+  block_size : int;
+  mutable entries : Bytes.t option TsMap.t;
+}
+
+let create ~block_size =
+  if block_size <= 0 then invalid_arg "Core.Slog.create: block_size <= 0";
+  let nil = Bytes.make block_size '\000' in
+  { block_size; entries = TsMap.singleton Timestamp.low (Some nil) }
+
+let block_size t = t.block_size
+
+let add t ts block =
+  (match ts with
+  | Timestamp.Low | Timestamp.High ->
+      invalid_arg "Core.Slog.add: sentinel timestamp"
+  | Timestamp.Ts _ -> ());
+  (match block with
+  | Some b when Bytes.length b <> t.block_size ->
+      invalid_arg "Core.Slog.add: wrong block size"
+  | Some _ | None -> ());
+  if not (TsMap.mem ts t.entries) then
+    t.entries <- TsMap.add ts block t.entries
+
+let mem t ts = TsMap.mem ts t.entries
+let find t ts = TsMap.find_opt ts t.entries
+
+let max_ts t = fst (TsMap.max_binding t.entries)
+
+let newest_real_below_or_at t bound =
+  (* Newest non-bot entry with timestamp <= bound. *)
+  let below, at, _ = TsMap.split bound t.entries in
+  match at with
+  | Some (Some b) -> Some (bound, b)
+  | Some None | None ->
+      let rec search m =
+        if TsMap.is_empty m then None
+        else
+          let ts, block = TsMap.max_binding m in
+          match block with
+          | Some b -> Some (ts, b)
+          | None -> search (TsMap.remove ts m)
+      in
+      search below
+
+let max_block t =
+  match newest_real_below_or_at t (max_ts t) with
+  | Some (ts, b) -> (ts, b)
+  | None ->
+      (* The initial nil entry is non-bot and gc preserves the newest
+         non-bot entry, so this is unreachable. *)
+      assert false
+
+let max_below t bound =
+  let below, _, _ = TsMap.split bound t.entries in
+  if TsMap.is_empty below then None
+  else
+    let lts, block = TsMap.max_binding below in
+    match block with
+    | Some b -> Some (lts, Some b)
+    | None ->
+        let content =
+          match newest_real_below_or_at t lts with
+          | Some (_, b) -> Some b
+          | None -> None
+        in
+        Some (lts, content)
+
+let gc t ~before =
+  let newest = max_ts t in
+  let newest_real = fst (max_block t) in
+  let keep ts _ =
+    Timestamp.( >= ) ts before
+    || Timestamp.equal ts newest
+    || Timestamp.equal ts newest_real
+  in
+  let kept = TsMap.filter keep t.entries in
+  let removed = TsMap.cardinal t.entries - TsMap.cardinal kept in
+  t.entries <- kept;
+  removed
+
+let size t = TsMap.cardinal t.entries
+
+let entries t =
+  TsMap.fold (fun ts b acc -> (ts, b) :: acc) t.entries []
+
+let corrupt_newest t =
+  let ts, block = max_block t in
+  let copy = Bytes.copy block in
+  Bytes.set copy 0 (Char.chr (Char.code (Bytes.get copy 0) lxor 0x40));
+  t.entries <- TsMap.add ts (Some copy) t.entries

@@ -1,0 +1,81 @@
+(** The per-process persistent log of timestamped block versions
+    (paper section 4.2).
+
+    The log is a set of [(timestamp, block-or-bot)] pairs recording the
+    history of updates to this process's block of the stripe. A pair
+    with value bot ([None]) is a timestamp-only marker written when a
+    block-level write updates other blocks of the stripe.
+
+    The initial log is [{(LowTS, nil)}] where [nil] — the register's
+    initial value — is concretely an all-zero block, matching virtual-
+    disk semantics (reading an unwritten stripe returns zeroes).
+
+    The three query functions are the paper's [max-ts], [max-block]
+    and [max-below]. {!gc} implements the section 5.1 trimming rule:
+    once a write with timestamp [ts] is known complete, every entry
+    strictly older than [ts] can go — except that the newest entry is
+    always retained so that [max-ts] never moves backwards. *)
+
+type t
+
+val create : block_size:int -> t
+(** Fresh log holding only [(LowTS, nil)].
+    @raise Invalid_argument if [block_size <= 0]. *)
+
+val add : t -> Timestamp.t -> Bytes.t option -> unit
+(** [add t ts b] inserts the pair. Re-inserting an existing timestamp
+    is a no-op (set semantics, making retransmitted requests
+    idempotent).
+    @raise Invalid_argument on a sentinel timestamp or a block of the
+    wrong size. *)
+
+val mem : t -> Timestamp.t -> bool
+
+val find : t -> Timestamp.t -> Bytes.t option option
+(** [find t ts] is [Some value] if an entry exists ([value] itself
+    being [None] for a bot marker). *)
+
+val max_ts : t -> Timestamp.t
+(** Highest timestamp in the log. *)
+
+val max_block : t -> Timestamp.t * Bytes.t
+(** The non-bot entry with the highest timestamp. Always exists: the
+    initial nil entry is non-bot and {!gc} preserves the invariant. *)
+
+val max_below : t -> Timestamp.t -> (Timestamp.t * Bytes.t option) option
+(** [max_below t ts] is [Some (lts, content)] where [lts] is the
+    highest timestamp in the log strictly smaller than [ts] — bot
+    markers included — and [content] is the newest non-bot block at or
+    below [lts] (in well-formed histories it always exists). [None] if
+    the log has no entry below [ts].
+
+    Including markers in [lts] deliberately deviates from the paper's
+    literal wording ("the non-bot value with the highest timestamp
+    smaller than ts"): a marker [(ts', bot)] records that this
+    process's block content at stripe version [ts'] is its newest real
+    block below [ts'], so the version a reply describes is [lts], not
+    the content's own write time. The appendix proof relies on exactly
+    this (a Modify that logs bot still counts as a store event for the
+    written value); with the literal reading, a recovery running after
+    a {e complete} block-level write and a later partial stripe write
+    would fail to see the block-write's version group, descend past
+    it, and roll back a completed operation — violating strict
+    linearizability whenever [n - m + 1 < m]. See DESIGN.md. *)
+
+val gc : t -> before:Timestamp.t -> int
+(** [gc t ~before] removes entries with timestamp < [before], except
+    the newest entry of the log and the newest non-bot entry (so
+    {!max_ts} and {!max_block} stay defined). Returns the number of
+    entries removed. *)
+
+val size : t -> int
+val entries : t -> (Timestamp.t * Bytes.t option) list
+(** Newest first; for tests and debugging. *)
+
+val block_size : t -> int
+
+val corrupt_newest : t -> unit
+(** Flip a bit in the newest non-bot block — simulated silent media
+    corruption (bit rot), used to exercise scrubbing. The log's
+    metadata (timestamps) is untouched, exactly like a latent sector
+    error below the protocol's radar. *)

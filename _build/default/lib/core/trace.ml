@@ -1,0 +1,19 @@
+let src = Logs.Src.create "fab.core" ~doc:"FAB storage-register protocol trace"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let enable_stderr ?(level = Logs.Debug) () =
+  if Logs.reporter () == Logs.nop_reporter then
+    Logs.set_reporter (Logs.format_reporter ());
+  Logs.Src.set_level src (Some level)
+
+let replica_recv ~brick ~src:from msg =
+  Log.debug (fun m -> m "[b%d] <- c%d %a" brick from Message.pp msg)
+
+let replica_reply ~brick ~dst msg =
+  Log.debug (fun m -> m "[b%d] -> c%d %a" brick dst Message.pp msg)
+
+let op ~coord ~stripe name phase =
+  Log.info (fun m ->
+      m "[c%d/s%d] %s %s" coord stripe name
+        (match phase with `Start -> "start" | `Ok -> "ok" | `Abort -> "ABORT"))

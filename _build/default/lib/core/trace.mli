@@ -1,0 +1,30 @@
+(** Protocol tracing on the [Logs] library.
+
+    Disabled by default (the log source starts at level [None], so
+    tracing costs one branch per event). Enable with
+    {!enable_stderr} — or install any [Logs] reporter and set the
+    {!src} level — to watch the protocol run:
+
+    {v
+    fab.core: [c3/s0] write-stripe start
+    fab.core: [b1] <- c3 Order{s=0 ts=4.3}
+    fab.core: [b1] -> c3 Order-R{true}
+    ...
+    v}
+
+    The CLI exposes this as [fab_sim workload --trace]. *)
+
+val src : Logs.src
+
+val enable_stderr : ?level:Logs.level -> unit -> unit
+(** Install a stderr reporter (if none is installed yet) and set the
+    trace source to [level] (default [Debug]). *)
+
+val replica_recv : brick:int -> src:int -> Message.t -> unit
+(** A replica received (and is about to handle) a request. *)
+
+val replica_reply : brick:int -> dst:int -> Message.t -> unit
+
+val op :
+  coord:int -> stripe:int -> string -> [ `Start | `Ok | `Abort ] -> unit
+(** Coordinator-side operation lifecycle. *)

@@ -1,0 +1,1 @@
+lib/dessim/engine.ml: Array List Option Random

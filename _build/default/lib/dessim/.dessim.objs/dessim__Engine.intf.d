@@ -1,0 +1,1 @@
+lib/dessim/engine.mli: Random

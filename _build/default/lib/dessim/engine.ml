@@ -1,0 +1,189 @@
+(* Binary-heap event queue keyed by (time, sequence number): the
+   sequence number makes same-instant events fire in scheduling order,
+   which keeps runs deterministic. *)
+
+type event = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type timer = event
+
+type t = {
+  mutable clock : float;
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+  rng : Random.State.t;
+  mutable chooser : (int -> int) option;
+}
+
+let create ?(seed = 42) () =
+  {
+    clock = 0.0;
+    heap = Array.make 64 { time = 0.; seq = 0; action = ignore; cancelled = true };
+    size = 0;
+    next_seq = 0;
+    rng = Random.State.make [| seed |];
+    chooser = None;
+  }
+
+let now t = t.clock
+let rng t = t.rng
+let pending t = t.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) t.heap.(0) in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Dessim.Engine.schedule: negative delay";
+  let ev =
+    { time = t.clock +. delay; seq = t.next_seq; action; cancelled = false }
+  in
+  t.next_seq <- t.next_seq + 1;
+  grow t;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  ev
+
+let cancel ev = ev.cancelled <- true
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0;
+    Some top
+  end
+
+let set_chooser t chooser = t.chooser <- chooser
+
+(* Pop every live event scheduled for the earliest instant; used when a
+   chooser is installed to expose the simultaneous set. *)
+let pop_simultaneous t =
+  let rec first () =
+    match pop t with
+    | None -> None
+    | Some ev -> if ev.cancelled then first () else Some ev
+  in
+  match first () with
+  | None -> []
+  | Some head ->
+      let batch = ref [ head ] in
+      let continue_ = ref true in
+      while !continue_ do
+        if t.size = 0 then continue_ := false
+        else if t.heap.(0).cancelled then ignore (pop t)
+        else if t.heap.(0).time = head.time then
+          batch := Option.get (pop t) :: !batch
+        else continue_ := false
+      done;
+      (* Restore scheduling order within the batch. *)
+      List.sort (fun a b -> compare a.seq b.seq) !batch
+
+let rec step t =
+  match t.chooser with
+  | Some choose -> (
+      match pop_simultaneous t with
+      | [] -> false
+      | [ ev ] ->
+          t.clock <- ev.time;
+          ev.action ();
+          true
+      | batch ->
+          let k = List.length batch in
+          let idx = choose k in
+          if idx < 0 || idx >= k then
+            invalid_arg "Dessim.Engine: chooser index out of range";
+          let chosen = List.nth batch idx in
+          (* Re-queue the others without disturbing their relative
+             order (seq numbers are preserved). *)
+          List.iteri
+            (fun i ev ->
+              if i <> idx then begin
+                grow t;
+                t.heap.(t.size) <- ev;
+                t.size <- t.size + 1;
+                sift_up t (t.size - 1)
+              end)
+            batch;
+          t.clock <- chosen.time;
+          chosen.action ();
+          true)
+  | None -> (
+      match pop t with
+      | None -> false
+      | Some ev ->
+          if ev.cancelled then step t
+          else begin
+            assert (ev.time >= t.clock);
+            t.clock <- ev.time;
+            ev.action ();
+            true
+          end)
+
+let peek_live t =
+  (* Reap cancelled events from the top so that [run ~until] never
+     advances the clock just to discard dead timers. *)
+  let rec loop () =
+    if t.size = 0 then None
+    else if t.heap.(0).cancelled then begin
+      ignore (pop t);
+      loop ()
+    end
+    else Some t.heap.(0)
+  in
+  loop ()
+
+let run ?until t =
+  let continue_past time =
+    match until with None -> true | Some limit -> time <= limit
+  in
+  let rec loop () =
+    match peek_live t with
+    | None -> ()
+    | Some ev ->
+        if continue_past ev.time then begin
+          ignore (step t);
+          loop ()
+        end
+        else
+          (* Leave future events queued but advance the clock to the
+             horizon so that repeated bounded runs make progress. *)
+          match until with Some limit -> t.clock <- limit | None -> ()
+  in
+  loop ()

@@ -1,0 +1,54 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns a virtual clock and a priority queue of events.
+    Events scheduled for the same instant fire in scheduling order, and
+    all randomness flows through the engine's seeded generator, so a
+    run is a pure function of its seed. This engine is the stand-in for
+    the paper's asynchronous distributed system: message delays, crash
+    and recovery times, and timer expirations are all just events. *)
+
+type t
+(** A simulation engine. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ?seed ()] is a fresh engine at time [0.0]. The default seed
+    is [42]. *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val rng : t -> Random.State.t
+(** The engine's random state; all simulation randomness must come from
+    here to keep runs reproducible. *)
+
+type timer
+(** Handle on a scheduled event, used for cancellation. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> timer
+(** [schedule t ~delay f] runs [f] at time [now t +. delay].
+    @raise Invalid_argument if [delay] is negative. *)
+
+val cancel : timer -> unit
+(** [cancel timer] prevents the event from firing; cancelling a fired
+    or already-cancelled timer is a no-op. *)
+
+val run : ?until:float -> t -> unit
+(** [run ?until t] processes events in time order until the queue is
+    empty, or until virtual time would exceed [until] (events after
+    [until] stay queued and the clock is left at [until]). *)
+
+val step : t -> bool
+(** [step t] processes a single event; [false] if the queue was empty. *)
+
+val set_chooser : t -> (int -> int) option -> unit
+(** [set_chooser t (Some f)] makes the engine consult [f] whenever more
+    than one live event is scheduled for the earliest instant: [f k]
+    must return an index in [0, k) selecting which fires next (their
+    order of presentation is scheduling order). [None] restores the
+    default FIFO tie-break. Systematic schedule exploration — running
+    the same scenario under every choice sequence — is built on this
+    hook (see the Explore test module). *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    reaped). *)

@@ -1,0 +1,48 @@
+exception Cancelled
+
+type 'a resumer = {
+  mutable state : 'a state;
+}
+
+and 'a state =
+  | Waiting of ('a, unit) Effect.Deep.continuation
+  | Dead
+
+type _ Effect.t += Suspend : ('a resumer -> unit) -> 'a Effect.t
+
+let handler : (unit, unit) Effect.Deep.handler =
+  {
+    retc = (fun () -> ());
+    exnc =
+      (fun exn ->
+        match exn with Cancelled -> () | _ -> raise exn);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Suspend register ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                let r = { state = Waiting k } in
+                register r)
+        | _ -> None);
+  }
+
+let spawn f = Effect.Deep.match_with f () handler
+
+let suspend register = Effect.perform (Suspend register)
+
+let resume r v =
+  match r.state with
+  | Dead -> ()
+  | Waiting k ->
+      r.state <- Dead;
+      Effect.Deep.continue k v
+
+let cancel r =
+  match r.state with
+  | Dead -> ()
+  | Waiting k ->
+      r.state <- Dead;
+      Effect.Deep.discontinue k Cancelled
+
+let is_live r = match r.state with Waiting _ -> true | Dead -> false

@@ -1,0 +1,44 @@
+(** Lightweight cooperative fibers on OCaml effect handlers.
+
+    Protocol coordinators in the paper are sequential procedures that
+    block on quorum replies ([quorum()] in Algorithm 1). Fibers let us
+    write them in direct style inside the single-threaded simulator: a
+    fiber suspends by performing an effect, and whoever holds the
+    {!resumer} wakes it (or cancels it, modelling a coordinator crash).
+
+    Fibers never run in parallel: resuming a fiber executes it
+    immediately, inside the caller, until its next suspension point.
+    This mirrors an event-driven process and keeps runs deterministic. *)
+
+exception Cancelled
+(** Raised inside a fiber whose pending suspension was {!cancel}ed;
+    models the coordinator process crashing mid-operation. *)
+
+type 'a resumer
+(** A one-shot capability to wake a suspended fiber with an ['a]. *)
+
+val spawn : (unit -> unit) -> unit
+(** [spawn f] runs [f] as a fiber, immediately, until it finishes or
+    first suspends. An escaping {!Cancelled} terminates the fiber
+    silently; any other escaping exception is re-raised to the caller
+    that happened to be running the fiber (usually the simulation
+    engine), since it indicates a bug. *)
+
+val suspend : ('a resumer -> unit) -> 'a
+(** [suspend register] suspends the current fiber and hands a resumer
+    to [register]; returns the value later passed to {!resume}. Must be
+    called from inside a fiber.
+    @raise Cancelled if the suspension is cancelled. *)
+
+val resume : 'a resumer -> 'a -> unit
+(** [resume r v] wakes the fiber with [v], running it synchronously
+    until it finishes or suspends again. Resuming a dead (already
+    resumed or cancelled) resumer is a no-op, so races between a reply
+    arrival and a timeout need no extra bookkeeping. *)
+
+val cancel : _ resumer -> unit
+(** [cancel r] wakes the fiber with {!Cancelled}. No-op on a dead
+    resumer. *)
+
+val is_live : _ resumer -> bool
+(** [is_live r] is [true] until [r] has been resumed or cancelled. *)

@@ -1,0 +1,1 @@
+lib/erasure/codec.ml: Array Bytes Format Gf256 List Printf

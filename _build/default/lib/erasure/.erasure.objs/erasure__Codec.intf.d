@@ -1,0 +1,1 @@
+lib/erasure/codec.mli: Bytes Format Gf256

@@ -1,0 +1,154 @@
+(* Systematic m-of-n erasure codes over GF(2^8).
+
+   A codec is a full n x m generator matrix whose top m x m block is the
+   identity. The MDS property (any m rows invertible) is guaranteed by
+   construction: the parity rows form a Cauchy matrix (rs), a row of
+   ones (parity, replication), and in both cases every mixed selection
+   of identity and parity rows stays invertible. *)
+
+module F = Gf256.Field
+module M = Gf256.Matrix
+
+type kind = Rs | Parity | Replication
+
+type t = { kind : kind; m : int; n : int; gen : M.t }
+
+let m t = t.m
+let n t = t.n
+
+let coeff t ~row ~col =
+  if row < 0 || row >= t.n || col < 0 || col >= t.m then
+    invalid_arg "Erasure.Codec.coeff: index out of range";
+  M.get t.gen row col
+
+let systematic_generator ~m ~n parity_row =
+  M.init ~rows:n ~cols:m (fun r c ->
+      if r < m then if r = c then 1 else 0 else parity_row (r - m) c)
+
+let rs ~m ~n =
+  if m < 1 || n <= m || n > 256 then
+    invalid_arg "Erasure.Codec.rs: need 1 <= m < n <= 256";
+  (* xs indexes parity rows, ys indexes data columns; the two index sets
+     are disjoint subsets of GF(256), so the Cauchy matrix is defined. *)
+  let xs = Array.init (n - m) (fun i -> m + i) in
+  let ys = Array.init m (fun j -> j) in
+  let c = M.cauchy ~xs ~ys in
+  { kind = Rs; m; n; gen = systematic_generator ~m ~n (M.get c) }
+
+let parity ~m =
+  if m < 1 then invalid_arg "Erasure.Codec.parity: need m >= 1";
+  let n = m + 1 in
+  { kind = Parity; m; n; gen = systematic_generator ~m ~n (fun _ _ -> 1) }
+
+let replication ~n =
+  if n < 2 then invalid_arg "Erasure.Codec.replication: need n >= 2";
+  { kind = Replication; m = 1; n;
+    gen = systematic_generator ~m:1 ~n (fun _ _ -> 1) }
+
+let check_stripe t stripe =
+  if Array.length stripe <> t.m then
+    invalid_arg
+      (Printf.sprintf "Erasure.Codec.encode: expected %d blocks, got %d" t.m
+         (Array.length stripe));
+  let len = Bytes.length stripe.(0) in
+  if len = 0 then invalid_arg "Erasure.Codec.encode: empty blocks";
+  Array.iter
+    (fun b ->
+      if Bytes.length b <> len then
+        invalid_arg "Erasure.Codec.encode: block size mismatch")
+    stripe;
+  len
+
+let encode t stripe =
+  let len = check_stripe t stripe in
+  Array.init t.n (fun r ->
+      if r < t.m then Bytes.copy stripe.(r)
+      else begin
+        let out = Bytes.make len '\000' in
+        for c = 0 to t.m - 1 do
+          F.mul_slice ~dst:out ~src:stripe.(c) (M.get t.gen r c)
+        done;
+        out
+      end)
+
+let check_indexed_blocks t blocks =
+  if List.length blocks <> t.m then
+    invalid_arg
+      (Printf.sprintf "Erasure.Codec.decode: expected %d blocks, got %d" t.m
+         (List.length blocks));
+  let len = Bytes.length (snd (List.hd blocks)) in
+  if len = 0 then invalid_arg "Erasure.Codec.decode: empty blocks";
+  let seen = Array.make t.n false in
+  List.iter
+    (fun (idx, b) ->
+      if idx < 0 || idx >= t.n then
+        invalid_arg "Erasure.Codec.decode: index out of range";
+      if seen.(idx) then invalid_arg "Erasure.Codec.decode: duplicate index";
+      seen.(idx) <- true;
+      if Bytes.length b <> len then
+        invalid_arg "Erasure.Codec.decode: block size mismatch")
+    blocks;
+  len
+
+let decode t blocks =
+  let len = check_indexed_blocks t blocks in
+  let idxs = List.map fst blocks in
+  let sub = M.sub_rows t.gen idxs in
+  match M.invert sub with
+  | None ->
+      (* Impossible for our MDS constructions; defensive. *)
+      invalid_arg "Erasure.Codec.decode: singular submatrix"
+  | Some inv ->
+      let srcs = Array.of_list (List.map snd blocks) in
+      Array.init t.m (fun r ->
+          let out = Bytes.make len '\000' in
+          for k = 0 to t.m - 1 do
+            F.mul_slice ~dst:out ~src:srcs.(k) (M.get inv r k)
+          done;
+          out)
+
+let delta ~old_data ~new_data =
+  let len = Bytes.length old_data in
+  if Bytes.length new_data <> len then
+    invalid_arg "Erasure.Codec.delta: size mismatch";
+  let d = Bytes.copy new_data in
+  F.mul_slice ~dst:d ~src:old_data 1;
+  d
+
+let apply_delta t ~data_idx ~parity_idx ~delta ~old_parity =
+  if data_idx < 0 || data_idx >= t.m then
+    invalid_arg "Erasure.Codec.apply_delta: data_idx out of range";
+  if parity_idx < 0 || parity_idx >= t.n - t.m then
+    invalid_arg "Erasure.Codec.apply_delta: parity_idx out of range";
+  if Bytes.length delta <> Bytes.length old_parity then
+    invalid_arg "Erasure.Codec.apply_delta: size mismatch";
+  let out = Bytes.copy old_parity in
+  F.mul_slice ~dst:out ~src:delta (M.get t.gen (t.m + parity_idx) data_idx);
+  out
+
+let modify t ~data_idx ~parity_idx ~old_data ~new_data ~old_parity =
+  apply_delta t ~data_idx ~parity_idx ~delta:(delta ~old_data ~new_data)
+    ~old_parity
+
+let reconstruct_block t ~idx blocks =
+  if idx < 0 || idx >= t.n then
+    invalid_arg "Erasure.Codec.reconstruct_block: index out of range";
+  let data = decode t blocks in
+  if idx < t.m then data.(idx)
+  else begin
+    let len = Bytes.length data.(0) in
+    let out = Bytes.make len '\000' in
+    for c = 0 to t.m - 1 do
+      F.mul_slice ~dst:out ~src:data.(c) (M.get t.gen idx c)
+    done;
+    out
+  end
+
+let pp fmt t =
+  let name =
+    match t.kind with
+    | Rs -> "rs"
+    | Parity -> "parity"
+    | Replication -> "replication"
+  in
+  Format.fprintf fmt "%s(%d,%d)" name t.m t.n

@@ -1,0 +1,89 @@
+(** Deterministic m-out-of-n erasure codes (paper section 2.1).
+
+    A codec turns a stripe of [m] equal-sized data blocks into [n]
+    encoded blocks ([n > m]); the first [m] encoded blocks are the data
+    blocks themselves (the codes are systematic) and the remaining
+    [n - m] are parity blocks. The original stripe can be reconstructed
+    from any [m] of the [n] encoded blocks.
+
+    Three constructions are provided, mirroring the codes the paper
+    discusses:
+    - {!rs}: Cauchy Reed-Solomon, any [m < n <= 256];
+    - {!parity}: single XOR parity (RAID-5), [n = m + 1];
+    - {!replication}: mirroring as the degenerate case [m = 1].
+
+    All three satisfy the paper's three primitives [encode], [decode]
+    and [modify]. *)
+
+type t
+(** An m-of-n codec. Codecs are immutable and can be shared freely. *)
+
+val rs : m:int -> n:int -> t
+(** [rs ~m ~n] is a systematic Cauchy Reed-Solomon code. Any square
+    submatrix of a Cauchy matrix is invertible, so any [m] of the [n]
+    blocks suffice to decode.
+    @raise Invalid_argument unless [1 <= m < n <= 256]. *)
+
+val parity : m:int -> t
+(** [parity ~m] is the [m]-of-[m+1] XOR parity code (RAID-5 across
+    bricks). @raise Invalid_argument unless [m >= 1]. *)
+
+val replication : n:int -> t
+(** [replication ~n] is 1-of-[n] mirroring: every encoded block is a
+    copy of the single data block.
+    @raise Invalid_argument unless [n >= 2]. *)
+
+val m : t -> int
+(** Number of data blocks per stripe. *)
+
+val n : t -> int
+(** Total number of encoded blocks per stripe. *)
+
+val coeff : t -> row:int -> col:int -> Gf256.Field.t
+(** [coeff t ~row ~col] is the generator-matrix entry used to weight
+    data block [col] in encoded block [row]. Exposed so that
+    bandwidth-optimized writes can ship precomputed parity deltas. *)
+
+val encode : t -> Bytes.t array -> Bytes.t array
+(** [encode t stripe] maps [m] data blocks to [n] encoded blocks; the
+    first [m] entries of the result are (copies of) the original data
+    blocks, the rest are parity.
+    @raise Invalid_argument if the stripe does not have exactly [m]
+    blocks of equal positive length. *)
+
+val decode : t -> (int * Bytes.t) list -> Bytes.t array
+(** [decode t blocks] reconstructs the [m] data blocks from any [m]
+    pairs [(index, block)] where [index] identifies the encoded block's
+    position in [0, n).
+    @raise Invalid_argument if fewer or more than [m] blocks are given,
+    if an index repeats or is out of range, or if block sizes differ. *)
+
+val modify :
+  t -> data_idx:int -> parity_idx:int ->
+  old_data:Bytes.t -> new_data:Bytes.t -> old_parity:Bytes.t -> Bytes.t
+(** [modify t ~data_idx ~parity_idx ~old_data ~new_data ~old_parity] is
+    the paper's [modifyi,j]: the new value of parity block [parity_idx]
+    (in [0, n - m)) after data block [data_idx] (in [0, m)) changes from
+    [old_data] to [new_data]. Equivalent to re-encoding the whole
+    stripe, but needs only the one old parity block and the old and new
+    data block.
+    @raise Invalid_argument on out-of-range indices or size mismatch. *)
+
+val delta : old_data:Bytes.t -> new_data:Bytes.t -> Bytes.t
+(** [delta ~old_data ~new_data] is the XOR difference shipped by
+    bandwidth-optimized block writes (paper section 5.2). *)
+
+val apply_delta :
+  t -> data_idx:int -> parity_idx:int -> delta:Bytes.t ->
+  old_parity:Bytes.t -> Bytes.t
+(** [apply_delta t ~data_idx ~parity_idx ~delta ~old_parity] folds a
+    precomputed {!delta} into a parity block; composing {!delta} and
+    [apply_delta] equals {!modify}. *)
+
+val reconstruct_block : t -> idx:int -> (int * Bytes.t) list -> Bytes.t
+(** [reconstruct_block t ~idx blocks] rebuilds encoded block [idx]
+    (data or parity) from any [m] other encoded blocks; used when a
+    recovered brick re-syncs its block. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the code parameters, e.g. ["rs(5,8)"]. *)

@@ -1,0 +1,1 @@
+lib/fab/layout.ml: Array Format Fun Int64

@@ -1,0 +1,1 @@
+lib/fab/layout.mli: Format Simnet

@@ -1,0 +1,1 @@
+lib/fab/pool.ml: Core Dessim Erasure Layout List Option Printf Quorum String Volume

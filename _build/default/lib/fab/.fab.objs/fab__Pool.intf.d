@@ -1,0 +1,1 @@
+lib/fab/pool.mli: Core Layout Simnet Volume

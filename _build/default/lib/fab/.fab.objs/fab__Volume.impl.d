@@ -1,0 +1,1 @@
+lib/fab/volume.ml: Array Bytes Core Dessim Layout List

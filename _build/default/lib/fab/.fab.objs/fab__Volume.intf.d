@@ -1,0 +1,1 @@
+lib/fab/volume.mli: Bytes Core Layout Simnet

@@ -1,0 +1,29 @@
+(** Data-layout schemes: which bricks store the n blocks of each
+    stripe (paper sections 1.1 and 3).
+
+    Spreading consecutive stripes over different brick subsets both
+    balances load and makes stripe-level conflicts between unrelated
+    logical blocks unlikely (section 3's layout remark). All schemes
+    are deterministic functions of the stripe number, mirroring FAB's
+    replicated layout tables: every brick can compute every stripe's
+    members locally. *)
+
+type kind =
+  | Fixed
+      (** Stripe [s] always uses bricks [0 .. n-1]; requires
+          [bricks = n]. The layout used for single-register tests. *)
+  | Rotating
+      (** Stripe [s] uses bricks [(s + i) mod bricks]; parity roles
+          rotate across bricks like RAID-5 left-symmetric layout. *)
+  | Random of int
+      (** Seeded pseudo-random placement: stripe [s] uses a uniformly
+          shuffled [n]-subset of the bricks, matching the "random data
+          striping" assumed by the paper's reliability analysis. *)
+
+val make : kind -> bricks:int -> n:int -> int -> Simnet.Net.addr array
+(** [make kind ~bricks ~n] is the layout function: [stripe -> members].
+    Index [i] of the result stores encoded block [i].
+    @raise Invalid_argument if [n > bricks], or [Fixed] with
+    [bricks <> n]. *)
+
+val pp_kind : Format.formatter -> kind -> unit

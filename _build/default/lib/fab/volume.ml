@@ -1,0 +1,197 @@
+type t = {
+  cluster : Core.Cluster.t;
+  m : int;
+  stripes : int;
+  block_size : int;
+  op_retries : int;
+  stripe_offset : int;
+      (* First global stripe id of this volume; volumes created through
+         a Pool share one cluster and own disjoint stripe ranges. *)
+}
+
+type 'a outcome = ('a, [ `Aborted ]) result
+
+let create ?seed ?net_config ?bricks ?layout ?(block_size = 1024) ?clock
+    ?gc_enabled ?optimized_modify ?(op_retries = 3) ~m ~n ~stripes () =
+  if op_retries < 1 then invalid_arg "Fab.Volume.create: op_retries < 1";
+  if stripes <= 0 then invalid_arg "Fab.Volume.create: stripes <= 0";
+  let nbricks = match bricks with Some b -> b | None -> n in
+  let kind =
+    match layout with
+    | Some k -> k
+    | None -> if nbricks = n then Layout.Fixed else Layout.Rotating
+  in
+  let layout_fn = Layout.make kind ~bricks:nbricks ~n in
+  let cluster =
+    Core.Cluster.create ?seed ?net_config ~bricks:nbricks ~layout:layout_fn
+      ~block_size ?clock ?gc_enabled ?optimized_modify ~m ~n ()
+  in
+  { cluster; m; stripes; block_size; op_retries; stripe_offset = 0 }
+
+(* Used by Fab.Pool: a volume that is a view onto a shared cluster. *)
+let of_cluster ~cluster ~m ~stripes ~block_size ~op_retries ~stripe_offset =
+  { cluster; m; stripes; block_size; op_retries; stripe_offset }
+
+let cluster t = t.cluster
+let capacity_blocks t = t.stripes * t.m
+let block_size t = t.block_size
+let m t = t.m
+let stripes t = t.stripes
+let stripe_offset t = t.stripe_offset
+
+let stripe_of_lba t lba =
+  if lba < 0 || lba >= capacity_blocks t then
+    invalid_arg "Fab.Volume: logical block address out of range";
+  (t.stripe_offset + (lba / t.m), lba mod t.m)
+
+(* Split [lba, lba+count) into per-stripe extents. *)
+let extents t ~lba ~count =
+  let rec loop acc lba remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let stripe, j = stripe_of_lba t lba in
+      let in_stripe = min remaining (t.m - j) in
+      loop ((stripe, j, in_stripe) :: acc) (lba + in_stripe)
+        (remaining - in_stripe)
+  in
+  loop [] lba count
+
+let coordinator t coord = t.cluster.Core.Cluster.coordinators.(coord)
+
+(* Every constituent register operation is retried on abort: an
+   aborted attempt taught the coordinator's clock the replicas' newest
+   timestamps, so a retry lost only to a stale clock succeeds (the
+   usual client retry loop of a disk driver). *)
+let retrying t c f = Core.Coordinator.with_retries ~attempts:t.op_retries c f
+
+(* Block writes need one extra remedy: if a fast-path Modify applied
+   at p_j but was refused elsewhere, the paper's same-timestamp slow
+   path keeps aborting until some read repairs the stripe (reads roll
+   the partial forward or back). Run the recovery procedure between
+   attempts so a retried block write always makes progress. *)
+let retrying_block_write t c ~stripe f =
+  let rec go left =
+    match f () with
+    | Ok () -> Ok ()
+    | Error `Aborted when left > 1 ->
+        ignore (Core.Coordinator.recover c ~stripe);
+        go (left - 1)
+    | Error `Aborted -> Error `Aborted
+  in
+  go t.op_retries
+
+let read t ~coord ~lba ~count =
+  if count <= 0 then invalid_arg "Fab.Volume.read: count <= 0";
+  if lba < 0 || lba + count > capacity_blocks t then
+    invalid_arg "Fab.Volume.read: range out of bounds";
+  let c = coordinator t coord in
+  let out = Bytes.create (count * t.block_size) in
+  let aborted = ref false in
+  let offset = ref 0 in
+  List.iter
+    (fun (stripe, j, len) ->
+      if not !aborted then
+        if j = 0 && len = t.m then
+          (* Full-stripe read. *)
+          match retrying t c (fun () -> Core.Coordinator.read_stripe c ~stripe) with
+          | Ok blocks ->
+              Array.iter
+                (fun b ->
+                  Bytes.blit b 0 out !offset t.block_size;
+                  offset := !offset + t.block_size)
+                blocks
+          | Error `Aborted -> aborted := true
+        else
+          (* Partial stripe: one multi-block protocol operation. *)
+          match
+            retrying t c (fun () ->
+                Core.Coordinator.read_blocks c ~stripe j ~len)
+          with
+          | Ok blocks ->
+              Array.iter
+                (fun b ->
+                  Bytes.blit b 0 out !offset t.block_size;
+                  offset := !offset + t.block_size)
+                blocks
+          | Error `Aborted -> aborted := true)
+    (extents t ~lba ~count);
+  if !aborted then Error `Aborted else Ok out
+
+let write t ~coord ~lba data =
+  let len = Bytes.length data in
+  if len = 0 || len mod t.block_size <> 0 then
+    invalid_arg "Fab.Volume.write: length not a positive block multiple";
+  let count = len / t.block_size in
+  if lba < 0 || lba + count > capacity_blocks t then
+    invalid_arg "Fab.Volume.write: range out of bounds";
+  let c = coordinator t coord in
+  let aborted = ref false in
+  let offset = ref 0 in
+  let take_block () =
+    let b = Bytes.sub data !offset t.block_size in
+    offset := !offset + t.block_size;
+    b
+  in
+  List.iter
+    (fun (stripe, j, elen) ->
+      if not !aborted then
+        if j = 0 && elen = t.m then
+          let blocks = Array.init t.m (fun _ -> take_block ()) in
+          match retrying t c (fun () -> Core.Coordinator.write_stripe c ~stripe blocks) with
+          | Ok () -> ()
+          | Error `Aborted -> aborted := true
+        else begin
+          (* Partial stripe: one multi-block protocol operation. *)
+          let news = Array.init elen (fun _ -> take_block ()) in
+          match
+            retrying_block_write t c ~stripe (fun () ->
+                Core.Coordinator.write_blocks c ~stripe j news)
+          with
+          | Ok () -> ()
+          | Error `Aborted -> aborted := true
+        end)
+    (extents t ~lba ~count);
+  if !aborted then Error `Aborted else Ok ()
+
+let run ?horizon t = Core.Cluster.run ?horizon t.cluster
+
+let run_op ?horizon t f =
+  let result = ref None in
+  Dessim.Fiber.spawn (fun () -> result := Some (f ()));
+  run ?horizon t;
+  !result
+
+let scrub t ~coord =
+  let c = coordinator t coord in
+  let repaired = ref [] in
+  let aborted = ref false in
+  for s = 0 to t.stripes - 1 do
+    if not !aborted then begin
+      let stripe = t.stripe_offset + s in
+      match retrying t c (fun () -> Core.Coordinator.scrub c ~stripe) with
+      | Ok [] -> ()
+      | Ok positions -> repaired := (s, positions) :: !repaired
+      | Error `Aborted -> aborted := true
+    end
+  done;
+  if !aborted then Error `Aborted else Ok (List.rev !repaired)
+
+let rebuild_brick t ~brick ~coord =
+  let c = coordinator t coord in
+  let touched = ref 0 in
+  let aborted = ref false in
+  for s = 0 to t.stripes - 1 do
+    let stripe = t.stripe_offset + s in
+    if not !aborted then begin
+      let members =
+        Core.Config.members_array t.cluster.Core.Cluster.cfg ~stripe
+      in
+      if Array.exists (fun a -> a = brick) members then begin
+        incr touched;
+        match retrying t c (fun () -> Core.Coordinator.recover c ~stripe) with
+        | Ok _ -> ()
+        | Error `Aborted -> aborted := true
+      end
+    end
+  done;
+  if !aborted then Error `Aborted else Ok !touched

@@ -1,0 +1,93 @@
+(** A FAB logical volume: a virtual disk striped over bricks.
+
+    The volume divides its logical block address space into stripes of
+    [m] blocks; stripe [s] holds logical blocks [s*m .. s*m + m - 1]
+    and is one storage-register instance placed on [n] bricks by the
+    {!Layout}. Register instances share nothing and run in parallel,
+    exactly as the paper prescribes (section 4).
+
+    Clients address the volume like a disk: read or write [count]
+    blocks starting at an LBA, through a coordinator module on any
+    brick. The volume decomposes a request into full-stripe operations
+    where it covers whole stripes and block operations elsewhere —
+    the small-write/full-write distinction whose cost the paper's
+    section 1.2 discusses. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?net_config:Simnet.Net.config ->
+  ?bricks:int ->
+  ?layout:Layout.kind ->
+  ?block_size:int ->
+  ?clock:Core.Cluster.clock_kind ->
+  ?gc_enabled:bool ->
+  ?optimized_modify:bool ->
+  ?op_retries:int ->
+  m:int ->
+  n:int ->
+  stripes:int ->
+  unit ->
+  t
+(** [create ~m ~n ~stripes ()] is a volume of [stripes * m] logical
+    blocks. Defaults: [bricks = n] with the [Fixed] layout when
+    [bricks] is omitted, [Rotating] otherwise; other defaults as in
+    {!Core.Cluster.create}. Constituent register operations are
+    retried up to [op_retries] times (default 3) on abort, the client
+    retry loop every disk driver runs; pass [~op_retries:1] to surface
+    raw aborts (the abort-rate experiments do). *)
+
+val of_cluster :
+  cluster:Core.Cluster.t ->
+  m:int ->
+  stripes:int ->
+  block_size:int ->
+  op_retries:int ->
+  stripe_offset:int ->
+  t
+(** A volume that is a view onto an existing cluster, owning the
+    global stripe ids [stripe_offset .. stripe_offset + stripes - 1].
+    Used by {!Pool}; most callers want {!create}. *)
+
+val stripe_offset : t -> int
+
+val cluster : t -> Core.Cluster.t
+val capacity_blocks : t -> int
+val block_size : t -> int
+val m : t -> int
+val stripes : t -> int
+
+val stripe_of_lba : t -> int -> int * int
+(** [(stripe, index-within-stripe)] of a logical block address.
+    @raise Invalid_argument if out of range. *)
+
+type 'a outcome = ('a, [ `Aborted ]) result
+
+val read : t -> coord:int -> lba:int -> count:int -> Bytes.t outcome
+(** Read [count] logical blocks; must run inside a fiber. Aborts if
+    any constituent register operation aborts (no partial data is
+    returned). *)
+
+val write : t -> coord:int -> lba:int -> Bytes.t -> unit outcome
+(** Write data (length a positive multiple of the block size) starting
+    at [lba]; must run inside a fiber. Constituent operations execute
+    in address order; an abort leaves a prefix of the request applied,
+    like a failed multi-sector disk write. *)
+
+val run : ?horizon:float -> t -> unit
+val run_op : ?horizon:float -> t -> (unit -> 'a) -> 'a option
+(** Drive the simulation; see {!Core.Cluster}. *)
+
+val scrub : t -> coord:int -> (int * int list) list outcome
+(** Audit every stripe for silent corruption and repair what is found;
+    returns the (volume-local stripe, corrupted block positions) pairs
+    that needed repair. Must run inside a fiber. The periodic
+    background scrub every disk array runs. *)
+
+val rebuild_brick : t -> brick:int -> coord:int -> int outcome
+(** Re-synchronize a recovered brick: for every stripe stored on it,
+    run the recovery procedure so the brick's log regains the newest
+    complete version. Returns the number of stripes touched. Must run
+    inside a fiber. This is the maintenance operation a FAB
+    administrator runs after replacing a brick. *)

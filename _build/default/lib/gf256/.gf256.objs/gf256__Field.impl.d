@@ -1,0 +1,1 @@
+lib/gf256/field.ml: Array Bytes Char Printf

@@ -1,0 +1,1 @@
+lib/gf256/matrix.ml: Array Field Format List Printf

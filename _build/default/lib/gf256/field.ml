@@ -1,0 +1,100 @@
+(* GF(2^8) arithmetic with the primitive polynomial 0x11d.
+
+   The tables are built once at module initialization: [exp.(i)] holds
+   2^i for i in [0, 509] (doubled so that [exp.(log a + log b)] needs no
+   modular reduction), and [log.(a)] holds the discrete log of [a] for
+   a in [1, 255]. *)
+
+type t = int
+
+let zero = 0
+let one = 1
+
+let field_size = 256
+let primitive_poly = 0x11d
+
+let exp = Array.make (2 * (field_size - 1)) 0
+let log = Array.make field_size 0
+
+let () =
+  let x = ref 1 in
+  for i = 0 to field_size - 2 do
+    exp.(i) <- !x;
+    log.(!x) <- i;
+    x := !x lsl 1;
+    if !x land 0x100 <> 0 then x := !x lxor primitive_poly
+  done;
+  for i = field_size - 1 to (2 * (field_size - 1)) - 1 do
+    exp.(i) <- exp.(i - (field_size - 1))
+  done
+
+let check_element a =
+  if a < 0 || a > 255 then
+    invalid_arg (Printf.sprintf "Gf256.Field: element %d out of range" a)
+
+let add a b = a lxor b
+let sub = add
+
+let mul a b = if a = 0 || b = 0 then 0 else exp.(log.(a) + log.(b))
+
+let inv a =
+  if a = 0 then raise Division_by_zero else exp.(field_size - 1 - log.(a))
+
+let div a b =
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else exp.(log.(a) + (field_size - 1) - log.(b))
+
+let pow a k =
+  if k < 0 then invalid_arg "Gf256.Field.pow: negative exponent";
+  if k = 0 then 1
+  else if a = 0 then 0
+  else exp.(log.(a) * k mod (field_size - 1))
+
+let exp_table i =
+  if i < 0 then invalid_arg "Gf256.Field.exp_table: negative index";
+  exp.(i mod (field_size - 1))
+
+let log_table a =
+  if a = 0 then invalid_arg "Gf256.Field.log_table: log of zero";
+  log.(a)
+
+(* The slice operations special-case c = 0 and c = 1: both are common in
+   systematic generator matrices and skipping the table lookups there
+   roughly halves encode cost for parity rows containing identities. *)
+
+let mul_slice ~dst ~src c =
+  let len = Bytes.length src in
+  if Bytes.length dst <> len then
+    invalid_arg "Gf256.Field.mul_slice: length mismatch";
+  if c = 0 then ()
+  else if c = 1 then
+    for i = 0 to len - 1 do
+      Bytes.unsafe_set dst i
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get dst i)
+           lxor Char.code (Bytes.unsafe_get src i)))
+    done
+  else
+    let lc = log.(c) in
+    for i = 0 to len - 1 do
+      let s = Char.code (Bytes.unsafe_get src i) in
+      if s <> 0 then
+        Bytes.unsafe_set dst i
+          (Char.unsafe_chr
+             (Char.code (Bytes.unsafe_get dst i) lxor exp.(lc + log.(s))))
+    done
+
+let mul_slice_set ~dst ~src c =
+  let len = Bytes.length src in
+  if Bytes.length dst <> len then
+    invalid_arg "Gf256.Field.mul_slice_set: length mismatch";
+  if c = 0 then Bytes.fill dst 0 len '\000'
+  else if c = 1 then Bytes.blit src 0 dst 0 len
+  else
+    let lc = log.(c) in
+    for i = 0 to len - 1 do
+      let s = Char.code (Bytes.unsafe_get src i) in
+      Bytes.unsafe_set dst i
+        (if s = 0 then '\000' else Char.unsafe_chr exp.(lc + log.(s)))
+    done

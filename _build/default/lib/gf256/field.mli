@@ -1,0 +1,58 @@
+(** Arithmetic in the Galois field GF(2^8).
+
+    Elements are represented as integers in [0, 255]. Addition is XOR;
+    multiplication is polynomial multiplication modulo the primitive
+    polynomial [x^8 + x^4 + x^3 + x^2 + 1] (0x11d), the polynomial
+    conventionally used by Reed-Solomon coders. All operations are
+    implemented with precomputed log/antilog tables, so they cost one or
+    two array accesses. *)
+
+type t = int
+(** A field element; invariant: [0 <= x <= 255]. *)
+
+val zero : t
+val one : t
+
+val add : t -> t -> t
+(** [add a b] is the field sum (XOR). *)
+
+val sub : t -> t -> t
+(** [sub a b] equals [add a b]: in characteristic 2 addition is its own
+    inverse. *)
+
+val mul : t -> t -> t
+(** [mul a b] is the field product. *)
+
+val div : t -> t -> t
+(** [div a b] is [mul a (inv b)].
+    @raise Division_by_zero if [b = 0]. *)
+
+val inv : t -> t
+(** [inv a] is the multiplicative inverse of [a].
+    @raise Division_by_zero if [a = 0]. *)
+
+val pow : t -> int -> t
+(** [pow a k] is [a] raised to the [k]'th power ([k >= 0]).
+    [pow 0 0] is [1] by convention. *)
+
+val exp_table : int -> t
+(** [exp_table i] is the [i mod 255]'th power of the generator 2; exposed
+    for table-driven coders and tests. [i] must be non-negative. *)
+
+val log_table : t -> int
+(** [log_table a] is the discrete logarithm of [a] base 2.
+    @raise Invalid_argument if [a = 0]. *)
+
+val mul_slice : dst:Bytes.t -> src:Bytes.t -> t -> unit
+(** [mul_slice ~dst ~src c] sets [dst.(i) <- dst.(i) + c * src.(i)] for
+    every byte index [i] (a fused multiply-accumulate over byte buffers).
+    This is the inner loop of erasure encoding and decoding.
+    @raise Invalid_argument if the buffers have different lengths. *)
+
+val mul_slice_set : dst:Bytes.t -> src:Bytes.t -> t -> unit
+(** [mul_slice_set ~dst ~src c] sets [dst.(i) <- c * src.(i)] for every
+    byte index [i] (overwriting [dst] rather than accumulating).
+    @raise Invalid_argument if the buffers have different lengths. *)
+
+val check_element : t -> unit
+(** [check_element a] raises [Invalid_argument] unless [0 <= a <= 255]. *)

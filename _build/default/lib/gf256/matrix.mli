@@ -1,0 +1,66 @@
+(** Dense matrices over GF(2^8).
+
+    Used to build and invert erasure-code generator matrices. Matrices
+    are small (at most [n x m] for an m-of-n code), so the simple
+    row-major representation and cubic Gaussian elimination are fine. *)
+
+type t
+(** A matrix over GF(2^8); immutable from the outside. *)
+
+val create : rows:int -> cols:int -> t
+(** [create ~rows ~cols] is the all-zero matrix of the given shape.
+    @raise Invalid_argument if a dimension is non-positive. *)
+
+val init : rows:int -> cols:int -> (int -> int -> Field.t) -> t
+(** [init ~rows ~cols f] fills position [(r, c)] with [f r c]. *)
+
+val identity : int -> t
+(** [identity n] is the [n x n] identity matrix. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> Field.t
+(** [get a r c] is the element at row [r], column [c].
+    @raise Invalid_argument on out-of-range indices. *)
+
+val set : t -> int -> int -> Field.t -> unit
+(** [set a r c v] writes element [(r, c)]. Exposed for construction
+    code; library users should treat matrices as immutable. *)
+
+val copy : t -> t
+
+val mul : t -> t -> t
+(** [mul a b] is the matrix product.
+    @raise Invalid_argument if the inner dimensions disagree. *)
+
+val mul_vec : t -> Field.t array -> Field.t array
+(** [mul_vec a v] is the matrix-vector product.
+    @raise Invalid_argument if [cols a <> Array.length v]. *)
+
+val sub_rows : t -> int list -> t
+(** [sub_rows a rs] is the matrix made of the rows of [a] listed in
+    [rs], in order. *)
+
+val invert : t -> t option
+(** [invert a] is the inverse of square matrix [a], or [None] if [a] is
+    singular.
+    @raise Invalid_argument if [a] is not square. *)
+
+val vandermonde : rows:int -> cols:int -> t
+(** [vandermonde ~rows ~cols] has element [(r, c)] equal to [r^c]; every
+    square submatrix formed from distinct rows is invertible as long as
+    [rows <= 256]. *)
+
+val cauchy : xs:Field.t array -> ys:Field.t array -> t
+(** [cauchy ~xs ~ys] is the Cauchy matrix with element
+    [(i, j) = 1 / (xs.(i) + ys.(j))]. All [xs] and [ys] together must be
+    pairwise distinct; every square submatrix of a Cauchy matrix is
+    invertible, which is what makes it suitable for MDS code
+    construction.
+    @raise Invalid_argument if an [x] equals a [y] (division by zero). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer, for debugging and test failure messages. *)

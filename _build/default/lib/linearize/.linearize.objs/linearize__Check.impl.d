@@ -1,0 +1,1 @@
+lib/linearize/check.ml: Format Hashtbl History List Option Printf String

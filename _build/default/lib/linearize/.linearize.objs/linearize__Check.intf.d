@@ -1,0 +1,1 @@
+lib/linearize/check.mli: Format History

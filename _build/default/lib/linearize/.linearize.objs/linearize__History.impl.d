@@ -1,0 +1,1 @@
+lib/linearize/history.ml: Hashtbl List

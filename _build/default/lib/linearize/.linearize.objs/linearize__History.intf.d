@@ -1,0 +1,1 @@
+lib/linearize/history.mli:

@@ -1,0 +1,83 @@
+type kind = Read | Write
+
+type status = Pending | Returned of string | Ok_written | Aborted | Crashed
+
+type record = {
+  id : int;
+  client : int;
+  kind : kind;
+  written : string option;
+  invoked_at : float;
+  mutable status : status;
+  mutable returned_at : float option;
+}
+
+type t = {
+  mutable records : record list;  (* newest first *)
+  mutable next_id : int;
+  written_values : (string, unit) Hashtbl.t;
+  by_id : (int, record) Hashtbl.t;
+}
+
+let nil = "<nil>"
+
+let create () =
+  {
+    records = [];
+    next_id = 0;
+    written_values = Hashtbl.create 64;
+    by_id = Hashtbl.create 64;
+  }
+
+let invoke t ~client ~kind ?written ~now () =
+  (match (kind, written) with
+  | Write, None -> invalid_arg "Linearize.History.invoke: write without value"
+  | Read, Some _ -> invalid_arg "Linearize.History.invoke: read with value"
+  | Write, Some v ->
+      if v = nil then
+        invalid_arg "Linearize.History.invoke: writing the nil value";
+      if Hashtbl.mem t.written_values v then
+        invalid_arg
+          "Linearize.History.invoke: duplicate write value (unique-value \
+           assumption)";
+      Hashtbl.add t.written_values v ()
+  | Read, None -> ());
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let r =
+    {
+      id;
+      client;
+      kind;
+      written;
+      invoked_at = now;
+      status = Pending;
+      returned_at = None;
+    }
+  in
+  t.records <- r :: t.records;
+  Hashtbl.add t.by_id id r;
+  id
+
+let finish t id status ~now =
+  match Hashtbl.find_opt t.by_id id with
+  | None -> invalid_arg "Linearize.History: unknown operation id"
+  | Some r ->
+      if r.status <> Pending then
+        invalid_arg "Linearize.History: operation already completed";
+      r.status <- status;
+      r.returned_at <- Some now
+
+let complete_read t id ~value ~now = finish t id (Returned value) ~now
+let complete_write t id ~now = finish t id Ok_written ~now
+let abort t id ~now = finish t id Aborted ~now
+let crash t id ~now = finish t id Crashed ~now
+
+let records t = List.rev t.records
+let size t = t.next_id
+
+let abort_count t =
+  List.length (List.filter (fun r -> r.status = Aborted) t.records)
+
+let pending_count t =
+  List.length (List.filter (fun r -> r.status = Pending) t.records)

@@ -1,0 +1,124 @@
+module Counter = struct
+  type t = { mutable value : float }
+
+  let create () = { value = 0. }
+  let incr ?(by = 1.) t = t.value <- t.value +. by
+  let value t = t.value
+  let reset t = t.value <- 0.
+end
+
+module Registry = struct
+  type t = (string, Counter.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+
+  let counter t name =
+    match Hashtbl.find_opt t name with
+    | Some c -> c
+    | None ->
+        let c = Counter.create () in
+        Hashtbl.add t name c;
+        c
+
+  let incr ?by t name = Counter.incr ?by (counter t name)
+
+  let value t name =
+    match Hashtbl.find_opt t name with
+    | Some c -> Counter.value c
+    | None -> 0.
+
+  let names t =
+    Hashtbl.fold (fun name _ acc -> name :: acc) t []
+    |> List.sort String.compare
+
+  let reset_all t = Hashtbl.iter (fun _ c -> Counter.reset c) t
+end
+
+module Snapshot = struct
+  type t = (string * float) list
+
+  let take reg =
+    List.map (fun name -> (name, Registry.value reg name)) (Registry.names reg)
+
+  let get t name =
+    match List.assoc_opt name t with Some v -> v | None -> 0.
+
+  let to_list t = t
+
+  let diff ~before ~after =
+    let names =
+      List.sort_uniq String.compare (List.map fst before @ List.map fst after)
+    in
+    List.filter_map
+      (fun name ->
+        let d = get after name -. get before name in
+        if d <> 0. then Some (name, d) else None)
+      names
+end
+
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable values : float list;
+    mutable sorted : float array option;
+  }
+
+  let create () =
+    {
+      count = 0;
+      mean = 0.;
+      m2 = 0.;
+      min = infinity;
+      max = neg_infinity;
+      values = [];
+      sorted = None;
+    }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x;
+    t.values <- x :: t.values;
+    t.sorted <- None
+
+  let count t = t.count
+  let mean t = t.mean
+
+  let stddev t =
+    if t.count < 2 then 0. else sqrt (t.m2 /. float_of_int (t.count - 1))
+
+  let min t = t.min
+  let max t = t.max
+
+  let percentile t p =
+    if t.count = 0 then invalid_arg "Metrics.Summary.percentile: empty";
+    if p < 0. || p > 100. then
+      invalid_arg "Metrics.Summary.percentile: p out of [0,100]";
+    let sorted =
+      match t.sorted with
+      | Some a -> a
+      | None ->
+          let a = Array.of_list t.values in
+          Array.sort compare a;
+          t.sorted <- Some a;
+          a
+    in
+    let rank =
+      int_of_float (ceil (p /. 100. *. float_of_int t.count)) - 1
+    in
+    sorted.(Stdlib.max 0 (Stdlib.min (t.count - 1) rank))
+
+  let pp fmt t =
+    if t.count = 0 then Format.fprintf fmt "(empty)"
+    else
+      Format.fprintf fmt "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p99=%.3f max=%.3f"
+        t.count t.mean (stddev t) t.min (percentile t 50.) (percentile t 99.)
+        t.max
+end

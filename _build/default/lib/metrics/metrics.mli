@@ -1,0 +1,72 @@
+(** Counters and summary statistics for the simulation harness.
+
+    Table 1 of the paper accounts operations in four currencies:
+    messages, network bandwidth (in block-size units), disk reads and
+    disk writes. A {!Registry} holds named monotonic counters for
+    those, and benchmarks measure an operation by snapshotting the
+    registry before and after ({!Snapshot.diff}). *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:float -> t -> unit
+  val value : t -> float
+  val reset : t -> unit
+end
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  val counter : t -> string -> Counter.t
+  (** [counter t name] returns the counter registered under [name],
+      creating it on first use. The same name always yields the same
+      counter. *)
+
+  val incr : ?by:float -> t -> string -> unit
+  (** [incr t name] bumps the named counter (creating it if needed). *)
+
+  val value : t -> string -> float
+  (** [value t name] is the counter's current value ([0.] if the name
+      was never used). *)
+
+  val names : t -> string list
+  (** All registered names, sorted. *)
+
+  val reset_all : t -> unit
+end
+
+module Snapshot : sig
+  type t
+
+  val take : Registry.t -> t
+  val diff : before:t -> after:t -> (string * float) list
+  (** [diff ~before ~after] lists counters whose value changed, with
+      the increment, sorted by name. *)
+
+  val get : t -> string -> float
+  val to_list : t -> (string * float) list
+end
+
+module Summary : sig
+  type t
+  (** Streaming summary of a series of observations: count, mean,
+      standard deviation (Welford), min, max; also keeps the raw values
+      for exact percentiles (fine at simulation scale). *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [0,100]; nearest-rank.
+      @raise Invalid_argument on an empty summary or out-of-range [p]. *)
+
+  val pp : Format.formatter -> t -> unit
+end

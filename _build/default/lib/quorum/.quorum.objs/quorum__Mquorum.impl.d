@@ -1,0 +1,1 @@
+lib/quorum/mquorum.ml: Array Format List Printf

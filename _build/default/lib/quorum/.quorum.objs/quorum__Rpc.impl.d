@@ -1,0 +1,1 @@
+lib/quorum/rpc.ml: Array Brick Dessim Hashtbl List Simnet

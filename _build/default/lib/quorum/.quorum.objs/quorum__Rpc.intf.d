@@ -1,0 +1,1 @@
+lib/quorum/rpc.mli: Brick Simnet

@@ -1,0 +1,172 @@
+module Engine = Dessim.Engine
+module Fiber = Dessim.Fiber
+module Net = Simnet.Net
+
+type ('req, 'rep) envelope =
+  | Request of int * 'req
+  | Reply of int * 'rep
+  | Oneway of 'req
+
+type ('req, 'rep) pending = {
+  members : Net.addr list;
+  quorum : int;
+  until : (Net.addr * 'rep) list -> bool;
+  mutable replies : (Net.addr * 'rep) list;  (* newest first *)
+  resumer : (Net.addr * 'rep) list Fiber.resumer;
+  mutable retry_timer : Engine.timer option;
+  mutable grace_timer : Engine.timer option;
+  crash_hook : Brick.hook;
+  coord : Brick.t;
+  make_req : Net.addr -> 'req;
+}
+
+type ('req, 'rep) t = {
+  net : (('req, 'rep) envelope) Net.t;
+  req_bytes : 'req -> int;
+  rep_bytes : 'rep -> int;
+  retry_every : float;
+  grace : float;
+  mutable next_rid : int;
+  pending : (int, ('req, 'rep) pending) Hashtbl.t;
+  handlers : (src:Net.addr -> 'req -> 'rep option) option array;
+}
+
+let create ~net ~req_bytes ~rep_bytes ?(retry_every = 8.0) ?(grace = 1.0) () =
+  {
+    net;
+    req_bytes;
+    rep_bytes;
+    retry_every;
+    grace;
+    next_rid = 0;
+    pending = Hashtbl.create 32;
+    handlers = Array.make (Net.n net) None;
+  }
+
+let cancel_timers p =
+  (match p.retry_timer with Some tm -> Engine.cancel tm | None -> ());
+  match p.grace_timer with Some tm -> Engine.cancel tm | None -> ()
+
+let deliver_reply t rid src rep =
+  match Hashtbl.find_opt t.pending rid with
+  | None -> ()  (* stale reply: the call completed or the coordinator crashed *)
+  | Some p ->
+      if not (List.mem_assoc src p.replies) then begin
+        p.replies <- (src, rep) :: p.replies;
+        let count = List.length p.replies in
+        let everyone = count = List.length p.members in
+        let complete () =
+          Hashtbl.remove t.pending rid;
+          cancel_timers p;
+          Brick.remove_crash_hook p.coord p.crash_hook;
+          Fiber.resume p.resumer (List.rev p.replies)
+        in
+        if count >= p.quorum then
+          if p.until p.replies || everyone then complete ()
+          else if p.grace_timer = None then
+            p.grace_timer <-
+              Some
+                (Engine.schedule (Brick.engine p.coord) ~delay:t.grace
+                   (fun () -> complete ()))
+      end
+
+let install_dispatcher t addr =
+  Net.register t.net addr (fun ~src env ->
+      match env with
+      | Request (rid, req) -> (
+          match t.handlers.(addr) with
+          | None -> ()
+          | Some handler -> (
+              match handler ~src req with
+              | None -> ()
+              | Some rep ->
+                  Net.send t.net ~src:addr ~dst:src
+                    ~bytes_on_wire:(t.rep_bytes rep) (Reply (rid, rep))))
+      | Oneway req -> (
+          match t.handlers.(addr) with
+          | None -> ()
+          | Some handler -> ignore (handler ~src req))
+      | Reply (rid, rep) -> deliver_reply t rid src rep)
+
+let serve t ~addr handler =
+  t.handlers.(addr) <- Some handler;
+  install_dispatcher t addr
+
+let ensure_dispatcher t addr =
+  (* A coordinator that never serves requests still needs a network
+     handler to receive replies. *)
+  match t.handlers.(addr) with
+  | Some _ -> ()
+  | None ->
+      t.handlers.(addr) <- Some (fun ~src:_ _ -> None);
+      install_dispatcher t addr
+
+let broadcast t ~src ~targets make_req rid =
+  List.iter
+    (fun dst ->
+      let req = make_req dst in
+      Net.send t.net ~src ~dst ~bytes_on_wire:(t.req_bytes req)
+        (Request (rid, req)))
+    targets
+
+let call t ~coord ~members ~quorum ?(until = fun _ -> true) make_req =
+  if quorum > List.length members then
+    invalid_arg "Quorum.Rpc.call: quorum larger than member count";
+  if quorum < 1 then invalid_arg "Quorum.Rpc.call: quorum < 1";
+  let rid = t.next_rid in
+  t.next_rid <- t.next_rid + 1;
+  let engine = Brick.engine coord in
+  let src = Brick.id coord in
+  ensure_dispatcher t src;
+  Fiber.suspend (fun resumer ->
+      (* A coordinator crash abandons the call: drop the pending entry
+         (so late replies are ignored) and cancel the fiber, turning
+         the operation into a partial operation. *)
+      let crash_hook =
+        Brick.add_crash_hook coord (fun () ->
+            match Hashtbl.find_opt t.pending rid with
+            | None -> ()
+            | Some p ->
+                Hashtbl.remove t.pending rid;
+                cancel_timers p;
+                Fiber.cancel p.resumer)
+      in
+      let p =
+        {
+          members;
+          quorum;
+          until;
+          replies = [];
+          resumer;
+          retry_timer = None;
+          grace_timer = None;
+          crash_hook;
+          coord;
+          make_req;
+        }
+      in
+      Hashtbl.replace t.pending rid p;
+      let rec arm_retry () =
+        p.retry_timer <-
+          Some
+            (Engine.schedule engine ~delay:t.retry_every (fun () ->
+                 if Brick.is_alive coord && Hashtbl.mem t.pending rid then begin
+                   let missing =
+                     List.filter
+                       (fun a -> not (List.mem_assoc a p.replies))
+                       p.members
+                   in
+                   broadcast t ~src ~targets:missing p.make_req rid;
+                   arm_retry ()
+                 end))
+      in
+      broadcast t ~src ~targets:members make_req rid;
+      arm_retry ())
+
+let notify t ~coord ~members req =
+  let src = Brick.id coord in
+  List.iter
+    (fun dst ->
+      Net.send ~background:true t.net ~src ~dst
+        ~bytes_on_wire:(t.req_bytes req) (Oneway req))
+    members

@@ -1,0 +1,77 @@
+(** The non-blocking [quorum()] communication primitive (paper
+    section 2.2), built on retransmission over fair-lossy channels.
+
+    A coordinator broadcasts a request to the members of a stripe's
+    replica group and suspends its fiber until enough replies arrive.
+    Lost messages are retransmitted periodically, so under fair loss
+    the call eventually completes as long as a quorum of members is
+    correct. If the coordinator brick crashes first, the fiber is
+    cancelled — the operation becomes a {e partial} operation, exactly
+    the failure mode the register algorithm's recovery path handles.
+
+    Request/reply matching uses globally unique request ids, and the
+    server side is expected to be idempotent: a retransmitted request
+    may be re-executed, and the register layer's handlers are written
+    so that re-execution returns the same answer. *)
+
+type ('req, 'rep) envelope
+(** Wire message type; instantiate the network as
+    [(('req, 'rep) Rpc.envelope) Simnet.Net.t]. *)
+
+type ('req, 'rep) t
+(** An RPC endpoint layer shared by all processes on one network. *)
+
+val create :
+  net:(('req, 'rep) envelope) Simnet.Net.t ->
+  req_bytes:('req -> int) ->
+  rep_bytes:('rep -> int) ->
+  ?retry_every:float ->
+  ?grace:float ->
+  unit ->
+  ('req, 'rep) t
+(** [create ~net ~req_bytes ~rep_bytes ()] builds the layer.
+    [req_bytes]/[rep_bytes] give the accounted payload size of a
+    message (the block bytes it carries). [retry_every] (default 8
+    network delays) is the retransmission period; [grace] (default one
+    network delay) is how long a call with an [~until] predicate keeps
+    waiting after reaching a bare quorum before settling for it. *)
+
+val serve :
+  ('req, 'rep) t -> addr:Simnet.Net.addr ->
+  (src:Simnet.Net.addr -> 'req -> 'rep option) -> unit
+(** [serve t ~addr handler] installs the request handler for [addr].
+    Returning [None] drops the request silently (the brick is crashed);
+    one-way notifications also invoke [handler] and ignore the
+    result. *)
+
+val call :
+  ('req, 'rep) t ->
+  coord:Brick.t ->
+  members:Simnet.Net.addr list ->
+  quorum:int ->
+  ?until:((Simnet.Net.addr * 'rep) list -> bool) ->
+  (Simnet.Net.addr -> 'req) ->
+  (Simnet.Net.addr * 'rep) list
+(** [call t ~coord ~members ~quorum make_req] is the paper's
+    [quorum(msg)]: send [make_req dst] to every member [dst], suspend
+    the current fiber, and return the replies once at least [quorum]
+    members answered. The per-destination builder lets a stripe write
+    ship each replica only its own block (so a write costs nB on the
+    wire, as Table 1 accounts it); most calls ignore the address and
+    return a shared request.
+
+    With [~until], the call keeps waiting beyond the bare quorum —
+    until the predicate holds on the replies so far, every member
+    replied, or the grace period after reaching the quorum expires.
+    The register layer uses this to give the designated read targets a
+    chance to answer without stalling on crashed targets.
+
+    Must run inside a {!Dessim.Fiber}; raises [Dessim.Fiber.Cancelled]
+    if [coord] crashes while the call is pending.
+    @raise Invalid_argument if [quorum] exceeds the member count. *)
+
+val notify :
+  ('req, 'rep) t -> coord:Brick.t -> members:Simnet.Net.addr list ->
+  'req -> unit
+(** One-way, best-effort broadcast (no retransmission, no replies);
+    used for asynchronous garbage-collection messages. *)

@@ -1,0 +1,1 @@
+lib/reliability/markov.ml: Array

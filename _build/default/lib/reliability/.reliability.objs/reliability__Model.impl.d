@@ -1,0 +1,1 @@
+lib/reliability/model.ml: Format Markov Params

@@ -1,0 +1,1 @@
+lib/reliability/model.mli: Format Params

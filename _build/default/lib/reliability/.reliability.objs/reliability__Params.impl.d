@@ -1,0 +1,1 @@
+lib/reliability/params.ml: Format

@@ -1,0 +1,1 @@
+lib/reliability/params.mli: Format

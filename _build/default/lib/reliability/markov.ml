@@ -1,0 +1,48 @@
+let check ~units ~tolerated ~lambda ~mu =
+  if tolerated < 0 then invalid_arg "Reliability.Markov: tolerated < 0";
+  if units <= tolerated then
+    invalid_arg "Reliability.Markov: units <= tolerated (no loss possible)";
+  if lambda <= 0. || mu <= 0. then
+    invalid_arg "Reliability.Markov: rates must be positive"
+
+(* Exact expected absorption time via the classical birth-death
+   formula, whose terms are all positive (Gaussian elimination on this
+   system suffers catastrophic cancellation when mu >> lambda):
+
+     T_0 = sum_(j=0)^(k)  (sum_(i=0)^(j) pi_i) / (lambda_j pi_j)
+
+   with pi_0 = 1 and pi_i = prod_(l<i) lambda_l / mu_(l+1). *)
+let mttdl ~units ~tolerated ~lambda ~mu =
+  check ~units ~tolerated ~lambda ~mu;
+  let k = tolerated in
+  let nf = float_of_int units in
+  let lam i = (nf -. float_of_int i) *. lambda in
+  let mu_i i = float_of_int i *. mu in
+  let pi = Array.make (k + 1) 1. in
+  for i = 1 to k do
+    pi.(i) <- pi.(i - 1) *. lam (i - 1) /. mu_i i
+  done;
+  let total = ref 0. and prefix = ref 0. in
+  for j = 0 to k do
+    prefix := !prefix +. pi.(j);
+    total := !total +. (!prefix /. (lam j *. pi.(j)))
+  done;
+  !total
+
+let availability_approx ~units ~tolerated ~lambda ~mu =
+  check ~units ~tolerated ~lambda ~mu;
+  (* Stationary distribution of the birth-death chain truncated at
+     units failures: pi_i proportional to prod_(j<i) lambda_j / mu_(j+1). *)
+  let nf = float_of_int units in
+  let weights = Array.make (units + 1) 1. in
+  for i = 1 to units do
+    let lam = (nf -. float_of_int (i - 1)) *. lambda in
+    let rep = float_of_int i *. mu in
+    weights.(i) <- weights.(i - 1) *. lam /. rep
+  done;
+  let total = Array.fold_left ( +. ) 0. weights in
+  let ok = ref 0. in
+  for i = 0 to min tolerated units do
+    ok := !ok +. weights.(i)
+  done;
+  !ok /. total

@@ -1,0 +1,36 @@
+type t = {
+  disk_mttf_hours : float;
+  highend_disk_mttf_hours : float;
+  chassis_mttf_hours : float;
+  highend_chassis_mttf_hours : float;
+  disks_per_brick : int;
+  disk_capacity_tb : float;
+  raid_group_size : int;
+  disk_rebuild_hours : float;
+  brick_repair_hours : float;
+  segment_gb : float;
+}
+
+let default =
+  {
+    disk_mttf_hours = 500_000.;
+    highend_disk_mttf_hours = 1_500_000.;
+    chassis_mttf_hours = 2_000_000.;
+    highend_chassis_mttf_hours = 10_000_000.;
+    disks_per_brick = 12;
+    disk_capacity_tb = 0.25;
+    raid_group_size = 5;
+    disk_rebuild_hours = 8.;
+    brick_repair_hours = 12.;
+    segment_gb = 0.25;
+  }
+
+let brick_raw_capacity_tb t = float_of_int t.disks_per_brick *. t.disk_capacity_tb
+
+let pp fmt t =
+  Format.fprintf fmt
+    "disk MTTF %.0fh, chassis MTTF %.0fh, %d disks/brick x %.2fTB, RAID \
+     group %d, rebuild %.0fh, brick repair %.0fh"
+    t.disk_mttf_hours t.chassis_mttf_hours t.disks_per_brick
+    t.disk_capacity_tb t.raid_group_size t.disk_rebuild_hours
+    t.brick_repair_hours

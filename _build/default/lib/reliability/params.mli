@@ -1,0 +1,41 @@
+(** Component reliability and capacity constants for the MTTDL model
+    (paper section 1.2, figures 2 and 3).
+
+    The paper extrapolates brick reliability from the component data
+    in Asami's thesis [3], which is not reproduced in the paper; these
+    are public ball-park constants in the same regime (circa-2004
+    commodity hardware), declared in one place so the sensitivity of
+    every figure to them is explicit. The reproduced figures preserve
+    orderings, scaling trends and crossovers rather than absolute
+    years — see EXPERIMENTS.md. *)
+
+type t = {
+  disk_mttf_hours : float;  (** MTTF of one commodity disk. *)
+  highend_disk_mttf_hours : float;
+      (** Disks in the conventional high-end arrays of the striping
+          baseline. *)
+  chassis_mttf_hours : float;
+      (** Non-disk brick hardware (controller, PSU, backplane) whose
+          failure loses the brick's data. *)
+  highend_chassis_mttf_hours : float;
+  disks_per_brick : int;
+  disk_capacity_tb : float;
+  raid_group_size : int;
+      (** Disks per internal RAID-5 group (g data + 1 parity = g+1
+          disks), giving the paper's 1.25 internal overhead with 4+1. *)
+  disk_rebuild_hours : float;  (** Internal RAID-5 rebuild time. *)
+  brick_repair_hours : float;
+      (** Time to replace a dead brick and re-populate it from peers. *)
+  segment_gb : float;
+      (** Placement granularity: logical blocks are grouped into
+          segments and each segment group of [n] segments is placed on
+          a random brick subset; determines how many distinct brick
+          subsets actually hold data (figure 2's combination
+          counting). *)
+}
+
+val default : t
+
+val brick_raw_capacity_tb : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,105 @@
+type addr = int
+
+type config = { delay : float; jitter : float; drop : float }
+
+let default_config = { delay = 1.0; jitter = 0.; drop = 0. }
+
+type 'msg t = {
+  engine : Dessim.Engine.t;
+  n : int;
+  mutable config : config;
+  handlers : (src:addr -> 'msg -> unit) option array;
+  mutable groups : int array option;  (* partition group per address *)
+  dead_links : (addr * addr, unit) Hashtbl.t;
+  msgs : Metrics.Counter.t;
+  bytes : Metrics.Counter.t;
+  bg_msgs : Metrics.Counter.t;
+  bg_bytes : Metrics.Counter.t;
+}
+
+let create ?(metrics = Metrics.Registry.create ()) engine ~config ~n =
+  if n <= 0 then invalid_arg "Simnet.Net.create: n <= 0";
+  {
+    engine;
+    n;
+    config;
+    handlers = Array.make n None;
+    groups = None;
+    dead_links = Hashtbl.create 8;
+    msgs = Metrics.Registry.counter metrics "net.msgs";
+    bytes = Metrics.Registry.counter metrics "net.bytes";
+    bg_msgs = Metrics.Registry.counter metrics "net.msgs.bg";
+    bg_bytes = Metrics.Registry.counter metrics "net.bytes.bg";
+  }
+
+let n t = t.n
+
+let check_addr t a =
+  if a < 0 || a >= t.n then invalid_arg "Simnet.Net: address out of range"
+
+let register t a handler =
+  check_addr t a;
+  t.handlers.(a) <- Some handler
+
+let reachable t src dst =
+  (not (Hashtbl.mem t.dead_links (src, dst)))
+  &&
+  match t.groups with
+  | None -> true
+  | Some groups -> groups.(src) = groups.(dst)
+
+let send ?(background = false) t ~src ~dst ~bytes_on_wire msg =
+  check_addr t src;
+  check_addr t dst;
+  if bytes_on_wire < 0 then invalid_arg "Simnet.Net.send: negative size";
+  Metrics.Counter.incr (if background then t.bg_msgs else t.msgs);
+  Metrics.Counter.incr ~by:(float_of_int bytes_on_wire)
+    (if background then t.bg_bytes else t.bytes);
+  let rng = Dessim.Engine.rng t.engine in
+  let dropped =
+    t.config.drop > 0. && Random.State.float rng 1.0 < t.config.drop
+  in
+  (* Partitions are checked at send time: a message sent across a
+     partition is lost, like a frame into an unplugged switch port. *)
+  if (not dropped) && reachable t src dst then begin
+    let delay =
+      t.config.delay
+      +.
+      if t.config.jitter > 0. then Random.State.float rng t.config.jitter
+      else 0.
+    in
+    ignore
+      (Dessim.Engine.schedule t.engine ~delay (fun () ->
+           match t.handlers.(dst) with
+           | Some handler -> handler ~src msg
+           | None -> ()))
+  end
+
+let partition t groups =
+  let assignment = Array.make t.n (-1) in
+  List.iteri
+    (fun gid members ->
+      List.iter
+        (fun a ->
+          check_addr t a;
+          if assignment.(a) <> -1 then
+            invalid_arg "Simnet.Net.partition: address in two groups";
+          assignment.(a) <- gid)
+        members)
+    groups;
+  (* Unlisted addresses share one implicit group. *)
+  let implicit = List.length groups in
+  Array.iteri (fun a g -> if g = -1 then assignment.(a) <- implicit) assignment;
+  t.groups <- Some assignment
+
+let heal t = t.groups <- None
+let set_drop t p =
+  if p < 0. || p >= 1. then
+    invalid_arg "Simnet.Net.set_drop: need 0 <= p < 1 for fair loss";
+  t.config <- { t.config with drop = p }
+
+let set_link_down t ~src ~dst down =
+  check_addr t src;
+  check_addr t dst;
+  if down then Hashtbl.replace t.dead_links (src, dst) ()
+  else Hashtbl.remove t.dead_links (src, dst)

@@ -1,0 +1,73 @@
+(** Simulated message-passing network (paper section 2's model).
+
+    Channels between processes deliver each message after a one-way
+    delay, may drop messages independently with a fixed probability,
+    may reorder them (through delay jitter), and may be partitioned.
+    Channels never corrupt messages. Fair loss holds as long as the
+    drop probability is below 1: a message retransmitted forever gets
+    through infinitely often, which is what the paper's [quorum()]
+    primitive builds on.
+
+    The network counts messages and payload bytes into a
+    {!Metrics.Registry} under the names ["net.msgs"] and
+    ["net.bytes"]; Table 1 reproductions read those counters. *)
+
+type addr = int
+(** Process address in [0, n). *)
+
+type config = {
+  delay : float;  (** Base one-way delay, the paper's delta. *)
+  jitter : float;
+      (** Extra delay drawn uniformly from [0, jitter]; a positive
+          jitter makes reordering possible. *)
+  drop : float;  (** Independent per-message drop probability. *)
+}
+
+val default_config : config
+(** delay = 1.0, jitter = 0., drop = 0. — the deterministic setting
+    used for cost accounting (latency in units of delta). *)
+
+type 'msg t
+(** A network carrying messages of type ['msg]. *)
+
+val create :
+  ?metrics:Metrics.Registry.t -> Dessim.Engine.t -> config:config ->
+  n:int -> 'msg t
+(** [create engine ~config ~n] is a network over addresses
+    [0 .. n-1]. *)
+
+val register : 'msg t -> addr -> (src:addr -> 'msg -> unit) -> unit
+(** [register t a handler] installs the message handler for address
+    [a], replacing any previous one. Messages to an address without a
+    handler are dropped silently (models a process that never came
+    up). *)
+
+val send :
+  ?background:bool ->
+  'msg t -> src:addr -> dst:addr -> bytes_on_wire:int -> 'msg -> unit
+(** [send t ~src ~dst ~bytes_on_wire msg] queues [msg] for delivery.
+    With [~background:true] the message is counted under
+    ["net.msgs.bg"] / ["net.bytes.bg"] instead of the foreground
+    counters — used for asynchronous garbage collection, which Table 1
+    excludes from operation costs.
+    [bytes_on_wire] is the accounted payload size — the register layer
+    passes the number of block bytes carried, matching the paper's
+    bandwidth unit B. Sending to a crashed or partitioned-away process
+    is allowed; the message is just lost or ignored. *)
+
+val partition : 'msg t -> addr list list -> unit
+(** [partition t groups] splits the network: messages flow only within
+    a group. Addresses not listed form an implicit extra group.
+    In-flight messages are unaffected. *)
+
+val heal : 'msg t -> unit
+(** Remove any partition. *)
+
+val set_drop : 'msg t -> float -> unit
+(** Change the drop probability for subsequently sent messages. *)
+
+val set_link_down : 'msg t -> src:addr -> dst:addr -> bool -> unit
+(** [set_link_down t ~src ~dst down] kills or revives the directed
+    link; used for fine-grained fault injection. *)
+
+val n : 'msg t -> int

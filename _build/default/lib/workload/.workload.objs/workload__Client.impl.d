@@ -1,0 +1,1 @@
+lib/workload/client.ml: Bytes Core Dessim Fab Gen Metrics Printf String

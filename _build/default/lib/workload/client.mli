@@ -1,0 +1,39 @@
+(** Closed-loop clients driving a FAB volume.
+
+    Each client is a fiber attached to one coordinator brick; it draws
+    operations from a generator and issues them back-to-back (the next
+    operation starts when the previous one returns), optionally
+    separated by think time. Multiple clients on different
+    coordinators create exactly the concurrency regime the paper's
+    section 3 discusses; the abort statistics quantify its rarity. *)
+
+type stats = {
+  mutable ops : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable aborts : int;
+  mutable blocks_moved : int;
+  latency : Metrics.Summary.t;  (** per-op latency in delta units *)
+}
+
+val fresh_stats : unit -> stats
+
+val spawn :
+  Fab.Volume.t ->
+  coord:int ->
+  gen:Gen.t ->
+  ops:int ->
+  ?think_time:float ->
+  ?payload_tag:char ->
+  stats ->
+  unit
+(** [spawn volume ~coord ~gen ~ops stats] starts a client fiber that
+    performs [ops] operations and accumulates into [stats]. Run the
+    engine ({!Fab.Volume.run}) to make progress. Write payloads are
+    filled with [payload_tag] (default ['w']) plus a per-op counter so
+    written values are distinguishable. *)
+
+val throughput : stats -> elapsed:float -> float
+(** Operations per unit of virtual time. *)
+
+val abort_rate : stats -> float

@@ -1,0 +1,111 @@
+type addr_dist =
+  | Uniform
+  | Sequential
+  | Zipf of float
+  | Hotspot of { fraction : float; weight : float }
+
+type spec = {
+  read_fraction : float;
+  addr : addr_dist;
+  op_blocks : int;
+}
+
+let web_server = { read_fraction = 0.95; addr = Zipf 0.99; op_blocks = 1 }
+
+let oltp =
+  {
+    read_fraction = 0.66;
+    addr = Hotspot { fraction = 0.1; weight = 0.9 };
+    op_blocks = 1;
+  }
+
+let backup = { read_fraction = 1.0; addr = Sequential; op_blocks = 8 }
+let ingest = { read_fraction = 0.0; addr = Sequential; op_blocks = 8 }
+
+type op = { kind : [ `Read | `Write ]; lba : int; count : int }
+
+type t = {
+  spec : spec;
+  capacity : int;
+  rng : Random.State.t;
+  mutable cursor : int;  (* for Sequential *)
+  zipf_cdf : float array option;  (* cumulative weights over buckets *)
+}
+
+(* Zipf sampling over up to [buckets] equal address ranges: exact Zipf
+   over millions of blocks is pointless for a simulator, and bucketing
+   keeps setup O(buckets). *)
+let zipf_buckets = 1024
+
+let build_zipf theta capacity =
+  let buckets = min zipf_buckets capacity in
+  let w = Array.init buckets (fun i -> 1. /. Float.pow (float_of_int (i + 1)) theta) in
+  let cdf = Array.make buckets 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i x ->
+      acc := !acc +. x;
+      cdf.(i) <- !acc)
+    w;
+  let total = !acc in
+  Array.map (fun x -> x /. total) cdf
+
+let make spec ~capacity_blocks ~rng =
+  if spec.read_fraction < 0. || spec.read_fraction > 1. then
+    invalid_arg "Workload.Gen.make: read_fraction out of [0,1]";
+  if spec.op_blocks < 1 || spec.op_blocks > capacity_blocks then
+    invalid_arg "Workload.Gen.make: bad op_blocks";
+  (match spec.addr with
+  | Zipf theta when theta <= 0. -> invalid_arg "Workload.Gen.make: bad theta"
+  | Hotspot { fraction; weight } ->
+      if fraction <= 0. || fraction >= 1. || weight <= 0. || weight >= 1. then
+        invalid_arg "Workload.Gen.make: bad hotspot"
+  | _ -> ());
+  {
+    spec;
+    capacity = capacity_blocks;
+    rng;
+    cursor = 0;
+    zipf_cdf =
+      (match spec.addr with
+      | Zipf theta -> Some (build_zipf theta capacity_blocks)
+      | _ -> None);
+  }
+
+let sample_addr t =
+  let limit = t.capacity - t.spec.op_blocks + 1 in
+  match t.spec.addr with
+  | Uniform -> Random.State.int t.rng limit
+  | Sequential ->
+      let lba = t.cursor in
+      t.cursor <- t.cursor + t.spec.op_blocks;
+      if t.cursor >= limit then t.cursor <- 0;
+      lba
+  | Zipf _ ->
+      let cdf = Option.get t.zipf_cdf in
+      let u = Random.State.float t.rng 1.0 in
+      (* Binary search for the bucket, then uniform within it. *)
+      let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cdf.(mid) < u then lo := mid + 1 else hi := mid
+      done;
+      let buckets = Array.length cdf in
+      let bucket_size = max 1 (t.capacity / buckets) in
+      let base = !lo * bucket_size in
+      min (limit - 1) (base + Random.State.int t.rng bucket_size)
+  | Hotspot { fraction; weight } ->
+      let hot_blocks = max 1 (int_of_float (fraction *. float_of_int limit)) in
+      if Random.State.float t.rng 1.0 < weight then
+        Random.State.int t.rng hot_blocks
+      else hot_blocks + Random.State.int t.rng (max 1 (limit - hot_blocks))
+
+let next t =
+  let kind =
+    if Random.State.float t.rng 1.0 < t.spec.read_fraction then `Read
+    else `Write
+  in
+  let lba = min (sample_addr t) (t.capacity - t.spec.op_blocks) in
+  { kind; lba; count = t.spec.op_blocks }
+
+let spec t = t.spec

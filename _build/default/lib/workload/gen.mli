@@ -1,0 +1,50 @@
+(** Synthetic block-workload generators.
+
+    Stand-ins for the customer I/O traces the paper analyzed (which
+    are proprietary): parameterized streams of block-level reads and
+    writes whose address distribution, size distribution and
+    read/write mix cover the regimes the paper discusses — the
+    read-intensive web-server workloads erasure coding targets
+    (section 1.2), sequential streams that produce full-stripe writes,
+    and hot-spot patterns that stress stripe-level conflicts
+    (section 3). *)
+
+type addr_dist =
+  | Uniform  (** Uniform over the volume. *)
+  | Sequential  (** A sequential scan that wraps around. *)
+  | Zipf of float
+      (** [Zipf theta]: block popularity follows a Zipf law; higher
+          [theta] is more skewed. *)
+  | Hotspot of { fraction : float; weight : float }
+      (** [fraction] of the address space absorbs [weight] of the
+          accesses. *)
+
+type spec = {
+  read_fraction : float;  (** in [0, 1] *)
+  addr : addr_dist;
+  op_blocks : int;  (** blocks touched per operation *)
+}
+
+val web_server : spec
+(** Read-intensive (95% reads), Zipf-skewed single-block accesses. *)
+
+val oltp : spec
+(** 2:1 read:write mix of single-block accesses, hot-spotted. *)
+
+val backup : spec
+(** Sequential full-volume read scan in stripe-sized chunks. *)
+
+val ingest : spec
+(** Sequential large writes (full-stripe writes when aligned). *)
+
+type op = { kind : [ `Read | `Write ]; lba : int; count : int }
+
+type t
+(** A generator: a deterministic stream of operations. *)
+
+val make : spec -> capacity_blocks:int -> rng:Random.State.t -> t
+(** @raise Invalid_argument if the spec is malformed or the capacity
+    is too small for [op_blocks]. *)
+
+val next : t -> op
+val spec : t -> spec

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Baseline Bytes Char Dessim Metrics Printf

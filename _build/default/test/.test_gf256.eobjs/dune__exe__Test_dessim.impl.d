@@ -1,0 +1,1 @@
+test/test_dessim.ml: Alcotest Dessim Fun List Option Random

@@ -1,0 +1,1 @@
+test/test_erasure.ml: Alcotest Array Bytes Char Erasure Format List Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Bytes Core Dessim Linearize List Printf Random String

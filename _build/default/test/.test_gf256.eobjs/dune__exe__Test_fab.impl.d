@@ -1,0 +1,1 @@
+test/test_fab.ml: Alcotest Array Brick Bytes Char Core Fab Fun List Printf

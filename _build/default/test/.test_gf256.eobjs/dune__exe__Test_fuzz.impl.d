@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Brick Bytes Core Dessim Float Fun Linearize List Printf Random Simnet String

@@ -1,0 +1,1 @@
+test/test_gf256.ml: Alcotest Array Bytes Char Gf256 Option QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Array Brick Dessim Fun List Metrics Printf QCheck QCheck_alcotest Quorum Simnet String

@@ -1,0 +1,1 @@
+test/test_register.ml: Alcotest Array Brick Bytes Char Core Dessim List Metrics Option Printf QCheck QCheck_alcotest Result Simnet

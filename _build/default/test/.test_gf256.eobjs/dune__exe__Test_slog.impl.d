@@ -1,0 +1,1 @@
+test/test_slog.ml: Alcotest Bytes Char Core List QCheck QCheck_alcotest

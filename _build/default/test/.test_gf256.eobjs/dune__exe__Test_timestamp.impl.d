@@ -1,0 +1,1 @@
+test/test_timestamp.ml: Alcotest Core Dessim List QCheck QCheck_alcotest

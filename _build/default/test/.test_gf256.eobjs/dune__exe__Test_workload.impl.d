@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bytes Dessim Fab List Metrics Printf Random Workload

@@ -1,0 +1,184 @@
+(* Tests for the discrete-event engine and fibers. *)
+
+module E = Dessim.Engine
+module Fiber = Dessim.Fiber
+
+let test_time_ordering () =
+  let e = E.create () in
+  let order = ref [] in
+  ignore (E.schedule e ~delay:3. (fun () -> order := 3 :: !order));
+  ignore (E.schedule e ~delay:1. (fun () -> order := 1 :: !order));
+  ignore (E.schedule e ~delay:2. (fun () -> order := 2 :: !order));
+  E.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !order);
+  Alcotest.(check (float 0.0)) "clock at last event" 3. (E.now e)
+
+let test_fifo_same_instant () =
+  let e = E.create () in
+  let order = ref [] in
+  for i = 1 to 10 do
+    ignore (E.schedule e ~delay:5. (fun () -> order := i :: !order))
+  done;
+  E.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.rev !order)
+
+let test_cancel () =
+  let e = E.create () in
+  let fired = ref false in
+  let t = E.schedule e ~delay:1. (fun () -> fired := true) in
+  E.cancel t;
+  E.run e;
+  Alcotest.(check bool) "cancelled never fires" false !fired;
+  (* double cancel is a no-op *)
+  E.cancel t
+
+let test_nested_scheduling () =
+  let e = E.create () in
+  let times = ref [] in
+  ignore
+    (E.schedule e ~delay:1. (fun () ->
+         times := E.now e :: !times;
+         ignore (E.schedule e ~delay:2. (fun () -> times := E.now e :: !times))));
+  E.run e;
+  Alcotest.(check (list (float 0.0))) "nested" [ 1.; 3. ] (List.rev !times)
+
+let test_run_until () =
+  let e = E.create () in
+  let fired = ref 0 in
+  ignore (E.schedule e ~delay:1. (fun () -> incr fired));
+  ignore (E.schedule e ~delay:10. (fun () -> incr fired));
+  E.run ~until:5. e;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  Alcotest.(check (float 0.0)) "clock at horizon" 5. (E.now e);
+  E.run e;
+  Alcotest.(check int) "second fires later" 2 !fired
+
+let test_negative_delay_rejected () =
+  let e = E.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Dessim.Engine.schedule: negative delay") (fun () ->
+      ignore (E.schedule e ~delay:(-1.) ignore))
+
+let test_step_and_pending () =
+  let e = E.create () in
+  ignore (E.schedule e ~delay:1. ignore);
+  ignore (E.schedule e ~delay:2. ignore);
+  Alcotest.(check int) "pending 2" 2 (E.pending e);
+  Alcotest.(check bool) "step true" true (E.step e);
+  Alcotest.(check bool) "step true" true (E.step e);
+  Alcotest.(check bool) "step false on empty" false (E.step e)
+
+let test_determinism () =
+  let trace seed =
+    let e = E.create ~seed () in
+    let log = ref [] in
+    let rec recur depth =
+      if depth < 4 then
+        ignore
+          (E.schedule e
+             ~delay:(Random.State.float (E.rng e) 10.)
+             (fun () ->
+               log := E.now e :: !log;
+               recur (depth + 1)))
+    in
+    recur 0;
+    recur 0;
+    E.run e;
+    !log
+  in
+  Alcotest.(check bool) "same seed, same trace" true (trace 5 = trace 5);
+  Alcotest.(check bool) "different seed, different trace" true
+    (trace 5 <> trace 6)
+
+(* --- fibers --- *)
+
+let test_fiber_runs_immediately () =
+  let ran = ref false in
+  Fiber.spawn (fun () -> ran := true);
+  Alcotest.(check bool) "ran synchronously" true !ran
+
+let test_suspend_resume () =
+  let got = ref 0 in
+  let saved = ref None in
+  Fiber.spawn (fun () ->
+      let v = Fiber.suspend (fun r -> saved := Some r) in
+      got := v);
+  Alcotest.(check int) "not resumed yet" 0 !got;
+  (match !saved with
+  | Some r ->
+      Alcotest.(check bool) "live" true (Fiber.is_live r);
+      Fiber.resume r 42;
+      Alcotest.(check bool) "dead after resume" false (Fiber.is_live r)
+  | None -> Alcotest.fail "no resumer");
+  Alcotest.(check int) "resumed with value" 42 !got
+
+let test_double_resume_noop () =
+  let count = ref 0 in
+  let saved = ref None in
+  Fiber.spawn (fun () ->
+      let _ = Fiber.suspend (fun r -> saved := Some r) in
+      incr count);
+  let r = Option.get !saved in
+  Fiber.resume r 1;
+  Fiber.resume r 2;
+  Fiber.cancel r;
+  Alcotest.(check int) "resumed once" 1 !count
+
+let test_cancel_unwinds () =
+  let reached = ref false in
+  let cleaned = ref false in
+  let saved = ref None in
+  Fiber.spawn (fun () ->
+      Fun.protect
+        ~finally:(fun () -> cleaned := true)
+        (fun () ->
+          let _ = Fiber.suspend (fun r -> saved := Some r) in
+          reached := true));
+  Fiber.cancel (Option.get !saved);
+  Alcotest.(check bool) "code after suspend skipped" false !reached;
+  Alcotest.(check bool) "finally ran on cancel" true !cleaned
+
+let test_sequential_suspends () =
+  let e = E.create () in
+  let log = ref [] in
+  Fiber.spawn (fun () ->
+      for i = 1 to 3 do
+        let v =
+          Fiber.suspend (fun r ->
+              ignore (E.schedule e ~delay:1. (fun () -> Fiber.resume r i)))
+        in
+        log := v :: !log
+      done);
+  E.run e;
+  Alcotest.(check (list int)) "loop across suspends" [ 1; 2; 3 ] (List.rev !log)
+
+let test_exception_propagates () =
+  Alcotest.check_raises "escaping exception" Exit (fun () ->
+      Fiber.spawn (fun () -> raise Exit))
+
+let () =
+  Alcotest.run "dessim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time ordering" `Quick test_time_ordering;
+          Alcotest.test_case "fifo at same instant" `Quick test_fifo_same_instant;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+          Alcotest.test_case "run until horizon" `Quick test_run_until;
+          Alcotest.test_case "negative delay rejected" `Quick
+            test_negative_delay_rejected;
+          Alcotest.test_case "step and pending" `Quick test_step_and_pending;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "fiber",
+        [
+          Alcotest.test_case "runs immediately" `Quick test_fiber_runs_immediately;
+          Alcotest.test_case "suspend and resume" `Quick test_suspend_resume;
+          Alcotest.test_case "double resume no-op" `Quick test_double_resume_noop;
+          Alcotest.test_case "cancel unwinds" `Quick test_cancel_unwinds;
+          Alcotest.test_case "sequential suspends" `Quick test_sequential_suspends;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+        ] );
+    ]

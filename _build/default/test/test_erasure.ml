@@ -1,0 +1,247 @@
+(* Tests for the erasure-coding primitives (paper section 2.1). *)
+
+module C = Erasure.Codec
+
+let block_size = 32
+
+let random_stripe rng m =
+  Array.init m (fun _ ->
+      Bytes.init block_size (fun _ -> Char.chr (Random.State.int rng 256)))
+
+let stripes_equal a b =
+  Array.length a = Array.length b && Array.for_all2 Bytes.equal a b
+
+(* All m-subsets of [0, n). *)
+let rec subsets k lo n =
+  if k = 0 then [ [] ]
+  else if lo >= n then []
+  else
+    List.map (fun s -> lo :: s) (subsets (k - 1) (lo + 1) n)
+    @ subsets k (lo + 1) n
+
+let test_roundtrip_all_subsets () =
+  let rng = Random.State.make [| 11 |] in
+  let configs = [ (1, 3); (2, 3); (2, 4); (3, 5); (5, 8); (4, 6) ] in
+  List.iter
+    (fun (m, n) ->
+      let codec = if m = 1 then C.replication ~n else C.rs ~m ~n in
+      let stripe = random_stripe rng m in
+      let enc = C.encode codec stripe in
+      Alcotest.(check int) "n blocks" n (Array.length enc);
+      (* Systematic: first m blocks are the data. *)
+      for i = 0 to m - 1 do
+        Alcotest.(check bool) "systematic" true (Bytes.equal enc.(i) stripe.(i))
+      done;
+      List.iter
+        (fun subset ->
+          let blocks = List.map (fun i -> (i, enc.(i))) subset in
+          let dec = C.decode codec blocks in
+          Alcotest.(check bool)
+            (Printf.sprintf "decode (%d,%d) from [%s]" m n
+               (String.concat "," (List.map string_of_int subset)))
+            true (stripes_equal dec stripe))
+        (subsets m 0 n))
+    configs
+
+let test_parity_codec_is_xor () =
+  let rng = Random.State.make [| 12 |] in
+  let m = 4 in
+  let codec = C.parity ~m in
+  let stripe = random_stripe rng m in
+  let enc = C.encode codec stripe in
+  let xor = Bytes.make block_size '\000' in
+  Array.iter
+    (fun b ->
+      Bytes.iteri
+        (fun i c ->
+          Bytes.set xor i (Char.chr (Char.code (Bytes.get xor i) lxor Char.code c)))
+        b)
+    stripe;
+  Alcotest.(check bool) "parity block is xor of data" true
+    (Bytes.equal enc.(m) xor)
+
+let test_replication_copies () =
+  let codec = C.replication ~n:4 in
+  let b = Bytes.make block_size 'x' in
+  let enc = C.encode codec [| b |] in
+  Array.iter
+    (fun blk -> Alcotest.(check bool) "copy" true (Bytes.equal blk b))
+    enc
+
+let test_modify_equals_reencode () =
+  let rng = Random.State.make [| 13 |] in
+  List.iter
+    (fun (m, n) ->
+      let codec = if n = m + 1 then C.parity ~m else C.rs ~m ~n in
+      let stripe = random_stripe rng m in
+      let enc = C.encode codec stripe in
+      for j = 0 to m - 1 do
+        let stripe' = Array.map Bytes.copy stripe in
+        stripe'.(j) <- Bytes.init block_size (fun _ -> Char.chr (Random.State.int rng 256));
+        let enc' = C.encode codec stripe' in
+        for p = 0 to n - m - 1 do
+          let via_modify =
+            C.modify codec ~data_idx:j ~parity_idx:p ~old_data:stripe.(j)
+              ~new_data:stripe'.(j) ~old_parity:enc.(m + p)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "modify (%d,%d) j=%d p=%d" m n j p)
+            true
+            (Bytes.equal via_modify enc'.(m + p))
+        done
+      done)
+    [ (3, 5); (5, 8); (2, 3); (4, 5) ]
+
+let test_delta_composition () =
+  let rng = Random.State.make [| 14 |] in
+  let codec = C.rs ~m:5 ~n:8 in
+  let stripe = random_stripe rng 5 in
+  let enc = C.encode codec stripe in
+  let new_b = Bytes.init block_size (fun _ -> Char.chr (Random.State.int rng 256)) in
+  let delta = C.delta ~old_data:stripe.(2) ~new_data:new_b in
+  for p = 0 to 2 do
+    let direct =
+      C.modify codec ~data_idx:2 ~parity_idx:p ~old_data:stripe.(2)
+        ~new_data:new_b ~old_parity:enc.(5 + p)
+    in
+    let via_delta =
+      C.apply_delta codec ~data_idx:2 ~parity_idx:p ~delta
+        ~old_parity:enc.(5 + p)
+    in
+    Alcotest.(check bool) "delta path equals modify" true
+      (Bytes.equal direct via_delta)
+  done
+
+let test_reconstruct_block () =
+  let rng = Random.State.make [| 15 |] in
+  let codec = C.rs ~m:3 ~n:6 in
+  let stripe = random_stripe rng 3 in
+  let enc = C.encode codec stripe in
+  (* Rebuild every block from the "other" blocks. *)
+  for idx = 0 to 5 do
+    let others =
+      List.filteri (fun i _ -> i <> idx) (Array.to_list (Array.mapi (fun i b -> (i, b)) enc))
+    in
+    let from = List.filteri (fun i _ -> i < 3) others in
+    let rebuilt = C.reconstruct_block codec ~idx from in
+    Alcotest.(check bool)
+      (Printf.sprintf "rebuild block %d" idx)
+      true
+      (Bytes.equal rebuilt enc.(idx))
+  done
+
+let test_coeff_systematic () =
+  let codec = C.rs ~m:4 ~n:7 in
+  for r = 0 to 3 do
+    for c = 0 to 3 do
+      Alcotest.(check int) "identity top" (if r = c then 1 else 0)
+        (C.coeff codec ~row:r ~col:c)
+    done
+  done;
+  (* Parity rows must be dense (no zero coefficients for Cauchy). *)
+  for r = 4 to 6 do
+    for c = 0 to 3 do
+      Alcotest.(check bool) "nonzero parity coeff" true
+        (C.coeff codec ~row:r ~col:c <> 0)
+    done
+  done
+
+let qtest ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let stripe_gen m =
+  QCheck.map
+    (fun s ->
+      let s = Bytes.of_string s in
+      Array.init m (fun i -> Bytes.sub s (i * 8) 8))
+    (QCheck.string_of_size (QCheck.Gen.return (m * 8)))
+
+let prop_tests =
+  [
+    qtest "rs(3,5): decode any parity-heavy subset"
+      (QCheck.pair (stripe_gen 3) (QCheck.int_range 0 9))
+      (fun (stripe, pick) ->
+        let codec = C.rs ~m:3 ~n:5 in
+        let enc = C.encode codec stripe in
+        let all = subsets 3 0 5 in
+        let subset = List.nth all (pick mod List.length all) in
+        let dec = C.decode codec (List.map (fun i -> (i, enc.(i))) subset) in
+        Array.for_all2 Bytes.equal dec stripe);
+    qtest "rs(5,8): encode deterministic" (stripe_gen 5) (fun stripe ->
+        let codec = C.rs ~m:5 ~n:8 in
+        let a = C.encode codec stripe and b = C.encode codec stripe in
+        Array.for_all2 Bytes.equal a b);
+    qtest "delta of equal blocks is zero" (stripe_gen 1) (fun s ->
+        let d = C.delta ~old_data:s.(0) ~new_data:s.(0) in
+        Bytes.for_all (fun c -> c = '\000') d);
+  ]
+
+let test_errors () =
+  let codec = C.rs ~m:3 ~n:5 in
+  let stripe = Array.init 3 (fun _ -> Bytes.make 8 'a') in
+  let enc = C.encode codec stripe in
+  Alcotest.check_raises "wrong count"
+    (Invalid_argument "Erasure.Codec.encode: expected 3 blocks, got 2")
+    (fun () -> ignore (C.encode codec [| Bytes.create 8; Bytes.create 8 |]));
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Erasure.Codec.encode: block size mismatch") (fun () ->
+      ignore (C.encode codec [| Bytes.create 8; Bytes.create 8; Bytes.create 9 |]));
+  Alcotest.check_raises "decode duplicate index"
+    (Invalid_argument "Erasure.Codec.decode: duplicate index") (fun () ->
+      ignore (C.decode codec [ (0, enc.(0)); (0, enc.(0)); (1, enc.(1)) ]));
+  Alcotest.check_raises "decode bad index"
+    (Invalid_argument "Erasure.Codec.decode: index out of range") (fun () ->
+      ignore (C.decode codec [ (0, enc.(0)); (1, enc.(1)); (9, enc.(2)) ]));
+  Alcotest.check_raises "rs m >= n"
+    (Invalid_argument "Erasure.Codec.rs: need 1 <= m < n <= 256") (fun () ->
+      ignore (C.rs ~m:5 ~n:5));
+  Alcotest.check_raises "replication n < 2"
+    (Invalid_argument "Erasure.Codec.replication: need n >= 2") (fun () ->
+      ignore (C.replication ~n:1))
+
+let test_pp () =
+  Alcotest.(check string) "pp rs" "rs(5,8)"
+    (Format.asprintf "%a" C.pp (C.rs ~m:5 ~n:8));
+  Alcotest.(check string) "pp parity" "parity(4,5)"
+    (Format.asprintf "%a" C.pp (C.parity ~m:4));
+  Alcotest.(check string) "pp replication" "replication(1,3)"
+    (Format.asprintf "%a" C.pp (C.replication ~n:3))
+
+let test_large_code () =
+  (* A wide code near the field-size limit still round-trips. *)
+  let rng = Random.State.make [| 16 |] in
+  let m = 20 and n = 36 in
+  let codec = C.rs ~m ~n in
+  let stripe = random_stripe rng m in
+  let enc = C.encode codec stripe in
+  (* Decode from the last m blocks (all parity-heavy). *)
+  let blocks = List.init m (fun i -> (n - m + i, enc.(n - m + i))) in
+  Alcotest.(check bool) "wide code roundtrip" true
+    (stripes_equal (C.decode codec blocks) stripe)
+
+let () =
+  Alcotest.run "erasure"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "all m-subsets decode" `Quick
+            test_roundtrip_all_subsets;
+          Alcotest.test_case "parity is xor" `Quick test_parity_codec_is_xor;
+          Alcotest.test_case "replication copies" `Quick test_replication_copies;
+          Alcotest.test_case "wide code" `Quick test_large_code;
+        ] );
+      ( "modify",
+        [
+          Alcotest.test_case "modify equals re-encode" `Quick
+            test_modify_equals_reencode;
+          Alcotest.test_case "delta composition" `Quick test_delta_composition;
+          Alcotest.test_case "reconstruct block" `Quick test_reconstruct_block;
+          Alcotest.test_case "coeff exposes generator" `Quick test_coeff_systematic;
+        ] );
+      ("properties", prop_tests);
+      ( "errors",
+        [
+          Alcotest.test_case "input validation" `Quick test_errors;
+          Alcotest.test_case "pretty-printing" `Quick test_pp;
+        ] );
+    ]

@@ -1,0 +1,271 @@
+(* Tests for GF(2^8) arithmetic and matrices. *)
+
+module F = Gf256.Field
+module M = Gf256.Matrix
+
+let elem = QCheck.int_range 0 255
+let nonzero = QCheck.int_range 1 255
+
+let qtest ?(count = 500) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Field axioms                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let field_axioms =
+  [
+    qtest "add is xor" (QCheck.pair elem elem) (fun (a, b) ->
+        F.add a b = a lxor b);
+    qtest "add commutative" (QCheck.pair elem elem) (fun (a, b) ->
+        F.add a b = F.add b a);
+    qtest "mul commutative" (QCheck.pair elem elem) (fun (a, b) ->
+        F.mul a b = F.mul b a);
+    qtest "mul associative" (QCheck.triple elem elem elem) (fun (a, b, c) ->
+        F.mul a (F.mul b c) = F.mul (F.mul a b) c);
+    qtest "distributivity" (QCheck.triple elem elem elem) (fun (a, b, c) ->
+        F.mul a (F.add b c) = F.add (F.mul a b) (F.mul a c));
+    qtest "one is identity" elem (fun a -> F.mul 1 a = a);
+    qtest "zero annihilates" elem (fun a -> F.mul 0 a = 0);
+    qtest "sub equals add" (QCheck.pair elem elem) (fun (a, b) ->
+        F.sub a b = F.add a b);
+    qtest "inverse" nonzero (fun a -> F.mul a (F.inv a) = 1);
+    qtest "div by self" nonzero (fun a -> F.div a a = 1);
+    qtest "div inverse of mul" (QCheck.pair elem nonzero) (fun (a, b) ->
+        F.div (F.mul a b) b = a);
+    qtest "pow 2 is square" elem (fun a -> F.pow a 2 = F.mul a a);
+    qtest "pow adds exponents" (QCheck.pair nonzero (QCheck.int_range 0 30))
+      (fun (a, k) -> F.mul (F.pow a k) (F.pow a 3) = F.pow a (k + 3));
+    qtest "exp/log roundtrip" nonzero (fun a -> F.exp_table (F.log_table a) = a);
+    qtest "frobenius: (a+b)^2 = a^2 + b^2" (QCheck.pair elem elem)
+      (fun (a, b) -> F.pow (F.add a b) 2 = F.add (F.pow a 2) (F.pow b 2));
+  ]
+
+let test_sentinel_errors () =
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (F.inv 0));
+  Alcotest.check_raises "div by 0" Division_by_zero (fun () ->
+      ignore (F.div 3 0));
+  check_int "div 0 b" 0 (F.div 0 7);
+  check_int "pow 0 0 = 1" 1 (F.pow 0 0);
+  check_int "pow 0 5 = 0" 0 (F.pow 0 5);
+  Alcotest.check_raises "pow negative"
+    (Invalid_argument "Gf256.Field.pow: negative exponent") (fun () ->
+      ignore (F.pow 2 (-1)))
+
+let test_generator_order () =
+  (* 2 generates the multiplicative group: the powers 2^0..2^254 are
+     all distinct. *)
+  let seen = Array.make 256 false in
+  for i = 0 to 254 do
+    let x = F.exp_table i in
+    Alcotest.(check bool) "no repeat" false seen.(x);
+    seen.(x) <- true
+  done;
+  check_int "2^255 wraps to 1" 1 (F.exp_table 255)
+
+let test_check_element () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Gf256.Field: element -1 out of range") (fun () ->
+      F.check_element (-1));
+  F.check_element 0;
+  F.check_element 255
+
+(* ------------------------------------------------------------------ *)
+(* Byte-slice operations                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bytes_gen =
+  QCheck.map Bytes.of_string (QCheck.string_of_size (QCheck.Gen.return 64))
+
+let slice_tests =
+  [
+    qtest "mul_slice_set matches scalar mul" (QCheck.pair bytes_gen elem)
+      (fun (src, c) ->
+        let dst = Bytes.make (Bytes.length src) '\255' in
+        F.mul_slice_set ~dst ~src c;
+        let ok = ref true in
+        Bytes.iteri
+          (fun i x ->
+            if Char.code x <> F.mul c (Char.code (Bytes.get src i)) then
+              ok := false)
+          dst;
+        !ok);
+    qtest "mul_slice accumulates" (QCheck.triple bytes_gen bytes_gen elem)
+      (fun (dst0, src, c) ->
+        let dst = Bytes.copy dst0 in
+        F.mul_slice ~dst ~src c;
+        let ok = ref true in
+        Bytes.iteri
+          (fun i x ->
+            let expected =
+              F.add
+                (Char.code (Bytes.get dst0 i))
+                (F.mul c (Char.code (Bytes.get src i)))
+            in
+            if Char.code x <> expected then ok := false)
+          dst;
+        !ok);
+    qtest "mul_slice by 0 is no-op" bytes_gen (fun src ->
+        let dst = Bytes.copy src in
+        F.mul_slice ~dst ~src 0;
+        Bytes.equal dst src);
+    qtest "mul_slice by 1 xors" (QCheck.pair bytes_gen bytes_gen)
+      (fun (dst0, src) ->
+        let dst = Bytes.copy dst0 in
+        F.mul_slice ~dst ~src 1;
+        let ok = ref true in
+        Bytes.iteri
+          (fun i x ->
+            if
+              Char.code x
+              <> Char.code (Bytes.get dst0 i) lxor Char.code (Bytes.get src i)
+            then ok := false)
+          dst;
+        !ok);
+  ]
+
+let test_slice_length_mismatch () =
+  let a = Bytes.create 4 and b = Bytes.create 5 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Gf256.Field.mul_slice: length mismatch") (fun () ->
+      F.mul_slice ~dst:a ~src:b 3)
+
+(* ------------------------------------------------------------------ *)
+(* Matrices                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let random_matrix rng ~rows ~cols =
+  M.init ~rows ~cols (fun _ _ -> Random.State.int rng 256)
+
+let test_identity_mul () =
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 20 do
+    let n = 1 + Random.State.int rng 8 in
+    let a = random_matrix rng ~rows:n ~cols:n in
+    Alcotest.(check bool) "I*A = A" true (M.equal (M.mul (M.identity n) a) a);
+    Alcotest.(check bool) "A*I = A" true (M.equal (M.mul a (M.identity n)) a)
+  done
+
+let test_mul_vec_agrees () =
+  let rng = Random.State.make [| 8 |] in
+  for _ = 1 to 20 do
+    let rows = 1 + Random.State.int rng 6 in
+    let cols = 1 + Random.State.int rng 6 in
+    let a = random_matrix rng ~rows ~cols in
+    let v = Array.init cols (fun _ -> Random.State.int rng 256) in
+    let vm = M.init ~rows:cols ~cols:1 (fun r _ -> v.(r)) in
+    let prod = M.mul a vm in
+    let pv = M.mul_vec a v in
+    for r = 0 to rows - 1 do
+      check_int "entry" (M.get prod r 0) pv.(r)
+    done
+  done
+
+let test_invert_roundtrip () =
+  let rng = Random.State.make [| 9 |] in
+  let tried = ref 0 and inverted = ref 0 in
+  while !inverted < 25 && !tried < 500 do
+    incr tried;
+    let n = 1 + Random.State.int rng 7 in
+    let a = random_matrix rng ~rows:n ~cols:n in
+    match M.invert a with
+    | None -> ()
+    | Some inv ->
+        incr inverted;
+        Alcotest.(check bool) "A * A^-1 = I" true
+          (M.equal (M.mul a inv) (M.identity n));
+        Alcotest.(check bool) "A^-1 * A = I" true
+          (M.equal (M.mul inv a) (M.identity n))
+  done;
+  Alcotest.(check bool) "found invertible samples" true (!inverted >= 25)
+
+let test_singular () =
+  let z = M.create ~rows:3 ~cols:3 in
+  Alcotest.(check (option reject)) "zero singular" None
+    (Option.map ignore (M.invert z));
+  (* Two equal rows. *)
+  let a = M.init ~rows:2 ~cols:2 (fun _ c -> c + 1) in
+  Alcotest.(check (option reject)) "rank deficient" None
+    (Option.map ignore (M.invert a))
+
+let test_cauchy_submatrices_invertible () =
+  let xs = Array.init 4 (fun i -> 10 + i) in
+  let ys = Array.init 4 (fun j -> j) in
+  let c = M.cauchy ~xs ~ys in
+  (* Every square submatrix of a Cauchy matrix is invertible; check all
+     2x2 submatrices. *)
+  for r1 = 0 to 3 do
+    for r2 = r1 + 1 to 3 do
+      for c1 = 0 to 3 do
+        for c2 = c1 + 1 to 3 do
+          let sub =
+            M.init ~rows:2 ~cols:2 (fun r cc ->
+                M.get c
+                  (if r = 0 then r1 else r2)
+                  (if cc = 0 then c1 else c2))
+          in
+          Alcotest.(check bool) "2x2 invertible" true (M.invert sub <> None)
+        done
+      done
+    done
+  done
+
+let test_cauchy_overlap_rejected () =
+  Alcotest.check_raises "xs/ys overlap"
+    (Invalid_argument "Gf256.Matrix.cauchy: xs and ys are not disjoint")
+    (fun () -> ignore (M.cauchy ~xs:[| 1; 2 |] ~ys:[| 2; 3 |]))
+
+let test_vandermonde () =
+  let v = M.vandermonde ~rows:5 ~cols:3 in
+  check_int "v[0][0]" 1 (M.get v 0 0);
+  check_int "v[0][2]" 0 (M.get v 0 2);
+  check_int "v[2][1]" 2 (M.get v 2 1);
+  check_int "v[3][2]" (F.mul 3 3) (M.get v 3 2)
+
+let test_sub_rows () =
+  let a = M.init ~rows:4 ~cols:2 (fun r c -> (r * 2) + c) in
+  let b = M.sub_rows a [ 3; 1 ] in
+  check_int "rows" 2 (M.rows b);
+  check_int "b[0][0]" 6 (M.get b 0 0);
+  check_int "b[1][1]" 3 (M.get b 1 1)
+
+let test_bounds () =
+  let a = M.create ~rows:2 ~cols:2 in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Gf256.Matrix: index (2,0) out of 2x2") (fun () ->
+      ignore (M.get a 2 0));
+  Alcotest.check_raises "bad shape"
+    (Invalid_argument "Gf256.Matrix.create: bad shape") (fun () ->
+      ignore (M.create ~rows:0 ~cols:3))
+
+let () =
+  Alcotest.run "gf256"
+    [
+      ("field-axioms", field_axioms);
+      ( "field-unit",
+        [
+          Alcotest.test_case "sentinel errors" `Quick test_sentinel_errors;
+          Alcotest.test_case "generator order" `Quick test_generator_order;
+          Alcotest.test_case "check_element" `Quick test_check_element;
+        ] );
+      ( "slices",
+        slice_tests
+        @ [ Alcotest.test_case "length mismatch" `Quick test_slice_length_mismatch ]
+      );
+      ( "matrix",
+        [
+          Alcotest.test_case "identity mul" `Quick test_identity_mul;
+          Alcotest.test_case "mul_vec agrees with mul" `Quick test_mul_vec_agrees;
+          Alcotest.test_case "invert roundtrip" `Quick test_invert_roundtrip;
+          Alcotest.test_case "singular detected" `Quick test_singular;
+          Alcotest.test_case "cauchy submatrices invertible" `Quick
+            test_cauchy_submatrices_invertible;
+          Alcotest.test_case "cauchy overlap rejected" `Quick
+            test_cauchy_overlap_rejected;
+          Alcotest.test_case "vandermonde entries" `Quick test_vandermonde;
+          Alcotest.test_case "sub_rows" `Quick test_sub_rows;
+          Alcotest.test_case "bounds checking" `Quick test_bounds;
+        ] );
+    ]

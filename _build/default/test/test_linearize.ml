@@ -1,0 +1,239 @@
+(* Tests for the history recorder and the strict-linearizability
+   checker, including the paper's Figure 5 scenario. *)
+
+module H = Linearize.History
+module Check = Linearize.Check
+
+let ok h =
+  match Check.strict h with
+  | Ok () -> true
+  | Error v ->
+      Format.eprintf "violation: %a@." Check.pp_violation v;
+      false
+
+let violation h =
+  match Check.strict h with Ok () -> None | Error v -> Some v
+
+(* Helpers building histories in textual order of time. *)
+
+let w h ~client ~at ~value ~dur =
+  let id = H.invoke h ~client ~kind:H.Write ~written:value ~now:at () in
+  H.complete_write h id ~now:(at +. dur);
+  id
+
+let r h ~client ~at ~value ~dur =
+  let id = H.invoke h ~client ~kind:H.Read ~now:at () in
+  H.complete_read h id ~value ~now:(at +. dur);
+  id
+
+let test_empty_history () =
+  Alcotest.(check bool) "empty ok" true (ok (H.create ()))
+
+let test_sequential_history () =
+  let h = H.create () in
+  ignore (w h ~client:0 ~at:0. ~value:"v1" ~dur:1.);
+  ignore (r h ~client:0 ~at:2. ~value:"v1" ~dur:1.);
+  ignore (w h ~client:0 ~at:4. ~value:"v2" ~dur:1.);
+  ignore (r h ~client:1 ~at:6. ~value:"v2" ~dur:1.);
+  Alcotest.(check bool) "sequential ok" true (ok h)
+
+let test_initial_nil_reads () =
+  let h = H.create () in
+  ignore (r h ~client:0 ~at:0. ~value:H.nil ~dur:1.);
+  ignore (w h ~client:0 ~at:2. ~value:"v" ~dur:1.);
+  ignore (r h ~client:0 ~at:4. ~value:"v" ~dur:1.);
+  Alcotest.(check bool) "nil then v" true (ok h)
+
+let test_nil_after_value_violates () =
+  let h = H.create () in
+  ignore (w h ~client:0 ~at:0. ~value:"v" ~dur:1.);
+  ignore (r h ~client:0 ~at:2. ~value:"v" ~dur:1.);
+  ignore (r h ~client:0 ~at:4. ~value:H.nil ~dur:1.);
+  match violation h with
+  | Some (Check.Cycle _) -> ()
+  | other ->
+      Alcotest.failf "expected cycle, got %s"
+        (match other with None -> "ok" | Some v -> Format.asprintf "%a" Check.pp_violation v)
+
+let test_stale_read_violates () =
+  let h = H.create () in
+  ignore (w h ~client:0 ~at:0. ~value:"v1" ~dur:1.);
+  ignore (w h ~client:0 ~at:2. ~value:"v2" ~dur:1.);
+  ignore (r h ~client:1 ~at:4. ~value:"v2" ~dur:1.);
+  ignore (r h ~client:1 ~at:6. ~value:"v1" ~dur:1.);  (* goes backwards *)
+  match violation h with
+  | Some (Check.Cycle _) -> ()
+  | _ -> Alcotest.fail "expected cycle"
+
+let test_read_of_unwritten () =
+  let h = H.create () in
+  ignore (r h ~client:0 ~at:0. ~value:"ghost" ~dur:1.);
+  match violation h with
+  | Some (Check.Read_of_unwritten { value = "ghost"; _ }) -> ()
+  | _ -> Alcotest.fail "expected Read_of_unwritten"
+
+let test_future_read () =
+  let h = H.create () in
+  ignore (r h ~client:0 ~at:0. ~value:"v" ~dur:1.);
+  ignore (w h ~client:1 ~at:5. ~value:"v" ~dur:1.);
+  match violation h with
+  | Some (Check.Future_read { value = "v"; _ }) -> ()
+  | _ -> Alcotest.fail "expected Future_read"
+
+let test_concurrent_reads_may_split () =
+  (* Two overlapping reads around a concurrent write may return old
+     and new value in either real-time order only if consistent; when
+     both orders of return are concurrent there is no violation. *)
+  let h = H.create () in
+  ignore (w h ~client:0 ~at:0. ~value:"v1" ~dur:1.);
+  (* concurrent write and two reads *)
+  let wid = H.invoke h ~client:1 ~kind:H.Write ~written:"v2" ~now:2. () in
+  ignore (r h ~client:2 ~at:2.1 ~value:"v2" ~dur:0.5);
+  (* This read starts after the v2 read returned: reading the older
+     v1 now inverts the read order. *)
+  ignore (r h ~client:3 ~at:2.8 ~value:"v1" ~dur:0.5);
+  H.complete_write h wid ~now:4.;
+  match violation h with
+  | Some (Check.Cycle _) -> ()
+  | _ -> Alcotest.fail "expected cycle (new-old inversion)"
+
+let test_truly_concurrent_reads_ok () =
+  let h = H.create () in
+  ignore (w h ~client:0 ~at:0. ~value:"v1" ~dur:1.);
+  let wid = H.invoke h ~client:1 ~kind:H.Write ~written:"v2" ~now:2. () in
+  (* Both reads overlap each other: either may be ordered first. *)
+  let r1 = H.invoke h ~client:2 ~kind:H.Read ~now:2.1 () in
+  let r2 = H.invoke h ~client:3 ~kind:H.Read ~now:2.2 () in
+  H.complete_read h r1 ~value:"v2" ~now:3.;
+  H.complete_read h r2 ~value:"v1" ~now:3.1;
+  H.complete_write h wid ~now:4.;
+  Alcotest.(check bool) "overlapping reads may split" true (ok h)
+
+let test_figure5_scenario () =
+  (* The paper's Figure 5: write1(v') crashes; read2 returns v; read3
+     returns v'. Strict linearizability is violated because the crash
+     of write1 precedes read2. *)
+  let h = H.create () in
+  ignore (w h ~client:0 ~at:0. ~value:"v" ~dur:1.);
+  let w1 = H.invoke h ~client:1 ~kind:H.Write ~written:"v'" ~now:2. () in
+  H.crash h w1 ~now:3.;
+  ignore (r h ~client:2 ~at:4. ~value:"v" ~dur:1.);
+  ignore (r h ~client:2 ~at:6. ~value:"v'" ~dur:1.);
+  (match violation h with
+  | Some (Check.Cycle { values; _ }) ->
+      Alcotest.(check bool) "cycle involves v and v'" true
+        (List.mem "v" values || List.mem "v'" values)
+  | _ -> Alcotest.fail "Figure 5 must violate strict linearizability");
+  (* The same history WITHOUT the crash marker (write still pending,
+     crash time unknown) is accepted under plain linearizability
+     semantics — demonstrating that strictness hinges on the crash
+     event. *)
+  let h2 = H.create () in
+  ignore (w h2 ~client:0 ~at:0. ~value:"v" ~dur:1.);
+  ignore (H.invoke h2 ~client:1 ~kind:H.Write ~written:"v'" ~now:2. ());
+  ignore (r h2 ~client:2 ~at:4. ~value:"v" ~dur:1.);
+  ignore (r h2 ~client:2 ~at:6. ~value:"v'" ~dur:1.);
+  Alcotest.(check bool) "plain-linearizable without crash event" true (ok h2)
+
+let test_partial_write_roll_back_ok () =
+  (* A crashed write that is never read imposes nothing. *)
+  let h = H.create () in
+  ignore (w h ~client:0 ~at:0. ~value:"v" ~dur:1.);
+  let w1 = H.invoke h ~client:1 ~kind:H.Write ~written:"lost" ~now:2. () in
+  H.crash h w1 ~now:3.;
+  ignore (r h ~client:2 ~at:4. ~value:"v" ~dur:1.);
+  ignore (r h ~client:2 ~at:6. ~value:"v" ~dur:1.);
+  Alcotest.(check bool) "rolled back partial ok" true (ok h)
+
+let test_partial_write_roll_forward_ok () =
+  (* A crashed write that surfaces immediately and stays is fine. *)
+  let h = H.create () in
+  ignore (w h ~client:0 ~at:0. ~value:"v" ~dur:1.);
+  let w1 = H.invoke h ~client:1 ~kind:H.Write ~written:"v'" ~now:2. () in
+  H.crash h w1 ~now:3.;
+  ignore (r h ~client:2 ~at:4. ~value:"v'" ~dur:1.);
+  ignore (r h ~client:2 ~at:6. ~value:"v'" ~dur:1.);
+  Alcotest.(check bool) "rolled forward partial ok" true (ok h)
+
+let test_aborted_ops_ignored () =
+  let h = H.create () in
+  ignore (w h ~client:0 ~at:0. ~value:"v" ~dur:1.);
+  let a = H.invoke h ~client:1 ~kind:H.Write ~written:"aborted-value" ~now:2. () in
+  H.abort h a ~now:3.;
+  let ar = H.invoke h ~client:1 ~kind:H.Read ~now:4. () in
+  H.abort h ar ~now:5.;
+  ignore (r h ~client:2 ~at:6. ~value:"v" ~dur:1.);
+  Alcotest.(check bool) "aborted ops ignored" true (ok h)
+
+let test_aborted_write_may_take_effect () =
+  (* Aborted operations are non-deterministic: the value may appear. *)
+  let h = H.create () in
+  ignore (w h ~client:0 ~at:0. ~value:"v" ~dur:1.);
+  let a = H.invoke h ~client:1 ~kind:H.Write ~written:"v'" ~now:2. () in
+  H.abort h a ~now:3.;
+  ignore (r h ~client:2 ~at:4. ~value:"v'" ~dur:1.);
+  Alcotest.(check bool) "aborted write observed" true (ok h)
+
+let test_recorder_validation () =
+  let h = H.create () in
+  Alcotest.check_raises "write needs value"
+    (Invalid_argument "Linearize.History.invoke: write without value")
+    (fun () -> ignore (H.invoke h ~client:0 ~kind:H.Write ~now:0. ()));
+  Alcotest.check_raises "read has no value"
+    (Invalid_argument "Linearize.History.invoke: read with value") (fun () ->
+      ignore (H.invoke h ~client:0 ~kind:H.Read ~written:"x" ~now:0. ()));
+  ignore (w h ~client:0 ~at:0. ~value:"dup" ~dur:1.);
+  Alcotest.check_raises "unique values"
+    (Invalid_argument
+       "Linearize.History.invoke: duplicate write value (unique-value \
+        assumption)") (fun () ->
+      ignore (H.invoke h ~client:0 ~kind:H.Write ~written:"dup" ~now:2. ()));
+  Alcotest.check_raises "nil is reserved"
+    (Invalid_argument "Linearize.History.invoke: writing the nil value")
+    (fun () ->
+      ignore (H.invoke h ~client:0 ~kind:H.Write ~written:H.nil ~now:2. ()))
+
+let test_stats () =
+  let h = H.create () in
+  ignore (w h ~client:0 ~at:0. ~value:"a" ~dur:1.);
+  let x = H.invoke h ~client:0 ~kind:H.Read ~now:2. () in
+  H.abort h x ~now:3.;
+  ignore (H.invoke h ~client:0 ~kind:H.Read ~now:4. ());
+  Alcotest.(check int) "size" 3 (H.size h);
+  Alcotest.(check int) "aborts" 1 (H.abort_count h);
+  Alcotest.(check int) "pending" 1 (H.pending_count h)
+
+let () =
+  Alcotest.run "linearize"
+    [
+      ( "accepts",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_history;
+          Alcotest.test_case "sequential" `Quick test_sequential_history;
+          Alcotest.test_case "nil reads first" `Quick test_initial_nil_reads;
+          Alcotest.test_case "overlapping reads may split" `Quick
+            test_truly_concurrent_reads_ok;
+          Alcotest.test_case "rolled-back partial" `Quick
+            test_partial_write_roll_back_ok;
+          Alcotest.test_case "rolled-forward partial" `Quick
+            test_partial_write_roll_forward_ok;
+          Alcotest.test_case "aborted ops ignored" `Quick test_aborted_ops_ignored;
+          Alcotest.test_case "aborted write may surface" `Quick
+            test_aborted_write_may_take_effect;
+        ] );
+      ( "rejects",
+        [
+          Alcotest.test_case "nil after value" `Quick test_nil_after_value_violates;
+          Alcotest.test_case "stale read" `Quick test_stale_read_violates;
+          Alcotest.test_case "unwritten value" `Quick test_read_of_unwritten;
+          Alcotest.test_case "future read" `Quick test_future_read;
+          Alcotest.test_case "new-old read inversion" `Quick
+            test_concurrent_reads_may_split;
+          Alcotest.test_case "Figure 5 scenario" `Quick test_figure5_scenario;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "validation" `Quick test_recorder_validation;
+          Alcotest.test_case "statistics" `Quick test_stats;
+        ] );
+    ]

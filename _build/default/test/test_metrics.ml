@@ -1,0 +1,89 @@
+(* Tests for counters, snapshots and summaries. *)
+
+let test_counter () =
+  let c = Metrics.Counter.create () in
+  Alcotest.(check (float 0.0)) "zero" 0. (Metrics.Counter.value c);
+  Metrics.Counter.incr c;
+  Metrics.Counter.incr ~by:2.5 c;
+  Alcotest.(check (float 0.0)) "accumulated" 3.5 (Metrics.Counter.value c);
+  Metrics.Counter.reset c;
+  Alcotest.(check (float 0.0)) "reset" 0. (Metrics.Counter.value c)
+
+let test_registry_identity () =
+  let r = Metrics.Registry.create () in
+  let a = Metrics.Registry.counter r "x" in
+  let b = Metrics.Registry.counter r "x" in
+  Metrics.Counter.incr a;
+  Alcotest.(check (float 0.0)) "same counter" 1. (Metrics.Counter.value b);
+  Alcotest.(check (float 0.0)) "by name" 1. (Metrics.Registry.value r "x");
+  Alcotest.(check (float 0.0)) "unknown is 0" 0. (Metrics.Registry.value r "y")
+
+let test_registry_names_sorted () =
+  let r = Metrics.Registry.create () in
+  Metrics.Registry.incr r "zz";
+  Metrics.Registry.incr r "aa";
+  Metrics.Registry.incr r "mm";
+  Alcotest.(check (list string)) "sorted" [ "aa"; "mm"; "zz" ]
+    (Metrics.Registry.names r)
+
+let test_snapshot_diff () =
+  let r = Metrics.Registry.create () in
+  Metrics.Registry.incr ~by:5. r "a";
+  let before = Metrics.Snapshot.take r in
+  Metrics.Registry.incr ~by:3. r "a";
+  Metrics.Registry.incr r "b";
+  let after = Metrics.Snapshot.take r in
+  Alcotest.(check (list (pair string (float 0.0))))
+    "diff" [ ("a", 3.); ("b", 1.) ]
+    (Metrics.Snapshot.diff ~before ~after);
+  Alcotest.(check (float 0.0)) "get" 5. (Metrics.Snapshot.get before "a")
+
+let test_summary_stats () =
+  let s = Metrics.Summary.create () in
+  List.iter (Metrics.Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Metrics.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5. (Metrics.Summary.mean s);
+  Alcotest.(check (float 1e-6)) "stddev" 2.13809 (Metrics.Summary.stddev s);
+  Alcotest.(check (float 0.0)) "min" 2. (Metrics.Summary.min s);
+  Alcotest.(check (float 0.0)) "max" 9. (Metrics.Summary.max s);
+  Alcotest.(check (float 0.0)) "median" 4. (Metrics.Summary.percentile s 50.);
+  Alcotest.(check (float 0.0)) "p100" 9. (Metrics.Summary.percentile s 100.)
+
+let test_summary_percentile_edges () =
+  let s = Metrics.Summary.create () in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Metrics.Summary.percentile: empty") (fun () ->
+      ignore (Metrics.Summary.percentile s 50.));
+  Metrics.Summary.add s 1.;
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Metrics.Summary.percentile: p out of [0,100]")
+    (fun () -> ignore (Metrics.Summary.percentile s 150.));
+  Alcotest.(check (float 0.0)) "single value" 1.
+    (Metrics.Summary.percentile s 99.)
+
+let test_summary_incremental_after_percentile () =
+  (* The sorted cache must be invalidated by later adds. *)
+  let s = Metrics.Summary.create () in
+  Metrics.Summary.add s 10.;
+  Alcotest.(check (float 0.0)) "first" 10. (Metrics.Summary.percentile s 50.);
+  Metrics.Summary.add s 1.;
+  Alcotest.(check (float 0.0)) "updated" 1. (Metrics.Summary.percentile s 50.)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "registry identity" `Quick test_registry_identity;
+          Alcotest.test_case "names sorted" `Quick test_registry_names_sorted;
+          Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "statistics" `Quick test_summary_stats;
+          Alcotest.test_case "percentile edges" `Quick test_summary_percentile_edges;
+          Alcotest.test_case "cache invalidation" `Quick
+            test_summary_incremental_after_percentile;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* Tests for the Markov MTTDL model and the figure-2/3 system model. *)
+
+module Markov = Reliability.Markov
+module Model = Reliability.Model
+module Params = Reliability.Params
+
+let close ?(rel = 1e-9) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %g, got %g" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= rel *. Float.abs expected)
+
+(* --- Markov chain --- *)
+
+let test_single_unit () =
+  (* One unit, no tolerance: MTTDL = 1/lambda. *)
+  close "1/lambda" 1000. (Markov.mttdl ~units:1 ~tolerated:0 ~lambda:0.001 ~mu:1.)
+
+let test_n_units_no_tolerance () =
+  (* First failure among n kills: MTTDL = 1/(n lambda). *)
+  close "1/(n lambda)" 100.
+    (Markov.mttdl ~units:10 ~tolerated:0 ~lambda:0.001 ~mu:1.)
+
+let test_two_units_one_tolerated_closed_form () =
+  (* Classic mirrored-pair formula: MTTDL = (3 lambda + mu) / (2 lambda^2). *)
+  let lambda = 1e-4 and mu = 0.1 in
+  let expected = ((3. *. lambda) +. mu) /. (2. *. lambda *. lambda) in
+  close "mirrored pair" expected
+    (Markov.mttdl ~units:2 ~tolerated:1 ~lambda ~mu)
+
+let test_three_units_one_tolerated_closed_form () =
+  (* RAID-5 with 3 disks: MTTDL = (5 lambda + mu) / (6 lambda^2). *)
+  let lambda = 1e-4 and mu = 0.1 in
+  let expected = ((5. *. lambda) +. mu) /. (6. *. lambda *. lambda) in
+  close "raid5-of-3" expected (Markov.mttdl ~units:3 ~tolerated:1 ~lambda ~mu)
+
+let test_monotonicity () =
+  let base = Markov.mttdl ~units:8 ~tolerated:2 ~lambda:1e-4 ~mu:0.1 in
+  Alcotest.(check bool) "more failures hurt" true
+    (Markov.mttdl ~units:8 ~tolerated:2 ~lambda:2e-4 ~mu:0.1 < base);
+  Alcotest.(check bool) "faster repair helps" true
+    (Markov.mttdl ~units:8 ~tolerated:2 ~lambda:1e-4 ~mu:0.2 > base);
+  Alcotest.(check bool) "more tolerance helps" true
+    (Markov.mttdl ~units:8 ~tolerated:3 ~lambda:1e-4 ~mu:0.1 > base);
+  Alcotest.(check bool) "more units hurt" true
+    (Markov.mttdl ~units:16 ~tolerated:2 ~lambda:1e-4 ~mu:0.1 < base)
+
+let test_markov_validation () =
+  Alcotest.check_raises "units <= tolerated"
+    (Invalid_argument "Reliability.Markov: units <= tolerated (no loss possible)")
+    (fun () -> ignore (Markov.mttdl ~units:2 ~tolerated:2 ~lambda:1. ~mu:1.));
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Reliability.Markov: rates must be positive") (fun () ->
+      ignore (Markov.mttdl ~units:2 ~tolerated:1 ~lambda:0. ~mu:1.))
+
+let test_availability () =
+  let a = Markov.availability_approx ~units:5 ~tolerated:1 ~lambda:1e-5 ~mu:0.1 in
+  Alcotest.(check bool) "high availability" true (a > 0.999 && a <= 1.);
+  let worse = Markov.availability_approx ~units:5 ~tolerated:1 ~lambda:1e-2 ~mu:0.1 in
+  Alcotest.(check bool) "monotone in lambda" true (worse < a)
+
+(* --- system model --- *)
+
+let p = Params.default
+
+let test_overheads () =
+  close "striping R0" 1.0 (Model.storage_overhead p Model.Striping Model.R0);
+  close "striping R5 = 1.25" 1.25
+    (Model.storage_overhead p Model.Striping Model.Reliable_r5);
+  close "4-way replication R0" 4.0
+    (Model.storage_overhead p (Model.Replication 4) Model.R0);
+  close "4-way replication R5" 5.0
+    (Model.storage_overhead p (Model.Replication 4) Model.R5);
+  close "EC(5,8) R0 = 1.6" 1.6
+    (Model.storage_overhead p (Model.Erasure (5, 8)) Model.R0);
+  close "EC(5,8) R5 = 2.0" 2.0
+    (Model.storage_overhead p (Model.Erasure (5, 8)) Model.R5)
+
+let test_tolerated () =
+  Alcotest.(check int) "striping" 0 (Model.tolerated Model.Striping);
+  Alcotest.(check int) "4-way repl" 3 (Model.tolerated (Model.Replication 4));
+  Alcotest.(check int) "EC(5,8)" 3 (Model.tolerated (Model.Erasure (5, 8)))
+
+let test_brick_rates () =
+  let r0 = Model.brick_terminal_rate p Model.R0 in
+  let r5 = Model.brick_terminal_rate p Model.R5 in
+  let hi = Model.brick_terminal_rate p Model.Reliable_r5 in
+  Alcotest.(check bool) "R5 bricks much more durable than R0" true
+    (r5 < r0 /. 10.);
+  Alcotest.(check bool) "high-end still better" true (hi < r5);
+  Alcotest.(check bool) "all positive" true (r0 > 0. && r5 > 0. && hi > 0.)
+
+let test_bricks_needed () =
+  (* 256 TB logical with EC(5,8) on R0 bricks (3 TB usable): 137. *)
+  Alcotest.(check int) "EC(5,8) 256TB" 137
+    (Model.bricks_needed p (Model.Erasure (5, 8)) Model.R0 ~logical_tb:256.);
+  Alcotest.(check int) "replication needs more" 342
+    (Model.bricks_needed p (Model.Replication 4) Model.R0 ~logical_tb:256.)
+
+let mttdl s k c = Model.mttdl_years p s k ~logical_tb:c
+
+let test_figure2_orderings () =
+  (* The qualitative claims of figure 2, at 100 TB and 1 PB. *)
+  List.iter
+    (fun cap ->
+      let striping = mttdl Model.Striping Model.Reliable_r5 cap in
+      let repl_r0 = mttdl (Model.Replication 4) Model.R0 cap in
+      let repl_r5 = mttdl (Model.Replication 4) Model.R5 cap in
+      let ec_r0 = mttdl (Model.Erasure (5, 8)) Model.R0 cap in
+      let ec_r5 = mttdl (Model.Erasure (5, 8)) Model.R5 cap in
+      Alcotest.(check bool) "striping is worst" true
+        (striping < ec_r0 && striping < repl_r0);
+      Alcotest.(check bool) "R5 bricks beat R0 bricks (repl)" true
+        (repl_r5 > repl_r0);
+      Alcotest.(check bool) "R5 bricks beat R0 bricks (EC)" true
+        (ec_r5 > ec_r0);
+      Alcotest.(check bool) "replication is at least EC-grade" true
+        (repl_r5 >= ec_r5 /. 10.);
+      Alcotest.(check bool) "EC almost as reliable as replication" true
+        (ec_r5 > repl_r5 /. 1e3))
+    [ 100.; 1000. ]
+
+let test_figure2_scaling () =
+  (* MTTDL decreases with capacity for every scheme. *)
+  List.iter
+    (fun (s, k) ->
+      let a = mttdl s k 10. and b = mttdl s k 100. and c = mttdl s k 1000. in
+      Alcotest.(check bool) "declines with capacity" true (a > b && b > c))
+    [
+      (Model.Striping, Model.Reliable_r5);
+      (Model.Replication 4, Model.R0);
+      (Model.Erasure (5, 8), Model.R0);
+      (Model.Erasure (5, 8), Model.R5);
+    ]
+
+let test_figure3_shape () =
+  (* At fixed capacity, more redundancy = more MTTDL, and EC reaches a
+     given MTTDL with less overhead than replication. *)
+  let cap = 256. in
+  let repl =
+    List.map
+      (fun k ->
+        (Model.storage_overhead p (Model.Replication k) Model.R0,
+         mttdl (Model.Replication k) Model.R0 cap))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let ec =
+    List.map
+      (fun n ->
+        (Model.storage_overhead p (Model.Erasure (5, n)) Model.R0,
+         mttdl (Model.Erasure (5, n)) Model.R0 cap))
+      [ 6; 7; 8; 9; 10 ]
+  in
+  let monotone l =
+    let rec go = function
+      | (_, a) :: ((_, b) :: _ as rest) -> a <= b && go rest
+      | _ -> true
+    in
+    go l
+  in
+  Alcotest.(check bool) "replication curve monotone" true (monotone repl);
+  Alcotest.(check bool) "EC curve monotone" true (monotone ec);
+  (* Cost advantage: to reach the MTTDL of 4-way replication, EC needs
+     far less overhead. *)
+  let _, repl4 = List.nth repl 3 in
+  let cheaper =
+    List.exists (fun (ov, m) -> m >= repl4 && ov < 3.) ec
+  in
+  Alcotest.(check bool) "EC reaches replication-grade MTTDL under 3x overhead"
+    true cheaper
+
+let test_model_validation () =
+  Alcotest.check_raises "bad replication"
+    (Invalid_argument "Reliability.Model: replication k < 1") (fun () ->
+      ignore (Model.cross_overhead (Model.Replication 0)));
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Reliability.Model: capacity <= 0") (fun () ->
+      ignore (Model.bricks_needed p Model.Striping Model.R0 ~logical_tb:0.))
+
+let () =
+  Alcotest.run "reliability"
+    [
+      ( "markov",
+        [
+          Alcotest.test_case "single unit" `Quick test_single_unit;
+          Alcotest.test_case "n units no tolerance" `Quick test_n_units_no_tolerance;
+          Alcotest.test_case "mirrored pair closed form" `Quick
+            test_two_units_one_tolerated_closed_form;
+          Alcotest.test_case "raid5-of-3 closed form" `Quick
+            test_three_units_one_tolerated_closed_form;
+          Alcotest.test_case "monotonicity" `Quick test_monotonicity;
+          Alcotest.test_case "validation" `Quick test_markov_validation;
+          Alcotest.test_case "availability" `Quick test_availability;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "storage overheads" `Quick test_overheads;
+          Alcotest.test_case "fault tolerance" `Quick test_tolerated;
+          Alcotest.test_case "brick rates" `Quick test_brick_rates;
+          Alcotest.test_case "bricks needed" `Quick test_bricks_needed;
+          Alcotest.test_case "figure 2 orderings" `Quick test_figure2_orderings;
+          Alcotest.test_case "figure 2 scaling" `Quick test_figure2_scaling;
+          Alcotest.test_case "figure 3 shape" `Quick test_figure3_shape;
+          Alcotest.test_case "validation" `Quick test_model_validation;
+        ] );
+    ]

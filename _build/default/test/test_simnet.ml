@@ -1,0 +1,145 @@
+(* Tests for the simulated network. *)
+
+module E = Dessim.Engine
+module Net = Simnet.Net
+
+let make ?(n = 4) ?(config = Net.default_config) () =
+  let e = E.create () in
+  let metrics = Metrics.Registry.create () in
+  let net = Net.create ~metrics e ~config ~n in
+  (e, metrics, net)
+
+let test_delivery_and_delay () =
+  let e, _, net = make () in
+  let got = ref [] in
+  Net.register net 1 (fun ~src msg -> got := (src, msg, E.now e) :: !got);
+  Net.send net ~src:0 ~dst:1 ~bytes_on_wire:0 "hello";
+  E.run e;
+  match !got with
+  | [ (0, "hello", t) ] -> Alcotest.(check (float 0.0)) "one delta" 1.0 t
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_no_handler_drops () =
+  let e, _, net = make () in
+  Net.send net ~src:0 ~dst:2 ~bytes_on_wire:0 "void";
+  E.run e  (* no exception, nothing delivered *)
+
+let test_counters () =
+  let e, metrics, net = make () in
+  Net.register net 1 (fun ~src:_ _ -> ());
+  Net.send net ~src:0 ~dst:1 ~bytes_on_wire:100 "a";
+  Net.send net ~src:0 ~dst:1 ~bytes_on_wire:28 "b";
+  Net.send ~background:true net ~src:0 ~dst:1 ~bytes_on_wire:7 "bg";
+  E.run e;
+  Alcotest.(check (float 0.0)) "msgs" 2. (Metrics.Registry.value metrics "net.msgs");
+  Alcotest.(check (float 0.0)) "bytes" 128. (Metrics.Registry.value metrics "net.bytes");
+  Alcotest.(check (float 0.0)) "bg msgs" 1. (Metrics.Registry.value metrics "net.msgs.bg");
+  Alcotest.(check (float 0.0)) "bg bytes" 7. (Metrics.Registry.value metrics "net.bytes.bg")
+
+let test_drop_probability () =
+  let config = { Net.default_config with drop = 0.5 } in
+  let e, _, net = make ~config () in
+  let received = ref 0 in
+  Net.register net 1 (fun ~src:_ _ -> incr received);
+  for _ = 1 to 1000 do
+    Net.send net ~src:0 ~dst:1 ~bytes_on_wire:0 ()
+  done;
+  E.run e;
+  Alcotest.(check bool)
+    (Printf.sprintf "fair loss: got %d of 1000" !received)
+    true
+    (!received > 350 && !received < 650)
+
+let test_jitter_reorders () =
+  let config = { Net.default_config with jitter = 5.0 } in
+  let e, _, net = make ~config () in
+  let order = ref [] in
+  Net.register net 1 (fun ~src:_ i -> order := i :: !order);
+  for i = 1 to 50 do
+    Net.send net ~src:0 ~dst:1 ~bytes_on_wire:0 i
+  done;
+  E.run e;
+  let arrived = List.rev !order in
+  Alcotest.(check int) "all arrive" 50 (List.length arrived);
+  Alcotest.(check bool) "reordered" true (arrived <> List.init 50 (fun i -> i + 1))
+
+let test_partition_and_heal () =
+  let e, _, net = make () in
+  let got = ref 0 in
+  Net.register net 2 (fun ~src:_ _ -> incr got);
+  Net.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  Net.send net ~src:0 ~dst:2 ~bytes_on_wire:0 ();  (* across: lost *)
+  Net.send net ~src:3 ~dst:2 ~bytes_on_wire:0 ();  (* within: delivered *)
+  E.run e;
+  Alcotest.(check int) "only intra-group" 1 !got;
+  Net.heal net;
+  Net.send net ~src:0 ~dst:2 ~bytes_on_wire:0 ();
+  E.run e;
+  Alcotest.(check int) "after heal" 2 !got
+
+let test_partition_implicit_group () =
+  let e, _, net = make ~n:5 () in
+  let got = ref 0 in
+  Net.register net 4 (fun ~src:_ _ -> incr got);
+  Net.partition net [ [ 0; 1 ] ];
+  (* 2, 3, 4 form the implicit group. *)
+  Net.send net ~src:3 ~dst:4 ~bytes_on_wire:0 ();
+  Net.send net ~src:0 ~dst:4 ~bytes_on_wire:0 ();
+  E.run e;
+  Alcotest.(check int) "implicit group communicates" 1 !got
+
+let test_partition_overlap_rejected () =
+  let _, _, net = make () in
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Simnet.Net.partition: address in two groups") (fun () ->
+      Net.partition net [ [ 0; 1 ]; [ 1; 2 ] ])
+
+let test_link_down () =
+  let e, _, net = make () in
+  let got = ref 0 in
+  Net.register net 1 (fun ~src:_ _ -> incr got);
+  Net.set_link_down net ~src:0 ~dst:1 true;
+  Net.send net ~src:0 ~dst:1 ~bytes_on_wire:0 ();
+  (* Reverse direction unaffected. *)
+  Net.register net 0 (fun ~src:_ _ -> incr got);
+  Net.send net ~src:1 ~dst:0 ~bytes_on_wire:0 ();
+  E.run e;
+  Alcotest.(check int) "directed" 1 !got;
+  Net.set_link_down net ~src:0 ~dst:1 false;
+  Net.send net ~src:0 ~dst:1 ~bytes_on_wire:0 ();
+  E.run e;
+  Alcotest.(check int) "revived" 2 !got
+
+let test_bad_drop_rejected () =
+  let _, _, net = make () in
+  Alcotest.check_raises "p = 1 breaks fair loss"
+    (Invalid_argument "Simnet.Net.set_drop: need 0 <= p < 1 for fair loss")
+    (fun () -> Net.set_drop net 1.0)
+
+let test_addr_range () =
+  let _, _, net = make () in
+  Alcotest.check_raises "bad addr"
+    (Invalid_argument "Simnet.Net: address out of range") (fun () ->
+      Net.send net ~src:0 ~dst:9 ~bytes_on_wire:0 ())
+
+let () =
+  Alcotest.run "simnet"
+    [
+      ( "delivery",
+        [
+          Alcotest.test_case "delivery and delay" `Quick test_delivery_and_delay;
+          Alcotest.test_case "no handler drops" `Quick test_no_handler_drops;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "drop probability" `Quick test_drop_probability;
+          Alcotest.test_case "jitter reorders" `Quick test_jitter_reorders;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "partition and heal" `Quick test_partition_and_heal;
+          Alcotest.test_case "implicit group" `Quick test_partition_implicit_group;
+          Alcotest.test_case "overlap rejected" `Quick test_partition_overlap_rejected;
+          Alcotest.test_case "directed link down" `Quick test_link_down;
+          Alcotest.test_case "drop = 1 rejected" `Quick test_bad_drop_rejected;
+          Alcotest.test_case "address range" `Quick test_addr_range;
+        ] );
+    ]

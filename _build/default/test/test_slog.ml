@@ -1,0 +1,214 @@
+(* Tests for the persistent version log (paper section 4.2, 5.1). *)
+
+module Ts = Core.Timestamp
+module Slog = Core.Slog
+
+let bs = 16
+let ts t = Ts.make ~time:t ~pid:0
+let blk c = Bytes.make bs c
+
+let test_initial_state () =
+  let l = Slog.create ~block_size:bs in
+  Alcotest.(check int) "one entry" 1 (Slog.size l);
+  Alcotest.(check bool) "max_ts is Low" true (Ts.equal (Slog.max_ts l) Ts.low);
+  let mts, mb = Slog.max_block l in
+  Alcotest.(check bool) "nil at Low" true (Ts.equal mts Ts.low);
+  Alcotest.(check bool) "nil is zeroes" true
+    (Bytes.for_all (fun c -> c = '\000') mb);
+  Alcotest.(check int) "block size" bs (Slog.block_size l)
+
+let test_add_and_queries () =
+  let l = Slog.create ~block_size:bs in
+  Slog.add l (ts 5) (Some (blk 'a'));
+  Slog.add l (ts 9) (Some (blk 'b'));
+  Slog.add l (ts 7) None;
+  Alcotest.(check int) "4 entries" 4 (Slog.size l);
+  Alcotest.(check bool) "max_ts = 9" true (Ts.equal (Slog.max_ts l) (ts 9));
+  let mts, mb = Slog.max_block l in
+  Alcotest.(check bool) "max_block at 9" true (Ts.equal mts (ts 9));
+  Alcotest.(check bool) "content b" true (Bytes.equal mb (blk 'b'));
+  Alcotest.(check bool) "mem 7" true (Slog.mem l (ts 7));
+  Alcotest.(check bool) "not mem 8" false (Slog.mem l (ts 8));
+  (match Slog.find l (ts 7) with
+  | Some None -> ()
+  | _ -> Alcotest.fail "find marker");
+  match Slog.find l (ts 5) with
+  | Some (Some b) -> Alcotest.(check bool) "find block" true (Bytes.equal b (blk 'a'))
+  | _ -> Alcotest.fail "find 5"
+
+let test_marker_as_newest () =
+  (* A bot marker newer than every real block: max_ts counts it,
+     max_block skips it. *)
+  let l = Slog.create ~block_size:bs in
+  Slog.add l (ts 5) (Some (blk 'a'));
+  Slog.add l (ts 8) None;
+  Alcotest.(check bool) "max_ts sees marker" true (Ts.equal (Slog.max_ts l) (ts 8));
+  let mts, mb = Slog.max_block l in
+  Alcotest.(check bool) "max_block at 5" true (Ts.equal mts (ts 5));
+  Alcotest.(check bool) "content a" true (Bytes.equal mb (blk 'a'))
+
+let test_max_below_plain () =
+  let l = Slog.create ~block_size:bs in
+  Slog.add l (ts 5) (Some (blk 'a'));
+  Slog.add l (ts 9) (Some (blk 'b'));
+  (match Slog.max_below l Ts.high with
+  | Some (lts, Some b) ->
+      Alcotest.(check bool) "newest below High" true (Ts.equal lts (ts 9));
+      Alcotest.(check bool) "content" true (Bytes.equal b (blk 'b'))
+  | _ -> Alcotest.fail "below high");
+  (match Slog.max_below l (ts 9) with
+  | Some (lts, Some b) ->
+      Alcotest.(check bool) "strictly below" true (Ts.equal lts (ts 5));
+      Alcotest.(check bool) "content a" true (Bytes.equal b (blk 'a'))
+  | _ -> Alcotest.fail "below 9");
+  match Slog.max_below l Ts.low with
+  | None -> ()
+  | Some _ -> Alcotest.fail "nothing below Low"
+
+let test_max_below_marker_semantics () =
+  (* The version a marker names is the marker's timestamp with the
+     newest real content below it (see slog.mli and DESIGN.md). *)
+  let l = Slog.create ~block_size:bs in
+  Slog.add l (ts 5) (Some (blk 'a'));
+  Slog.add l (ts 8) None;
+  (match Slog.max_below l Ts.high with
+  | Some (lts, Some b) ->
+      Alcotest.(check bool) "marker ts reported" true (Ts.equal lts (ts 8));
+      Alcotest.(check bool) "older real content" true (Bytes.equal b (blk 'a'))
+  | _ -> Alcotest.fail "marker-aware reply");
+  (* Below the marker: the real entry itself. *)
+  match Slog.max_below l (ts 8) with
+  | Some (lts, Some b) ->
+      Alcotest.(check bool) "real entry" true (Ts.equal lts (ts 5));
+      Alcotest.(check bool) "content" true (Bytes.equal b (blk 'a'))
+  | _ -> Alcotest.fail "below marker"
+
+let test_add_idempotent () =
+  let l = Slog.create ~block_size:bs in
+  Slog.add l (ts 5) (Some (blk 'a'));
+  Slog.add l (ts 5) (Some (blk 'z'));  (* ignored: set semantics *)
+  Alcotest.(check int) "no duplicate" 2 (Slog.size l);
+  match Slog.find l (ts 5) with
+  | Some (Some b) -> Alcotest.(check bool) "first write wins" true (Bytes.equal b (blk 'a'))
+  | _ -> Alcotest.fail "entry"
+
+let test_add_validation () =
+  let l = Slog.create ~block_size:bs in
+  Alcotest.check_raises "sentinel"
+    (Invalid_argument "Core.Slog.add: sentinel timestamp") (fun () ->
+      Slog.add l Ts.low (Some (blk 'a')));
+  Alcotest.check_raises "wrong size"
+    (Invalid_argument "Core.Slog.add: wrong block size") (fun () ->
+      Slog.add l (ts 1) (Some (Bytes.create 3)));
+  Alcotest.check_raises "create size"
+    (Invalid_argument "Core.Slog.create: block_size <= 0") (fun () ->
+      ignore (Slog.create ~block_size:0))
+
+let test_gc_drops_old () =
+  let l = Slog.create ~block_size:bs in
+  for i = 1 to 10 do
+    Slog.add l (ts i) (Some (blk (Char.chr (96 + i))))
+  done;
+  let removed = Slog.gc l ~before:(ts 8) in
+  (* entries 1..7 and the initial Low entry go; 8, 9, 10 stay *)
+  Alcotest.(check int) "removed" 8 removed;
+  Alcotest.(check int) "kept" 3 (Slog.size l);
+  Alcotest.(check bool) "max_ts intact" true (Ts.equal (Slog.max_ts l) (ts 10));
+  Alcotest.(check bool) "8 kept" true (Slog.mem l (ts 8));
+  Alcotest.(check bool) "7 gone" false (Slog.mem l (ts 7))
+
+let test_gc_preserves_newest_even_if_old () =
+  (* gc with a threshold above everything must keep the newest entry
+     and the newest real block so max_ts / max_block stay defined. *)
+  let l = Slog.create ~block_size:bs in
+  Slog.add l (ts 3) (Some (blk 'a'));
+  Slog.add l (ts 6) None;  (* newest entry is a marker *)
+  let removed = Slog.gc l ~before:(ts 100) in
+  Alcotest.(check int) "only Low dropped" 1 removed;
+  Alcotest.(check bool) "marker kept" true (Slog.mem l (ts 6));
+  Alcotest.(check bool) "real block kept" true (Slog.mem l (ts 3));
+  let _, mb = Slog.max_block l in
+  Alcotest.(check bool) "max_block defined" true (Bytes.equal mb (blk 'a'))
+
+let test_gc_idempotent () =
+  let l = Slog.create ~block_size:bs in
+  Slog.add l (ts 1) (Some (blk 'a'));
+  Slog.add l (ts 2) (Some (blk 'b'));
+  ignore (Slog.gc l ~before:(ts 2));
+  let again = Slog.gc l ~before:(ts 2) in
+  Alcotest.(check int) "second gc removes nothing" 0 again
+
+let test_entries_newest_first () =
+  let l = Slog.create ~block_size:bs in
+  Slog.add l (ts 2) (Some (blk 'a'));
+  Slog.add l (ts 5) None;
+  match Slog.entries l with
+  | (t1, None) :: (t2, Some _) :: (t3, Some _) :: [] ->
+      Alcotest.(check bool) "5 first" true (Ts.equal t1 (ts 5));
+      Alcotest.(check bool) "then 2" true (Ts.equal t2 (ts 2));
+      Alcotest.(check bool) "then Low" true (Ts.equal t3 Ts.low)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let qtest name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:200 ~name gen f)
+
+(* Random logs: lists of (time, has-block). *)
+let log_gen =
+  QCheck.list_of_size (QCheck.Gen.int_range 0 20)
+    (QCheck.pair (QCheck.int_range 1 30) QCheck.bool)
+
+let build entries =
+  let l = Slog.create ~block_size:bs in
+  List.iter
+    (fun (t, real) ->
+      Slog.add l (ts t) (if real then Some (blk 'x') else None))
+    entries;
+  l
+
+let slog_props =
+  [
+    qtest "max_ts is the maximum" log_gen (fun entries ->
+        let l = build entries in
+        let expect =
+          List.fold_left (fun acc (t, _) -> Ts.max acc (ts t)) Ts.low entries
+        in
+        Ts.equal (Slog.max_ts l) expect);
+    qtest "gc never changes max_ts or max_block" log_gen (fun entries ->
+        let l = build entries in
+        let mts = Slog.max_ts l and mb = Slog.max_block l in
+        ignore (Slog.gc l ~before:(ts 15));
+        Ts.equal (Slog.max_ts l) mts
+        && Ts.equal (fst (Slog.max_block l)) (fst mb)
+        && Bytes.equal (snd (Slog.max_block l)) (snd mb));
+    qtest "max_below bound respected" (QCheck.pair log_gen (QCheck.int_range 1 30))
+      (fun (entries, bound) ->
+        let l = build entries in
+        match Slog.max_below l (ts bound) with
+        | None -> true
+        | Some (lts, _) -> Ts.( < ) lts (ts bound));
+  ]
+
+let () =
+  Alcotest.run "slog"
+    [
+      ( "queries",
+        [
+          Alcotest.test_case "initial state" `Quick test_initial_state;
+          Alcotest.test_case "add and queries" `Quick test_add_and_queries;
+          Alcotest.test_case "marker as newest" `Quick test_marker_as_newest;
+          Alcotest.test_case "max_below plain" `Quick test_max_below_plain;
+          Alcotest.test_case "max_below marker semantics" `Quick
+            test_max_below_marker_semantics;
+          Alcotest.test_case "add idempotent" `Quick test_add_idempotent;
+          Alcotest.test_case "validation" `Quick test_add_validation;
+          Alcotest.test_case "entries newest first" `Quick test_entries_newest_first;
+        ] );
+      ( "gc",
+        [
+          Alcotest.test_case "drops old entries" `Quick test_gc_drops_old;
+          Alcotest.test_case "preserves newest" `Quick
+            test_gc_preserves_newest_even_if_old;
+          Alcotest.test_case "idempotent" `Quick test_gc_idempotent;
+        ] );
+      ("properties", slog_props);
+    ]

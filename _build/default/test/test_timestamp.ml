@@ -1,0 +1,165 @@
+(* Tests for timestamps and clocks (paper section 2.3). *)
+
+module Ts = Core.Timestamp
+module Clock = Core.Clock
+
+let ts time pid = Ts.make ~time ~pid
+
+let test_total_order () =
+  Alcotest.(check bool) "low < ts" true Ts.(low < ts 0 0);
+  Alcotest.(check bool) "ts < high" true Ts.(ts 1_000_000 99 < high);
+  Alcotest.(check bool) "low < high" true Ts.(low < high);
+  Alcotest.(check bool) "time dominates" true Ts.(ts 1 9 < ts 2 0);
+  Alcotest.(check bool) "pid breaks ties" true Ts.(ts 5 1 < ts 5 2);
+  Alcotest.(check bool) "equal" true (Ts.equal (ts 3 3) (ts 3 3));
+  Alcotest.(check int) "compare reflexive" 0 (Ts.compare Ts.low Ts.low);
+  Alcotest.(check int) "compare high high" 0 (Ts.compare Ts.high Ts.high)
+
+let test_max () =
+  Alcotest.(check bool) "max picks larger" true
+    (Ts.equal (Ts.max (ts 1 1) (ts 2 0)) (ts 2 0));
+  Alcotest.(check bool) "max with low" true
+    (Ts.equal (Ts.max Ts.low (ts 0 0)) (ts 0 0))
+
+let test_make_validation () =
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Core.Timestamp.make: negative time") (fun () ->
+      ignore (Ts.make ~time:(-1) ~pid:0));
+  Alcotest.check_raises "negative pid"
+    (Invalid_argument "Core.Timestamp.make: negative pid") (fun () ->
+      ignore (Ts.make ~time:0 ~pid:(-1)))
+
+let test_to_string () =
+  Alcotest.(check string) "low" "LowTS" (Ts.to_string Ts.low);
+  Alcotest.(check string) "high" "HighTS" (Ts.to_string Ts.high);
+  Alcotest.(check string) "pair" "7.2" (Ts.to_string (ts 7 2))
+
+let qtest name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:300 ~name gen f)
+
+let arbitrary_ts =
+  QCheck.map
+    (fun (t, p) -> ts t p)
+    (QCheck.pair (QCheck.int_range 0 1000) (QCheck.int_range 0 20))
+
+let order_props =
+  [
+    qtest "antisymmetry" (QCheck.pair arbitrary_ts arbitrary_ts) (fun (a, b) ->
+        not (Ts.( < ) a b && Ts.( < ) b a));
+    qtest "totality" (QCheck.pair arbitrary_ts arbitrary_ts) (fun (a, b) ->
+        Ts.( < ) a b || Ts.( > ) a b || Ts.equal a b);
+    qtest "transitivity" (QCheck.triple arbitrary_ts arbitrary_ts arbitrary_ts)
+      (fun (a, b, c) ->
+        (not (Ts.( <= ) a b && Ts.( <= ) b c)) || Ts.( <= ) a c);
+    qtest "sentinels bound everything" arbitrary_ts (fun a ->
+        Ts.( < ) Ts.low a && Ts.( < ) a Ts.high);
+  ]
+
+(* --- clocks --- *)
+
+let test_logical_monotonic_unique () =
+  let c1 = Clock.logical ~pid:1 in
+  let c2 = Clock.logical ~pid:2 in
+  let all = ref [] in
+  for _ = 1 to 100 do
+    all := Clock.new_ts c1 :: Clock.new_ts c2 :: !all
+  done;
+  (* UNIQUENESS across both clocks. *)
+  let sorted = List.sort_uniq Ts.compare !all in
+  Alcotest.(check int) "unique" 200 (List.length sorted);
+  (* MONOTONICITY per clock. *)
+  let check_monotonic c =
+    let prev = ref (Clock.new_ts c) in
+    for _ = 1 to 50 do
+      let next = Clock.new_ts c in
+      Alcotest.(check bool) "monotone" true (Ts.( < ) !prev next);
+      prev := next
+    done
+  in
+  check_monotonic c1;
+  check_monotonic c2
+
+let test_logical_observe () =
+  let c = Clock.logical ~pid:0 in
+  Clock.observe c (ts 500 7);
+  Alcotest.(check bool) "jumps past observed" true
+    (Ts.( > ) (Clock.new_ts c) (ts 500 7));
+  (* Observing something old never goes backwards. *)
+  Clock.observe c (ts 3 0);
+  Alcotest.(check bool) "still above 500" true (Ts.( > ) (Clock.new_ts c) (ts 500 9))
+
+let test_logical_progress () =
+  (* PROGRESS: a lagging clock invoked repeatedly eventually exceeds
+     any fixed timestamp. *)
+  let fast = Clock.logical ~pid:1 in
+  for _ = 1 to 1000 do
+    ignore (Clock.new_ts fast)
+  done;
+  let target = Clock.new_ts fast in
+  let slow = Clock.logical ~pid:0 in
+  let exceeded = ref false in
+  for _ = 1 to 2000 do
+    if Ts.( > ) (Clock.new_ts slow) target then exceeded := true
+  done;
+  Alcotest.(check bool) "progress" true !exceeded
+
+let test_realtime_follows_sim_clock () =
+  let e = Dessim.Engine.create () in
+  let c = Clock.realtime e ~pid:0 ~skew:0. ~resolution:1. in
+  let t1 = Clock.new_ts c in
+  ignore (Dessim.Engine.schedule e ~delay:100. ignore);
+  Dessim.Engine.run e;
+  let t2 = Clock.new_ts c in
+  (match (t1, t2) with
+  | Ts.Ts a, Ts.Ts b ->
+      Alcotest.(check bool) "tracks time" true (b.time - a.time >= 99)
+  | _ -> Alcotest.fail "expected concrete timestamps");
+  (* Monotonic even when the wall clock is stuck. *)
+  let t3 = Clock.new_ts c in
+  Alcotest.(check bool) "bumped" true (Ts.( < ) t2 t3)
+
+let test_realtime_skew () =
+  let e = Dessim.Engine.create () in
+  ignore (Dessim.Engine.schedule e ~delay:1000. ignore);
+  Dessim.Engine.run e;
+  let behind = Clock.realtime e ~pid:0 ~skew:(-500.) ~resolution:1. in
+  let ahead = Clock.realtime e ~pid:1 ~skew:500. ~resolution:1. in
+  (match (Clock.new_ts behind, Clock.new_ts ahead) with
+  | Ts.Ts b, Ts.Ts a ->
+      Alcotest.(check bool) "skew separates clocks" true (a.time - b.time >= 900)
+  | _ -> Alcotest.fail "expected concrete timestamps");
+  (* observe is a no-op on realtime clocks *)
+  Clock.observe behind (ts 1_000_000 5);
+  match Clock.new_ts behind with
+  | Ts.Ts b -> Alcotest.(check bool) "no jump" true (b.time < 10_000)
+  | _ -> Alcotest.fail "expected concrete timestamp"
+
+let test_realtime_validation () =
+  let e = Dessim.Engine.create () in
+  Alcotest.check_raises "resolution"
+    (Invalid_argument "Core.Clock.realtime: resolution <= 0") (fun () ->
+      ignore (Clock.realtime e ~pid:0 ~skew:0. ~resolution:0.))
+
+let () =
+  Alcotest.run "timestamp"
+    [
+      ( "order",
+        [
+          Alcotest.test_case "total order" `Quick test_total_order;
+          Alcotest.test_case "max" `Quick test_max;
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ]
+        @ order_props );
+      ( "clocks",
+        [
+          Alcotest.test_case "logical monotonic+unique" `Quick
+            test_logical_monotonic_unique;
+          Alcotest.test_case "logical observe" `Quick test_logical_observe;
+          Alcotest.test_case "logical progress" `Quick test_logical_progress;
+          Alcotest.test_case "realtime follows sim clock" `Quick
+            test_realtime_follows_sim_clock;
+          Alcotest.test_case "realtime skew" `Quick test_realtime_skew;
+          Alcotest.test_case "realtime validation" `Quick test_realtime_validation;
+        ] );
+    ]
