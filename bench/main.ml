@@ -2,9 +2,11 @@
    (see DESIGN.md section 3 for the experiment index) plus the ablation
    studies and compute microbenchmarks.
 
-   Usage:  dune exec bench/main.exe [-- section ...]
+   Usage:  dune exec bench/main.exe [-- section ... [--json] [--smoke]]
    where section is any of: t1 f2 f3 f5 a1 x1 x2 x3 x4 micro.
-   With no argument every section runs. *)
+   With no section every section runs. --json makes the micro section
+   write BENCH_micro.json next to the textual report; --smoke shrinks
+   the micro measurement quota so the bench-smoke alias stays fast. *)
 
 let sections =
   [
@@ -23,10 +25,24 @@ let sections =
   ]
 
 let () =
+  let args =
+    match Array.to_list Sys.argv with _ :: args -> args | [] -> []
+  in
+  let args =
+    List.filter
+      (fun a ->
+        match a with
+        | "--json" ->
+            Micro.json_out := Some "BENCH_micro.json";
+            false
+        | "--smoke" ->
+            Micro.smoke := true;
+            false
+        | _ -> true)
+      args
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst sections
+    match args with [] -> List.map fst sections | _ :: _ -> args
   in
   Printf.printf
     "FAB reproduction: experiment harness for \"A Decentralized Algorithm\n\

@@ -1,16 +1,76 @@
 (* Microbenchmarks (Bechamel): raw throughput of the erasure-coding
    primitives this implementation hand-rolls — the compute cost a FAB
-   brick pays per block on the wire-side of the protocol. *)
+   brick pays per block on the wire-side of the protocol.
+
+   Three groups:
+   - "erasure": the codec-level primitives (encode/decode/modify);
+   - "kernel": the GF(2^8) slice kernels against the reference
+     implementations they replaced (64-bit-wide XOR vs byte-at-a-time,
+     coefficient product table vs branchy log/exp lookups);
+   - "plan": decode with a warm decode-plan cache vs re-running
+     Gaussian elimination on every call.
+
+   [json_out] (set by bench/main.ml's --json flag) additionally writes
+   every row to BENCH_micro.json so the perf trajectory is
+   machine-tracked; [smoke] (--smoke) shrinks the measurement quota so
+   a CI alias can exercise the harness in well under a second. *)
 
 open Bechamel
 open Toolkit
+
+let json_out : string option ref = ref None
+let smoke : bool ref = ref false
 
 let block_size = 4096
 
 let stripe m =
   Array.init m (fun i -> Bytes.make block_size (Char.chr (33 + i)))
 
-let make_tests () =
+(* ------------------------------------------------------------------ *)
+(* Reference kernels (the pre-optimization implementations), kept here
+   so every future run can compare the fast paths against them.        *)
+(* ------------------------------------------------------------------ *)
+
+let ref_exp = Array.init 510 (fun i -> Gf256.Field.exp_table i)
+let ref_log = Array.init 256 (fun a -> if a = 0 then 0 else Gf256.Field.log_table a)
+
+(* Byte-at-a-time XOR accumulate (the old c = 1 path). *)
+let scalar_xor_slice ~dst ~src =
+  for i = 0 to Bytes.length src - 1 do
+    Bytes.unsafe_set dst i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst i)
+         lxor Char.code (Bytes.unsafe_get src i)))
+  done
+
+(* Zero-test plus two table lookups per byte (the old general path). *)
+let logexp_mul_slice ~dst ~src c =
+  let lc = ref_log.(c) in
+  for i = 0 to Bytes.length src - 1 do
+    let s = Char.code (Bytes.unsafe_get src i) in
+    if s <> 0 then
+      Bytes.unsafe_set dst i
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get dst i) lxor ref_exp.(lc + ref_log.(s))))
+  done
+
+let kernel_tests () =
+  let src = Bytes.init block_size (fun i -> Char.chr ((i * 7 + 3) land 0xff)) in
+  let dst = Bytes.make block_size '\001' in
+  let c = 0xb7 in
+  let table = Gf256.Field.mul_table c in
+  [
+    Test.make ~name:"xor wide64"
+      (Staged.stage (fun () -> Gf256.Field.mul_slice ~dst ~src 1));
+    Test.make ~name:"xor scalar"
+      (Staged.stage (fun () -> scalar_xor_slice ~dst ~src));
+    Test.make ~name:"mul table"
+      (Staged.stage (fun () -> Gf256.Field.mul_table_slice ~dst ~src table));
+    Test.make ~name:"mul log/exp"
+      (Staged.stage (fun () -> logexp_mul_slice ~dst ~src c));
+  ]
+
+let erasure_tests () =
   let mk_codec name codec m =
     let data = stripe m in
     let enc = Erasure.Codec.encode codec data in
@@ -31,30 +91,92 @@ let make_tests () =
                   ~old_data:data.(0) ~new_data:new_block ~old_parity:enc.(m))));
     ]
   in
-  Test.make_grouped ~name:"erasure" ~fmt:"%s %s"
-    (mk_codec "rs(5,8)" (Erasure.Codec.rs ~m:5 ~n:8) 5
-    @ mk_codec "rs(10,14)" (Erasure.Codec.rs ~m:10 ~n:14) 10
-    @ mk_codec "parity(4,5)" (Erasure.Codec.parity ~m:4) 4)
+  mk_codec "rs(5,8)" (Erasure.Codec.rs ~m:5 ~n:8) 5
+  @ mk_codec "rs(10,14)" (Erasure.Codec.rs ~m:10 ~n:14) 10
+  @ mk_codec "parity(4,5)" (Erasure.Codec.parity ~m:4) 4
 
-let run () =
-  Util.section "MICRO | erasure-coding primitive throughput (4 KiB blocks)";
+(* Small blocks so plan construction (Gaussian elimination, O(m^3))
+   dominates over slice work: this isolates what the decode-plan cache
+   saves on every degraded read over an already-seen surviving set. *)
+let plan_block_size = 64
+
+let plan_tests () =
+  let m = 10 and n = 14 in
+  let codec = Erasure.Codec.rs ~m ~n in
+  let data =
+    Array.init m (fun i -> Bytes.make plan_block_size (Char.chr (33 + i)))
+  in
+  let enc = Erasure.Codec.encode codec data in
+  let decode_input = List.init m (fun i -> (n - m + i, enc.(n - m + i))) in
+  let into = Array.init m (fun _ -> Bytes.create plan_block_size) in
+  [
+    Test.make ~name:"rs(10,14) decode cached plan"
+      (Staged.stage (fun () ->
+           Erasure.Codec.decode_into codec decode_input ~into));
+    Test.make ~name:"rs(10,14) decode uncached plan"
+      (Staged.stage (fun () ->
+           Erasure.Codec.reset_plan_cache codec;
+           Erasure.Codec.decode_into codec decode_input ~into));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let measure_group (group, tests, bytes_per_op) =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+  let quota = if !smoke then Time.second 0.005 else Time.second 0.25 in
+  let limit = if !smoke then 50 else 1000 in
+  let cfg = Benchmark.cfg ~limit ~quota ~kde:(Some 10) () in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:group ~fmt:"%s %s" tests)
   in
-  let raw = Benchmark.all cfg instances (make_tests ()) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] when ns > 0. ->
+          let mbps = float_of_int bytes_per_op /. ns *. 1e9 /. 1e6 in
+          (name, Some (ns, mbps)) :: acc
+      | _ -> (name, None) :: acc)
+    results []
+
+let write_json path rows =
+  let oc = open_out path in
+  output_string oc "[\n";
+  let total = List.length rows in
+  List.iteri
+    (fun i (name, est) ->
+      let ns, mbps = match est with Some (ns, mb) -> (ns, mb) | None -> (0., 0.) in
+      Printf.fprintf oc
+        "  {\"name\": %S, \"ns_per_op\": %.1f, \"mb_per_s\": %.1f}%s\n" name ns
+        mbps
+        (if i = total - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "  wrote %d rows to %s\n" total path
+
+let run () =
+  Util.section "MICRO | erasure-coding primitive throughput (4 KiB blocks)";
+  let rows =
+    List.concat_map measure_group
+      [
+        ("erasure", erasure_tests (), block_size);
+        ("kernel", kernel_tests (), block_size);
+        ("plan", plan_tests (), plan_block_size);
+      ]
+  in
   let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
   Printf.printf "  %-38s %16s %16s\n" "primitive" "ns/op" "MB/s (per block)";
   List.iter
-    (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some [ ns ] when ns > 0. ->
-          let mbps = float_of_int block_size /. ns *. 1e9 /. 1e6 in
+    (fun (name, est) ->
+      match est with
+      | Some (ns, mbps) ->
           Printf.printf "  %-38s %16.1f %16.1f\n" name ns mbps
-      | _ -> Printf.printf "  %-38s %16s %16s\n" name "(n/a)" "(n/a)")
-    rows
+      | None -> Printf.printf "  %-38s %16s %16s\n" name "(n/a)" "(n/a)")
+    rows;
+  match !json_out with None -> () | Some path -> write_json path rows

@@ -7,6 +7,7 @@ type t = {
   mutable crash_count : int;
   mutable next_hook : int;
   crash_hooks : (int, unit -> unit) Hashtbl.t;
+  scratch : (int, Bytes.t Stack.t) Hashtbl.t;
   disk_reads : Metrics.Counter.t;
   disk_writes : Metrics.Counter.t;
   nvram_writes : Metrics.Counter.t;
@@ -20,6 +21,7 @@ let create ?(metrics = Metrics.Registry.create ()) engine ~id =
     crash_count = 0;
     next_hook = 0;
     crash_hooks = Hashtbl.create 8;
+    scratch = Hashtbl.create 4;
     disk_reads = Metrics.Registry.counter metrics "disk.reads";
     disk_writes = Metrics.Registry.counter metrics "disk.writes";
     nvram_writes = Metrics.Registry.counter metrics "nvram.writes";
@@ -48,6 +50,30 @@ let add_crash_hook t f =
   h
 
 let remove_crash_hook t h = Hashtbl.remove t.crash_hooks h
+
+(* Scratch pool: transient per-brick buffers for codec computation.
+   Contents of a borrowed buffer are undefined; buffers must never be
+   handed to messages or logs, which retain references past the op. *)
+
+let max_pooled_per_len = 16
+
+let scratch_take t ~len =
+  if len <= 0 then invalid_arg "Brick.scratch_take: len <= 0";
+  match Hashtbl.find_opt t.scratch len with
+  | Some s when not (Stack.is_empty s) -> Stack.pop s
+  | _ -> Bytes.create len
+
+let scratch_release t b =
+  let len = Bytes.length b in
+  let s =
+    match Hashtbl.find_opt t.scratch len with
+    | Some s -> s
+    | None ->
+        let s = Stack.create () in
+        Hashtbl.add t.scratch len s;
+        s
+  in
+  if Stack.length s < max_pooled_per_len then Stack.push b s
 
 let count_disk_read ?(blocks = 1) t =
   Metrics.Counter.incr ~by:(float_of_int blocks) t.disk_reads

@@ -47,6 +47,18 @@ val add_crash_hook : t -> (unit -> unit) -> hook
 
 val remove_crash_hook : t -> hook -> unit
 
+val scratch_take : t -> len:int -> Bytes.t
+(** Borrow a [len]-byte scratch buffer from the brick's pool (allocating
+    if the pool is empty). Contents are undefined. Scratch buffers are
+    for transient codec computation only: anything handed to a message
+    or a log retains its reference past the operation and must NOT come
+    from here. Return the buffer with {!scratch_release}. *)
+
+val scratch_release : t -> Bytes.t -> unit
+(** Return a buffer obtained from {!scratch_take} to the pool. The pool
+    keeps a bounded number of buffers per length; extras are dropped for
+    the GC. *)
+
 val count_disk_read : ?blocks:int -> t -> unit
 (** Account reading [blocks] (default 1) block-sized records from the
     on-disk log. *)

@@ -125,9 +125,19 @@ let all_status_true replies =
     replies
 
 (* store-stripe (lines 34-37): each member receives only its own
-   encoded block. *)
+   encoded block. Data blocks are shipped by reference (the same
+   convention the fast write path uses for the caller's block): callers
+   hand ownership of [data] to the store. Parity blocks are freshly
+   allocated per operation because replica logs retain what they are
+   sent; only the m data-block copies of the old encode are saved. *)
 let store_stripe t ~stripe data ts =
-  let enc = Erasure.Codec.encode (Config.codec t.cfg ~stripe) data in
+  let codec = Config.codec t.cfg ~stripe in
+  let cm = Erasure.Codec.m codec and cn = Erasure.Codec.n codec in
+  let len = Bytes.length data.(0) in
+  let enc =
+    Array.init cn (fun i -> if i < cm then data.(i) else Bytes.create len)
+  in
+  Erasure.Codec.encode_into codec data ~into:enc;
   let replies =
     quorum_call t ~stripe (fun dst ->
         Message.Write { stripe; block = enc.(pos_of t ~stripe dst); ts })
@@ -279,15 +289,20 @@ let fast_write_block t ~stripe j b ts =
     match List.assoc_opt addr_j replies with
     | Some (Message.Order_read_r { lts = tsj; block = Some bj; _ }) ->
         let make_req =
-          if t.cfg.Config.optimized_modify then (fun dst ->
-            let pos = pos_of t ~stripe dst in
-            let payload =
-              if pos = j then Some b
-              else if pos >= Config.m t.cfg ~stripe then
-                Some (Erasure.Codec.delta ~old_data:bj ~new_data:b)
-              else None
-            in
-            Message.Modify_delta { stripe; j; payload; tsj; ts })
+          if t.cfg.Config.optimized_modify then begin
+            (* One delta per operation, shared by every parity member's
+               message (and by retries): replicas fold it without
+               mutating it, so the buffer can be shipped n - m times. *)
+            let d = Erasure.Codec.delta ~old_data:bj ~new_data:b in
+            fun dst ->
+              let pos = pos_of t ~stripe dst in
+              let payload =
+                if pos = j then Some b
+                else if pos >= Config.m t.cfg ~stripe then Some d
+                else None
+              in
+              Message.Modify_delta { stripe; j; payload; tsj; ts }
+          end
           else fun _ -> Message.Modify { stripe; j; bj; b; tsj; ts }
         in
         let replies = quorum_call t ~stripe make_req in
@@ -494,37 +509,46 @@ let scrub t ~stripe =
          fewest collected blocks; the disagreeing blocks are the
          corrupted ones. Sound for up to (n - m) / 2 corruptions (the
          Reed-Solomon error-correction bound): the clean codeword then
-         has strictly fewer mismatches than any other. *)
+         has strictly fewer mismatches than any other. Candidate
+         decode/encode runs entirely on brick scratch buffers, reused
+         across all C(k, m) subsets; only the winning codeword is
+         decoded into fresh blocks for the write-back. *)
       let arr = Array.of_list current in
+      let len = Bytes.length (snd (List.hd current)) in
+      let cn = Erasure.Codec.n codec in
+      let data_scratch =
+        Array.init m (fun _ -> Brick.scratch_take t.brick ~len)
+      in
+      let enc_scratch =
+        Array.init cn (fun i ->
+            if i < m then data_scratch.(i)
+            else Brick.scratch_take t.brick ~len)
+      in
       let best = ref None in
       List.iter
         (fun subset ->
           let blocks = List.map (fun i -> arr.(i)) subset in
-          let data = Erasure.Codec.decode codec blocks in
-          let enc = Erasure.Codec.encode codec data in
+          Erasure.Codec.decode_into codec blocks ~into:data_scratch;
+          Erasure.Codec.encode_into codec data_scratch ~into:enc_scratch;
           let mismatches =
             List.filter_map
               (fun (pos, b) ->
-                if Bytes.equal b enc.(pos) then None else Some pos)
+                if Bytes.equal b enc_scratch.(pos) then None else Some pos)
               current
           in
           match !best with
           | Some (_, prev) when List.length prev <= List.length mismatches -> ()
-          | _ -> best := Some (data, mismatches))
+          | _ -> best := Some (blocks, mismatches))
         (subsets m 0 (Array.length arr));
+      Array.iter (Brick.scratch_release t.brick) enc_scratch;
       match !best with
       | None -> Error `Aborted
-      | Some (_, []) ->
-          (* Clean: release the ordering we took by completing with the
-             current data so future operations see a consistent
-             ord-ts/log pair. A cheap no-op write-back. *)
-          let data =
-            Erasure.Codec.decode codec
-              (List.filteri (fun i _ -> i < m) current)
-          in
-          Result.map (fun () -> []) (store_stripe t ~stripe data ts)
-      | Some (data, corrupted) ->
-          (* Rewrite the whole stripe from the consistent codeword. *)
+      | Some (blocks, corrupted) ->
+          (* Rewrite the whole stripe from the consistent codeword (a
+             cheap no-op write-back when nothing was corrupted: it
+             releases the ordering we took so future operations see a
+             consistent ord-ts/log pair). *)
+          let data = Erasure.Codec.decode codec blocks in
           Result.map
             (fun () -> List.sort compare corrupted)
             (store_stripe t ~stripe data ts)

@@ -108,18 +108,22 @@ let handle_write t stripe block ts =
 
 (* Compute this replica's new log entry for a block-level write of
    data position [j]: the new block at p_j, a re-encoded parity block
-   at parity processes, a timestamp-only marker elsewhere. *)
+   at parity processes, a timestamp-only marker elsewhere. The parity
+   case allocates exactly one block (the log retains it); the delta is
+   computed on a pooled scratch buffer. *)
 let modify_entry t st ~stripe ~pos ~j ~bj ~b =
   let m = Config.m t.cfg ~stripe in
   if pos = j then Some b
   else if pos >= m then begin
     Brick.count_disk_read t.brick;
-    let old_parity = snd (Slog.max_block st.log) in
-    Some
-      (Erasure.Codec.modify
-         (Config.codec t.cfg ~stripe)
-         ~data_idx:j ~parity_idx:(pos - m) ~old_data:bj ~new_data:b
-         ~old_parity)
+    let codec = Config.codec t.cfg ~stripe in
+    let out = Bytes.copy (snd (Slog.max_block st.log)) in
+    let d = Brick.scratch_take t.brick ~len:(Bytes.length b) in
+    Erasure.Codec.delta_into ~old_data:bj ~new_data:b ~into:d;
+    Erasure.Codec.apply_delta_into codec ~data_idx:j ~parity_idx:(pos - m)
+      ~delta:d ~parity:out;
+    Brick.scratch_release t.brick d;
+    Some out
   end
   else None
 
@@ -198,15 +202,21 @@ let handle_modify_multi t stripe j0 olds news tsj ts =
           if pos >= j0 && pos < j0 + len then Some news.(pos - j0)
           else if pos >= m then begin
             Brick.count_disk_read t.brick;
-            let parity = ref (snd (Slog.max_block st.log)) in
+            (* Fold every block's change into one fresh parity buffer
+               (the log retains it); the per-block deltas run on one
+               pooled scratch buffer instead of allocating 2*len
+               intermediates. *)
+            let codec = Config.codec t.cfg ~stripe in
+            let out = Bytes.copy (snd (Slog.max_block st.log)) in
+            let d = Brick.scratch_take t.brick ~len:(Bytes.length out) in
             for i = 0 to len - 1 do
-              parity :=
-                Erasure.Codec.modify
-                  (Config.codec t.cfg ~stripe)
-                  ~data_idx:(j0 + i) ~parity_idx:(pos - m) ~old_data:olds.(i)
-                  ~new_data:news.(i) ~old_parity:!parity
+              Erasure.Codec.delta_into ~old_data:olds.(i) ~new_data:news.(i)
+                ~into:d;
+              Erasure.Codec.apply_delta_into codec ~data_idx:(j0 + i)
+                ~parity_idx:(pos - m) ~delta:d ~parity:out
             done;
-            Some !parity
+            Brick.scratch_release t.brick d;
+            Some out
           end
           else None
         in

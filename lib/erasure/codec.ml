@@ -4,14 +4,61 @@
    identity. The MDS property (any m rows invertible) is guaranteed by
    construction: the parity rows form a Cauchy matrix (rs), a row of
    ones (parity, replication), and in both cases every mixed selection
-   of identity and parity rows stays invertible. *)
+   of identity and parity rows stays invertible.
+
+   The hot paths are engineered like kernels (see DESIGN.md):
+   - every generator coefficient >= 2 has its 256-entry product table
+     resolved at codec construction, so encode does one branch-free
+     table lookup per byte (c = 0 rows are skipped, c = 1 rows take the
+     64-bit-wide XOR path in Gf256.Field);
+   - decode memoizes its inverted submatrix and the row tables in a
+     bounded LRU keyed by the sorted surviving-index set, so repeated
+     degraded reads and recovery over the same survivors skip Gaussian
+     elimination entirely;
+   - [encode_into]/[decode_into]/[reconstruct_into] write into
+     caller-provided buffers so steady-state paths can reuse scratch
+     instead of allocating per operation. *)
 
 module F = Gf256.Field
 module M = Gf256.Matrix
 
 type kind = Rs | Parity | Replication
 
-type t = { kind : kind; m : int; n : int; gen : M.t }
+(* One output row of a linear map over the stripe: the coefficient array
+   and, for each coefficient, its product table. Tables for c < 2 are
+   present but unused (those coefficients dispatch to memset/blit/XOR). *)
+type row = { coeffs : int array; tables : Bytes.t array }
+
+let make_row coeffs = { coeffs; tables = Array.map F.mul_table coeffs }
+
+(* A memoized decode plan: the inverse of the generator submatrix for
+   one sorted set of surviving indices, with per-entry product tables. *)
+type plan = { rows : row array }
+
+type cached_plan = { plan : plan; mutable last_use : int }
+
+type plan_cache = {
+  tbl : (string, cached_plan) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  capacity : int;
+}
+
+(* Big enough to hold every m-subset of common codes (C(8,5) = 56) but
+   bounded so wide codes (C(14,10) = 1001 subsets) cannot pin unbounded
+   memory: each plan is O(m^2) ints plus pointers to the globally cached
+   product tables. *)
+let plan_cache_capacity = 128
+
+type t = {
+  kind : kind;
+  m : int;
+  n : int;
+  gen : M.t;
+  parity_rows : row array; (* rows m..n-1 of gen, table-resolved *)
+  plans : plan_cache;
+}
 
 let m t = t.m
 let n t = t.n
@@ -25,6 +72,27 @@ let systematic_generator ~m ~n parity_row =
   M.init ~rows:n ~cols:m (fun r c ->
       if r < m then if r = c then 1 else 0 else parity_row (r - m) c)
 
+let make ~kind ~m ~n gen =
+  let parity_rows =
+    Array.init (n - m) (fun p ->
+        make_row (Array.init m (fun c -> M.get gen (m + p) c)))
+  in
+  {
+    kind;
+    m;
+    n;
+    gen;
+    parity_rows;
+    plans =
+      {
+        tbl = Hashtbl.create 32;
+        tick = 0;
+        hits = 0;
+        misses = 0;
+        capacity = plan_cache_capacity;
+      };
+  }
+
 let rs ~m ~n =
   if m < 1 || n <= m || n > 256 then
     invalid_arg "Erasure.Codec.rs: need 1 <= m < n <= 256";
@@ -33,17 +101,44 @@ let rs ~m ~n =
   let xs = Array.init (n - m) (fun i -> m + i) in
   let ys = Array.init m (fun j -> j) in
   let c = M.cauchy ~xs ~ys in
-  { kind = Rs; m; n; gen = systematic_generator ~m ~n (M.get c) }
+  make ~kind:Rs ~m ~n (systematic_generator ~m ~n (M.get c))
 
 let parity ~m =
   if m < 1 then invalid_arg "Erasure.Codec.parity: need m >= 1";
   let n = m + 1 in
-  { kind = Parity; m; n; gen = systematic_generator ~m ~n (fun _ _ -> 1) }
+  make ~kind:Parity ~m ~n (systematic_generator ~m ~n (fun _ _ -> 1))
 
 let replication ~n =
   if n < 2 then invalid_arg "Erasure.Codec.replication: need n >= 2";
-  { kind = Replication; m = 1; n;
-    gen = systematic_generator ~m:1 ~n (fun _ _ -> 1) }
+  make ~kind:Replication ~m:1 ~n (systematic_generator ~m:1 ~n (fun _ _ -> 1))
+
+(* ------------------------------------------------------------------ *)
+(* Row application kernel                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* dst <- sum_k row.coeffs.(k) * srcs.(k). The first contributing term
+   overwrites (so dst needs no pre-zeroing); subsequent terms
+   accumulate. All-zero rows zero-fill. *)
+let apply_row row ~srcs ~dst len =
+  let coeffs = row.coeffs and tables = row.tables in
+  let started = ref false in
+  for k = 0 to Array.length coeffs - 1 do
+    let c = Array.unsafe_get coeffs k in
+    if c <> 0 then begin
+      let src = Array.unsafe_get srcs k in
+      (if not !started then
+         if c = 1 then Bytes.blit src 0 dst 0 len
+         else F.mul_table_slice_set ~dst ~src (Array.unsafe_get tables k)
+       else if c = 1 then F.mul_slice ~dst ~src 1
+       else F.mul_table_slice ~dst ~src (Array.unsafe_get tables k));
+      started := true
+    end
+  done;
+  if not !started then Bytes.fill dst 0 len '\000'
+
+(* ------------------------------------------------------------------ *)
+(* Encode                                                              *)
+(* ------------------------------------------------------------------ *)
 
 let check_stripe t stripe =
   if Array.length stripe <> t.m then
@@ -59,17 +154,36 @@ let check_stripe t stripe =
     stripe;
   len
 
+let encode_into t stripe ~into =
+  let len = check_stripe t stripe in
+  if Array.length into <> t.n then
+    invalid_arg "Erasure.Codec.encode_into: expected n output blocks";
+  Array.iter
+    (fun b ->
+      if Bytes.length b <> len then
+        invalid_arg "Erasure.Codec.encode_into: output block size mismatch")
+    into;
+  for i = 0 to t.m - 1 do
+    (* Data slots may alias the stripe blocks themselves; skip the
+       self-copy so callers can ship data blocks without duplication. *)
+    if into.(i) != stripe.(i) then Bytes.blit stripe.(i) 0 into.(i) 0 len
+  done;
+  for p = 0 to t.n - t.m - 1 do
+    apply_row t.parity_rows.(p) ~srcs:stripe ~dst:into.(t.m + p) len
+  done
+
 let encode t stripe =
   let len = check_stripe t stripe in
-  Array.init t.n (fun r ->
-      if r < t.m then Bytes.copy stripe.(r)
-      else begin
-        let out = Bytes.make len '\000' in
-        for c = 0 to t.m - 1 do
-          F.mul_slice ~dst:out ~src:stripe.(c) (M.get t.gen r c)
-        done;
-        out
-      end)
+  let into =
+    Array.init t.n (fun i ->
+        if i < t.m then Bytes.copy stripe.(i) else Bytes.create len)
+  in
+  encode_into t stripe ~into;
+  into
+
+(* ------------------------------------------------------------------ *)
+(* Decode plans                                                        *)
+(* ------------------------------------------------------------------ *)
 
 let check_indexed_blocks t blocks =
   if List.length blocks <> t.m then
@@ -90,59 +204,172 @@ let check_indexed_blocks t blocks =
     blocks;
   len
 
-let decode t blocks =
-  let len = check_indexed_blocks t blocks in
-  let idxs = List.map fst blocks in
-  let sub = M.sub_rows t.gen idxs in
+let plan_key idxs = String.init (Array.length idxs) (fun i -> Char.chr idxs.(i))
+
+let build_plan t idxs =
+  let sub = M.sub_rows t.gen (Array.to_list idxs) in
   match M.invert sub with
   | None ->
       (* Impossible for our MDS constructions; defensive. *)
       invalid_arg "Erasure.Codec.decode: singular submatrix"
   | Some inv ->
-      let srcs = Array.of_list (List.map snd blocks) in
-      Array.init t.m (fun r ->
-          let out = Bytes.make len '\000' in
-          for k = 0 to t.m - 1 do
-            F.mul_slice ~dst:out ~src:srcs.(k) (M.get inv r k)
-          done;
-          out)
+      {
+        rows =
+          Array.init t.m (fun r ->
+              make_row (Array.init t.m (fun k -> M.get inv r k)));
+      }
+
+let evict_lru cache =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key cp ->
+      match !victim with
+      | Some (_, lu) when lu <= cp.last_use -> ()
+      | _ -> victim := Some (key, cp.last_use))
+    cache.tbl;
+  match !victim with
+  | Some (key, _) -> Hashtbl.remove cache.tbl key
+  | None -> ()
+
+(* [idxs] must be sorted ascending (the cache key is the index set). *)
+let plan_for t idxs =
+  let cache = t.plans in
+  cache.tick <- cache.tick + 1;
+  let key = plan_key idxs in
+  match Hashtbl.find_opt cache.tbl key with
+  | Some cp ->
+      cache.hits <- cache.hits + 1;
+      cp.last_use <- cache.tick;
+      cp.plan
+  | None ->
+      cache.misses <- cache.misses + 1;
+      let plan = build_plan t idxs in
+      if Hashtbl.length cache.tbl >= cache.capacity then evict_lru cache;
+      Hashtbl.replace cache.tbl key { plan; last_use = cache.tick };
+      plan
+
+let reset_plan_cache t =
+  Hashtbl.reset t.plans.tbl;
+  t.plans.tick <- 0;
+  t.plans.hits <- 0;
+  t.plans.misses <- 0
+
+let plan_cache_stats t =
+  (t.plans.hits, t.plans.misses, Hashtbl.length t.plans.tbl)
+
+(* Sort the inputs by index so the plan key and row order are canonical
+   regardless of the order blocks arrived in. *)
+let sorted_inputs blocks =
+  let arr = Array.of_list blocks in
+  Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+  (Array.map fst arr, Array.map snd arr)
+
+let decode_into t blocks ~into =
+  let len = check_indexed_blocks t blocks in
+  if Array.length into <> t.m then
+    invalid_arg "Erasure.Codec.decode_into: expected m output blocks";
+  Array.iter
+    (fun b ->
+      if Bytes.length b <> len then
+        invalid_arg "Erasure.Codec.decode_into: output block size mismatch")
+    into;
+  let idxs, srcs = sorted_inputs blocks in
+  let plan = plan_for t idxs in
+  for r = 0 to t.m - 1 do
+    apply_row plan.rows.(r) ~srcs ~dst:into.(r) len
+  done
+
+let decode t blocks =
+  let len = check_indexed_blocks t blocks in
+  let into = Array.init t.m (fun _ -> Bytes.create len) in
+  decode_into t blocks ~into;
+  into
+
+(* ------------------------------------------------------------------ *)
+(* Deltas and parity updates                                           *)
+(* ------------------------------------------------------------------ *)
+
+let delta_into ~old_data ~new_data ~into =
+  let len = Bytes.length old_data in
+  if Bytes.length new_data <> len || Bytes.length into <> len then
+    invalid_arg "Erasure.Codec.delta_into: size mismatch";
+  if into != new_data then Bytes.blit new_data 0 into 0 len;
+  F.mul_slice ~dst:into ~src:old_data 1
 
 let delta ~old_data ~new_data =
   let len = Bytes.length old_data in
   if Bytes.length new_data <> len then
     invalid_arg "Erasure.Codec.delta: size mismatch";
-  let d = Bytes.copy new_data in
-  F.mul_slice ~dst:d ~src:old_data 1;
+  let d = Bytes.create len in
+  delta_into ~old_data ~new_data ~into:d;
   d
 
-let apply_delta t ~data_idx ~parity_idx ~delta ~old_parity =
+let check_delta_indices name t ~data_idx ~parity_idx =
   if data_idx < 0 || data_idx >= t.m then
-    invalid_arg "Erasure.Codec.apply_delta: data_idx out of range";
+    invalid_arg (Printf.sprintf "Erasure.Codec.%s: data_idx out of range" name);
   if parity_idx < 0 || parity_idx >= t.n - t.m then
-    invalid_arg "Erasure.Codec.apply_delta: parity_idx out of range";
+    invalid_arg
+      (Printf.sprintf "Erasure.Codec.%s: parity_idx out of range" name)
+
+let apply_delta_into t ~data_idx ~parity_idx ~delta ~parity =
+  check_delta_indices "apply_delta_into" t ~data_idx ~parity_idx;
+  if Bytes.length delta <> Bytes.length parity then
+    invalid_arg "Erasure.Codec.apply_delta_into: size mismatch";
+  let row = t.parity_rows.(parity_idx) in
+  let c = row.coeffs.(data_idx) in
+  if c = 0 then ()
+  else if c = 1 then F.mul_slice ~dst:parity ~src:delta 1
+  else F.mul_table_slice ~dst:parity ~src:delta row.tables.(data_idx)
+
+let apply_delta t ~data_idx ~parity_idx ~delta ~old_parity =
+  check_delta_indices "apply_delta" t ~data_idx ~parity_idx;
   if Bytes.length delta <> Bytes.length old_parity then
     invalid_arg "Erasure.Codec.apply_delta: size mismatch";
   let out = Bytes.copy old_parity in
-  F.mul_slice ~dst:out ~src:delta (M.get t.gen (t.m + parity_idx) data_idx);
+  apply_delta_into t ~data_idx ~parity_idx ~delta ~parity:out;
   out
 
 let modify t ~data_idx ~parity_idx ~old_data ~new_data ~old_parity =
   apply_delta t ~data_idx ~parity_idx ~delta:(delta ~old_data ~new_data)
     ~old_parity
 
+(* ------------------------------------------------------------------ *)
+(* Reconstruction                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebuilding encoded block [idx] from survivors is the single linear
+   map gen_row(idx) . inv(sub), so we compose the coefficient vectors
+   (m scalar multiply-accumulates per entry) instead of materializing
+   the m intermediate data blocks. *)
+let reconstruct_row t plan ~idx =
+  if idx < t.m then plan.rows.(idx)
+  else
+    make_row
+      (Array.init t.m (fun k ->
+           let acc = ref 0 in
+           for j = 0 to t.m - 1 do
+             acc :=
+               F.add !acc (F.mul (M.get t.gen idx j) plan.rows.(j).coeffs.(k))
+           done;
+           !acc))
+
+let reconstruct_into t ~idx blocks ~into =
+  if idx < 0 || idx >= t.n then
+    invalid_arg "Erasure.Codec.reconstruct_into: index out of range";
+  let len = check_indexed_blocks t blocks in
+  if Bytes.length into <> len then
+    invalid_arg "Erasure.Codec.reconstruct_into: output block size mismatch";
+  let idxs, srcs = sorted_inputs blocks in
+  let plan = plan_for t idxs in
+  apply_row (reconstruct_row t plan ~idx) ~srcs ~dst:into len
+
 let reconstruct_block t ~idx blocks =
   if idx < 0 || idx >= t.n then
     invalid_arg "Erasure.Codec.reconstruct_block: index out of range";
-  let data = decode t blocks in
-  if idx < t.m then data.(idx)
-  else begin
-    let len = Bytes.length data.(0) in
-    let out = Bytes.make len '\000' in
-    for c = 0 to t.m - 1 do
-      F.mul_slice ~dst:out ~src:data.(c) (M.get t.gen idx c)
-    done;
-    out
-  end
+  let len = check_indexed_blocks t blocks in
+  let out = Bytes.create len in
+  reconstruct_into t ~idx blocks ~into:out;
+  out
 
 let pp fmt t =
   let name =

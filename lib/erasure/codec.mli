@@ -51,12 +51,33 @@ val encode : t -> Bytes.t array -> Bytes.t array
     @raise Invalid_argument if the stripe does not have exactly [m]
     blocks of equal positive length. *)
 
+val encode_into : t -> Bytes.t array -> into:Bytes.t array -> unit
+(** [encode_into t stripe ~into] is {!encode} writing into the [n]
+    caller-provided blocks of [into] (each the stripe's block length)
+    instead of allocating. A data slot [into.(i)] ([i < m]) may be the
+    very same buffer as [stripe.(i)] — the self-copy is skipped — which
+    lets callers ship data blocks without duplicating them. Parity slots
+    must not alias any stripe block. The caller owns [into] and must not
+    hand the same buffers to a second operation while the first result
+    is still live.
+    @raise Invalid_argument on shape or length mismatch. *)
+
 val decode : t -> (int * Bytes.t) list -> Bytes.t array
 (** [decode t blocks] reconstructs the [m] data blocks from any [m]
     pairs [(index, block)] where [index] identifies the encoded block's
     position in [0, n).
+
+    Decoding consults a bounded per-codec LRU cache of decode plans
+    keyed by the (sorted) index set, so repeated decodes over the same
+    surviving set skip matrix inversion; see {!plan_cache_stats}.
     @raise Invalid_argument if fewer or more than [m] blocks are given,
     if an index repeats or is out of range, or if block sizes differ. *)
+
+val decode_into : t -> (int * Bytes.t) list -> into:Bytes.t array -> unit
+(** [decode_into t blocks ~into] is {!decode} writing the [m] data
+    blocks into the caller-provided buffers of [into] (each the input
+    block length). [into] buffers must not alias any input block.
+    @raise Invalid_argument on shape or length mismatch. *)
 
 val modify :
   t -> data_idx:int -> parity_idx:int ->
@@ -73,6 +94,12 @@ val delta : old_data:Bytes.t -> new_data:Bytes.t -> Bytes.t
 (** [delta ~old_data ~new_data] is the XOR difference shipped by
     bandwidth-optimized block writes (paper section 5.2). *)
 
+val delta_into : old_data:Bytes.t -> new_data:Bytes.t -> into:Bytes.t -> unit
+(** [delta_into ~old_data ~new_data ~into] is {!delta} writing into the
+    caller-provided buffer [into] (which may be [new_data] itself for an
+    in-place update, but must not be [old_data]).
+    @raise Invalid_argument on length mismatch. *)
+
 val apply_delta :
   t -> data_idx:int -> parity_idx:int -> delta:Bytes.t ->
   old_parity:Bytes.t -> Bytes.t
@@ -80,10 +107,37 @@ val apply_delta :
     precomputed {!delta} into a parity block; composing {!delta} and
     [apply_delta] equals {!modify}. *)
 
+val apply_delta_into :
+  t -> data_idx:int -> parity_idx:int -> delta:Bytes.t ->
+  parity:Bytes.t -> unit
+(** [apply_delta_into t ~data_idx ~parity_idx ~delta ~parity] folds a
+    {!delta} into [parity] in place: [parity ^= coeff * delta]. [delta]
+    must not alias [parity]. This is the allocation-free core of
+    {!apply_delta} and {!modify}.
+    @raise Invalid_argument on out-of-range indices or size mismatch. *)
+
 val reconstruct_block : t -> idx:int -> (int * Bytes.t) list -> Bytes.t
 (** [reconstruct_block t ~idx blocks] rebuilds encoded block [idx]
     (data or parity) from any [m] other encoded blocks; used when a
-    recovered brick re-syncs its block. *)
+    recovered brick re-syncs its block. Internally composes the
+    generator row with the cached decode plan, so no intermediate data
+    blocks are materialized. *)
+
+val reconstruct_into :
+  t -> idx:int -> (int * Bytes.t) list -> into:Bytes.t -> unit
+(** [reconstruct_into t ~idx blocks ~into] is {!reconstruct_block}
+    writing into the caller-provided buffer [into], which must not
+    alias any input block.
+    @raise Invalid_argument on shape or length mismatch. *)
+
+val reset_plan_cache : t -> unit
+(** Drops every memoized decode plan and zeroes the hit/miss counters.
+    Exposed for benchmarks (cached vs uncached comparisons) and tests;
+    plans are rebuilt on demand, so this never affects results. *)
+
+val plan_cache_stats : t -> int * int * int
+(** [(hits, misses, entries)] for the decode-plan cache since codec
+    construction (or the last {!reset_plan_cache}). *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints the code parameters, e.g. ["rs(5,8)"]. *)

@@ -46,7 +46,9 @@ val log_table : t -> int
 val mul_slice : dst:Bytes.t -> src:Bytes.t -> t -> unit
 (** [mul_slice ~dst ~src c] sets [dst.(i) <- dst.(i) + c * src.(i)] for
     every byte index [i] (a fused multiply-accumulate over byte buffers).
-    This is the inner loop of erasure encoding and decoding.
+    This is the inner loop of erasure encoding and decoding. The [c = 1]
+    case runs 64 bits at a time; general coefficients use a cached
+    per-coefficient product table ({!mul_table}).
     @raise Invalid_argument if the buffers have different lengths. *)
 
 val mul_slice_set : dst:Bytes.t -> src:Bytes.t -> t -> unit
@@ -54,5 +56,29 @@ val mul_slice_set : dst:Bytes.t -> src:Bytes.t -> t -> unit
     byte index [i] (overwriting [dst] rather than accumulating).
     @raise Invalid_argument if the buffers have different lengths. *)
 
+val mul_table : t -> Bytes.t
+(** [mul_table c] is the 256-entry table with [mul_table c].[s] = [c * s].
+    Tables are built lazily and cached for the process lifetime, so
+    repeated calls with the same coefficient return the same buffer.
+    The returned bytes MUST NOT be mutated.
+    @raise Invalid_argument if [c] is out of range. *)
+
+val mul_table_slice : dst:Bytes.t -> src:Bytes.t -> Bytes.t -> unit
+(** [mul_table_slice ~dst ~src table] sets
+    [dst.(i) <- dst.(i) + table.[src.(i)]] for every byte index [i],
+    where [table] is a prebuilt {!mul_table}. One unsafe lookup per
+    byte, no branches; this is the kernel behind coefficient-table
+    encode and decode.
+    @raise Invalid_argument if the buffers have different lengths or
+    [table] is not 256 bytes. *)
+
+val mul_table_slice_set : dst:Bytes.t -> src:Bytes.t -> Bytes.t -> unit
+(** [mul_table_slice_set ~dst ~src table] sets
+    [dst.(i) <- table.[src.(i)]] (overwriting rather than accumulating).
+    @raise Invalid_argument if the buffers have different lengths or
+    [table] is not 256 bytes. *)
+
 val check_element : t -> unit
-(** [check_element a] raises [Invalid_argument] unless [0 <= a <= 255]. *)
+(** [check_element a] raises [Invalid_argument] unless [0 <= a <= 255].
+    Called by {!mul}, {!inv} and {!div}, so scalar entry points reject
+    out-of-range integers instead of reading out of table bounds. *)

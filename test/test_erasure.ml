@@ -146,6 +146,150 @@ let test_coeff_systematic () =
     done
   done
 
+(* ------------------------------------------------------------------ *)
+(* The [_into] variants must be byte-for-byte equivalent to the
+   allocating API: same planes, same plans, just caller-owned buffers.
+   Lengths deliberately include values that are not multiples of 4 or 8
+   so the wide-word kernels' scalar tails are exercised.               *)
+(* ------------------------------------------------------------------ *)
+
+let into_lengths = [ 5; 12; 29; block_size ]
+
+let random_stripe_len rng m len =
+  Array.init m (fun _ ->
+      Bytes.init len (fun _ -> Char.chr (Random.State.int rng 256)))
+
+let test_into_equals_allocating () =
+  let rng = Random.State.make [| 21 |] in
+  let configs = [ (2, 4); (3, 5); (5, 8) ] in
+  List.iter
+    (fun (m, n) ->
+      let codec = C.rs ~m ~n in
+      List.iter
+        (fun len ->
+          let stripe = random_stripe_len rng m len in
+          (* encode_into vs encode *)
+          let enc = C.encode codec stripe in
+          let enc' = Array.init n (fun _ -> Bytes.create len) in
+          C.encode_into codec stripe ~into:enc';
+          Alcotest.(check bool)
+            (Printf.sprintf "encode_into (%d,%d) len=%d" m n len)
+            true (stripes_equal enc enc');
+          List.iter
+            (fun subset ->
+              let blocks = List.map (fun i -> (i, enc.(i))) subset in
+              (* decode_into vs decode *)
+              let dec = C.decode codec blocks in
+              let dec' = Array.init m (fun _ -> Bytes.create len) in
+              C.decode_into codec blocks ~into:dec';
+              Alcotest.(check bool)
+                (Printf.sprintf "decode_into (%d,%d) len=%d [%s]" m n len
+                   (String.concat "," (List.map string_of_int subset)))
+                true (stripes_equal dec dec');
+              (* reconstruct_into vs reconstruct_block, for every
+                 target not in the surviving subset *)
+              for idx = 0 to n - 1 do
+                if not (List.mem idx subset) then begin
+                  let rebuilt = C.reconstruct_block codec ~idx blocks in
+                  let into = Bytes.create len in
+                  C.reconstruct_into codec ~idx blocks ~into;
+                  Alcotest.(check bool)
+                    (Printf.sprintf "reconstruct_into (%d,%d) len=%d idx=%d"
+                       m n len idx)
+                    true (Bytes.equal rebuilt into)
+                end
+              done)
+            (subsets m 0 n))
+        into_lengths)
+    configs
+
+let test_encode_into_aliased_data () =
+  (* Data slots of [into] may be the very stripe blocks themselves. *)
+  let rng = Random.State.make [| 22 |] in
+  List.iter
+    (fun len ->
+      let m = 3 and n = 5 in
+      let codec = C.rs ~m ~n in
+      let stripe = random_stripe_len rng m len in
+      let expected = C.encode codec stripe in
+      let into =
+        Array.init n (fun i -> if i < m then stripe.(i) else Bytes.create len)
+      in
+      C.encode_into codec stripe ~into;
+      Alcotest.(check bool)
+        (Printf.sprintf "aliased encode_into len=%d" len)
+        true (stripes_equal expected into))
+    into_lengths
+
+let test_delta_into_equals_delta () =
+  let rng = Random.State.make [| 23 |] in
+  List.iter
+    (fun len ->
+      let codec = C.rs ~m:4 ~n:7 in
+      let stripe = random_stripe_len rng 4 len in
+      let enc = C.encode codec stripe in
+      let new_b = Bytes.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
+      let d = C.delta ~old_data:stripe.(1) ~new_data:new_b in
+      let d' = Bytes.create len in
+      C.delta_into ~old_data:stripe.(1) ~new_data:new_b ~into:d';
+      Alcotest.(check bool)
+        (Printf.sprintf "delta_into len=%d" len)
+        true (Bytes.equal d d');
+      (* In-place form: into = new_data. *)
+      let d'' = Bytes.copy new_b in
+      C.delta_into ~old_data:stripe.(1) ~new_data:d'' ~into:d'';
+      Alcotest.(check bool)
+        (Printf.sprintf "delta_into in place len=%d" len)
+        true (Bytes.equal d d'');
+      for p = 0 to 2 do
+        let via_apply =
+          C.apply_delta codec ~data_idx:1 ~parity_idx:p ~delta:d
+            ~old_parity:enc.(4 + p)
+        in
+        let parity = Bytes.copy enc.(4 + p) in
+        C.apply_delta_into codec ~data_idx:1 ~parity_idx:p ~delta:d ~parity;
+        Alcotest.(check bool)
+          (Printf.sprintf "apply_delta_into len=%d p=%d" len p)
+          true
+          (Bytes.equal via_apply parity)
+      done)
+    into_lengths
+
+let test_plan_cache () =
+  let rng = Random.State.make [| 24 |] in
+  let m = 3 and n = 6 in
+  let codec = C.rs ~m ~n in
+  let stripe = random_stripe rng m in
+  let enc = C.encode codec stripe in
+  C.reset_plan_cache codec;
+  Alcotest.(check (triple int int int)) "fresh cache" (0, 0, 0)
+    (C.plan_cache_stats codec);
+  let blocks = [ (1, enc.(1)); (3, enc.(3)); (5, enc.(5)) ] in
+  ignore (C.decode codec blocks);
+  Alcotest.(check (triple int int int)) "first decode misses" (0, 1, 1)
+    (C.plan_cache_stats codec);
+  ignore (C.decode codec blocks);
+  (* Same index set in a different order hits the same plan. *)
+  ignore (C.decode codec [ (5, enc.(5)); (1, enc.(1)); (3, enc.(3)) ]);
+  Alcotest.(check (triple int int int)) "repeats hit" (2, 1, 1)
+    (C.plan_cache_stats codec);
+  ignore (C.decode codec [ (0, enc.(0)); (2, enc.(2)); (4, enc.(4)) ]);
+  Alcotest.(check (triple int int int)) "new subset misses" (2, 2, 2)
+    (C.plan_cache_stats codec);
+  (* Reconstruction reuses the same plan cache. *)
+  ignore (C.reconstruct_block codec ~idx:0 blocks);
+  let hits, misses, entries = C.plan_cache_stats codec in
+  Alcotest.(check (pair int int)) "reconstruct hits cached plan" (3, 2)
+    (hits, misses);
+  Alcotest.(check int) "entries stable" 2 entries;
+  C.reset_plan_cache codec;
+  Alcotest.(check (triple int int int)) "reset" (0, 0, 0)
+    (C.plan_cache_stats codec);
+  (* Results are identical whether the plan is cached or rebuilt. *)
+  let a = C.decode codec blocks in
+  let b = C.decode codec blocks in
+  Alcotest.(check bool) "cached plan same result" true (stripes_equal a b)
+
 let qtest ?(count = 100) name gen f =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
 
@@ -237,6 +381,16 @@ let () =
           Alcotest.test_case "delta composition" `Quick test_delta_composition;
           Alcotest.test_case "reconstruct block" `Quick test_reconstruct_block;
           Alcotest.test_case "coeff exposes generator" `Quick test_coeff_systematic;
+        ] );
+      ( "into",
+        [
+          Alcotest.test_case "_into equals allocating API" `Quick
+            test_into_equals_allocating;
+          Alcotest.test_case "encode_into aliased data slots" `Quick
+            test_encode_into_aliased_data;
+          Alcotest.test_case "delta_into / apply_delta_into" `Quick
+            test_delta_into_equals_delta;
+          Alcotest.test_case "plan cache stats" `Quick test_plan_cache;
         ] );
       ("properties", prop_tests);
       ( "errors",

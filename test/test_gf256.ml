@@ -70,7 +70,18 @@ let test_check_element () =
     (Invalid_argument "Gf256.Field: element -1 out of range") (fun () ->
       F.check_element (-1));
   F.check_element 0;
-  F.check_element 255
+  F.check_element 255;
+  (* The scalar entry points validate their arguments instead of
+     reading out of table bounds. *)
+  Alcotest.check_raises "mul out of range"
+    (Invalid_argument "Gf256.Field: element 256 out of range") (fun () ->
+      ignore (F.mul 256 3));
+  Alcotest.check_raises "inv out of range"
+    (Invalid_argument "Gf256.Field: element -2 out of range") (fun () ->
+      ignore (F.inv (-2)));
+  Alcotest.check_raises "div out of range"
+    (Invalid_argument "Gf256.Field: element 300 out of range") (fun () ->
+      ignore (F.div 1 300))
 
 (* ------------------------------------------------------------------ *)
 (* Byte-slice operations                                               *)
@@ -130,7 +141,76 @@ let test_slice_length_mismatch () =
   let a = Bytes.create 4 and b = Bytes.create 5 in
   Alcotest.check_raises "mismatch"
     (Invalid_argument "Gf256.Field.mul_slice: length mismatch") (fun () ->
-      F.mul_slice ~dst:a ~src:b 3)
+      F.mul_slice ~dst:a ~src:b 3);
+  let c = Bytes.create 4 in
+  Alcotest.check_raises "bad table"
+    (Invalid_argument "Gf256.Field.mul_table_slice: not a 256-entry table")
+    (fun () -> F.mul_table_slice ~dst:a ~src:c (Bytes.create 16))
+
+(* Every coefficient's cached product table must agree with scalar
+   multiplication on all 256 field values. *)
+let test_mul_table_agrees () =
+  for c = 0 to 255 do
+    let table = F.mul_table c in
+    Alcotest.(check int) "table length" 256 (Bytes.length table);
+    for v = 0 to 255 do
+      if Char.code (Bytes.get table v) <> F.mul c v then
+        Alcotest.failf "mul_table %d disagrees with mul at %d" c v
+    done;
+    (* The cache hands back the same buffer on repeated calls. *)
+    Alcotest.(check bool) "cached" true (F.mul_table c == table)
+  done
+
+(* The wide-word kernels must be bit-identical to the byte-at-a-time
+   definition on every length class: 64-bit body, scalar tail, and
+   lengths below one word. *)
+let slice_lengths = [ 1; 3; 7; 8; 9; 15; 16; 17; 63; 64; 65; 257 ]
+
+let test_wide_kernels_match_reference () =
+  let rng = Random.State.make [| 21 |] in
+  let random_bytes len =
+    Bytes.init len (fun _ -> Char.chr (Random.State.int rng 256))
+  in
+  List.iter
+    (fun len ->
+      List.iter
+        (fun c ->
+          let src = random_bytes len in
+          let dst0 = random_bytes len in
+          (* Accumulating kernel vs scalar reference. *)
+          let dst = Bytes.copy dst0 in
+          F.mul_slice ~dst ~src c;
+          for i = 0 to len - 1 do
+            let expected =
+              F.add
+                (Char.code (Bytes.get dst0 i))
+                (F.mul c (Char.code (Bytes.get src i)))
+            in
+            if Char.code (Bytes.get dst i) <> expected then
+              Alcotest.failf "mul_slice len=%d c=%d mismatch at %d" len c i
+          done;
+          (* Overwriting kernel. *)
+          let dst = Bytes.copy dst0 in
+          F.mul_slice_set ~dst ~src c;
+          for i = 0 to len - 1 do
+            if
+              Char.code (Bytes.get dst i)
+              <> F.mul c (Char.code (Bytes.get src i))
+            then
+              Alcotest.failf "mul_slice_set len=%d c=%d mismatch at %d" len c i
+          done;
+          (* The raw table kernels (what encode/decode plans call). *)
+          if c >= 2 then begin
+            let table = F.mul_table c in
+            let dst = Bytes.copy dst0 in
+            F.mul_table_slice ~dst ~src table;
+            let dst' = Bytes.copy dst0 in
+            F.mul_slice ~dst:dst' ~src c;
+            if not (Bytes.equal dst dst') then
+              Alcotest.failf "mul_table_slice len=%d c=%d diverges" len c
+          end)
+        [ 0; 1; 2; 29; 173; 255 ])
+    slice_lengths
 
 (* ------------------------------------------------------------------ *)
 (* Matrices                                                            *)
@@ -252,8 +332,14 @@ let () =
         ] );
       ( "slices",
         slice_tests
-        @ [ Alcotest.test_case "length mismatch" `Quick test_slice_length_mismatch ]
-      );
+        @ [
+            Alcotest.test_case "length mismatch" `Quick
+              test_slice_length_mismatch;
+            Alcotest.test_case "mul_table agrees with mul" `Quick
+              test_mul_table_agrees;
+            Alcotest.test_case "wide kernels match reference" `Quick
+              test_wide_kernels_match_reference;
+          ] );
       ( "matrix",
         [
           Alcotest.test_case "identity mul" `Quick test_identity_mul;
