@@ -146,7 +146,21 @@ let measure_group (group, tests, bytes_per_op) =
 
 let write_json path rows =
   let oc = open_out path in
-  output_string oc "[\n";
+  (* Stamp run metadata (commit, date, geometry) so results files stay
+     comparable across commits; see Obs.Meta. *)
+  let meta =
+    Obs.Meta.standard
+      ~extra:
+        Obs.Json.
+          [
+            ("tool", S "bench micro");
+            ("block_size", I block_size);
+            ("plan_block_size", I plan_block_size);
+          ]
+      ()
+  in
+  Printf.fprintf oc "{\"meta\": %s,\n \"rows\": [\n"
+    (Obs.Json.obj meta);
   let total = List.length rows in
   List.iteri
     (fun i (name, est) ->
@@ -156,7 +170,7 @@ let write_json path rows =
         mbps
         (if i = total - 1 then "" else ","))
     rows;
-  output_string oc "]\n";
+  output_string oc "]}\n";
   close_out oc;
   Printf.printf "  wrote %d rows to %s\n" total path
 

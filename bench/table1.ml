@@ -28,16 +28,20 @@ let run_for ~m ~n =
   (* --- our algorithm: stripe access --- *)
   let cl = fresh_cluster ~m ~n in
   let data = stripe_data 'A' m block_size in
+  let st_w = observe cl in
   let _, w =
     measure_op cl (fun c -> Coordinator.write_stripe c ~stripe:0 data)
   in
+  let st_r = observe cl in
   let _, r = measure_op cl (fun c -> Coordinator.read_stripe c ~stripe:0) in
   row "stripe read/F"
     ~paper:("2", fmt_int (2 * n), fmt_int m, "0", fmt_int m)
     ~measured:r;
+  phase_line st_r [ "read-stripe" ];
   row "stripe write"
     ~paper:("4", fmt_int (4 * n), "0", fmt_int n, fmt_int n)
     ~measured:w;
+  phase_line st_w [ "write-stripe" ];
 
   (* stripe read/S: one replica missed the last write and rejoined. *)
   let cl = fresh_cluster ~m ~n in
@@ -47,21 +51,26 @@ let run_for ~m ~n =
         Coordinator.write_stripe c ~stripe:0 (stripe_data 'B' m block_size))
   in
   Cluster.recover cl 0;
+  let st_rs = observe cl in
   let _, rs =
     measure_op ~coord:1 cl (fun c -> Coordinator.read_stripe c ~stripe:0)
   in
   row "stripe read/S"
     ~paper:("6", fmt_int (6 * n), fmt_int (n + m), fmt_int n, fmt_int ((2 * n) + m))
     ~measured:rs;
+  phase_line st_rs [ "read-stripe"; "recover" ];
 
   (* --- our algorithm: block access --- *)
   let cl = fresh_cluster ~m ~n in
   let _ =
     measure_op cl (fun c -> Coordinator.write_stripe c ~stripe:0 data)
   in
+  let st_rb = observe cl in
   let _, rb = measure_op cl (fun c -> Coordinator.read_block c ~stripe:0 0) in
   row "block read/F" ~paper:("2", fmt_int (2 * n), "1", "0", "1") ~measured:rb;
+  phase_line st_rb [ "read-block" ];
   let nb = Bytes.make block_size 'z' in
+  let st_wb = observe cl in
   let _, wb =
     measure_op cl (fun c -> Coordinator.write_block c ~stripe:0 0 nb)
   in
@@ -69,6 +78,7 @@ let run_for ~m ~n =
     ~paper:("4", fmt_int (4 * n), fmt_int (k + 1), fmt_int (k + 1),
             fmt_int ((2 * n) + 1))
     ~measured:wb;
+  phase_line st_wb [ "write-block" ];
 
   (* block read/S: like stripe read/S but through read-block. *)
   let cl = fresh_cluster ~m ~n in
@@ -78,12 +88,14 @@ let run_for ~m ~n =
         Coordinator.write_stripe c ~stripe:0 (stripe_data 'C' m block_size))
   in
   Cluster.recover cl 0;
+  let st_rbs = observe cl in
   let _, rbs =
     measure_op ~coord:1 cl (fun c -> Coordinator.read_block c ~stripe:0 1)
   in
   row "block read/S"
     ~paper:("6", fmt_int (6 * n), fmt_int (n + 1), fmt_int n, fmt_int ((2 * n) + 1))
     ~measured:rbs;
+  phase_line st_rbs [ "read-block"; "recover" ];
 
   (* block write/S: p_j is crashed, so the fast phase cannot obtain its
      current block and the write reconstructs the stripe instead. The
@@ -95,6 +107,7 @@ let run_for ~m ~n =
     measure_op cl (fun c -> Coordinator.write_stripe c ~stripe:0 data)
   in
   Cluster.crash cl 0;
+  let st_wbs = observe cl in
   let _, wbs =
     measure_op ~coord:1 cl (fun c -> Coordinator.write_block c ~stripe:0 0 nb)
   in
@@ -102,6 +115,7 @@ let run_for ~m ~n =
     ~paper:("8", fmt_int (8 * n), fmt_int (k + n + 1), fmt_int (k + n + 1),
             fmt_int ((4 * n) + 1))
     ~measured:wbs;
+  phase_line st_wbs [ "write-block"; "recover" ];
 
   (* --- LS97 baseline --- *)
   let module L = Baseline.Ls97 in

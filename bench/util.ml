@@ -41,6 +41,37 @@ let measure_op ?(coord = 0) (cl : Cluster.t) f =
       bytes = d "net.bytes" /. block_size;
     } )
 
+(* Attach a fresh per-op aggregator to the cluster's observability hub.
+   The first attachment enables tracing for the cluster; each aggregator
+   only sees events emitted after its own attachment, so calling this
+   right before a measured op scopes the aggregator to that op and
+   everything after it on the same cluster — filter by op kind when
+   printing. Tracing does not perturb measurements: sim-time latencies
+   and metrics counters are unchanged by sinks. *)
+let observe (cl : Cluster.t) =
+  let stats = Obs.Stats.create () in
+  Obs.add_sink cl.Cluster.obs (Obs.Stats.sink stats);
+  stats
+
+(* Per-phase latency accounting under a table row, one line per op kind
+   in [kinds]: "^ write-stripe phases: order 2 + write 2 (= 4 delta)". *)
+let phase_line ?(indent = "    ") stats kinds =
+  List.iter
+    (fun (kind, count, phases) ->
+      if List.mem kind kinds && phases <> [] then begin
+        let parts =
+          List.map
+            (fun (p, mean) -> Printf.sprintf "%s %g" (Obs.phase_name p) mean)
+            phases
+        in
+        let total = List.fold_left (fun a (_, mean) -> a +. mean) 0. phases in
+        Printf.printf "%s^ %s phases: %s (= %g delta%s)\n" indent kind
+          (String.concat " + " parts)
+          total
+          (if count = 1 then "" else Printf.sprintf " mean over %d ops" count)
+      end)
+    (Obs.Stats.phase_breakdown stats)
+
 let row_header () =
   Printf.printf "  %-24s | %18s | %18s | %14s | %14s | %18s\n" "operation"
     "latency (delta)" "messages" "disk reads" "disk writes" "net b/w (B)";

@@ -2,16 +2,44 @@
 
    Subcommands:
      workload  - run a synthetic workload against a simulated volume
+     explain   - replay a JSONL trace into per-op phase breakdowns
      mttdl     - reliability (figure 2/3 style) tables
      quorum    - m-quorum system parameters for a code geometry
 
    Examples:
      fab_sim workload -m 5 -n 8 --clients 4 --ops 500 --profile web
-     fab_sim workload -m 1 -n 3 --drop 0.1 --profile oltp
+     fab_sim workload -m 5 -n 8 --trace-out run.jsonl --stats-json stats.json
+     fab_sim explain run.jsonl --validate
      fab_sim mttdl --capacity 256
      fab_sim quorum -m 5 -n 8 *)
 
 open Cmdliner
+
+(* ---------------- JSON rendering helpers ---------------- *)
+
+let quote k = Obs.Json.render (Obs.Json.S k)
+
+let summary_fields s =
+  let module S = Metrics.Summary in
+  if S.count s = 0 then [ ("count", Obs.Json.I 0) ]
+  else
+    [
+      ("count", Obs.Json.I (S.count s));
+      ("mean", Obs.Json.F (S.mean s));
+      ("stddev", Obs.Json.F (S.stddev s));
+      ("min", Obs.Json.F (S.min s));
+      ("max", Obs.Json.F (S.max s));
+      ("p50", Obs.Json.F (S.percentile s 50.));
+      ("p95", Obs.Json.F (S.percentile s 95.));
+      ("p99", Obs.Json.F (S.percentile s 99.));
+    ]
+
+(* One nesting level: {"a": {...}, "b": {...}}. *)
+let nested entries =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, fields) -> quote k ^ ": " ^ Obs.Json.obj fields) entries)
+  ^ "}"
 
 (* ---------------- workload ---------------- *)
 
@@ -28,11 +56,56 @@ let profile_conv =
   in
   Arg.conv (parse, print)
 
+let write_stats_json path ~meta ~metrics ~obs_stats ~client_latency ~elapsed
+    ~ops_done ~aborts =
+  Obs.Stats.materialize obs_stats metrics;
+  let counters =
+    List.map
+      (fun name -> (name, Obs.Json.F (Metrics.Registry.value metrics name)))
+      (Metrics.Registry.names metrics)
+  in
+  let summaries =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun s -> (name, summary_fields s))
+          (Metrics.Registry.summary_opt metrics name))
+      (Metrics.Registry.summary_names metrics)
+  in
+  let breakdown =
+    List.map
+      (fun (kind, count, phases) ->
+        ( kind,
+          ("count", Obs.Json.I count)
+          :: List.map
+               (fun (p, mean) -> (Obs.phase_name p, Obs.Json.F mean))
+               phases ))
+      (Obs.Stats.phase_breakdown obs_stats)
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{%s: %s,\n %s: %s,\n %s: %s,\n %s: %s,\n %s: %s,\n %s: %s,\n\
+    \ %s: %s,\n %s: %s,\n %s: %s}\n"
+    (quote "meta") (Obs.Json.obj meta)
+    (quote "elapsed")
+    (Obs.Json.render (Obs.Json.F elapsed))
+    (quote "ops_done")
+    (Obs.Json.render (Obs.Json.I ops_done))
+    (quote "aborts")
+    (Obs.Json.render (Obs.Json.I aborts))
+    (quote "unfinished")
+    (Obs.Json.render (Obs.Json.I (Obs.Stats.unfinished obs_stats)))
+    (quote "client_latency")
+    (Obs.Json.obj (summary_fields client_latency))
+    (quote "counters") (Obs.Json.obj counters)
+    (quote "summaries") (nested summaries)
+    (quote "breakdown") (nested breakdown);
+  close_out oc
+
 let run_workload m n bricks stripes block_size clients ops profile drop seed
-    optimized trace =
+    optimized trace trace_out trace_chrome stats_json =
   if m < 1 || n <= m then `Error (false, "need 1 <= m < n")
   else begin
-    if trace then Core.Trace.enable_stderr ();
     let volume =
       Fab.Volume.create ~m ~n
         ?bricks:(if bricks = 0 then None else Some bricks)
@@ -42,6 +115,38 @@ let run_workload m n bricks stripes block_size clients ops profile drop seed
     in
     let cluster = Fab.Volume.cluster volume in
     let nbricks = Array.length cluster.Core.Cluster.bricks in
+    let obs = cluster.Core.Cluster.obs in
+    let meta =
+      Obs.Meta.standard
+        ~extra:
+          [
+            ("tool", Obs.Json.S "fab_sim workload");
+            ("seed", Obs.Json.I seed);
+            ("m", Obs.Json.I m);
+            ("n", Obs.Json.I n);
+            ("bricks", Obs.Json.I nbricks);
+            ("stripes", Obs.Json.I stripes);
+            ("block_size", Obs.Json.I block_size);
+            ("clients", Obs.Json.I clients);
+            ("ops", Obs.Json.I ops);
+            ("drop", Obs.Json.F drop);
+          ]
+        ()
+    in
+    let channels = ref [] in
+    let file_sink path make =
+      let oc = open_out path in
+      channels := oc :: !channels;
+      Obs.add_sink obs (make oc)
+    in
+    if trace then begin
+      Core.Trace.enable_stderr ();
+      Obs.add_sink obs (Core.Trace.sink ())
+    end;
+    Option.iter (fun path -> file_sink path (Obs.jsonl ~meta)) trace_out;
+    Option.iter (fun path -> file_sink path Obs.chrome) trace_chrome;
+    let obs_stats = Obs.Stats.create () in
+    if stats_json <> None then Obs.add_sink obs (Obs.Stats.sink obs_stats);
     Printf.printf
       "volume: %d-of-%d code, %d bricks, %d stripes, %dB blocks, drop=%.2f\n"
       m n nbricks stripes block_size drop;
@@ -62,13 +167,14 @@ let run_workload m n bricks stripes block_size clients ops profile drop seed
     let metrics = cluster.Core.Cluster.metrics in
     let total field = Array.fold_left (fun acc s -> acc + field s) 0 stats in
     let ops_done = total (fun s -> s.Workload.Client.ops) in
+    let aborts = total (fun s -> s.Workload.Client.aborts) in
     Printf.printf "clients: %d x %d ops, elapsed %.0f delta\n" clients ops
       elapsed;
     Printf.printf "  completed ops : %d (%d reads, %d writes, %d aborted)\n"
       ops_done
       (total (fun s -> s.Workload.Client.reads))
       (total (fun s -> s.Workload.Client.writes))
-      (total (fun s -> s.Workload.Client.aborts));
+      aborts;
     Printf.printf "  throughput    : %.2f ops / kdelta\n"
       (float_of_int ops_done /. elapsed *. 1000.);
     Array.iteri
@@ -76,6 +182,14 @@ let run_workload m n bricks stripes block_size clients ops profile drop seed
         Printf.printf "  client %d      : %s\n" i
           (Format.asprintf "%a" Metrics.Summary.pp s.Workload.Client.latency))
       stats;
+    let client_latency =
+      Array.fold_left
+        (fun acc s -> Metrics.Summary.merge acc s.Workload.Client.latency)
+        (Metrics.Summary.create ())
+        stats
+    in
+    Printf.printf "  all clients   : %s\n"
+      (Format.asprintf "%a" Metrics.Summary.pp client_latency);
     Printf.printf "  network       : %.0f messages, %.1f KiB payload\n"
       (Metrics.Registry.value metrics "net.msgs")
       (Metrics.Registry.value metrics "net.bytes" /. 1024.);
@@ -83,6 +197,13 @@ let run_workload m n bricks stripes block_size clients ops profile drop seed
       (Metrics.Registry.value metrics "disk.reads")
       (Metrics.Registry.value metrics "disk.writes")
       (Metrics.Registry.value metrics "nvram.writes");
+    Obs.close obs;
+    List.iter close_out !channels;
+    Option.iter
+      (fun path ->
+        write_stats_json path ~meta ~metrics ~obs_stats ~client_latency
+          ~elapsed ~ops_done ~aborts)
+      stats_json;
     `Ok ()
   end
 
@@ -120,14 +241,198 @@ let workload_cmd =
   in
   let trace =
     Arg.(value & flag & info [ "trace" ]
-           ~doc:"Print a protocol trace (every message and operation) to stderr.")
+           ~doc:"Print a protocol trace (every event) to stderr.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the structured event trace as JSON-lines to $(docv) \
+                 (replay it with $(b,fab_sim explain)).")
+  in
+  let trace_chrome =
+    Arg.(value & opt (some string) None & info [ "trace-chrome" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event file to $(docv); load it in \
+                 Perfetto or chrome://tracing.")
+  in
+  let stats_json =
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write machine-readable run statistics (counters, latency \
+                 summaries, per-phase breakdown) to $(docv).")
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Run a synthetic workload on a simulated volume")
     Term.(
       ret
         (const run_workload $ m $ n $ bricks $ stripes $ block_size $ clients
-        $ ops $ profile $ drop $ seed $ optimized $ trace))
+        $ ops $ profile $ drop $ seed $ optimized $ trace $ trace_out
+        $ trace_chrome $ stats_json))
+
+(* ---------------- explain ---------------- *)
+
+let read_lines file =
+  let ic = open_in file in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let fmt_cell = function None -> "      -" | Some v -> Printf.sprintf "%7.1f" v
+
+let print_breakdown obs_stats =
+  let phases = Obs.all_phases in
+  Printf.printf "\nper-op-kind phase breakdown (time in delta units):\n";
+  Printf.printf "  %-13s %6s %5s %5s %5s %8s %8s" "kind" "count" "ok" "rty"
+    "abt" "mean" "p95";
+  List.iter (fun p -> Printf.printf " %9s" (Obs.phase_name p)) phases;
+  Printf.printf "\n";
+  let completed = Obs.Stats.completed obs_stats in
+  let by_kind = Obs.Stats.by_kind obs_stats in
+  let outcome_count kind o =
+    List.length
+      (List.filter
+         (fun (st : Obs.Stats.op_stat) ->
+           st.Obs.Stats.op_kind = kind && st.Obs.Stats.outcome = Some o)
+         completed)
+  in
+  List.iter
+    (fun (kind, count, phase_means) ->
+      let lat = List.assoc_opt kind by_kind in
+      Printf.printf "  %-13s %6d %5d %5d %5d %8s %8s" kind count
+        (outcome_count kind Obs.Ok)
+        (outcome_count kind Obs.Retry)
+        (outcome_count kind Obs.Abort)
+        (match lat with
+        | Some s when Metrics.Summary.count s > 0 ->
+            Printf.sprintf "%.1f" (Metrics.Summary.mean s)
+        | _ -> "-")
+        (match lat with
+        | Some s when Metrics.Summary.count s > 0 ->
+            Printf.sprintf "%.1f" (Metrics.Summary.percentile s 95.)
+        | _ -> "-");
+      List.iter
+        (fun p ->
+          Printf.printf " %9s" (fmt_cell (List.assoc_opt p phase_means)))
+        phases;
+      Printf.printf "\n")
+    (Obs.Stats.phase_breakdown obs_stats)
+
+let print_per_op obs_stats =
+  Printf.printf "\nper-operation spans:\n";
+  Printf.printf "  %5s %9s %-13s %5s %-6s %8s  %s\n" "op" "start" "kind" "s"
+    "out" "latency" "phases";
+  List.iter
+    (fun (st : Obs.Stats.op_stat) ->
+      Printf.printf "  %5d %9.1f %-13s %5d %-6s %8.1f  %s\n" st.Obs.Stats.op
+        st.Obs.Stats.t_start st.Obs.Stats.op_kind st.Obs.Stats.stripe
+        (match st.Obs.Stats.outcome with
+        | Some o -> Obs.outcome_name o
+        | None -> "?")
+        (Obs.Stats.latency st)
+        (String.concat " "
+           (List.map
+              (fun (p, d) -> Printf.sprintf "%s=%.1f" (Obs.phase_name p) d)
+              (List.rev st.Obs.Stats.phases))))
+    (Obs.Stats.completed obs_stats)
+
+let run_explain file per_op validate =
+  match read_lines file with
+  | exception Sys_error msg -> `Error (false, msg)
+  | lines ->
+      let events = ref [] and metas = ref [] and errors = ref [] in
+      List.iteri
+        (fun i line ->
+          if String.trim line <> "" then
+            match Obs.of_json line with
+            | `Event ev -> events := ev :: !events
+            | `Meta md -> metas := md :: !metas
+            | `Error e ->
+                errors := Printf.sprintf "line %d: %s" (i + 1) e :: !errors)
+        lines;
+      let events = List.rev !events in
+      List.iter
+        (fun md ->
+          Printf.printf "run: %s\n"
+            (String.concat " "
+               (List.filter_map
+                  (fun (k, v) ->
+                    if k = "ev" then None
+                    else Some (k ^ "=" ^ Obs.Json.render v))
+                  md)))
+        (List.rev !metas);
+      let span_errors = if validate then Obs.Check.well_formed events else [] in
+      let schema_errors = List.rev !errors in
+      let obs_stats = Obs.Stats.create () in
+      List.iter (Obs.Stats.feed obs_stats) events;
+      Printf.printf "%d events, %d completed ops, %d unfinished\n"
+        (List.length events)
+        (List.length (Obs.Stats.completed obs_stats))
+        (Obs.Stats.unfinished obs_stats);
+      let totals =
+        List.fold_left
+          (fun (msgs, bytes, drops, timeouts, dr, dw)
+               (st : Obs.Stats.op_stat) ->
+            ( msgs + st.Obs.Stats.msgs,
+              bytes + st.Obs.Stats.bytes,
+              drops + st.Obs.Stats.drops,
+              timeouts + st.Obs.Stats.timeouts,
+              dr + st.Obs.Stats.disk_reads,
+              dw + st.Obs.Stats.disk_writes ))
+          (0, 0, 0, 0, 0, 0)
+          (Obs.Stats.completed obs_stats)
+      in
+      let msgs, bytes, drops, timeouts, dr, dw = totals in
+      Printf.printf
+        "attributed to ops: %d msgs, %d payload bytes, %d drops, %d \
+         timeouts, %d disk reads, %d disk writes\n"
+        msgs bytes drops timeouts dr dw;
+      print_breakdown obs_stats;
+      (match Obs.Stats.queue_depths obs_stats with
+      | [] -> ()
+      | qs ->
+          Printf.printf "\nqueue depths (samples at enqueue):\n";
+          List.iter
+            (fun (who, s) ->
+              Printf.printf "  %-6s %s\n" who
+                (Format.asprintf "%a" Metrics.Summary.pp s))
+            qs);
+      if per_op then print_per_op obs_stats;
+      if validate then begin
+        List.iter (Printf.eprintf "schema error: %s\n") schema_errors;
+        List.iter (Printf.eprintf "span error: %s\n") span_errors;
+        if schema_errors <> [] || span_errors <> [] then
+          `Error
+            ( false,
+              Printf.sprintf "trace validation failed (%d schema, %d span)"
+                (List.length schema_errors)
+                (List.length span_errors) )
+        else begin
+          Printf.printf "\nvalidation: OK (schema + span well-formedness)\n";
+          `Ok ()
+        end
+      end
+      else `Ok ()
+
+let explain_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.jsonl"
+           ~doc:"JSON-lines trace written by $(b,workload --trace-out).")
+  in
+  let per_op =
+    Arg.(value & flag & info [ "per-op" ]
+           ~doc:"Also print one line per operation span.")
+  in
+  let validate =
+    Arg.(value & flag & info [ "validate" ]
+           ~doc:"Check the JSONL schema and span well-formedness; exit \
+                 non-zero on any violation.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Replay a structured trace into per-op phase-latency breakdowns")
+    Term.(ret (const run_explain $ file $ per_op $ validate))
 
 (* ---------------- mttdl ---------------- *)
 
@@ -192,4 +497,6 @@ let () =
     Cmd.info "fab_sim" ~version:"1.0.0"
       ~doc:"Simulate FAB: decentralized erasure-coded virtual disks (DSN 2004)"
   in
-  exit (Cmd.eval (Cmd.group info [ workload_cmd; mttdl_cmd; quorum_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ workload_cmd; explain_cmd; mttdl_cmd; quorum_cmd ]))

@@ -44,7 +44,7 @@ let create ?(seed = 42) ?(block_size = 1024) ~m ~n () =
   let t = { engine; rpc; bricks; codec; stores; m; n; block_size } in
   Array.iteri
     (fun i _ ->
-      Quorum.Rpc.serve rpc ~addr:i (fun ~src:_ msg ->
+      Quorum.Rpc.serve rpc ~addr:i (fun ~src:_ ~ctx:_ msg ->
           if not (Brick.is_alive t.bricks.(i)) then None
           else
             match msg with

@@ -100,7 +100,7 @@ let create ?(seed = 42) ?(net_config = Simnet.Net.default_config)
   in
   Array.iteri
     (fun i _ ->
-      Quorum.Rpc.serve rpc ~addr:i (fun ~src msg -> handle t i ~src msg))
+      Quorum.Rpc.serve rpc ~addr:i (fun ~src ~ctx:_ msg -> handle t i ~src msg))
     bricks;
   t
 

@@ -11,9 +11,11 @@ type t = {
   disk_reads : Metrics.Counter.t;
   disk_writes : Metrics.Counter.t;
   nvram_writes : Metrics.Counter.t;
+  obs : Obs.t;
 }
 
-let create ?(metrics = Metrics.Registry.create ()) engine ~id =
+let create ?(metrics = Metrics.Registry.create ()) ?(obs = Obs.create ())
+    engine ~id =
   {
     id;
     engine;
@@ -25,6 +27,7 @@ let create ?(metrics = Metrics.Registry.create ()) engine ~id =
     disk_reads = Metrics.Registry.counter metrics "disk.reads";
     disk_writes = Metrics.Registry.counter metrics "disk.writes";
     nvram_writes = Metrics.Registry.counter metrics "nvram.writes";
+    obs;
   }
 
 let id t = t.id
@@ -75,11 +78,23 @@ let scratch_release t b =
   in
   if Stack.length s < max_pooled_per_len then Stack.push b s
 
-let count_disk_read ?(blocks = 1) t =
-  Metrics.Counter.incr ~by:(float_of_int blocks) t.disk_reads
+let emit_io t (ctx : Obs.ctx) kind =
+  Obs.emit t.obs
+    {
+      Obs.time = Dessim.Engine.now t.engine;
+      actor = Obs.Brick t.id;
+      op = ctx.Obs.op;
+      phase = ctx.Obs.phase;
+      kind;
+    }
 
-let count_disk_write ?(blocks = 1) t =
-  Metrics.Counter.incr ~by:(float_of_int blocks) t.disk_writes
+let count_disk_read ?(blocks = 1) ?(ctx = Obs.no_ctx) t =
+  Metrics.Counter.incr ~by:(float_of_int blocks) t.disk_reads;
+  if Obs.enabled t.obs then emit_io t ctx (Obs.Io_read { blocks })
+
+let count_disk_write ?(blocks = 1) ?(ctx = Obs.no_ctx) t =
+  Metrics.Counter.incr ~by:(float_of_int blocks) t.disk_writes;
+  if Obs.enabled t.obs then emit_io t ctx (Obs.Io_write { blocks })
 
 let count_nvram_write t = Metrics.Counter.incr t.nvram_writes
 let crash_count t = t.crash_count

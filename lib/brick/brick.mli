@@ -22,7 +22,8 @@
 
 type t
 
-val create : ?metrics:Metrics.Registry.t -> Dessim.Engine.t -> id:int -> t
+val create :
+  ?metrics:Metrics.Registry.t -> ?obs:Obs.t -> Dessim.Engine.t -> id:int -> t
 val id : t -> int
 val engine : t -> Dessim.Engine.t
 
@@ -59,11 +60,12 @@ val scratch_release : t -> Bytes.t -> unit
     keeps a bounded number of buffers per length; extras are dropped for
     the GC. *)
 
-val count_disk_read : ?blocks:int -> t -> unit
+val count_disk_read : ?blocks:int -> ?ctx:Obs.ctx -> t -> unit
 (** Account reading [blocks] (default 1) block-sized records from the
-    on-disk log. *)
+    on-disk log. When the brick's observability hub is enabled, also
+    emits an [Io_read] event attributed to [ctx]'s operation. *)
 
-val count_disk_write : ?blocks:int -> t -> unit
+val count_disk_write : ?blocks:int -> ?ctx:Obs.ctx -> t -> unit
 val count_nvram_write : t -> unit
 
 val crash_count : t -> int

@@ -3,6 +3,7 @@ type t = {
   net : ((Message.t, Message.t) Quorum.Rpc.envelope) Simnet.Net.t;
   rpc : (Message.t, Message.t) Quorum.Rpc.t;
   metrics : Metrics.Registry.t;
+  obs : Obs.t;
   cfg : Config.t;
   bricks : Brick.t array;
   replicas : Replica.t array;
@@ -23,16 +24,35 @@ let default_codec ~m ~n =
 let wire ~seed ~net_config ~nbricks ~clock ~retry_every ~make_cfg =
   let engine = Dessim.Engine.create ~seed () in
   let metrics = Metrics.Registry.create () in
-  let net = Simnet.Net.create ~metrics engine ~config:net_config ~n:nbricks in
+  let obs = Obs.create () in
+  (* Sample the engine's event-queue depth only when someone listens:
+     the unobserved engine keeps its one-branch-per-event fast path. *)
+  Obs.on_enable obs (fun () ->
+      Dessim.Engine.set_observer engine
+        (Some
+           (fun ~now ~pending ->
+             if Obs.enabled obs then
+               Obs.emit obs
+                 {
+                   Obs.time = now;
+                   actor = Obs.Sim;
+                   op = -1;
+                   phase = None;
+                   kind = Obs.Queue_depth { depth = pending };
+                 })));
+  let net =
+    Simnet.Net.create ~metrics ~obs engine ~config:net_config ~n:nbricks
+  in
   let rpc =
-    Quorum.Rpc.create ~net ~req_bytes:Message.bytes_on_wire
-      ~rep_bytes:Message.bytes_on_wire ?retry_every
+    Quorum.Rpc.create ~net ~metrics ~req_bytes:Message.bytes_on_wire
+      ~rep_bytes:Message.bytes_on_wire ~req_label:Message.label
+      ~rep_label:Message.label ?retry_every
       ~grace:(net_config.Simnet.Net.delay +. net_config.Simnet.Net.jitter)
       ()
   in
-  let cfg = make_cfg ~engine ~rpc ~metrics in
+  let cfg = make_cfg ~engine ~rpc ~metrics ~obs in
   let bricks =
-    Array.init nbricks (fun id -> Brick.create ~metrics engine ~id)
+    Array.init nbricks (fun id -> Brick.create ~metrics ~obs engine ~id)
   in
   let replicas = Array.map (fun b -> Replica.create cfg ~brick:b) bricks in
   let coordinators =
@@ -48,7 +68,7 @@ let wire ~seed ~net_config ~nbricks ~clock ~retry_every ~make_cfg =
         Coordinator.create cfg ~brick:b ~clock:clk)
       bricks
   in
-  { engine; net; rpc; metrics; cfg; bricks; replicas; coordinators }
+  { engine; net; rpc; metrics; obs; cfg; bricks; replicas; coordinators }
 
 let create ?(seed = 42) ?(net_config = Simnet.Net.default_config) ?bricks
     ?layout ?(block_size = 1024) ?(clock = Logical) ?gc_enabled
@@ -65,18 +85,18 @@ let create ?(seed = 42) ?(net_config = Simnet.Net.default_config) ?bricks
   let codec = default_codec ~m ~n in
   let mq = Quorum.Mquorum.create ~n ~m in
   wire ~seed ~net_config ~nbricks ~clock ~retry_every
-    ~make_cfg:(fun ~engine ~rpc ~metrics ->
+    ~make_cfg:(fun ~engine ~rpc ~metrics ~obs ->
       Config.create ~codec ~mq ~block_size ~engine ~rpc ~metrics ~layout
-        ?gc_enabled ?optimized_modify ())
+        ~obs ?gc_enabled ?optimized_modify ())
 
 let create_policied ?(seed = 42) ?(net_config = Simnet.Net.default_config)
     ?(block_size = 1024) ?(clock = Logical) ?gc_enabled ?optimized_modify
     ?retry_every ~bricks:nbricks ~policy_of () =
   if nbricks < 1 then invalid_arg "Core.Cluster.create_policied: no bricks";
   wire ~seed ~net_config ~nbricks ~clock ~retry_every
-    ~make_cfg:(fun ~engine ~rpc ~metrics ->
+    ~make_cfg:(fun ~engine ~rpc ~metrics ~obs ->
       Config.create_policied ~policy_of ~block_size ~engine ~rpc ~metrics
-        ?gc_enabled ?optimized_modify ())
+        ~obs ?gc_enabled ?optimized_modify ())
 
 let run ?(horizon = 100_000.) t =
   Dessim.Engine.run ~until:(Dessim.Engine.now t.engine +. horizon) t.engine

@@ -10,6 +10,10 @@ type t = {
   net : ((Message.t, Message.t) Quorum.Rpc.envelope) Simnet.Net.t;
   rpc : (Message.t, Message.t) Quorum.Rpc.t;
   metrics : Metrics.Registry.t;
+  obs : Obs.t;
+      (** The deployment-wide observability hub. Disabled (and
+          zero-cost) until a sink is attached with {!Obs.add_sink};
+          enabling it also installs the engine queue-depth probe. *)
   cfg : Config.t;
   bricks : Brick.t array;
   replicas : Replica.t array;

@@ -19,22 +19,33 @@ type t = {
   engine : Dessim.Engine.t;
   rpc : (Message.t, Message.t) Quorum.Rpc.t;
   metrics : Metrics.Registry.t;
+  obs : Obs.t;
   gc_enabled : bool;
   optimized_modify : bool;
 }
 
 let create_policied ~policy_of ~block_size ~engine ~rpc ~metrics
-    ?(gc_enabled = true) ?(optimized_modify = false) () =
+    ?(obs = Obs.create ()) ?(gc_enabled = true) ?(optimized_modify = false) ()
+    =
   if block_size <= 0 then invalid_arg "Core.Config: block_size <= 0";
-  { policy_of; block_size; engine; rpc; metrics; gc_enabled; optimized_modify }
+  {
+    policy_of;
+    block_size;
+    engine;
+    rpc;
+    metrics;
+    obs;
+    gc_enabled;
+    optimized_modify;
+  }
 
-let create ~codec ~mq ~block_size ~engine ~rpc ~metrics ~layout ?gc_enabled
-    ?optimized_modify () =
+let create ~codec ~mq ~block_size ~engine ~rpc ~metrics ~layout ?obs
+    ?gc_enabled ?optimized_modify () =
   let policy_of stripe = make_policy ~codec ~mq ~members:(layout stripe) in
   (* Validate eagerly on a representative stripe. *)
   ignore (policy_of 0);
-  create_policied ~policy_of ~block_size ~engine ~rpc ~metrics ?gc_enabled
-    ?optimized_modify ()
+  create_policied ~policy_of ~block_size ~engine ~rpc ~metrics ?obs
+    ?gc_enabled ?optimized_modify ()
 
 let policy t ~stripe = t.policy_of stripe
 let codec t ~stripe = (policy t ~stripe).codec

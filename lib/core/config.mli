@@ -32,6 +32,9 @@ type t = {
   engine : Dessim.Engine.t;
   rpc : (Message.t, Message.t) Quorum.Rpc.t;
   metrics : Metrics.Registry.t;
+  obs : Obs.t;
+      (** Observability hub shared by every layer of the deployment; a
+          fresh (disabled) hub by default. *)
   gc_enabled : bool;
       (** Send asynchronous garbage-collection messages after complete
           writes (paper section 5.1). *)
@@ -49,6 +52,7 @@ val create :
   rpc:(Message.t, Message.t) Quorum.Rpc.t ->
   metrics:Metrics.Registry.t ->
   layout:(int -> Simnet.Net.addr array) ->
+  ?obs:Obs.t ->
   ?gc_enabled:bool ->
   ?optimized_modify:bool ->
   unit ->
@@ -64,6 +68,7 @@ val create_policied :
   engine:Dessim.Engine.t ->
   rpc:(Message.t, Message.t) Quorum.Rpc.t ->
   metrics:Metrics.Registry.t ->
+  ?obs:Obs.t ->
   ?gc_enabled:bool ->
   ?optimized_modify:bool ->
   unit ->

@@ -1,18 +1,51 @@
 module Ts = Timestamp
 
-type t = { cfg : Config.t; brick : Brick.t; clock : Clock.t }
+type t = {
+  cfg : Config.t;
+  brick : Brick.t;
+  clock : Clock.t;
+  mutable retry_hint : bool;
+}
 
 type 'a outcome = ('a, [ `Aborted ]) result
 
-let create cfg ~brick ~clock = { cfg; brick; clock }
+let create cfg ~brick ~clock = { cfg; brick; clock; retry_hint = false }
 
-(* Wrap an operation with lifecycle tracing. *)
+let hint_retry t = t.retry_hint <- true
+
+let emit_span t ~op kind =
+  Obs.emit t.cfg.Config.obs
+    {
+      Obs.time = Dessim.Engine.now t.cfg.Config.engine;
+      actor = Obs.Coord (Brick.id t.brick);
+      op;
+      phase = None;
+      kind;
+    }
+
+(* Wrap an operation with an observability span. The op id is threaded
+   into every quorum round so replica- and network-side events are
+   attributed to it. The retry hint is consumed here, synchronously at
+   entry (no suspension point in between), so an abort whose caller
+   will retry it is reported as [Retry] rather than [Abort]. *)
 let traced t ~stripe name f =
-  Trace.op ~coord:(Brick.id t.brick) ~stripe name `Start;
-  let result = f () in
-  Trace.op ~coord:(Brick.id t.brick) ~stripe name
-    (match result with Ok _ -> `Ok | Error `Aborted -> `Abort);
-  result
+  let obs = t.cfg.Config.obs in
+  let op = Obs.next_op obs in
+  let will_retry = t.retry_hint in
+  t.retry_hint <- false;
+  if not (Obs.enabled obs) then f op
+  else begin
+    emit_span t ~op (Obs.Span_start { op_kind = name; stripe });
+    let result = f op in
+    let outcome =
+      match result with
+      | Ok _ -> Obs.Ok
+      | Error `Aborted -> if will_retry then Obs.Retry else Obs.Abort
+    in
+    emit_span t ~op (Obs.Span_end { op_kind = name; stripe; outcome });
+    result
+  end
+
 let brick t = t.brick
 let clock t = t.clock
 
@@ -31,14 +64,36 @@ let observe_replies t replies =
       | _ -> ())
     replies
 
-let quorum_call ?until t ~stripe make_req =
+let emit_phase t ~op ~phase kind =
+  Obs.emit t.cfg.Config.obs
+    {
+      Obs.time = Dessim.Engine.now t.cfg.Config.engine;
+      actor = Obs.Coord (Brick.id t.brick);
+      op;
+      phase = Some phase;
+      kind;
+    }
+
+(* One quorum round = one protocol phase of the operation's span. *)
+let quorum_call ?until t ~stripe ~op ~phase make_req =
   let members = Config.members t.cfg ~stripe in
+  let observing = Obs.enabled t.cfg.Config.obs in
+  if observing then emit_phase t ~op ~phase Obs.Phase_start;
   let replies =
     Quorum.Rpc.call t.cfg.Config.rpc ~coord:t.brick ~members
-      ~quorum:(Config.quorum_size t.cfg ~stripe) ?until make_req
+      ~quorum:(Config.quorum_size t.cfg ~stripe) ?until
+      ~ctx:(Obs.ctx ~phase op) make_req
   in
+  if observing then emit_phase t ~op ~phase Obs.Phase_end;
   observe_replies t replies;
   replies
+
+let notify_gc t ~stripe ~op ts =
+  if t.cfg.Config.gc_enabled then
+    Quorum.Rpc.notify t.cfg.Config.rpc ~coord:t.brick
+      ~members:(Config.members t.cfg ~stripe)
+      ~ctx:(Obs.ctx ~phase:Obs.Gc op)
+      (Message.Gc { stripe; before = ts })
 
 (* Pick m distinct random members as read targets. *)
 let pick_targets t ~stripe =
@@ -85,13 +140,14 @@ let unanimous_version replies =
 (* ------------------------------------------------------------------ *)
 
 (* fast-read-stripe (lines 5-11): one round, no state modified. *)
-let fast_read_stripe t ~stripe =
+let fast_read_stripe t ~stripe ~op =
   let targets = pick_targets t ~stripe in
   let until replies =
     List.for_all (fun a -> List.mem_assoc a replies) targets
   in
   let replies =
-    quorum_call ~until t ~stripe (fun _ -> Message.Read { stripe; targets })
+    quorum_call ~until t ~stripe ~op ~phase:Obs.Fast_read (fun _ ->
+        Message.Read { stripe; targets })
   in
   match unanimous_version replies with
   | None -> None
@@ -130,7 +186,7 @@ let all_status_true replies =
    hand ownership of [data] to the store. Parity blocks are freshly
    allocated per operation because replica logs retain what they are
    sent; only the m data-block copies of the old encode are saved. *)
-let store_stripe t ~stripe data ts =
+let store_stripe t ~stripe ~op data ts =
   let codec = Config.codec t.cfg ~stripe in
   let cm = Erasure.Codec.m codec and cn = Erasure.Codec.n codec in
   let len = Bytes.length data.(0) in
@@ -139,24 +195,21 @@ let store_stripe t ~stripe data ts =
   in
   Erasure.Codec.encode_into codec data ~into:enc;
   let replies =
-    quorum_call t ~stripe (fun dst ->
+    quorum_call t ~stripe ~op ~phase:Obs.Write (fun dst ->
         Message.Write { stripe; block = enc.(pos_of t ~stripe dst); ts })
   in
   if all_status_true replies then begin
-    if t.cfg.Config.gc_enabled then
-      Quorum.Rpc.notify t.cfg.Config.rpc ~coord:t.brick
-        ~members:(Config.members t.cfg ~stripe)
-        (Message.Gc { stripe; before = ts });
+    notify_gc t ~stripe ~op ts;
     Ok ()
   end
   else Error `Aborted
 
 (* read-prev-stripe (lines 24-33): walk versions newest-first until one
    has at least m surviving blocks. *)
-let read_prev_stripe t ~stripe ts =
+let read_prev_stripe t ~stripe ~op ts =
   let rec loop max =
     let replies =
-      quorum_call t ~stripe (fun _ ->
+      quorum_call t ~stripe ~op ~phase:Obs.Recover (fun _ ->
           Message.Order_read { stripe; target = Message.All; max; ts })
     in
     if not (all_status_true replies) then Error `Aborted
@@ -199,23 +252,24 @@ let read_prev_stripe t ~stripe ts =
   loop Ts.high
 
 (* recover (lines 17-23). *)
-let recover_with t ~stripe ~patch =
+let recover_with t ~stripe ~op ~patch =
   let ts = Clock.new_ts t.clock in
-  match read_prev_stripe t ~stripe ts with
+  match read_prev_stripe t ~stripe ~op ts with
   | Error `Aborted -> Error `Aborted
   | Ok data -> (
       patch data;
-      match store_stripe t ~stripe data ts with
+      match store_stripe t ~stripe ~op data ts with
       | Ok () -> Ok data
       | Error `Aborted -> Error `Aborted)
 
 let recover t ~stripe =
-  traced t ~stripe "recover" (fun () -> recover_with t ~stripe ~patch:ignore)
+  traced t ~stripe "recover" (fun op ->
+      recover_with t ~stripe ~op ~patch:ignore)
 
 (* read-stripe (lines 1-4). *)
 let read_stripe t ~stripe =
-  traced t ~stripe "read-stripe" (fun () ->
-      match fast_read_stripe t ~stripe with
+  traced t ~stripe "read-stripe" (fun op ->
+      match fast_read_stripe t ~stripe ~op with
       | Some data -> Ok data
       | None -> recover t ~stripe)
 
@@ -231,13 +285,14 @@ let check_stripe_shape t ~stripe data =
 (* write-stripe (lines 12-16). *)
 let write_stripe t ~stripe data =
   check_stripe_shape t ~stripe data;
-  traced t ~stripe "write-stripe" (fun () ->
+  traced t ~stripe "write-stripe" (fun op ->
       let ts = Clock.new_ts t.clock in
       let replies =
-        quorum_call t ~stripe (fun _ -> Message.Order { stripe; ts })
+        quorum_call t ~stripe ~op ~phase:Obs.Order (fun _ ->
+            Message.Order { stripe; ts })
       in
       if not (all_status_true replies) then Error `Aborted
-      else store_stripe t ~stripe data ts)
+      else store_stripe t ~stripe ~op data ts)
 
 (* ------------------------------------------------------------------ *)
 (* Algorithm 3: block access                                           *)
@@ -253,12 +308,13 @@ let check_block_shape t ~stripe j b =
 let read_block t ~stripe j =
   if j < 0 || j >= Config.m t.cfg ~stripe then
     invalid_arg "Core.Coordinator: block index out of range";
-  traced t ~stripe "read-block" (fun () ->
+  traced t ~stripe "read-block" (fun op ->
   let addr_j = (Config.members_array t.cfg ~stripe).(j) in
   let targets = [ addr_j ] in
   let until replies = List.mem_assoc addr_j replies in
   let replies =
-    quorum_call ~until t ~stripe (fun _ -> Message.Read { stripe; targets })
+    quorum_call ~until t ~stripe ~op ~phase:Obs.Fast_read (fun _ ->
+        Message.Read { stripe; targets })
   in
   let fast =
     match unanimous_version replies with
@@ -276,11 +332,11 @@ let read_block t ~stripe j =
       | Error `Aborted -> Error `Aborted))
 
 (* fast-write-block (lines 74-82). *)
-let fast_write_block t ~stripe j b ts =
+let fast_write_block t ~stripe ~op j b ts =
   let addr_j = (Config.members_array t.cfg ~stripe).(j) in
   let until replies = List.mem_assoc addr_j replies in
   let replies =
-    quorum_call ~until t ~stripe (fun _ ->
+    quorum_call ~until t ~stripe ~op ~phase:Obs.Order (fun _ ->
         Message.Order_read
           { stripe; target = Message.Addr addr_j; max = Ts.high; ts })
   in
@@ -305,24 +361,21 @@ let fast_write_block t ~stripe j b ts =
           end
           else fun _ -> Message.Modify { stripe; j; bj; b; tsj; ts }
         in
-        let replies = quorum_call t ~stripe make_req in
+        let replies = quorum_call t ~stripe ~op ~phase:Obs.Modify make_req in
         if all_status_true replies then begin
-          if t.cfg.Config.gc_enabled then
-            Quorum.Rpc.notify t.cfg.Config.rpc ~coord:t.brick
-              ~members:(Config.members t.cfg ~stripe)
-              (Message.Gc { stripe; before = ts });
+          notify_gc t ~stripe ~op ts;
           Some (Ok ())
         end
         else Some (Error `Aborted)
     | Some _ | None -> None
 
 (* slow-write-block (lines 83-87): reconstruct, patch block j, store. *)
-let slow_write_block t ~stripe j b ts =
-  match read_prev_stripe t ~stripe ts with
+let slow_write_block t ~stripe ~op j b ts =
+  match read_prev_stripe t ~stripe ~op ts with
   | Error `Aborted -> Error `Aborted
   | Ok data ->
       data.(j) <- b;
-      store_stripe t ~stripe data ts
+      store_stripe t ~stripe ~op data ts
 
 (* ------------------------------------------------------------------ *)
 (* Footnote-2 extension: contiguous multi-block access                 *)
@@ -342,14 +395,15 @@ let read_blocks t ~stripe j0 ~len =
   check_range t ~stripe j0 len;
   if len = Config.m t.cfg ~stripe then read_stripe t ~stripe
   else
-    traced t ~stripe "read-blocks" @@ fun () ->
+    traced t ~stripe "read-blocks" @@ fun op ->
     begin
     let targets = range_addrs t ~stripe j0 len in
     let until replies =
       List.for_all (fun a -> List.mem_assoc a replies) targets
     in
     let replies =
-      quorum_call ~until t ~stripe (fun _ -> Message.Read { stripe; targets })
+      quorum_call ~until t ~stripe ~op ~phase:Obs.Fast_read (fun _ ->
+          Message.Read { stripe; targets })
     in
     let fast =
       match unanimous_version replies with
@@ -379,14 +433,14 @@ let read_blocks t ~stripe j0 ~len =
    blocks, then one Modify_multi round. The range's blocks must all be
    at the same version timestamp; mixed versions (e.g. after an
    interleaved single-block write) take the slow path. *)
-let fast_write_blocks t ~stripe j0 news ts =
+let fast_write_blocks t ~stripe ~op j0 news ts =
   let len = Array.length news in
   let targets = range_addrs t ~stripe j0 len in
   let until replies =
     List.for_all (fun a -> List.mem_assoc a replies) targets
   in
   let replies =
-    quorum_call ~until t ~stripe (fun _ ->
+    quorum_call ~until t ~stripe ~op ~phase:Obs.Order (fun _ ->
         Message.Order_read
           { stripe; target = Message.Addrs targets; max = Ts.high; ts })
   in
@@ -409,26 +463,23 @@ let fast_write_blocks t ~stripe j0 news ts =
       else begin
         let olds = Array.of_list (List.map snd infos) in
         let replies =
-          quorum_call t ~stripe (fun _ ->
+          quorum_call t ~stripe ~op ~phase:Obs.Modify (fun _ ->
               Message.Modify_multi { stripe; j0; olds; news; tsj; ts })
         in
         if all_status_true replies then begin
-          if t.cfg.Config.gc_enabled then
-            Quorum.Rpc.notify t.cfg.Config.rpc ~coord:t.brick
-              ~members:(Config.members t.cfg ~stripe)
-              (Message.Gc { stripe; before = ts });
+          notify_gc t ~stripe ~op ts;
           Some (Ok ())
         end
         else Some (Error `Aborted)
       end
   end
 
-let slow_write_blocks t ~stripe j0 news ts =
-  match read_prev_stripe t ~stripe ts with
+let slow_write_blocks t ~stripe ~op j0 news ts =
+  match read_prev_stripe t ~stripe ~op ts with
   | Error `Aborted -> Error `Aborted
   | Ok data ->
       Array.iteri (fun i b -> data.(j0 + i) <- b) news;
-      store_stripe t ~stripe data ts
+      store_stripe t ~stripe ~op data ts
 
 let write_blocks t ~stripe j0 news =
   let len = Array.length news in
@@ -440,18 +491,18 @@ let write_blocks t ~stripe j0 news =
     news;
   if len = Config.m t.cfg ~stripe then write_stripe t ~stripe news
   else
-    traced t ~stripe "write-blocks" @@ fun () ->
+    traced t ~stripe "write-blocks" @@ fun op ->
     let ts = Clock.new_ts t.clock in
-    match fast_write_blocks t ~stripe j0 news ts with
+    match fast_write_blocks t ~stripe ~op j0 news ts with
     | Some (Ok ()) -> Ok ()
-    | Some (Error `Aborted) | None -> slow_write_blocks t ~stripe j0 news ts
+    | Some (Error `Aborted) | None -> slow_write_blocks t ~stripe ~op j0 news ts
 
 (* write-block (lines 70-73). *)
 let write_block t ~stripe j b =
   check_block_shape t ~stripe j b;
-  traced t ~stripe "write-block" (fun () ->
+  traced t ~stripe "write-block" (fun op ->
   let ts = Clock.new_ts t.clock in
-  match fast_write_block t ~stripe j b ts with
+  match fast_write_block t ~stripe ~op j b ts with
   | Some (Ok ()) -> Ok ()
   | Some (Error `Aborted) | None ->
       (* Per the paper, any fast-path failure falls back to the slow
@@ -459,7 +510,7 @@ let write_block t ~stripe j b =
          partially applied, replicas that logged it will refuse the
          slow path's messages and the operation aborts — the partial
          write is then rolled forward or back by the next read. *)
-      slow_write_block t ~stripe j b ts)
+      slow_write_block t ~stripe ~op j b ts)
 
 (* ------------------------------------------------------------------ *)
 (* Scrubbing: detect and repair silent block corruption               *)
@@ -474,13 +525,13 @@ let rec subsets k lo n =
     @ subsets k (lo + 1) n
 
 let scrub t ~stripe =
-  traced t ~stripe "scrub" @@ fun () ->
+  traced t ~stripe "scrub" @@ fun op ->
   let m = Config.m t.cfg ~stripe in
   let members = Config.members t.cfg ~stripe in
   let ts = Clock.new_ts t.clock in
   let until replies = List.length replies = List.length members in
   let replies =
-    quorum_call ~until t ~stripe (fun _ ->
+    quorum_call ~until t ~stripe ~op ~phase:Obs.Recover (fun _ ->
         Message.Order_read { stripe; target = Message.All; max = Ts.high; ts })
   in
   if not (all_status_true replies) then Error `Aborted
@@ -551,16 +602,19 @@ let scrub t ~stripe =
           let data = Erasure.Codec.decode codec blocks in
           Result.map
             (fun () -> List.sort compare corrupted)
-            (store_stripe t ~stripe data ts)
+            (store_stripe t ~stripe ~op data ts)
     end
   end
 
-let with_retries ?(attempts = 3) _t f =
+let with_retries ?(attempts = 3) t f =
+  if attempts < 1 then invalid_arg "Core.Coordinator.with_retries: attempts < 1";
   let rec go left =
+    (* Flag the attempt as retryable before running it, so the span it
+       opens can report [Retry] instead of [Abort] if it fails. *)
+    if left > 1 then hint_retry t;
     match f () with
     | Ok v -> Ok v
     | Error `Aborted when left > 1 -> go (left - 1)
     | Error `Aborted -> Error `Aborted
   in
-  if attempts < 1 then invalid_arg "Core.Coordinator.with_retries: attempts < 1";
   go attempts

@@ -77,6 +77,14 @@ val scrub : t -> stripe:int -> int list outcome
     at a new timestamp, so it doubles as the re-sync pass a recovered
     brick runs. *)
 
+val hint_retry : t -> unit
+(** Flag the {e next} operation started on this coordinator as one its
+    caller will retry if it aborts: its observability span then ends
+    with outcome [Retry] instead of [Abort]. The hint is consumed
+    synchronously when the operation starts (before any suspension
+    point), so it cannot leak across interleaved fibers. Used by
+    {!with_retries} and by clients running their own retry loops. *)
+
 val with_retries : ?attempts:int -> t -> (unit -> 'a outcome) -> 'a outcome
 (** [with_retries t f] runs [f] and re-runs it after an abort, up to
     [attempts] times (default 3) in total. Retrying is the client-side

@@ -75,6 +75,21 @@ let stripe = function
       Some stripe
   | Read_r _ | Order_r _ | Order_read_r _ | Write_r _ | Modify_r _ -> None
 
+let label = function
+  | Read _ -> "read"
+  | Order _ -> "order"
+  | Order_read _ -> "order&read"
+  | Write _ -> "write"
+  | Modify _ -> "modify"
+  | Modify_delta _ -> "modify-delta"
+  | Modify_multi _ -> "modify-multi"
+  | Gc _ -> "gc"
+  | Read_r _ -> "read-r"
+  | Order_r _ -> "order-r"
+  | Order_read_r _ -> "order&read-r"
+  | Write_r _ -> "write-r"
+  | Modify_r _ -> "modify-r"
+
 let pp fmt m =
   let ts = Timestamp.to_string in
   match m with

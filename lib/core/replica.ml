@@ -34,13 +34,13 @@ let set_ord_ts t st ts =
   Brick.count_nvram_write t.brick
 
 (* [Read, targets] — Algorithm 2, lines 38-44. *)
-let handle_read t stripe targets =
+let handle_read t ctx stripe targets =
   let st = state t stripe in
   let val_ts = Slog.max_ts st.log in
   let status = Ts.( >= ) val_ts st.ord_ts in
   let block =
     if status && List.mem (Brick.id t.brick) targets then begin
-      Brick.count_disk_read t.brick;
+      Brick.count_disk_read ~ctx t.brick;
       Some (snd (Slog.max_block st.log))
     end
     else None
@@ -57,7 +57,7 @@ let handle_order t stripe ts =
   Message.Order_r { status; cur_ts = cur_ts st }
 
 (* [Order&Read, j, max, ts] — lines 49-56. *)
-let handle_order_read t stripe target max ts =
+let handle_order_read t ctx stripe target max ts =
   let st = state t stripe in
   let status = Ts.( > ) ts (Slog.max_ts st.log) && Ts.( >= ) ts st.ord_ts in
   let lts = ref Ts.low and block = ref None in
@@ -74,7 +74,7 @@ let handle_order_read t stripe target max ts =
       | Some (l, b) ->
           lts := l;
           block := b;
-          if b <> None then Brick.count_disk_read t.brick
+          if b <> None then Brick.count_disk_read ~ctx t.brick
       | None -> ()
   end;
   Message.Order_read_r { status; lts = !lts; block = !block; cur_ts = cur_ts st }
@@ -85,7 +85,7 @@ let handle_order_read t stripe target max ts =
    slow write-block reusing its fast phase's timestamp) refuses, as
    the paper's status check does — acknowledging would let two
    replicas disagree on the content of version [ts]. *)
-let handle_write t stripe block ts =
+let handle_write t ctx stripe block ts =
   let st = state t stripe in
   let already =
     match Slog.find st.log ts with
@@ -101,7 +101,7 @@ let handle_write t stripe block ts =
   in
   if status && not already then begin
     Slog.add st.log ts (Some block);
-    Brick.count_disk_write t.brick;
+    Brick.count_disk_write ~ctx t.brick;
     Brick.count_nvram_write t.brick
   end;
   Message.Write_r { status; cur_ts = cur_ts st }
@@ -111,11 +111,11 @@ let handle_write t stripe block ts =
    at parity processes, a timestamp-only marker elsewhere. The parity
    case allocates exactly one block (the log retains it); the delta is
    computed on a pooled scratch buffer. *)
-let modify_entry t st ~stripe ~pos ~j ~bj ~b =
+let modify_entry t ctx st ~stripe ~pos ~j ~bj ~b =
   let m = Config.m t.cfg ~stripe in
   if pos = j then Some b
   else if pos >= m then begin
-    Brick.count_disk_read t.brick;
+    Brick.count_disk_read ~ctx t.brick;
     let codec = Config.codec t.cfg ~stripe in
     let out = Bytes.copy (snd (Slog.max_block st.log)) in
     let d = Brick.scratch_take t.brick ~len:(Bytes.length b) in
@@ -128,7 +128,7 @@ let modify_entry t st ~stripe ~pos ~j ~bj ~b =
   else None
 
 (* [Modify, j, bj, b, tsj, ts] — Algorithm 3, lines 88-98. *)
-let handle_modify t stripe j bj b tsj ts =
+let handle_modify t ctx stripe j bj b tsj ts =
   let st = state t stripe in
   let already = Slog.mem st.log ts in
   let status =
@@ -139,9 +139,9 @@ let handle_modify t stripe j bj b tsj ts =
     match my_pos t stripe with
     | None -> ()
     | Some pos ->
-        let entry = modify_entry t st ~stripe ~pos ~j ~bj ~b in
+        let entry = modify_entry t ctx st ~stripe ~pos ~j ~bj ~b in
         Slog.add st.log ts entry;
-        if entry <> None then Brick.count_disk_write t.brick;
+        if entry <> None then Brick.count_disk_write ~ctx t.brick;
         Brick.count_nvram_write t.brick
   end;
   Message.Modify_r { status; cur_ts = cur_ts st }
@@ -149,7 +149,7 @@ let handle_modify t stripe j bj b tsj ts =
 (* Bandwidth-optimized Modify (section 5.2): p_j receives the new
    block, parity processes receive the precomputed delta to fold into
    their current block, other data processes receive no payload. *)
-let handle_modify_delta t stripe j payload tsj ts =
+let handle_modify_delta t ctx stripe j payload tsj ts =
   let st = state t stripe in
   let already = Slog.mem st.log ts in
   let status =
@@ -165,7 +165,7 @@ let handle_modify_delta t stripe j payload tsj ts =
           match payload with
           | Some payload when pos = j -> Some payload
           | Some payload when pos >= m ->
-              Brick.count_disk_read t.brick;
+              Brick.count_disk_read ~ctx t.brick;
               let old_parity = snd (Slog.max_block st.log) in
               Some
                 (Erasure.Codec.apply_delta
@@ -175,7 +175,7 @@ let handle_modify_delta t stripe j payload tsj ts =
           | Some _ | None -> None
         in
         Slog.add st.log ts entry;
-        if entry <> None then Brick.count_disk_write t.brick;
+        if entry <> None then Brick.count_disk_write ~ctx t.brick;
         Brick.count_nvram_write t.brick
   end;
   Message.Modify_r { status; cur_ts = cur_ts st }
@@ -185,7 +185,7 @@ let handle_modify_delta t stripe j payload tsj ts =
    process inside the range stores its new block, a parity process
    folds every block's change into its current parity block, and data
    processes outside the range log a timestamp-only marker. *)
-let handle_modify_multi t stripe j0 olds news tsj ts =
+let handle_modify_multi t ctx stripe j0 olds news tsj ts =
   let st = state t stripe in
   let already = Slog.mem st.log ts in
   let status =
@@ -201,7 +201,7 @@ let handle_modify_multi t stripe j0 olds news tsj ts =
         let entry =
           if pos >= j0 && pos < j0 + len then Some news.(pos - j0)
           else if pos >= m then begin
-            Brick.count_disk_read t.brick;
+            Brick.count_disk_read ~ctx t.brick;
             (* Fold every block's change into one fresh parity buffer
                (the log retains it); the per-block deltas run on one
                pooled scratch buffer instead of allocating 2*len
@@ -221,7 +221,7 @@ let handle_modify_multi t stripe j0 olds news tsj ts =
           else None
         in
         Slog.add st.log ts entry;
-        if entry <> None then Brick.count_disk_write t.brick;
+        if entry <> None then Brick.count_disk_write ~ctx t.brick;
         Brick.count_nvram_write t.brick
   end;
   Message.Modify_r { status; cur_ts = cur_ts st }
@@ -232,20 +232,21 @@ let handle_gc t stripe before =
   | None -> ()
   | Some st -> t.gc_removed <- t.gc_removed + Slog.gc st.log ~before
 
-let dispatch t msg =
+let dispatch t ctx msg =
   match msg with
-    | Message.Read { stripe; targets } -> Some (handle_read t stripe targets)
+    | Message.Read { stripe; targets } ->
+        Some (handle_read t ctx stripe targets)
     | Message.Order { stripe; ts } -> Some (handle_order t stripe ts)
     | Message.Order_read { stripe; target; max; ts } ->
-        Some (handle_order_read t stripe target max ts)
+        Some (handle_order_read t ctx stripe target max ts)
     | Message.Write { stripe; block; ts } ->
-        Some (handle_write t stripe block ts)
+        Some (handle_write t ctx stripe block ts)
     | Message.Modify { stripe; j; bj; b; tsj; ts } ->
-        Some (handle_modify t stripe j bj b tsj ts)
+        Some (handle_modify t ctx stripe j bj b tsj ts)
     | Message.Modify_delta { stripe; j; payload; tsj; ts } ->
-        Some (handle_modify_delta t stripe j payload tsj ts)
+        Some (handle_modify_delta t ctx stripe j payload tsj ts)
     | Message.Modify_multi { stripe; j0; olds; news; tsj; ts } ->
-        Some (handle_modify_multi t stripe j0 olds news tsj ts)
+        Some (handle_modify_multi t ctx stripe j0 olds news tsj ts)
     | Message.Gc { stripe; before } ->
         handle_gc t stripe before;
         None
@@ -253,21 +254,14 @@ let dispatch t msg =
     | Message.Write_r _ | Message.Modify_r _ ->
         None
 
-let handle t ~src (msg : Message.t) : Message.t option =
-  if not (Brick.is_alive t.brick) then None
-  else begin
-    Trace.replica_recv ~brick:(Brick.id t.brick) ~src msg;
-    let reply = dispatch t msg in
-    (match reply with
-    | Some r -> Trace.replica_reply ~brick:(Brick.id t.brick) ~dst:src r
-    | None -> ());
-    reply
-  end
+let handle t ~src ~ctx (msg : Message.t) : Message.t option =
+  ignore src;
+  if not (Brick.is_alive t.brick) then None else dispatch t ctx msg
 
 let create cfg ~brick =
   let t = { cfg; brick; states = Hashtbl.create 64; gc_removed = 0 } in
-  Quorum.Rpc.serve cfg.Config.rpc ~addr:(Brick.id brick) (fun ~src msg ->
-      handle t ~src msg);
+  Quorum.Rpc.serve cfg.Config.rpc ~addr:(Brick.id brick)
+    (fun ~src ~ctx msg -> handle t ~src ~ctx msg);
   t
 
 let ord_ts t ~stripe =

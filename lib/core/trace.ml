@@ -7,13 +7,5 @@ let enable_stderr ?(level = Logs.Debug) () =
     Logs.set_reporter (Logs.format_reporter ());
   Logs.Src.set_level src (Some level)
 
-let replica_recv ~brick ~src:from msg =
-  Log.debug (fun m -> m "[b%d] <- c%d %a" brick from Message.pp msg)
-
-let replica_reply ~brick ~dst msg =
-  Log.debug (fun m -> m "[b%d] -> c%d %a" brick dst Message.pp msg)
-
-let op ~coord ~stripe name phase =
-  Log.info (fun m ->
-      m "[c%d/s%d] %s %s" coord stripe name
-        (match phase with `Start -> "start" | `Ok -> "ok" | `Abort -> "ABORT"))
+let sink () =
+  Obs.Sink.make (fun ev -> Log.debug (fun m -> m "%a" Obs.pp_event ev))

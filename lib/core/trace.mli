@@ -1,18 +1,20 @@
-(** Protocol tracing on the [Logs] library.
+(** Human-readable protocol tracing, as an {!Obs} sink over [Logs].
 
-    Disabled by default (the log source starts at level [None], so
-    tracing costs one branch per event). Enable with
-    {!enable_stderr} — or install any [Logs] reporter and set the
-    {!src} level — to watch the protocol run:
+    The structured observability layer ({!Obs}) is the single source of
+    protocol events; this module renders them one per line on the
+    [fab.core] log source:
 
     {v
-    fab.core: [c3/s0] write-stripe start
-    fab.core: [b1] <- c3 Order{s=0 ts=4.3}
-    fab.core: [b1] -> c3 Order-R{true}
+    fab.core: [debug] 12.0 c8 op=3 span-start write-stripe s=0
+    fab.core: [debug] 12.0 c8 op=3 order phase-start
+    fab.core: [debug] 12.0 b1 op=3 order send order -> b1 0B
     ...
     v}
 
-    The CLI exposes this as [fab_sim workload --trace]. *)
+    The log source starts at level [None], so an attached but silenced
+    sink costs one level check per event. Enable with {!enable_stderr}
+    — or install any [Logs] reporter and set the {!src} level. The CLI
+    exposes this as [fab_sim workload --trace]. *)
 
 val src : Logs.src
 
@@ -20,11 +22,7 @@ val enable_stderr : ?level:Logs.level -> unit -> unit
 (** Install a stderr reporter (if none is installed yet) and set the
     trace source to [level] (default [Debug]). *)
 
-val replica_recv : brick:int -> src:int -> Message.t -> unit
-(** A replica received (and is about to handle) a request. *)
-
-val replica_reply : brick:int -> dst:int -> Message.t -> unit
-
-val op :
-  coord:int -> stripe:int -> string -> [ `Start | `Ok | `Abort ] -> unit
-(** Coordinator-side operation lifecycle. *)
+val sink : unit -> Obs.Sink.t
+(** A sink rendering every event through {!Obs.pp_event} at debug
+    level; attach it to the deployment's hub to watch the protocol
+    run. *)

@@ -18,6 +18,7 @@ type t = {
   mutable next_seq : int;
   rng : Random.State.t;
   mutable chooser : (int -> int) option;
+  mutable observer : (now:float -> pending:int -> unit) option;
 }
 
 let create ?(seed = 42) () =
@@ -28,6 +29,7 @@ let create ?(seed = 42) () =
     next_seq = 0;
     rng = Random.State.make [| seed |];
     chooser = None;
+    observer = None;
   }
 
 let now t = t.clock
@@ -115,7 +117,7 @@ let pop_simultaneous t =
       (* Restore scheduling order within the batch. *)
       List.sort (fun a b -> compare a.seq b.seq) !batch
 
-let rec step t =
+let rec step_inner t =
   match t.chooser with
   | Some choose -> (
       match pop_simultaneous t with
@@ -148,13 +150,23 @@ let rec step t =
       match pop t with
       | None -> false
       | Some ev ->
-          if ev.cancelled then step t
+          if ev.cancelled then step_inner t
           else begin
             assert (ev.time >= t.clock);
             t.clock <- ev.time;
             ev.action ();
             true
           end)
+
+let set_observer t observer = t.observer <- observer
+
+(* One branch per executed event when no observer is installed. *)
+let step t =
+  let progressed = step_inner t in
+  (match t.observer with
+  | None -> ()
+  | Some f -> if progressed then f ~now:t.clock ~pending:t.size);
+  progressed
 
 let peek_live t =
   (* Reap cancelled events from the top so that [run ~until] never

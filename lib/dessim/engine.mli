@@ -52,3 +52,10 @@ val set_chooser : t -> (int -> int) option -> unit
 val pending : t -> int
 (** Number of events still queued (including cancelled ones not yet
     reaped). *)
+
+val set_observer : t -> (now:float -> pending:int -> unit) option -> unit
+(** [set_observer t (Some f)] calls [f ~now ~pending] after every
+    executed event — the observability layer samples the event-queue
+    depth through this. [None] (the default) removes the probe; the
+    unobserved engine pays one branch per event. The observer must not
+    schedule or cancel events. *)

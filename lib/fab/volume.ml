@@ -71,6 +71,7 @@ let retrying t c f = Core.Coordinator.with_retries ~attempts:t.op_retries c f
    attempts so a retried block write always makes progress. *)
 let retrying_block_write t c ~stripe f =
   let rec go left =
+    if left > 1 then Core.Coordinator.hint_retry c;
     match f () with
     | Ok () -> Ok ()
     | Error `Aborted when left > 1 ->

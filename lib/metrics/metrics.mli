@@ -4,7 +4,10 @@
     messages, network bandwidth (in block-size units), disk reads and
     disk writes. A {!Registry} holds named monotonic counters for
     those, and benchmarks measure an operation by snapshotting the
-    registry before and after ({!Snapshot.diff}). *)
+    registry before and after ({!Snapshot.diff}). The registry also
+    holds named {!Summary} distributions — the observability layer
+    materializes per-operation and per-phase latency histograms into
+    them. *)
 
 module Counter : sig
   type t
@@ -13,6 +16,57 @@ module Counter : sig
   val incr : ?by:float -> t -> unit
   val value : t -> float
   val reset : t -> unit
+end
+
+module Summary : sig
+  type t
+  (** Streaming summary of a series of observations: count, mean,
+      standard deviation (Welford), min, max, and a retained sample of
+      the raw values for percentiles. *)
+
+  val create : ?capacity:int -> unit -> t
+  (** [create ()] retains {e every} observation, so percentiles are
+      exact — fine at simulation scale, unbounded memory at production
+      scale. [create ~capacity ()] bounds retention to [capacity]
+      values with a deterministic systematic-thinning reservoir: values
+      are kept at a fixed stride, and when the reservoir fills, every
+      other retained value is discarded and the stride doubles.
+
+      Exactness trade-off: while [count <= capacity] the reservoir
+      holds every observation and percentiles are exact; beyond that
+      they are computed over an evenly spaced subsample of roughly
+      [capacity/2 .. capacity] values, so a percentile can be off by
+      about one stride's worth of rank. [count], [mean], [stddev],
+      [min] and [max] are always exact. Thinning is deterministic (no
+      randomness), so summaries never perturb seeded simulation runs.
+      @raise Invalid_argument if [capacity] is 1 or negative
+      ([capacity = 0] means unbounded). *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [0,100]; nearest-rank over the
+      retained values (exact when nothing has been thinned).
+      @raise Invalid_argument on an empty summary or out-of-range [p]. *)
+
+  val merge : t -> t -> t
+  (** [merge a b] is a fresh summary describing the union of both
+      series: exact pooled count/mean/variance/min/max (Welford
+      combination), retained values concatenated for percentiles. The
+      inputs are not modified. The result is unbounded if either input
+      is; otherwise its capacity is the larger of the two and the
+      concatenated values are thinned to fit. Merging an empty summary
+      is the identity. *)
+
+  val clear : t -> unit
+  (** Reset to the empty state (capacity is kept). *)
+
+  val pp : Format.formatter -> t -> unit
 end
 
 module Registry : sig
@@ -33,9 +87,24 @@ module Registry : sig
       was never used). *)
 
   val names : t -> string list
-  (** All registered names, sorted. *)
+  (** All registered counter names, sorted. *)
+
+  val summary : ?capacity:int -> t -> string -> Summary.t
+  (** [summary t name] returns the summary registered under [name],
+      creating it (with [capacity], see {!Summary.create}) on first
+      use. [capacity] is ignored on later lookups. *)
+
+  val summary_opt : t -> string -> Summary.t option
+
+  val put_summary : t -> string -> Summary.t -> unit
+  (** Install (or replace) a summary object under a name — used by the
+      observability layer to materialize derived distributions. *)
+
+  val summary_names : t -> string list
+  (** All registered summary names, sorted. *)
 
   val reset_all : t -> unit
+  (** Reset every counter to 0 and clear every summary. *)
 end
 
 module Snapshot : sig
@@ -48,25 +117,4 @@ module Snapshot : sig
 
   val get : t -> string -> float
   val to_list : t -> (string * float) list
-end
-
-module Summary : sig
-  type t
-  (** Streaming summary of a series of observations: count, mean,
-      standard deviation (Welford), min, max; also keeps the raw values
-      for exact percentiles (fine at simulation scale). *)
-
-  val create : unit -> t
-  val add : t -> float -> unit
-  val count : t -> int
-  val mean : t -> float
-  val stddev : t -> float
-  val min : t -> float
-  val max : t -> float
-
-  val percentile : t -> float -> float
-  (** [percentile t p] with [p] in [0,100]; nearest-rank.
-      @raise Invalid_argument on an empty summary or out-of-range [p]. *)
-
-  val pp : Format.formatter -> t -> unit
 end

@@ -1,0 +1,1015 @@
+(* Structured observability for the protocol stack: typed events, an
+   event hub with pluggable sinks, a wire format (JSONL + Chrome
+   trace_event), and derived per-op/per-phase statistics.
+
+   The golden rule is zero cost when disabled: every emission site is
+   guarded by [if Obs.enabled hub then Obs.emit hub {...}], so a run
+   without sinks pays one boolean load per potential event and
+   allocates nothing. *)
+
+(* ------------------------------------------------------------------ *)
+(* Event model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type phase = Fast_read | Order | Write | Modify | Recover | Gc
+
+let phase_name = function
+  | Fast_read -> "fast-read"
+  | Order -> "order"
+  | Write -> "write"
+  | Modify -> "modify"
+  | Recover -> "recover"
+  | Gc -> "gc"
+
+let phase_of_name = function
+  | "fast-read" -> Some Fast_read
+  | "order" -> Some Order
+  | "write" -> Some Write
+  | "modify" -> Some Modify
+  | "recover" -> Some Recover
+  | "gc" -> Some Gc
+  | _ -> None
+
+let all_phases = [ Fast_read; Order; Write; Modify; Recover; Gc ]
+
+type outcome = Ok | Abort | Retry
+
+let outcome_name = function Ok -> "ok" | Abort -> "abort" | Retry -> "retry"
+
+let outcome_of_name = function
+  | "ok" -> Some Ok
+  | "abort" -> Some Abort
+  | "retry" -> Some Retry
+  | _ -> None
+
+type actor = Coord of int | Brick of int | Sim
+
+let actor_name = function
+  | Coord i -> "c" ^ string_of_int i
+  | Brick i -> "b" ^ string_of_int i
+  | Sim -> "sim"
+
+let actor_of_name s =
+  if s = "sim" then Some Sim
+  else if String.length s >= 2 then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some i when i >= 0 -> (
+        match s.[0] with
+        | 'c' -> Some (Coord i)
+        | 'b' -> Some (Brick i)
+        | _ -> None)
+    | _ -> None
+  else None
+
+type ctx = { op : int; phase : phase option }
+
+let no_ctx = { op = -1; phase = None }
+let ctx ?phase op = { op; phase }
+
+type kind =
+  | Span_start of { op_kind : string; stripe : int }
+  | Span_end of { op_kind : string; stripe : int; outcome : outcome }
+  | Phase_start
+  | Phase_end
+  | Msg_send of { dst : int; bytes : int; label : string; bg : bool }
+  | Msg_recv of { src : int; label : string }
+  | Msg_drop of { dst : int; bytes : int; bg : bool }
+  | Io_read of { blocks : int }
+  | Io_write of { blocks : int }
+  | Timeout of { missing : int }
+  | Queue_depth of { depth : int }
+
+type event = {
+  time : float;
+  actor : actor;
+  op : int;  (* -1 = not tied to an operation *)
+  phase : phase option;
+  kind : kind;
+}
+
+let ev_name = function
+  | Span_start _ -> "span_start"
+  | Span_end _ -> "span_end"
+  | Phase_start -> "phase_start"
+  | Phase_end -> "phase_end"
+  | Msg_send _ -> "msg_send"
+  | Msg_recv _ -> "msg_recv"
+  | Msg_drop _ -> "msg_drop"
+  | Io_read _ -> "io_read"
+  | Io_write _ -> "io_write"
+  | Timeout _ -> "timeout"
+  | Queue_depth _ -> "queue_depth"
+
+let pp_event fmt ev =
+  let a = actor_name ev.actor in
+  let op fmt = if ev.op >= 0 then Format.fprintf fmt " (op %d)" ev.op in
+  let ph fmt =
+    match ev.phase with
+    | Some p -> Format.fprintf fmt "%s " (phase_name p)
+    | None -> ()
+  in
+  match ev.kind with
+  | Span_start { op_kind; stripe } ->
+      Format.fprintf fmt "[%s/s%d] %s start%t" a stripe op_kind op
+  | Span_end { op_kind; stripe; outcome } ->
+      Format.fprintf fmt "[%s/s%d] %s %s%t" a stripe op_kind
+        (match outcome with Ok -> "ok" | Abort -> "ABORT" | Retry -> "abort (will retry)")
+        op
+  | Phase_start -> Format.fprintf fmt "[%s] phase %tstart%t" a ph op
+  | Phase_end -> Format.fprintf fmt "[%s] phase %tend%t" a ph op
+  | Msg_send { dst; bytes; label; bg } ->
+      Format.fprintf fmt "[%s] -> b%d %s (%dB%s)%t" a dst label bytes
+        (if bg then ", bg" else "")
+        op
+  | Msg_recv { src; label } -> Format.fprintf fmt "[%s] <- %d %s%t" a src label op
+  | Msg_drop { dst; bytes; _ } ->
+      Format.fprintf fmt "[%s] DROP -> b%d (%dB)%t" a dst bytes op
+  | Io_read { blocks } -> Format.fprintf fmt "[%s] disk read x%d%t" a blocks op
+  | Io_write { blocks } -> Format.fprintf fmt "[%s] disk write x%d%t" a blocks op
+  | Timeout { missing } ->
+      Format.fprintf fmt "[%s] retransmit, %d member(s) missing%t" a missing op
+  | Queue_depth { depth } -> Format.fprintf fmt "[%s] queue depth %d" a depth
+
+(* ------------------------------------------------------------------ *)
+(* Minimal flat JSON (we control both ends of the schema)              *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type v = S of string | I of int | F of float | B of bool
+
+  exception Error of string
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 32 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let render = function
+    | S s -> "\"" ^ escape s ^ "\""
+    | I i -> string_of_int i
+    | F f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Printf.sprintf "%.1f" f
+        else Printf.sprintf "%.12g" f
+    | B b -> if b then "true" else "false"
+
+  let obj fields =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> "\"" ^ k ^ "\":" ^ render v) fields)
+    ^ "}"
+
+  (* Parser for one-line flat objects: string / number / bool values
+     only — exactly what [obj] produces. *)
+  let parse_obj s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Error (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let next () =
+      if !pos >= n then fail "unexpected end of input";
+      let c = s.[!pos] in
+      incr pos;
+      c
+    in
+    let skip_ws () =
+      while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do
+        incr pos
+      done
+    in
+    let expect c =
+      if next () <> c then fail (Printf.sprintf "expected %c" c)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec loop () =
+        match next () with
+        | '"' -> Buffer.contents b
+        | '\\' -> (
+            match next () with
+            | '"' -> Buffer.add_char b '"'; loop ()
+            | '\\' -> Buffer.add_char b '\\'; loop ()
+            | 'n' -> Buffer.add_char b '\n'; loop ()
+            | 't' -> Buffer.add_char b '\t'; loop ()
+            | 'r' -> Buffer.add_char b '\r'; loop ()
+            | '/' -> Buffer.add_char b '/'; loop ()
+            | 'u' ->
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                (match int_of_string_opt ("0x" ^ hex) with
+                | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
+                | Some _ -> Buffer.add_char b '?'
+                | None -> fail "bad \\u escape");
+                loop ()
+            | _ -> fail "unknown escape")
+        | c -> Buffer.add_char b c; loop ()
+      in
+      loop ()
+    in
+    let parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '"' -> S (parse_string ())
+      | Some 't' ->
+          if !pos + 4 <= n && String.sub s !pos 4 = "true" then begin
+            pos := !pos + 4;
+            B true
+          end
+          else fail "bad literal"
+      | Some 'f' ->
+          if !pos + 5 <= n && String.sub s !pos 5 = "false" then begin
+            pos := !pos + 5;
+            B false
+          end
+          else fail "bad literal"
+      | Some ('-' | '0' .. '9') ->
+          let start = !pos in
+          while
+            !pos < n
+            &&
+            match s.[!pos] with
+            | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+            | _ -> false
+          do
+            incr pos
+          done;
+          let tok = String.sub s start (!pos - start) in
+          (match int_of_string_opt tok with
+          | Some i -> I i
+          | None -> (
+              match float_of_string_opt tok with
+              | Some f -> F f
+              | None -> fail "bad number"))
+      | Some ('{' | '[') -> fail "nested values not allowed in event schema"
+      | _ -> fail "expected value"
+    in
+    skip_ws ();
+    expect '{';
+    let fields = ref [] in
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let rec members () =
+        skip_ws ();
+        let key = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        fields := (key, v) :: !fields;
+        skip_ws ();
+        match next () with
+        | ',' -> members ()
+        | '}' -> ()
+        | _ -> fail "expected , or }"
+      in
+      members ()
+    end;
+    skip_ws ();
+    if !pos <> n then fail "trailing bytes after object";
+    List.rev !fields
+
+  let to_float = function I i -> Some (float_of_int i) | F f -> Some f | _ -> None
+  let to_int = function I i -> Some i | _ -> None
+  let to_string = function S s -> Some s | _ -> None
+  let to_bool = function B b -> Some b | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec for events                                               *)
+(* ------------------------------------------------------------------ *)
+
+let to_json ev =
+  let base =
+    [
+      ("t", Json.F ev.time);
+      ("actor", Json.S (actor_name ev.actor));
+      ("ev", Json.S (ev_name ev.kind));
+    ]
+  in
+  let opf = if ev.op >= 0 then [ ("op", Json.I ev.op) ] else [] in
+  let phf =
+    match ev.phase with
+    | Some p -> [ ("phase", Json.S (phase_name p)) ]
+    | None -> []
+  in
+  let kf =
+    match ev.kind with
+    | Span_start { op_kind; stripe } ->
+        [ ("kind", Json.S op_kind); ("stripe", Json.I stripe) ]
+    | Span_end { op_kind; stripe; outcome } ->
+        [
+          ("kind", Json.S op_kind);
+          ("stripe", Json.I stripe);
+          ("outcome", Json.S (outcome_name outcome));
+        ]
+    | Phase_start | Phase_end -> []
+    | Msg_send { dst; bytes; label; bg } ->
+        [ ("dst", Json.I dst); ("bytes", Json.I bytes); ("msg", Json.S label) ]
+        @ if bg then [ ("bg", Json.B true) ] else []
+    | Msg_recv { src; label } ->
+        [ ("src", Json.I src); ("msg", Json.S label) ]
+    | Msg_drop { dst; bytes; bg } ->
+        [ ("dst", Json.I dst); ("bytes", Json.I bytes) ]
+        @ if bg then [ ("bg", Json.B true) ] else []
+    | Io_read { blocks } | Io_write { blocks } -> [ ("blocks", Json.I blocks) ]
+    | Timeout { missing } -> [ ("missing", Json.I missing) ]
+    | Queue_depth { depth } -> [ ("depth", Json.I depth) ]
+  in
+  Json.obj (base @ opf @ phf @ kf)
+
+let of_json line =
+  try
+    let fields = Json.parse_obj line in
+    let get name conv what =
+      match Option.bind (List.assoc_opt name fields) conv with
+      | Some v -> v
+      | None -> raise (Json.Error (Printf.sprintf "missing/invalid %S (%s)" name what))
+    in
+    let opt name conv = Option.bind (List.assoc_opt name fields) conv in
+    match get "ev" Json.to_string "event name" with
+    | "meta" -> `Meta fields
+    | name ->
+        let time = get "t" Json.to_float "number" in
+        let actor =
+          match actor_of_name (get "actor" Json.to_string "string") with
+          | Some a -> a
+          | None -> raise (Json.Error "bad actor")
+        in
+        let op = match opt "op" Json.to_int with Some o -> o | None -> -1 in
+        let phase =
+          match opt "phase" Json.to_string with
+          | None -> None
+          | Some s -> (
+              match phase_of_name s with
+              | Some p -> Some p
+              | None -> raise (Json.Error ("unknown phase " ^ s)))
+        in
+        let bg () =
+          match opt "bg" Json.to_bool with Some b -> b | None -> false
+        in
+        let kind =
+          match name with
+          | "span_start" ->
+              Span_start
+                {
+                  op_kind = get "kind" Json.to_string "string";
+                  stripe = get "stripe" Json.to_int "int";
+                }
+          | "span_end" ->
+              let outcome =
+                match outcome_of_name (get "outcome" Json.to_string "string") with
+                | Some o -> o
+                | None -> raise (Json.Error "bad outcome")
+              in
+              Span_end
+                {
+                  op_kind = get "kind" Json.to_string "string";
+                  stripe = get "stripe" Json.to_int "int";
+                  outcome;
+                }
+          | "phase_start" -> Phase_start
+          | "phase_end" -> Phase_end
+          | "msg_send" ->
+              Msg_send
+                {
+                  dst = get "dst" Json.to_int "int";
+                  bytes = get "bytes" Json.to_int "int";
+                  label = get "msg" Json.to_string "string";
+                  bg = bg ();
+                }
+          | "msg_recv" ->
+              Msg_recv
+                {
+                  src = get "src" Json.to_int "int";
+                  label = get "msg" Json.to_string "string";
+                }
+          | "msg_drop" ->
+              Msg_drop
+                {
+                  dst = get "dst" Json.to_int "int";
+                  bytes = get "bytes" Json.to_int "int";
+                  bg = bg ();
+                }
+          | "io_read" -> Io_read { blocks = get "blocks" Json.to_int "int" }
+          | "io_write" -> Io_write { blocks = get "blocks" Json.to_int "int" }
+          | "timeout" -> Timeout { missing = get "missing" Json.to_int "int" }
+          | "queue_depth" ->
+              Queue_depth { depth = get "depth" Json.to_int "int" }
+          | other -> raise (Json.Error ("unknown event " ^ other))
+        in
+        (* Phase events must say which phase. *)
+        (match kind with
+        | (Phase_start | Phase_end) when phase = None ->
+            raise (Json.Error "phase event without phase field")
+        | _ -> ());
+        `Event { time; actor; op; phase; kind }
+  with Json.Error msg -> `Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Sinks and the hub                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Sink = struct
+  type t = { emit : event -> unit; close : unit -> unit }
+
+  let make ?(close = fun () -> ()) emit = { emit; close }
+end
+
+type t = {
+  mutable sinks : Sink.t list;
+  mutable is_enabled : bool;
+  mutable next_op_id : int;
+  mutable on_enable_hooks : (unit -> unit) list;
+}
+
+let create () =
+  { sinks = []; is_enabled = false; next_op_id = 0; on_enable_hooks = [] }
+
+let enabled t = t.is_enabled
+
+let add_sink t sink =
+  t.sinks <- t.sinks @ [ sink ];
+  if not t.is_enabled then begin
+    t.is_enabled <- true;
+    let hooks = List.rev t.on_enable_hooks in
+    t.on_enable_hooks <- [];
+    List.iter (fun f -> f ()) hooks
+  end
+
+let on_enable t f =
+  if t.is_enabled then f () else t.on_enable_hooks <- f :: t.on_enable_hooks
+
+let emit t ev = List.iter (fun (s : Sink.t) -> s.Sink.emit ev) t.sinks
+
+let next_op t =
+  let op = t.next_op_id in
+  t.next_op_id <- op + 1;
+  op
+
+let close t = List.iter (fun (s : Sink.t) -> s.Sink.close ()) t.sinks
+
+(* ------------------------------------------------------------------ *)
+(* In-memory ring sink                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Ring = struct
+  type ring = {
+    buf : event array;
+    capacity : int;
+    mutable len : int;
+    mutable next : int;
+    mutable dropped : int;
+  }
+
+  let dummy = { time = 0.; actor = Sim; op = -1; phase = None; kind = Phase_start }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Obs.Ring.create: capacity <= 0";
+    { buf = Array.make capacity dummy; capacity; len = 0; next = 0; dropped = 0 }
+
+  let add r ev =
+    r.buf.(r.next) <- ev;
+    r.next <- (r.next + 1) mod r.capacity;
+    if r.len < r.capacity then r.len <- r.len + 1 else r.dropped <- r.dropped + 1
+
+  let sink r = Sink.make (add r)
+
+  let contents r =
+    List.init r.len (fun i ->
+        r.buf.((r.next - r.len + i + r.capacity) mod r.capacity))
+
+  let length r = r.len
+  let dropped r = r.dropped
+end
+
+(* ------------------------------------------------------------------ *)
+(* Run metadata (stamped into trace headers and stats/bench JSON)      *)
+(* ------------------------------------------------------------------ *)
+
+module Meta = struct
+  type nonrec t = (string * Json.v) list
+
+  let read_first_line path =
+    try
+      let ic = open_in path in
+      let line = try Some (input_line ic) with End_of_file -> None in
+      close_in ic;
+      line
+    with Sys_error _ -> None
+
+  let git_commit () =
+    let rec find dir depth =
+      if depth > 16 then None
+      else
+        let head = Filename.concat (Filename.concat dir ".git") "HEAD" in
+        if Sys.file_exists head then Some (dir, head)
+        else
+          let parent = Filename.dirname dir in
+          if parent = dir then None else find parent (depth + 1)
+    in
+    match find (Sys.getcwd ()) 0 with
+    | None -> "unknown"
+    | Some (root, head) -> (
+        match read_first_line head with
+        | None -> "unknown"
+        | Some line ->
+            let line = String.trim line in
+            let prefix = "ref: " in
+            if String.length line > String.length prefix
+               && String.sub line 0 (String.length prefix) = prefix
+            then
+              let refname =
+                String.sub line (String.length prefix)
+                  (String.length line - String.length prefix)
+              in
+              let refpath =
+                Filename.concat (Filename.concat root ".git") refname
+              in
+              match read_first_line refpath with
+              | Some hash -> String.trim hash
+              | None -> "unknown"
+            else line)
+
+  let iso_date () =
+    let tm = Unix.gmtime (Unix.time ()) in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+
+  let standard ?(extra = []) () =
+    [ ("git", Json.S (git_commit ())); ("date", Json.S (iso_date ())) ] @ extra
+
+  let line t = Json.obj (("ev", Json.S "meta") :: t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* File sinks: JSONL and Chrome trace_event                            *)
+(* ------------------------------------------------------------------ *)
+
+let jsonl ?meta oc =
+  (match meta with
+  | Some m ->
+      output_string oc (Meta.line m);
+      output_char oc '\n'
+  | None -> ());
+  Sink.make
+    ~close:(fun () -> flush oc)
+    (fun ev ->
+      output_string oc (to_json ev);
+      output_char oc '\n')
+
+(* Chrome trace_event JSON array. Spans and phases are emitted as async
+   "b"/"e" events keyed by op id, so concurrent operations that share a
+   coordinator track render as separate (possibly overlapping) slices;
+   everything else is an instant or a counter sample. Times are scaled
+   so that one delta of sim-time displays as 1 ms. *)
+let chrome oc =
+  output_string oc "[";
+  let first = ref true in
+  let named = Hashtbl.create 16 in
+  let raw s =
+    if !first then begin
+      first := false;
+      output_string oc "\n"
+    end
+    else output_string oc ",\n";
+    output_string oc s
+  in
+  let tid = function Brick i -> 100 + i | Coord i -> 1000 + i | Sim -> 1 in
+  let label = function
+    | Brick i -> Printf.sprintf "brick %d" i
+    | Coord i -> Printf.sprintf "coordinator %d" i
+    | Sim -> "engine"
+  in
+  let ensure_thread actor =
+    let key = tid actor in
+    if not (Hashtbl.mem named key) then begin
+      Hashtbl.add named key ();
+      raw
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           key
+           (Json.escape (label actor)))
+    end
+  in
+  let ts time = Printf.sprintf "%.3f" (time *. 1000.) in
+  let ev_json ev ~ph ~name ?id args =
+    Printf.sprintf
+      "{\"ph\":\"%s\",\"cat\":\"fab\",\"name\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%s%s%s%s}"
+      ph (Json.escape name) (tid ev.actor) (ts ev.time)
+      (match id with Some i -> Printf.sprintf ",\"id\":%d" i | None -> "")
+      (if ph = "i" then ",\"s\":\"t\"" else "")
+      (match args with [] -> "" | l -> ",\"args\":" ^ Json.obj l)
+  in
+  let emit ev =
+    ensure_thread ev.actor;
+    let instant name args = raw (ev_json ev ~ph:"i" ~name args) in
+    match ev.kind with
+    | Span_start { op_kind; stripe } ->
+        raw
+          (ev_json ev ~ph:"b" ~name:op_kind ~id:ev.op
+             [ ("stripe", Json.I stripe) ])
+    | Span_end { op_kind; outcome; _ } ->
+        raw
+          (ev_json ev ~ph:"e" ~name:op_kind ~id:ev.op
+             [ ("outcome", Json.S (outcome_name outcome)) ])
+    | Phase_start ->
+        let name =
+          match ev.phase with Some p -> phase_name p | None -> "phase"
+        in
+        raw (ev_json ev ~ph:"b" ~name ~id:ev.op [])
+    | Phase_end ->
+        let name =
+          match ev.phase with Some p -> phase_name p | None -> "phase"
+        in
+        raw (ev_json ev ~ph:"e" ~name ~id:ev.op [])
+    | Msg_send { dst; bytes; label; _ } ->
+        instant "msg_send"
+          [ ("msg", Json.S label); ("dst", Json.I dst); ("bytes", Json.I bytes) ]
+    | Msg_recv { src; label } ->
+        instant "msg_recv" [ ("msg", Json.S label); ("src", Json.I src) ]
+    | Msg_drop { dst; bytes; _ } ->
+        instant "msg_drop" [ ("dst", Json.I dst); ("bytes", Json.I bytes) ]
+    | Io_read { blocks } -> instant "io_read" [ ("blocks", Json.I blocks) ]
+    | Io_write { blocks } -> instant "io_write" [ ("blocks", Json.I blocks) ]
+    | Timeout { missing } -> instant "timeout" [ ("missing", Json.I missing) ]
+    | Queue_depth { depth } ->
+        let name =
+          match ev.actor with
+          | Sim -> "engine.pending"
+          | Brick i -> Printf.sprintf "queue.b%d" i
+          | Coord i -> Printf.sprintf "queue.c%d" i
+        in
+        raw
+          (Printf.sprintf
+             "{\"ph\":\"C\",\"cat\":\"fab\",\"name\":\"%s\",\"pid\":1,\"ts\":%s,\"args\":{\"depth\":%d}}"
+             name (ts ev.time) depth)
+  in
+  Sink.make
+    ~close:(fun () ->
+      output_string oc "\n]\n";
+      flush oc)
+    emit
+
+(* ------------------------------------------------------------------ *)
+(* Derived statistics (itself a sink)                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Stats = struct
+  type op_stat = {
+    op : int;
+    mutable op_kind : string;
+    mutable stripe : int;
+    mutable t_start : float;
+    mutable t_end : float;
+    mutable outcome : outcome option;
+    mutable open_phase : (phase * float) option;
+    mutable phases : (phase * float) list;  (* accumulated duration *)
+    mutable msgs : int;
+    mutable bytes : int;
+    mutable drops : int;
+    mutable timeouts : int;
+    mutable disk_reads : int;
+    mutable disk_writes : int;
+  }
+
+  type stats = {
+    live : (int, op_stat) Hashtbl.t;
+    mutable done_rev : op_stat list;  (* newest first *)
+    queue_depth : (string, Metrics.Summary.t) Hashtbl.t;
+    mutable untagged_msgs : int;
+    mutable untagged_bytes : int;
+  }
+
+  let create () =
+    {
+      live = Hashtbl.create 64;
+      done_rev = [];
+      queue_depth = Hashtbl.create 8;
+      untagged_msgs = 0;
+      untagged_bytes = 0;
+    }
+
+  let op_stat t op =
+    match Hashtbl.find_opt t.live op with
+    | Some s -> s
+    | None ->
+        let s =
+          {
+            op;
+            op_kind = "?";
+            stripe = -1;
+            t_start = nan;
+            t_end = nan;
+            outcome = None;
+            open_phase = None;
+            phases = [];
+            msgs = 0;
+            bytes = 0;
+            drops = 0;
+            timeouts = 0;
+            disk_reads = 0;
+            disk_writes = 0;
+          }
+        in
+        Hashtbl.add t.live op s;
+        s
+
+  let add_phase s p dur =
+    let prev = match List.assoc_opt p s.phases with Some d -> d | None -> 0. in
+    s.phases <- (p, prev +. dur) :: List.remove_assoc p s.phases
+
+  let feed t ev =
+    match ev.kind with
+    | Queue_depth { depth } ->
+        let key = actor_name ev.actor in
+        let s =
+          match Hashtbl.find_opt t.queue_depth key with
+          | Some s -> s
+          | None ->
+              let s = Metrics.Summary.create ~capacity:4096 () in
+              Hashtbl.add t.queue_depth key s;
+              s
+        in
+        Metrics.Summary.add s (float_of_int depth)
+    | _ when ev.op < 0 -> (
+        match ev.kind with
+        | Msg_send { bytes; _ } ->
+            t.untagged_msgs <- t.untagged_msgs + 1;
+            t.untagged_bytes <- t.untagged_bytes + bytes
+        | _ -> ())
+    | Span_start { op_kind; stripe } ->
+        let s = op_stat t ev.op in
+        s.op_kind <- op_kind;
+        s.stripe <- stripe;
+        s.t_start <- ev.time
+    | Span_end { op_kind; stripe; outcome } ->
+        let s = op_stat t ev.op in
+        s.op_kind <- op_kind;
+        s.stripe <- stripe;
+        s.t_end <- ev.time;
+        s.outcome <- Some outcome;
+        (match s.open_phase with
+        | Some (p, since) ->
+            add_phase s p (ev.time -. since);
+            s.open_phase <- None
+        | None -> ());
+        Hashtbl.remove t.live ev.op;
+        t.done_rev <- s :: t.done_rev
+    | Phase_start -> (
+        match ev.phase with
+        | None -> ()
+        | Some p ->
+            let s = op_stat t ev.op in
+            (match s.open_phase with
+            | Some (prev, since) -> add_phase s prev (ev.time -. since)
+            | None -> ());
+            s.open_phase <- Some (p, ev.time))
+    | Phase_end -> (
+        match ev.phase with
+        | None -> ()
+        | Some p ->
+            let s = op_stat t ev.op in
+            (match s.open_phase with
+            | Some (open_p, since) when open_p = p ->
+                add_phase s p (ev.time -. since);
+                s.open_phase <- None
+            | _ -> ()))
+    | Msg_send { bytes; _ } ->
+        let s = op_stat t ev.op in
+        s.msgs <- s.msgs + 1;
+        s.bytes <- s.bytes + bytes
+    | Msg_recv _ -> ()
+    | Msg_drop _ ->
+        let s = op_stat t ev.op in
+        s.drops <- s.drops + 1
+    | Timeout _ ->
+        let s = op_stat t ev.op in
+        s.timeouts <- s.timeouts + 1
+    | Io_read { blocks } ->
+        let s = op_stat t ev.op in
+        s.disk_reads <- s.disk_reads + blocks
+    | Io_write { blocks } ->
+        let s = op_stat t ev.op in
+        s.disk_writes <- s.disk_writes + blocks
+
+  let sink t = Sink.make (feed t)
+
+  let completed t = List.rev t.done_rev
+  let unfinished t = Hashtbl.length t.live
+  let latency s = s.t_end -. s.t_start
+
+  (* Per-op-kind latency distributions, sorted by kind. *)
+  let by_kind t =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        let sum =
+          match Hashtbl.find_opt tbl s.op_kind with
+          | Some sum -> sum
+          | None ->
+              let sum = Metrics.Summary.create () in
+              Hashtbl.add tbl s.op_kind sum;
+              sum
+        in
+        Metrics.Summary.add sum (latency s))
+      (completed t);
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  (* Per-phase time distributions across all completed ops. *)
+  let by_phase t =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (p, dur) ->
+            let sum =
+              match Hashtbl.find_opt tbl p with
+              | Some sum -> sum
+              | None ->
+                  let sum = Metrics.Summary.create () in
+                  Hashtbl.add tbl p sum;
+                  sum
+            in
+            Metrics.Summary.add sum dur)
+          s.phases)
+      (completed t);
+    List.filter_map
+      (fun p ->
+        match Hashtbl.find_opt tbl p with Some s -> Some (p, s) | None -> None)
+      all_phases
+
+  (* Mean phase durations per op kind: (kind, count, [(phase, mean)]). *)
+  let phase_breakdown t =
+    let tbl = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun s ->
+        let acc =
+          match Hashtbl.find_opt tbl s.op_kind with
+          | Some acc -> acc
+          | None ->
+              let acc = (ref 0, Hashtbl.create 8) in
+              Hashtbl.add tbl s.op_kind acc;
+              order := s.op_kind :: !order;
+              acc
+        in
+        let count, phases = acc in
+        incr count;
+        List.iter
+          (fun (p, dur) ->
+            let prev =
+              match Hashtbl.find_opt phases p with Some d -> d | None -> 0.
+            in
+            Hashtbl.replace phases p (prev +. dur))
+          s.phases)
+      (completed t);
+    List.rev_map
+      (fun kind ->
+        let count, phases = Hashtbl.find tbl kind in
+        let per_phase =
+          List.filter_map
+            (fun p ->
+              match Hashtbl.find_opt phases p with
+              | Some total -> Some (p, total /. float_of_int !count)
+              | None -> None)
+            all_phases
+        in
+        (kind, !count, per_phase))
+      !order
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+  let queue_depths t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.queue_depth []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  (* Write the derived distributions into a metrics registry: latency
+     summaries under "op.<kind>.latency" and "phase.<name>.latency",
+     queue depth gauges under "queue.<actor>.depth", plus outcome
+     counters. *)
+  let materialize t reg =
+    List.iter
+      (fun s ->
+        Metrics.Summary.add
+          (Metrics.Registry.summary reg ("op." ^ s.op_kind ^ ".latency"))
+          (latency s);
+        List.iter
+          (fun (p, dur) ->
+            Metrics.Summary.add
+              (Metrics.Registry.summary reg
+                 ("phase." ^ phase_name p ^ ".latency"))
+              dur)
+          s.phases;
+        Metrics.Registry.incr reg "obs.ops";
+        match s.outcome with
+        | Some Ok -> ()
+        | Some Abort -> Metrics.Registry.incr reg "obs.aborts"
+        | Some Retry -> Metrics.Registry.incr reg "obs.retries"
+        | None -> ())
+      (completed t);
+    List.iter
+      (fun (actor, depth) ->
+        let name = "queue." ^ actor ^ ".depth" in
+        let merged =
+          match Metrics.Registry.summary_opt reg name with
+          | Some existing -> Metrics.Summary.merge existing depth
+          | None -> Metrics.Summary.merge (Metrics.Summary.create ()) depth
+        in
+        Metrics.Registry.put_summary reg name merged)
+      (queue_depths t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness checks over a raw event list                        *)
+(* ------------------------------------------------------------------ *)
+
+module Check = struct
+  (* Returns human-readable violations; empty = well-formed. Checks,
+     per op id: exactly one span_start and one span_end, phase
+     start/end events strictly alternate with matching phase labels,
+     phases fall inside the span, and times are monotone. *)
+  let well_formed events =
+    let violations = ref [] in
+    let bad fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+    let ops = Hashtbl.create 64 in
+    let op_ids = ref [] in
+    List.iter
+      (fun ev ->
+        if ev.op >= 0 then begin
+          (match Hashtbl.find_opt ops ev.op with
+          | Some l -> Hashtbl.replace ops ev.op (ev :: l)
+          | None ->
+              op_ids := ev.op :: !op_ids;
+              Hashtbl.add ops ev.op [ ev ])
+        end)
+      events;
+    List.iter
+      (fun op ->
+        let evs = List.rev (Hashtbl.find ops op) in
+        let starts =
+          List.filter (fun e -> match e.kind with Span_start _ -> true | _ -> false) evs
+        in
+        let ends =
+          List.filter (fun e -> match e.kind with Span_end _ -> true | _ -> false) evs
+        in
+        if List.length starts <> 1 then
+          bad "op %d: %d span_start events (want 1)" op (List.length starts);
+        if List.length ends <> 1 then
+          bad "op %d: %d span_end events (want 1)" op (List.length ends);
+        match (starts, ends) with
+        | [ s ], [ e ] ->
+            if s.time > e.time then
+              bad "op %d: span_end at %g before span_start at %g" op e.time
+                s.time;
+            let open_phase = ref None in
+            let last_time = ref s.time in
+            List.iter
+              (fun evt ->
+                (match evt.kind with
+                | Phase_start | Phase_end ->
+                    if evt.time < s.time || evt.time > e.time then
+                      bad "op %d: phase event at %g outside span [%g, %g]" op
+                        evt.time s.time e.time;
+                    if evt.time < !last_time then
+                      bad "op %d: phase events out of time order" op;
+                    last_time := evt.time
+                | _ -> ());
+                match (evt.kind, evt.phase) with
+                | Phase_start, Some p -> (
+                    match !open_phase with
+                    | Some q ->
+                        bad "op %d: phase %s starts while %s is open" op
+                          (phase_name p) (phase_name q)
+                    | None -> open_phase := Some p)
+                | Phase_start, None -> bad "op %d: phase_start without phase" op
+                | Phase_end, Some p -> (
+                    match !open_phase with
+                    | Some q when q = p -> open_phase := None
+                    | Some q ->
+                        bad "op %d: phase_end %s closes open phase %s" op
+                          (phase_name p) (phase_name q)
+                    | None -> bad "op %d: phase_end %s with no open phase" op (phase_name p))
+                | Phase_end, None -> bad "op %d: phase_end without phase" op
+                | _ -> ())
+              evs;
+            (match !open_phase with
+            | Some p -> bad "op %d: phase %s never ends" op (phase_name p)
+            | None -> ())
+        | _ -> ())
+      (List.sort compare !op_ids);
+    List.rev !violations
+end

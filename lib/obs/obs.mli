@@ -1,0 +1,253 @@
+(** Structured observability for the whole protocol stack.
+
+    Every layer — coordinator, replica, brick, quorum RPC, simulated
+    network, event engine — reports what it does as typed {!event}s
+    tagged with sim-time, actor, operation id and protocol phase. A
+    per-deployment hub ({!t}) fans events out to pluggable {!Sink}s:
+    an in-memory ring buffer, a JSONL stream, a Chrome [trace_event]
+    exporter (loadable in Perfetto / [chrome://tracing]), or the
+    [Logs]-based stderr trace.
+
+    {b Overhead guarantee}: a hub with no sinks is disabled, and every
+    emission site is written
+    [if Obs.enabled hub then Obs.emit hub {...}] — one boolean load and
+    branch per potential event, no allocation. Enabling observability
+    is therefore free until the first {!add_sink}.
+
+    {b Span model}: the coordinator allocates one op id per client
+    operation ({!next_op}) and brackets it with [Span_start] /
+    [Span_end] (outcome [Ok | Abort | Retry]). Quorum rounds inside the
+    operation are bracketed by [Phase_start] / [Phase_end]; the op id
+    and phase ride across RPC boundaries in a {!ctx}, so replica-side
+    disk I/O and network events are attributed to the operation that
+    caused them. Nested operations (a read that falls back to recovery)
+    get fresh op ids, so per-op phases never overlap. *)
+
+(** {1 Event model} *)
+
+type phase = Fast_read | Order | Write | Modify | Recover | Gc
+
+val phase_name : phase -> string
+(** ["fast-read" | "order" | "write" | "modify" | "recover" | "gc"]. *)
+
+val phase_of_name : string -> phase option
+val all_phases : phase list
+
+type outcome = Ok | Abort | Retry
+(** [Retry] marks an aborted attempt whose caller will retry it (set
+    via the coordinator's retry hint), letting latency analyses
+    distinguish transient conflicts from final failures. *)
+
+val outcome_name : outcome -> string
+val outcome_of_name : string -> outcome option
+
+type actor = Coord of int | Brick of int | Sim
+(** Who emitted an event: a coordinator, a brick/replica (network
+    endpoint), or the simulation engine itself. *)
+
+val actor_name : actor -> string
+(** ["c<i>" | "b<i>" | "sim"]. *)
+
+val actor_of_name : string -> actor option
+
+type ctx = { op : int; phase : phase option }
+(** Attribution context threaded through RPC calls and handlers. *)
+
+val no_ctx : ctx
+(** [{ op = -1; phase = None }] — events not tied to an operation. *)
+
+val ctx : ?phase:phase -> int -> ctx
+
+type kind =
+  | Span_start of { op_kind : string; stripe : int }
+  | Span_end of { op_kind : string; stripe : int; outcome : outcome }
+  | Phase_start
+  | Phase_end
+  | Msg_send of { dst : int; bytes : int; label : string; bg : bool }
+  | Msg_recv of { src : int; label : string }
+  | Msg_drop of { dst : int; bytes : int; bg : bool }
+  | Io_read of { blocks : int }
+  | Io_write of { blocks : int }
+  | Timeout of { missing : int }
+  | Queue_depth of { depth : int }
+
+type event = {
+  time : float;  (** sim-time *)
+  actor : actor;
+  op : int;  (** -1 = not tied to an operation *)
+  phase : phase option;
+  kind : kind;
+}
+
+val ev_name : kind -> string
+val pp_event : Format.formatter -> event -> unit
+(** Human-readable one-line rendering (the stderr trace format). *)
+
+(** {1 Sinks and the hub} *)
+
+module Sink : sig
+  type t = { emit : event -> unit; close : unit -> unit }
+
+  val make : ?close:(unit -> unit) -> (event -> unit) -> t
+end
+
+type t
+(** An event hub. Created disabled; the first {!add_sink} enables it. *)
+
+val create : unit -> t
+
+val enabled : t -> bool
+(** Emission guard: call sites must check this before building an
+    event, so disabled hubs cost one branch per potential event. *)
+
+val add_sink : t -> Sink.t -> unit
+(** Attach a sink (and enable the hub). Sinks receive every subsequent
+    event in emission order. *)
+
+val on_enable : t -> (unit -> unit) -> unit
+(** [on_enable t f] runs [f] now if the hub is enabled, otherwise when
+    it first becomes enabled — used to install observers (e.g. the
+    engine queue-depth probe) only when someone is listening. *)
+
+val emit : t -> event -> unit
+(** Fan the event out to every sink. Call only under {!enabled}. *)
+
+val next_op : t -> int
+(** Allocate a fresh operation id (monotonic per hub; cheap enough to
+    call even when disabled). *)
+
+val close : t -> unit
+(** Close every sink (flush file sinks, terminate the Chrome array). *)
+
+module Ring : sig
+  type ring
+
+  val create : capacity:int -> ring
+  (** Bounded in-memory buffer of the most recent [capacity] events.
+      @raise Invalid_argument if [capacity <= 0]. *)
+
+  val sink : ring -> Sink.t
+  val contents : ring -> event list
+  (** Retained events, oldest first. *)
+
+  val length : ring -> int
+  val dropped : ring -> int
+  (** Events overwritten since creation. *)
+end
+
+(** {1 Wire format} *)
+
+module Json : sig
+  type v = S of string | I of int | F of float | B of bool
+
+  exception Error of string
+
+  val escape : string -> string
+  val render : v -> string
+  val obj : (string * v) list -> string
+
+  val parse_obj : string -> (string * v) list
+  (** Parse one flat JSON object (string/number/bool values only — the
+      event schema). @raise Error on malformed input. *)
+
+  val to_float : v -> float option
+  val to_int : v -> int option
+  val to_string : v -> string option
+  val to_bool : v -> bool option
+end
+
+val to_json : event -> string
+(** One-line JSON object; the JSONL schema. *)
+
+val of_json :
+  string -> [ `Event of event | `Meta of (string * Json.v) list | `Error of string ]
+(** Parse one JSONL line: an event, the header meta line, or a schema
+    violation with its reason. *)
+
+module Meta : sig
+  type t = (string * Json.v) list
+  (** Run metadata stamped into trace headers, stats JSON and BENCH_*
+      files so results stay comparable across commits. *)
+
+  val git_commit : unit -> string
+  val iso_date : unit -> string
+  val standard : ?extra:t -> unit -> t
+  (** [git] (current commit, read from [.git] without spawning a
+      process; ["unknown"] outside a repository) and [date] (UTC ISO
+      8601), plus [extra]. *)
+
+  val line : t -> string
+  (** Rendered as the JSONL header line [{"ev":"meta",...}]. *)
+end
+
+val jsonl : ?meta:Meta.t -> out_channel -> Sink.t
+(** Stream events as JSON-lines, optionally preceded by a meta header
+    line. [close] flushes; the channel is the caller's to close. *)
+
+val chrome : out_channel -> Sink.t
+(** Chrome [trace_event] array (async spans per op id, instants for
+    messages and I/O, counter tracks for queue depths). The file is
+    valid JSON only after [close] writes the closing bracket. *)
+
+(** {1 Derived statistics} *)
+
+module Stats : sig
+  type op_stat = {
+    op : int;
+    mutable op_kind : string;
+    mutable stripe : int;
+    mutable t_start : float;
+    mutable t_end : float;
+    mutable outcome : outcome option;
+    mutable open_phase : (phase * float) option;
+    mutable phases : (phase * float) list;
+        (** accumulated duration per phase *)
+    mutable msgs : int;
+    mutable bytes : int;
+    mutable drops : int;
+    mutable timeouts : int;
+    mutable disk_reads : int;
+    mutable disk_writes : int;
+  }
+
+  type stats
+
+  val create : unit -> stats
+  val sink : stats -> Sink.t
+  (** Feed the aggregator from a hub, or replay a parsed trace into it
+      via {!feed}. *)
+
+  val feed : stats -> event -> unit
+  val completed : stats -> op_stat list
+  (** Completed operations, oldest first. *)
+
+  val unfinished : stats -> int
+  (** Spans started but not ended (crashed coordinators, horizon). *)
+
+  val latency : op_stat -> float
+
+  val by_kind : stats -> (string * Metrics.Summary.t) list
+  (** Latency distribution per operation kind. *)
+
+  val by_phase : stats -> (phase * Metrics.Summary.t) list
+  (** Time-in-phase distribution across all completed operations. *)
+
+  val phase_breakdown : stats -> (string * int * (phase * float) list) list
+  (** Per op kind: completed count and mean duration per phase. *)
+
+  val queue_depths : stats -> (string * Metrics.Summary.t) list
+
+  val materialize : stats -> Metrics.Registry.t -> unit
+  (** Write the derived distributions into a registry:
+      ["op.<kind>.latency"], ["phase.<name>.latency"],
+      ["queue.<actor>.depth"] summaries plus ["obs.ops"],
+      ["obs.aborts"], ["obs.retries"] counters. *)
+end
+
+module Check : sig
+  val well_formed : event list -> string list
+  (** Span well-formedness violations (empty = well-formed): per op id,
+      exactly one [Span_start] and one [Span_end], phases strictly
+      alternate start/end with matching labels and never overlap, and
+      all phase events fall inside the span in time order. *)
+end

@@ -3,9 +3,9 @@ module Fiber = Dessim.Fiber
 module Net = Simnet.Net
 
 type ('req, 'rep) envelope =
-  | Request of int * 'req
-  | Reply of int * 'rep
-  | Oneway of 'req
+  | Request of int * Obs.ctx * 'req
+  | Reply of int * Obs.ctx * 'rep
+  | Oneway of Obs.ctx * 'req
 
 type ('req, 'rep) pending = {
   members : Net.addr list;
@@ -18,26 +18,37 @@ type ('req, 'rep) pending = {
   crash_hook : Brick.hook;
   coord : Brick.t;
   make_req : Net.addr -> 'req;
+  ctx : Obs.ctx;
 }
 
 type ('req, 'rep) t = {
   net : (('req, 'rep) envelope) Net.t;
   req_bytes : 'req -> int;
   rep_bytes : 'rep -> int;
+  req_label : 'req -> string;
+  rep_label : 'rep -> string;
   retry_every : float;
   grace : float;
+  retries : Metrics.Counter.t;
+  obs : Obs.t;
   mutable next_rid : int;
   pending : (int, ('req, 'rep) pending) Hashtbl.t;
-  handlers : (src:Net.addr -> 'req -> 'rep option) option array;
+  handlers : (src:Net.addr -> ctx:Obs.ctx -> 'req -> 'rep option) option array;
 }
 
-let create ~net ~req_bytes ~rep_bytes ?(retry_every = 8.0) ?(grace = 1.0) () =
+let create ~net ?(metrics = Metrics.Registry.create ()) ~req_bytes ~rep_bytes
+    ?(req_label = fun _ -> "req") ?(rep_label = fun _ -> "rep")
+    ?(retry_every = 8.0) ?(grace = 1.0) () =
   {
     net;
     req_bytes;
     rep_bytes;
+    req_label;
+    rep_label;
     retry_every;
     grace;
+    retries = Metrics.Registry.counter metrics "rpc.retries";
+    obs = Net.obs net;
     next_rid = 0;
     pending = Hashtbl.create 32;
     handlers = Array.make (Net.n net) None;
@@ -73,20 +84,23 @@ let deliver_reply t rid src rep =
 let install_dispatcher t addr =
   Net.register t.net addr (fun ~src env ->
       match env with
-      | Request (rid, req) -> (
+      | Request (rid, ctx, req) -> (
           match t.handlers.(addr) with
           | None -> ()
           | Some handler -> (
-              match handler ~src req with
+              match handler ~src ~ctx req with
               | None -> ()
               | Some rep ->
-                  Net.send t.net ~src:addr ~dst:src
-                    ~bytes_on_wire:(t.rep_bytes rep) (Reply (rid, rep))))
-      | Oneway req -> (
+                  let info =
+                    if Obs.enabled t.obs then Some (t.rep_label rep) else None
+                  in
+                  Net.send t.net ~ctx ?info ~src:addr ~dst:src
+                    ~bytes_on_wire:(t.rep_bytes rep) (Reply (rid, ctx, rep))))
+      | Oneway (ctx, req) -> (
           match t.handlers.(addr) with
           | None -> ()
-          | Some handler -> ignore (handler ~src req))
-      | Reply (rid, rep) -> deliver_reply t rid src rep)
+          | Some handler -> ignore (handler ~src ~ctx req))
+      | Reply (rid, _ctx, rep) -> deliver_reply t rid src rep)
 
 let serve t ~addr handler =
   t.handlers.(addr) <- Some handler;
@@ -98,18 +112,20 @@ let ensure_dispatcher t addr =
   match t.handlers.(addr) with
   | Some _ -> ()
   | None ->
-      t.handlers.(addr) <- Some (fun ~src:_ _ -> None);
+      t.handlers.(addr) <- Some (fun ~src:_ ~ctx:_ _ -> None);
       install_dispatcher t addr
 
-let broadcast t ~src ~targets make_req rid =
+let broadcast t ~src ~ctx ~targets make_req rid =
   List.iter
     (fun dst ->
       let req = make_req dst in
-      Net.send t.net ~src ~dst ~bytes_on_wire:(t.req_bytes req)
-        (Request (rid, req)))
+      let info = if Obs.enabled t.obs then Some (t.req_label req) else None in
+      Net.send t.net ~ctx ?info ~src ~dst ~bytes_on_wire:(t.req_bytes req)
+        (Request (rid, ctx, req)))
     targets
 
-let call t ~coord ~members ~quorum ?(until = fun _ -> true) make_req =
+let call t ~coord ~members ~quorum ?(until = fun _ -> true)
+    ?(ctx = Obs.no_ctx) make_req =
   if quorum > List.length members then
     invalid_arg "Quorum.Rpc.call: quorum larger than member count";
   if quorum < 1 then invalid_arg "Quorum.Rpc.call: quorum < 1";
@@ -143,6 +159,7 @@ let call t ~coord ~members ~quorum ?(until = fun _ -> true) make_req =
           crash_hook;
           coord;
           make_req;
+          ctx;
         }
       in
       Hashtbl.replace t.pending rid p;
@@ -156,17 +173,28 @@ let call t ~coord ~members ~quorum ?(until = fun _ -> true) make_req =
                        (fun a -> not (List.mem_assoc a p.replies))
                        p.members
                    in
-                   broadcast t ~src ~targets:missing p.make_req rid;
+                   Metrics.Counter.incr t.retries;
+                   if Obs.enabled t.obs then
+                     Obs.emit t.obs
+                       {
+                         Obs.time = Engine.now engine;
+                         actor = Obs.Coord src;
+                         op = p.ctx.Obs.op;
+                         phase = p.ctx.Obs.phase;
+                         kind = Obs.Timeout { missing = List.length missing };
+                       };
+                   broadcast t ~src ~ctx:p.ctx ~targets:missing p.make_req rid;
                    arm_retry ()
                  end))
       in
-      broadcast t ~src ~targets:members make_req rid;
+      broadcast t ~src ~ctx ~targets:members make_req rid;
       arm_retry ())
 
-let notify t ~coord ~members req =
+let notify t ~coord ~members ?(ctx = Obs.no_ctx) req =
   let src = Brick.id coord in
+  let info = if Obs.enabled t.obs then Some (t.req_label req) else None in
   List.iter
     (fun dst ->
-      Net.send ~background:true t.net ~src ~dst
-        ~bytes_on_wire:(t.req_bytes req) (Oneway req))
+      Net.send ~background:true ~ctx ?info t.net ~src ~dst
+        ~bytes_on_wire:(t.req_bytes req) (Oneway (ctx, req)))
     members

@@ -23,8 +23,11 @@ type ('req, 'rep) t
 
 val create :
   net:(('req, 'rep) envelope) Simnet.Net.t ->
+  ?metrics:Metrics.Registry.t ->
   req_bytes:('req -> int) ->
   rep_bytes:('rep -> int) ->
+  ?req_label:('req -> string) ->
+  ?rep_label:('rep -> string) ->
   ?retry_every:float ->
   ?grace:float ->
   unit ->
@@ -34,15 +37,22 @@ val create :
     message (the block bytes it carries). [retry_every] (default 8
     network delays) is the retransmission period; [grace] (default one
     network delay) is how long a call with an [~until] predicate keeps
-    waiting after reaching a bare quorum before settling for it. *)
+    waiting after reaching a bare quorum before settling for it.
+    Retransmission rounds are counted in [metrics] under
+    ["rpc.retries"]. [req_label]/[rep_label] give short human names
+    for messages in traces (only evaluated when the network's
+    observability hub is enabled). *)
 
 val serve :
   ('req, 'rep) t -> addr:Simnet.Net.addr ->
-  (src:Simnet.Net.addr -> 'req -> 'rep option) -> unit
+  (src:Simnet.Net.addr -> ctx:Obs.ctx -> 'req -> 'rep option) -> unit
 (** [serve t ~addr handler] installs the request handler for [addr].
     Returning [None] drops the request silently (the brick is crashed);
     one-way notifications also invoke [handler] and ignore the
-    result. *)
+    result. [ctx] is the caller's attribution context (operation id and
+    phase), which the envelope carries across the wire; handlers pass
+    it on to disk-I/O accounting so replica-side work is attributed to
+    the client operation that caused it. *)
 
 val call :
   ('req, 'rep) t ->
@@ -50,6 +60,7 @@ val call :
   members:Simnet.Net.addr list ->
   quorum:int ->
   ?until:((Simnet.Net.addr * 'rep) list -> bool) ->
+  ?ctx:Obs.ctx ->
   (Simnet.Net.addr -> 'req) ->
   (Simnet.Net.addr * 'rep) list
 (** [call t ~coord ~members ~quorum make_req] is the paper's
@@ -66,12 +77,16 @@ val call :
     The register layer uses this to give the designated read targets a
     chance to answer without stalling on crashed targets.
 
+    [ctx] (default {!Obs.no_ctx}) tags every message of the round, and
+    every retransmission emits a [Timeout] observability event naming
+    how many members are still missing.
+
     Must run inside a {!Dessim.Fiber}; raises [Dessim.Fiber.Cancelled]
     if [coord] crashes while the call is pending.
     @raise Invalid_argument if [quorum] exceeds the member count. *)
 
 val notify :
   ('req, 'rep) t -> coord:Brick.t -> members:Simnet.Net.addr list ->
-  'req -> unit
+  ?ctx:Obs.ctx -> 'req -> unit
 (** One-way, best-effort broadcast (no retransmission, no replies);
     used for asynchronous garbage-collection messages. *)

@@ -15,9 +15,13 @@ type 'msg t = {
   bytes : Metrics.Counter.t;
   bg_msgs : Metrics.Counter.t;
   bg_bytes : Metrics.Counter.t;
+  drops : Metrics.Counter.t;
+  obs : Obs.t;
+  inflight : int array;  (* messages queued for delivery, per destination *)
 }
 
-let create ?(metrics = Metrics.Registry.create ()) engine ~config ~n =
+let create ?(metrics = Metrics.Registry.create ()) ?(obs = Obs.create ())
+    engine ~config ~n =
   if n <= 0 then invalid_arg "Simnet.Net.create: n <= 0";
   {
     engine;
@@ -30,9 +34,13 @@ let create ?(metrics = Metrics.Registry.create ()) engine ~config ~n =
     bytes = Metrics.Registry.counter metrics "net.bytes";
     bg_msgs = Metrics.Registry.counter metrics "net.msgs.bg";
     bg_bytes = Metrics.Registry.counter metrics "net.bytes.bg";
+    drops = Metrics.Registry.counter metrics "net.drops";
+    obs;
+    inflight = Array.make n 0;
   }
 
 let n t = t.n
+let obs t = t.obs
 
 let check_addr t a =
   if a < 0 || a >= t.n then invalid_arg "Simnet.Net: address out of range"
@@ -48,7 +56,8 @@ let reachable t src dst =
   | None -> true
   | Some groups -> groups.(src) = groups.(dst)
 
-let send ?(background = false) t ~src ~dst ~bytes_on_wire msg =
+let send ?(background = false) ?(ctx = Obs.no_ctx) ?info t ~src ~dst
+    ~bytes_on_wire msg =
   check_addr t src;
   check_addr t dst;
   if bytes_on_wire < 0 then invalid_arg "Simnet.Net.send: negative size";
@@ -59,6 +68,29 @@ let send ?(background = false) t ~src ~dst ~bytes_on_wire msg =
   let dropped =
     t.config.drop > 0. && Random.State.float rng 1.0 < t.config.drop
   in
+  if dropped then Metrics.Counter.incr t.drops;
+  let observing = Obs.enabled t.obs in
+  let label = match info with Some l -> l | None -> "msg" in
+  if observing then begin
+    let now = Dessim.Engine.now t.engine in
+    Obs.emit t.obs
+      {
+        Obs.time = now;
+        actor = Obs.Brick src;
+        op = ctx.Obs.op;
+        phase = ctx.Obs.phase;
+        kind = Obs.Msg_send { dst; bytes = bytes_on_wire; label; bg = background };
+      };
+    if dropped then
+      Obs.emit t.obs
+        {
+          Obs.time = now;
+          actor = Obs.Brick src;
+          op = ctx.Obs.op;
+          phase = ctx.Obs.phase;
+          kind = Obs.Msg_drop { dst; bytes = bytes_on_wire; bg = background };
+        }
+  end;
   (* Partitions are checked at send time: a message sent across a
      partition is lost, like a frame into an unplugged switch port. *)
   if (not dropped) && reachable t src dst then begin
@@ -68,8 +100,28 @@ let send ?(background = false) t ~src ~dst ~bytes_on_wire msg =
       if t.config.jitter > 0. then Random.State.float rng t.config.jitter
       else 0.
     in
+    t.inflight.(dst) <- t.inflight.(dst) + 1;
+    if observing then
+      Obs.emit t.obs
+        {
+          Obs.time = Dessim.Engine.now t.engine;
+          actor = Obs.Brick dst;
+          op = -1;
+          phase = None;
+          kind = Obs.Queue_depth { depth = t.inflight.(dst) };
+        };
     ignore
       (Dessim.Engine.schedule t.engine ~delay (fun () ->
+           t.inflight.(dst) <- t.inflight.(dst) - 1;
+           if Obs.enabled t.obs then
+             Obs.emit t.obs
+               {
+                 Obs.time = Dessim.Engine.now t.engine;
+                 actor = Obs.Brick dst;
+                 op = ctx.Obs.op;
+                 phase = ctx.Obs.phase;
+                 kind = Obs.Msg_recv { src; label };
+               };
            match t.handlers.(dst) with
            | Some handler -> handler ~src msg
            | None -> ()))

@@ -10,7 +10,11 @@
 
     The network counts messages and payload bytes into a
     {!Metrics.Registry} under the names ["net.msgs"] and
-    ["net.bytes"]; Table 1 reproductions read those counters. *)
+    ["net.bytes"] (plus ["net.drops"] for simulated losses); Table 1
+    reproductions read those counters. When the deployment's {!Obs.t}
+    hub is enabled the network additionally emits [Msg_send] /
+    [Msg_recv] / [Msg_drop] events attributed to the sending
+    operation, and per-destination [Queue_depth] samples. *)
 
 type addr = int
 (** Process address in [0, n). *)
@@ -31,10 +35,10 @@ type 'msg t
 (** A network carrying messages of type ['msg]. *)
 
 val create :
-  ?metrics:Metrics.Registry.t -> Dessim.Engine.t -> config:config ->
-  n:int -> 'msg t
+  ?metrics:Metrics.Registry.t -> ?obs:Obs.t -> Dessim.Engine.t ->
+  config:config -> n:int -> 'msg t
 (** [create engine ~config ~n] is a network over addresses
-    [0 .. n-1]. *)
+    [0 .. n-1]. The default [obs] hub is a fresh, disabled one. *)
 
 val register : 'msg t -> addr -> (src:addr -> 'msg -> unit) -> unit
 (** [register t a handler] installs the message handler for address
@@ -44,6 +48,8 @@ val register : 'msg t -> addr -> (src:addr -> 'msg -> unit) -> unit
 
 val send :
   ?background:bool ->
+  ?ctx:Obs.ctx ->
+  ?info:string ->
   'msg t -> src:addr -> dst:addr -> bytes_on_wire:int -> 'msg -> unit
 (** [send t ~src ~dst ~bytes_on_wire msg] queues [msg] for delivery.
     With [~background:true] the message is counted under
@@ -53,7 +59,10 @@ val send :
     [bytes_on_wire] is the accounted payload size — the register layer
     passes the number of block bytes carried, matching the paper's
     bandwidth unit B. Sending to a crashed or partitioned-away process
-    is allowed; the message is just lost or ignored. *)
+    is allowed; the message is just lost or ignored.
+    [ctx] attributes the emitted observability events to an operation
+    and phase; [info] is a short human label for the message (shown in
+    traces), defaulting to ["msg"]. *)
 
 val partition : 'msg t -> addr list list -> unit
 (** [partition t groups] splits the network: messages flow only within
@@ -71,3 +80,6 @@ val set_link_down : 'msg t -> src:addr -> dst:addr -> bool -> unit
     link; used for fine-grained fault injection. *)
 
 val n : 'msg t -> int
+
+val obs : 'msg t -> Obs.t
+(** The observability hub events are emitted to. *)

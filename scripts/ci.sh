@@ -1,0 +1,20 @@
+#!/bin/sh
+# Repository CI: build, run the full test suite, then smoke the two
+# executable harnesses (microbenchmarks and the observability
+# pipeline). Everything here must stay green on every commit.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== @bench-smoke (microbenchmark harness) =="
+dune build @bench-smoke
+
+echo "== @obs-smoke (traced workload -> fab_sim explain) =="
+dune build @obs-smoke
+
+echo "CI OK"

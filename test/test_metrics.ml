@@ -69,6 +69,68 @@ let test_summary_incremental_after_percentile () =
   Metrics.Summary.add s 1.;
   Alcotest.(check (float 0.0)) "updated" 1. (Metrics.Summary.percentile s 50.)
 
+let test_summary_merge () =
+  let a = Metrics.Summary.create () in
+  let b = Metrics.Summary.create () in
+  List.iter (Metrics.Summary.add a) [ 1.; 2.; 3. ];
+  List.iter (Metrics.Summary.add b) [ 10.; 20. ];
+  let m = Metrics.Summary.merge a b in
+  Alcotest.(check int) "count" 5 (Metrics.Summary.count m);
+  Alcotest.(check (float 1e-9)) "mean" 7.2 (Metrics.Summary.mean m);
+  Alcotest.(check (float 0.0)) "min" 1. (Metrics.Summary.min m);
+  Alcotest.(check (float 0.0)) "max" 20. (Metrics.Summary.max m);
+  Alcotest.(check (float 0.0)) "median" 3. (Metrics.Summary.percentile m 50.);
+  (* The pooled variance must match a flat series of the same values. *)
+  let flat = Metrics.Summary.create () in
+  List.iter (Metrics.Summary.add flat) [ 1.; 2.; 3.; 10.; 20. ];
+  Alcotest.(check (float 1e-9)) "pooled stddev" (Metrics.Summary.stddev flat)
+    (Metrics.Summary.stddev m);
+  (* Inputs are untouched. *)
+  Alcotest.(check int) "a untouched" 3 (Metrics.Summary.count a);
+  Alcotest.(check int) "b untouched" 2 (Metrics.Summary.count b)
+
+let test_summary_merge_empty () =
+  let e = Metrics.Summary.create () in
+  let m0 = Metrics.Summary.merge e (Metrics.Summary.create ()) in
+  Alcotest.(check int) "empty+empty" 0 (Metrics.Summary.count m0);
+  let a = Metrics.Summary.create () in
+  List.iter (Metrics.Summary.add a) [ 4.; 6. ];
+  let left = Metrics.Summary.merge e a in
+  let right = Metrics.Summary.merge a e in
+  List.iter
+    (fun (name, m) ->
+      Alcotest.(check int) (name ^ " count") 2 (Metrics.Summary.count m);
+      Alcotest.(check (float 1e-9)) (name ^ " mean") 5. (Metrics.Summary.mean m);
+      Alcotest.(check (float 1e-9)) (name ^ " stddev")
+        (Metrics.Summary.stddev a) (Metrics.Summary.stddev m);
+      Alcotest.(check (float 0.0)) (name ^ " p50") 4.
+        (Metrics.Summary.percentile m 50.))
+    [ ("empty+a", left); ("a+empty", right) ]
+
+let test_summary_capacity () =
+  let s = Metrics.Summary.create ~capacity:8 () in
+  for i = 1 to 100 do
+    Metrics.Summary.add s (float_of_int i)
+  done;
+  (* Moment statistics stay exact regardless of the reservoir. *)
+  Alcotest.(check int) "count exact" 100 (Metrics.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean exact" 50.5 (Metrics.Summary.mean s);
+  Alcotest.(check (float 0.0)) "min exact" 1. (Metrics.Summary.min s);
+  Alcotest.(check (float 0.0)) "max exact" 100. (Metrics.Summary.max s);
+  (* Percentiles come from the thinned reservoir: approximate, but a
+     median over a systematic sample of a uniform ramp stays nearby. *)
+  let p50 = Metrics.Summary.percentile s 50. in
+  Alcotest.(check bool) "median in bulk" true (p50 > 20. && p50 < 80.);
+  Alcotest.check_raises "capacity 1 rejected"
+    (Invalid_argument "Metrics.Summary.create: capacity must be 0 or >= 2")
+    (fun () -> ignore (Metrics.Summary.create ~capacity:1 ()))
+
+let test_summary_capacity_exact_below () =
+  (* While count <= capacity the reservoir is lossless. *)
+  let s = Metrics.Summary.create ~capacity:8 () in
+  List.iter (Metrics.Summary.add s) [ 5.; 1.; 9.; 3. ];
+  Alcotest.(check (float 0.0)) "exact p50" 3. (Metrics.Summary.percentile s 50.)
+
 let () =
   Alcotest.run "metrics"
     [
@@ -85,5 +147,10 @@ let () =
           Alcotest.test_case "percentile edges" `Quick test_summary_percentile_edges;
           Alcotest.test_case "cache invalidation" `Quick
             test_summary_incremental_after_percentile;
+          Alcotest.test_case "merge" `Quick test_summary_merge;
+          Alcotest.test_case "merge empty" `Quick test_summary_merge_empty;
+          Alcotest.test_case "bounded reservoir" `Quick test_summary_capacity;
+          Alcotest.test_case "reservoir exact below capacity" `Quick
+            test_summary_capacity_exact_below;
         ] );
     ]

@@ -1,0 +1,399 @@
+(* Observability-layer tests.
+
+   Unit tests cover the ring sink, JSONL wire-format round-trips and
+   the span well-formedness checker; a deterministic two-writer
+   scenario pins the Retry outcome attribution; and a randomized
+   property (reusing the fuzz harness recipe: concurrent clients,
+   message loss, brick crash/recovery) asserts that every op id opens
+   and closes exactly one span, phases nest without overlap, and the
+   event stream reconstructs the same message/disk totals as the
+   Metrics counters that EXPERIMENTS.md's Table 1 relies on. *)
+
+module Cluster = Core.Cluster
+module Coordinator = Core.Coordinator
+
+let block_size = 64
+
+let event_t =
+  Alcotest.testable Obs.pp_event (fun (a : Obs.event) b -> a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Ring sink                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mk_ev i =
+  {
+    Obs.time = float_of_int i;
+    actor = Obs.Sim;
+    op = -1;
+    phase = None;
+    kind = Obs.Queue_depth { depth = i };
+  }
+
+let test_ring () =
+  let ring = Obs.Ring.create ~capacity:4 in
+  let sink = Obs.Ring.sink ring in
+  for i = 0 to 9 do
+    sink.Obs.Sink.emit (mk_ev i)
+  done;
+  Alcotest.(check int) "length" 4 (Obs.Ring.length ring);
+  Alcotest.(check int) "dropped" 6 (Obs.Ring.dropped ring);
+  Alcotest.(check (list event_t)) "keeps newest, oldest first"
+    [ mk_ev 6; mk_ev 7; mk_ev 8; mk_ev 9 ]
+    (Obs.Ring.contents ring);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Obs.Ring.create: capacity <= 0") (fun () ->
+      ignore (Obs.Ring.create ~capacity:0))
+
+(* ------------------------------------------------------------------ *)
+(* JSONL wire format                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One event per kind, exercising every actor and outcome. *)
+let sample_events =
+  let open Obs in
+  [
+    { time = 0.5; actor = Coord 1; op = 3; phase = None;
+      kind = Span_start { op_kind = "read-stripe"; stripe = 2 } };
+    { time = 1.5; actor = Coord 1; op = 3; phase = Some Fast_read;
+      kind = Phase_start };
+    { time = 2.5; actor = Brick 0; op = 3; phase = Some Fast_read;
+      kind = Msg_send { dst = 2; bytes = 96; label = "read"; bg = false } };
+    { time = 2.5; actor = Brick 2; op = 3; phase = Some Fast_read;
+      kind = Msg_recv { src = 0; label = "read" } };
+    { time = 2.75; actor = Brick 2; op = 9; phase = Some Gc;
+      kind = Msg_drop { dst = 1; bytes = 32; bg = true } };
+    { time = 3.; actor = Brick 2; op = 3; phase = Some Order;
+      kind = Io_read { blocks = 2 } };
+    { time = 3.; actor = Brick 2; op = 3; phase = Some Modify;
+      kind = Io_write { blocks = 1 } };
+    { time = 3.5; actor = Coord 1; op = 3; phase = Some Recover;
+      kind = Timeout { missing = 2 } };
+    { time = 4.; actor = Coord 1; op = 3; phase = Some Write;
+      kind = Phase_end };
+    { time = 4.5; actor = Sim; op = -1; phase = None;
+      kind = Queue_depth { depth = 7 } };
+    { time = 5.; actor = Coord 1; op = 3; phase = None;
+      kind = Span_end { op_kind = "read-stripe"; stripe = 2; outcome = Ok } };
+    { time = 6.; actor = Coord 0; op = 4; phase = None;
+      kind = Span_end { op_kind = "write-block"; stripe = 0; outcome = Abort } };
+    { time = 7.; actor = Coord 0; op = 5; phase = None;
+      kind = Span_end { op_kind = "write-block"; stripe = 0; outcome = Retry } };
+  ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun ev ->
+      match Obs.of_json (Obs.to_json ev) with
+      | `Event ev' -> Alcotest.check event_t "round-trip" ev ev'
+      | `Meta _ -> Alcotest.fail "parsed as meta"
+      | `Error e -> Alcotest.failf "parse error: %s" e)
+    sample_events
+
+let test_json_meta_and_errors () =
+  let meta = [ ("tool", Obs.Json.S "test"); ("seed", Obs.Json.I 42) ] in
+  (match Obs.of_json (Obs.Meta.line meta) with
+  | `Meta kvs ->
+      Alcotest.(check bool) "tool" true
+        (List.assoc_opt "tool" kvs = Some (Obs.Json.S "test"));
+      Alcotest.(check bool) "seed" true
+        (List.assoc_opt "seed" kvs = Some (Obs.Json.I 42))
+  | _ -> Alcotest.fail "meta line did not parse as meta");
+  (match Obs.of_json "{\"ev\": \"no-such-event\", \"t\": 1.0}" with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "unknown event kind accepted");
+  match Obs.of_json "not json at all" with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "garbage accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness checker                                             *)
+(* ------------------------------------------------------------------ *)
+
+let span ?(op = 1) ?(t0 = 0.) events =
+  let open Obs in
+  let mk time phase kind = { time; actor = Coord 0; op; phase; kind } in
+  mk t0 None (Span_start { op_kind = "op"; stripe = 0 })
+  :: (events |> List.map (fun (dt, phase, kind) -> mk (t0 +. dt) phase kind))
+  @ [ mk (t0 +. 10.) None
+        (Span_end { op_kind = "op"; stripe = 0; outcome = Ok }) ]
+
+let test_well_formed () =
+  let open Obs in
+  let ok =
+    span
+      [
+        (1., Some Order, Phase_start);
+        (2., Some Order, Phase_end);
+        (3., Some Write, Phase_start);
+        (4., Some Write, Phase_end);
+      ]
+  in
+  Alcotest.(check (list string)) "clean span" [] (Check.well_formed ok);
+  (* Unattributed events are ignored. *)
+  Alcotest.(check (list string)) "op -1 ignored" []
+    (Check.well_formed (mk_ev 0 :: ok));
+  let dup = span [] @ span [] in
+  Alcotest.(check bool) "duplicate span flagged" true
+    (Check.well_formed dup <> []);
+  let overlap =
+    span
+      [
+        (1., Some Order, Phase_start);
+        (2., Some Write, Phase_start);
+        (3., Some Write, Phase_end);
+        (4., Some Order, Phase_end);
+      ]
+  in
+  Alcotest.(check bool) "overlapping phases flagged" true
+    (Check.well_formed overlap <> []);
+  let dangling =
+    [
+      {
+        time = 0.; actor = Coord 0; op = 7; phase = None;
+        kind = Span_end { op_kind = "op"; stripe = 0; outcome = Abort };
+      };
+    ]
+  in
+  Alcotest.(check bool) "end without start flagged" true
+    (Check.well_formed dangling <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Retry outcome attribution                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Two writers race on the same stripe: the loser's attempt aborts on
+   the timestamp conflict and with_retries re-runs it, so its first
+   span must end with outcome Retry (not Abort) and its last with Ok. *)
+let test_retry_outcome () =
+  let cl = Cluster.create ~seed:7 ~m:2 ~n:4 ~block_size () in
+  let ring = Obs.Ring.create ~capacity:100_000 in
+  Obs.add_sink cl.Cluster.obs (Obs.Ring.sink ring);
+  let oks = ref 0 in
+  for coord = 0 to 1 do
+    Cluster.spawn ~coord cl (fun c ->
+        let data =
+          Array.init 2 (fun i ->
+              Bytes.make block_size (Char.chr (65 + (2 * coord) + i)))
+        in
+        match
+          Coordinator.with_retries ~attempts:3 c (fun () ->
+              Coordinator.write_stripe c ~stripe:0 data)
+        with
+        | Ok () -> incr oks
+        | Error `Aborted -> ())
+  done;
+  Cluster.run cl;
+  Alcotest.(check int) "both writers succeed" 2 !oks;
+  let events = Obs.Ring.contents ring in
+  Alcotest.(check (list string)) "well-formed" []
+    (Obs.Check.well_formed events);
+  let count outcome =
+    List.length
+      (List.filter
+         (fun ev ->
+           match ev.Obs.kind with
+           | Obs.Span_end { outcome = o; _ } -> o = outcome
+           | _ -> false)
+         events)
+  in
+  Alcotest.(check bool) "a losing attempt ended Retry" true
+    (count Obs.Retry >= 1);
+  Alcotest.(check int) "no final Abort" 0 (count Obs.Abort);
+  Alcotest.(check int) "two spans ended Ok" 2 (count Obs.Ok)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized property                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type totals = {
+  mutable send_fg : int;
+  mutable send_bg : int;
+  mutable bytes_fg : int;
+  mutable bytes_bg : int;
+  mutable drops : int;
+  mutable recvs : int;
+  mutable timeouts : int;
+  mutable io_reads : int;
+  mutable io_writes : int;
+  mutable ends : int;
+  mutable ok : int;
+  mutable abort : int;
+  mutable retry : int;
+}
+
+let tally events =
+  let t =
+    {
+      send_fg = 0; send_bg = 0; bytes_fg = 0; bytes_bg = 0; drops = 0;
+      recvs = 0; timeouts = 0; io_reads = 0; io_writes = 0; ends = 0;
+      ok = 0; abort = 0; retry = 0;
+    }
+  in
+  List.iter
+    (fun ev ->
+      match ev.Obs.kind with
+      | Obs.Msg_send { bytes; bg = false; _ } ->
+          t.send_fg <- t.send_fg + 1;
+          t.bytes_fg <- t.bytes_fg + bytes
+      | Obs.Msg_send { bytes; bg = true; _ } ->
+          t.send_bg <- t.send_bg + 1;
+          t.bytes_bg <- t.bytes_bg + bytes
+      | Obs.Msg_drop _ -> t.drops <- t.drops + 1
+      | Obs.Msg_recv _ -> t.recvs <- t.recvs + 1
+      | Obs.Timeout _ -> t.timeouts <- t.timeouts + 1
+      | Obs.Io_read { blocks } -> t.io_reads <- t.io_reads + blocks
+      | Obs.Io_write { blocks } -> t.io_writes <- t.io_writes + blocks
+      | Obs.Span_end { outcome; _ } -> (
+          t.ends <- t.ends + 1;
+          match outcome with
+          | Obs.Ok -> t.ok <- t.ok + 1
+          | Obs.Abort -> t.abort <- t.abort + 1
+          | Obs.Retry -> t.retry <- t.retry + 1)
+      | _ -> ())
+    events;
+  t
+
+let obs_round ~seed =
+  let rng = Random.State.make [| seed; 0x0b5 |] in
+  let m, n =
+    match Random.State.int rng 3 with
+    | 0 -> (1, 3)
+    | 1 -> (2, 4)
+    | _ -> (3, 5)
+  in
+  let drop = [| 0.; 0.05; 0.15 |].(Random.State.int rng 3) in
+  let cl =
+    Cluster.create ~seed ~m ~n ~block_size
+      ~gc_enabled:(Random.State.bool rng)
+      ~optimized_modify:(Random.State.bool rng)
+      ~net_config:{ Simnet.Net.default_config with drop }
+      ()
+  in
+  let engine = cl.Cluster.engine in
+  let ring = Obs.Ring.create ~capacity:400_000 in
+  let stats = Obs.Stats.create () in
+  Obs.add_sink cl.Cluster.obs (Obs.Ring.sink ring);
+  Obs.add_sink cl.Cluster.obs (Obs.Stats.sink stats);
+
+  let sleep delay =
+    Dessim.Fiber.suspend (fun r ->
+        ignore
+          (Dessim.Engine.schedule engine ~delay (fun () ->
+               Dessim.Fiber.resume r ())))
+  in
+
+  let nclients = 2 in
+  let finished = ref 0 in
+  for coord = 0 to nclients - 1 do
+    Cluster.spawn ~coord cl (fun c ->
+        let ops_count = 3 + Random.State.int rng 4 in
+        for _ = 1 to ops_count do
+          sleep (Random.State.float rng 25.);
+          let stripe = Random.State.int rng 2 in
+          let attempt f = ignore (Coordinator.with_retries ~attempts:3 c f) in
+          match Random.State.int rng 4 with
+          | 0 ->
+              let data =
+                Array.init m (fun i ->
+                    Bytes.make block_size (Char.chr (33 + ((seed + i) mod 90))))
+              in
+              attempt (fun () -> Coordinator.write_stripe c ~stripe data)
+          | 1 -> attempt (fun () -> Coordinator.read_stripe c ~stripe)
+          | 2 ->
+              let j = Random.State.int rng m in
+              attempt (fun () ->
+                  Coordinator.write_block c ~stripe j
+                    (Bytes.make block_size 'w'))
+          | _ ->
+              let j = Random.State.int rng m in
+              attempt (fun () -> Coordinator.read_block c ~stripe j)
+        done;
+        incr finished)
+  done;
+
+  (* Crash/recover one brick that is never a coordinator, so every
+     client fiber (and thus every span) runs to completion; quorums
+     survive a single failure in all three geometries. *)
+  if n > nclients && Random.State.bool rng then begin
+    let victim = nclients + Random.State.int rng (n - nclients) in
+    let at = Random.State.float rng 80. in
+    ignore
+      (Dessim.Engine.schedule engine ~delay:at (fun () ->
+           Brick.crash cl.Cluster.bricks.(victim)));
+    ignore
+      (Dessim.Engine.schedule engine ~delay:(at +. 30.) (fun () ->
+           Brick.recover cl.Cluster.bricks.(victim)))
+  end;
+
+  Cluster.run ~horizon:50_000. cl;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: all clients finished" seed)
+    nclients !finished;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: ring kept everything" seed)
+    0 (Obs.Ring.dropped ring);
+  let events = Obs.Ring.contents ring in
+
+  (* Spans: exactly one start/end per op id, phases nest, time-ordered. *)
+  (match Obs.Check.well_formed events with
+  | [] -> ()
+  | violations ->
+      Alcotest.failf "seed %d: %s" seed (String.concat "; " violations));
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: no unfinished spans" seed)
+    0 (Obs.Stats.unfinished stats);
+
+  (* Event stream vs Metrics counters: the two accounting paths must
+     reconstruct the same totals. *)
+  let t = tally events in
+  let metric name = int_of_float (Metrics.Registry.value cl.Cluster.metrics name) in
+  let check name expected actual =
+    Alcotest.(check int) (Printf.sprintf "seed %d: %s" seed name) expected actual
+  in
+  check "net.msgs" (metric "net.msgs") t.send_fg;
+  check "net.msgs.bg" (metric "net.msgs.bg") t.send_bg;
+  check "net.bytes" (metric "net.bytes") t.bytes_fg;
+  check "net.bytes.bg" (metric "net.bytes.bg") t.bytes_bg;
+  check "net.drops" (metric "net.drops") t.drops;
+  check "rpc.retries" (metric "rpc.retries") t.timeouts;
+  check "disk.reads" (metric "disk.reads") t.io_reads;
+  check "disk.writes" (metric "disk.writes") t.io_writes;
+  (* Quiescent engine: every undropped message was delivered. *)
+  check "delivered = sent - dropped" (t.send_fg + t.send_bg - t.drops) t.recvs;
+
+  (* The Stats aggregator and the raw stream agree on outcomes. *)
+  let reg = Metrics.Registry.create () in
+  Obs.Stats.materialize stats reg;
+  check "obs.ops" t.ends (int_of_float (Metrics.Registry.value reg "obs.ops"));
+  check "obs.aborts" t.abort
+    (int_of_float (Metrics.Registry.value reg "obs.aborts"));
+  check "obs.retries" t.retry
+    (int_of_float (Metrics.Registry.value reg "obs.retries"));
+  check "outcomes partition span ends" t.ends (t.ok + t.abort + t.retry);
+  t
+
+let test_property_rounds () =
+  let grand = ref 0 in
+  for seed = 1 to 15 do
+    let t = obs_round ~seed in
+    grand := !grand + t.ends
+  done;
+  Alcotest.(check bool) "spans observed across rounds" true (!grand > 50)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "sinks",
+        [
+          Alcotest.test_case "ring" `Quick test_ring;
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "meta and errors" `Quick test_json_meta_and_errors;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "well-formedness checker" `Quick test_well_formed;
+          Alcotest.test_case "retry outcome" `Quick test_retry_outcome;
+          Alcotest.test_case "randomized rounds" `Slow test_property_rounds;
+        ] );
+    ]

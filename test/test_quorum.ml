@@ -144,7 +144,7 @@ let harness ?(n = 5) ?(config = Simnet.Net.default_config) () =
   (* Each server echoes with its address unless its brick is down. *)
   Array.iteri
     (fun i b ->
-      Rpc.serve rpc ~addr:i (fun ~src:_ req ->
+      Rpc.serve rpc ~addr:i (fun ~src:_ ~ctx:_ req ->
           if Brick.is_alive b then Some (Printf.sprintf "%s/%d" req i)
           else None))
     bricks;
@@ -274,7 +274,7 @@ let test_notify_is_best_effort () =
   let seen = ref 0 in
   Array.iteri
     (fun i b ->
-      Rpc.serve h.rpc ~addr:i (fun ~src:_ _ ->
+      Rpc.serve h.rpc ~addr:i (fun ~src:_ ~ctx:_ _ ->
           if Brick.is_alive b then incr seen;
           None))
     h.bricks;
