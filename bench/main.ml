@@ -3,10 +3,11 @@
    studies and compute microbenchmarks.
 
    Usage:  dune exec bench/main.exe [-- section ... [--json] [--smoke]]
-   where section is any of: t1 f2 f3 f5 a1 x1 x2 x3 x4 micro.
-   With no section every section runs. --json makes the micro section
-   write BENCH_micro.json next to the textual report; --smoke shrinks
-   the micro measurement quota so the bench-smoke alias stays fast. *)
+   where section is any of: t1 f2 f3 f5 a1 x1..x6 protocol micro.
+   With no section every section runs. --json makes the micro and
+   protocol sections write BENCH_micro.json / BENCH_protocol.json next
+   to the textual report; --smoke shrinks the measurement quotas so the
+   smoke aliases stay fast. *)
 
 let sections =
   [
@@ -21,6 +22,7 @@ let sections =
     ("x4", Ablations.x4);
     ("x5", Ablations.x5);
     ("x6", Ablations.x6);
+    ("protocol", Protocol.run);
     ("micro", Micro.run);
   ]
 
@@ -34,9 +36,11 @@ let () =
         match a with
         | "--json" ->
             Micro.json_out := Some "BENCH_micro.json";
+            Protocol.json_out := Some "BENCH_protocol.json";
             false
         | "--smoke" ->
             Micro.smoke := true;
+            Protocol.smoke := true;
             false
         | _ -> true)
       args

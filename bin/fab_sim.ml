@@ -72,6 +72,7 @@ let write_stats_json path ~meta ~metrics ~obs_stats ~client_latency ~elapsed
           (Metrics.Registry.summary_opt metrics name))
       (Metrics.Registry.summary_names metrics)
   in
+  let elided = Obs.Stats.elided_by_kind obs_stats in
   let breakdown =
     List.map
       (fun (kind, count, phases) ->
@@ -79,7 +80,10 @@ let write_stats_json path ~meta ~metrics ~obs_stats ~client_latency ~elapsed
           ("count", Obs.Json.I count)
           :: List.map
                (fun (p, mean) -> (Obs.phase_name p, Obs.Json.F mean))
-               phases ))
+               phases
+          @ List.map
+              (fun (p, c) -> ("elided_" ^ Obs.phase_name p, Obs.Json.I c))
+              (Option.value ~default:[] (List.assoc_opt kind elided)) ))
       (Obs.Stats.phase_breakdown obs_stats)
   in
   let oc = open_out path in
@@ -103,13 +107,17 @@ let write_stats_json path ~meta ~metrics ~obs_stats ~client_latency ~elapsed
   close_out oc
 
 let run_workload m n bricks stripes block_size clients ops profile drop seed
-    optimized trace trace_out trace_chrome stats_json =
+    optimized pipeline_window no_ts_cache no_coalesce trace trace_out
+    trace_chrome stats_json =
   if m < 1 || n <= m then `Error (false, "need 1 <= m < n")
+  else if pipeline_window < 1 then `Error (false, "need pipeline-window >= 1")
   else begin
     let volume =
       Fab.Volume.create ~m ~n
         ?bricks:(if bricks = 0 then None else Some bricks)
         ~stripes ~block_size ~seed ~optimized_modify:optimized
+        ~ts_cache:(not no_ts_cache) ~coalesce:(not no_coalesce)
+        ~pipeline_window
         ~net_config:{ Simnet.Net.default_config with drop }
         ()
     in
@@ -130,6 +138,9 @@ let run_workload m n bricks stripes block_size clients ops profile drop seed
             ("clients", Obs.Json.I clients);
             ("ops", Obs.Json.I ops);
             ("drop", Obs.Json.F drop);
+            ("pipeline_window", Obs.Json.I pipeline_window);
+            ("ts_cache", Obs.Json.B (not no_ts_cache));
+            ("coalesce", Obs.Json.B (not no_coalesce));
           ]
         ()
     in
@@ -239,6 +250,20 @@ let workload_cmd =
     Arg.(value & flag & info [ "optimized-modify" ]
            ~doc:"Use the section 5.2 bandwidth-optimized block writes.")
   in
+  let pipeline_window =
+    Arg.(value & opt int 8 & info [ "pipeline-window" ]
+           ~doc:"Max per-stripe operations of one request in flight \
+                 (1 = serial extent order).")
+  in
+  let no_ts_cache =
+    Arg.(value & flag & info [ "no-ts-cache" ]
+           ~doc:"Disable coordinator timestamp caching (order-round \
+                 elision on warm sequential writes).")
+  in
+  let no_coalesce =
+    Arg.(value & flag & info [ "no-coalesce" ]
+           ~doc:"Disable per-destination message coalescing.")
+  in
   let trace =
     Arg.(value & flag & info [ "trace" ]
            ~doc:"Print a protocol trace (every event) to stderr.")
@@ -263,8 +288,9 @@ let workload_cmd =
     Term.(
       ret
         (const run_workload $ m $ n $ bricks $ stripes $ block_size $ clients
-        $ ops $ profile $ drop $ seed $ optimized $ trace $ trace_out
-        $ trace_chrome $ stats_json))
+        $ ops $ profile $ drop $ seed $ optimized $ pipeline_window
+        $ no_ts_cache $ no_coalesce $ trace $ trace_out $ trace_chrome
+        $ stats_json))
 
 (* ---------------- explain ---------------- *)
 
@@ -317,7 +343,20 @@ let print_breakdown obs_stats =
           Printf.printf " %9s" (fmt_cell (List.assoc_opt p phase_means)))
         phases;
       Printf.printf "\n")
-    (Obs.Stats.phase_breakdown obs_stats)
+    (Obs.Stats.phase_breakdown obs_stats);
+  match Obs.Stats.elided_by_kind obs_stats with
+  | [] -> ()
+  | elided ->
+      Printf.printf "\nelided phases (order rounds skipped via timestamp \
+                     cache):\n";
+      List.iter
+        (fun (kind, counts) ->
+          Printf.printf "  %-13s %s\n" kind
+            (String.concat " "
+               (List.map
+                  (fun (p, c) -> Printf.sprintf "%s=%d" (Obs.phase_name p) c)
+                  counts)))
+        elided
 
 let print_per_op obs_stats =
   Printf.printf "\nper-operation spans:\n";

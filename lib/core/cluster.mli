@@ -35,6 +35,8 @@ val create :
   ?clock:clock_kind ->
   ?gc_enabled:bool ->
   ?optimized_modify:bool ->
+  ?ts_cache:bool ->
+  ?coalesce:bool ->
   ?retry_every:float ->
   m:int ->
   n:int ->
@@ -45,7 +47,13 @@ val create :
     [bricks = n], identity layout (brick [i] stores block [i] of every
     stripe) when [bricks = n] and a rotating layout (stripe [s] uses
     bricks [(s + i) mod bricks]) otherwise, 1 KiB blocks, logical
-    clocks, deterministic network with unit delay, GC on. *)
+    clocks, deterministic network with unit delay, GC on.
+
+    [ts_cache] (default off) enables coordinator timestamp caching and
+    order-round elision ({!Config.t.ts_cache}); [coalesce] (default
+    off) batches same-instant same-destination messages into one
+    envelope ({!Quorum.Rpc.create}). Both are off by default so the
+    per-operation message and round counts of Table 1 remain exact. *)
 
 val create_policied :
   ?seed:int ->
@@ -54,6 +62,8 @@ val create_policied :
   ?clock:clock_kind ->
   ?gc_enabled:bool ->
   ?optimized_modify:bool ->
+  ?ts_cache:bool ->
+  ?coalesce:bool ->
   ?retry_every:float ->
   bricks:int ->
   policy_of:(int -> Config.policy) ->

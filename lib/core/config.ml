@@ -22,11 +22,12 @@ type t = {
   obs : Obs.t;
   gc_enabled : bool;
   optimized_modify : bool;
+  ts_cache : bool;
 }
 
 let create_policied ~policy_of ~block_size ~engine ~rpc ~metrics
-    ?(obs = Obs.create ()) ?(gc_enabled = true) ?(optimized_modify = false) ()
-    =
+    ?(obs = Obs.create ()) ?(gc_enabled = true) ?(optimized_modify = false)
+    ?(ts_cache = false) () =
   if block_size <= 0 then invalid_arg "Core.Config: block_size <= 0";
   {
     policy_of;
@@ -37,21 +38,23 @@ let create_policied ~policy_of ~block_size ~engine ~rpc ~metrics
     obs;
     gc_enabled;
     optimized_modify;
+    ts_cache;
   }
 
 let create ~codec ~mq ~block_size ~engine ~rpc ~metrics ~layout ?obs
-    ?gc_enabled ?optimized_modify () =
+    ?gc_enabled ?optimized_modify ?ts_cache () =
   let policy_of stripe = make_policy ~codec ~mq ~members:(layout stripe) in
   (* Validate eagerly on a representative stripe. *)
   ignore (policy_of 0);
   create_policied ~policy_of ~block_size ~engine ~rpc ~metrics ?obs
-    ?gc_enabled ?optimized_modify ()
+    ?gc_enabled ?optimized_modify ?ts_cache ()
 
 let policy t ~stripe = t.policy_of stripe
 let codec t ~stripe = (policy t ~stripe).codec
 let m t ~stripe = Erasure.Codec.m (codec t ~stripe)
 let n t ~stripe = Erasure.Codec.n (codec t ~stripe)
 let quorum_size t ~stripe = Quorum.Mquorum.quorum_size (policy t ~stripe).mq
+let fault_bound t ~stripe = Quorum.Mquorum.f (policy t ~stripe).mq
 let members_array t ~stripe = (policy t ~stripe).members
 let members t ~stripe = Array.to_list (members_array t ~stripe)
 

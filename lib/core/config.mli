@@ -42,6 +42,15 @@ type t = {
       (** Use the bandwidth-optimized block-write messages (section
           5.2): new block to p_j, precomputed delta to parities,
           timestamp-only to other data processes. *)
+  ts_cache : bool;
+      (** Let coordinators cache the timestamp of their own last
+          full-quorum write per stripe and elide the order round of
+          the next write when the cache is warm (a fall-back-safe
+          round-trip optimization; see DESIGN section 4d). Only honored
+          on stripes whose geometry satisfies [m > f] — elsewhere the
+          coordinator silently keeps the 2-round path, since a partial
+          unordered write could otherwise violate strict
+          linearizability. *)
 }
 
 val create :
@@ -55,6 +64,7 @@ val create :
   ?obs:Obs.t ->
   ?gc_enabled:bool ->
   ?optimized_modify:bool ->
+  ?ts_cache:bool ->
   unit ->
   t
 (** Uniform deployment: every stripe uses the same codec and quorum
@@ -71,6 +81,7 @@ val create_policied :
   ?obs:Obs.t ->
   ?gc_enabled:bool ->
   ?optimized_modify:bool ->
+  ?ts_cache:bool ->
   unit ->
   t
 (** Heterogeneous deployment: [policy_of stripe] may differ per
@@ -82,6 +93,10 @@ val codec : t -> stripe:int -> Erasure.Codec.t
 val m : t -> stripe:int -> int
 val n : t -> stripe:int -> int
 val quorum_size : t -> stripe:int -> int
+
+val fault_bound : t -> stripe:int -> int
+(** The stripe's quorum-system fault bound [f = n - quorum_size]. *)
+
 val members : t -> stripe:int -> Simnet.Net.addr list
 val members_array : t -> stripe:int -> Simnet.Net.addr array
 

@@ -1,15 +1,98 @@
 module Ts = Timestamp
 
+(* One stripe's timestamp-cache entry: the newest timestamp this
+   coordinator committed to the stripe with a full quorum, plus the
+   stripe's decoded content at that version when known ([None] after a
+   block write whose basis version was not cached). See DESIGN 4d. *)
+type cache_entry = { cts : Ts.t; cblocks : Bytes.t array option }
+
 type t = {
   cfg : Config.t;
   brick : Brick.t;
   clock : Clock.t;
   mutable retry_hint : bool;
+  ts_cache : (int, cache_entry) Hashtbl.t;  (* stripe -> entry *)
 }
 
 type 'a outcome = ('a, [ `Aborted ]) result
 
-let create cfg ~brick ~clock = { cfg; brick; clock; retry_hint = false }
+(* Bound the cache so a coordinator sweeping a huge volume cannot
+   retain every stripe's blocks; flushing everything on overflow is
+   crude but keeps the common sequential-locality case warm. *)
+let cache_capacity = 1024
+
+let create cfg ~brick ~clock =
+  let t = { cfg; brick; clock; retry_hint = false; ts_cache = Hashtbl.create 16 }
+  in
+  (* A crashed coordinator loses its cache: after recovery it must not
+     elide order rounds based on pre-crash commits. *)
+  ignore (Brick.add_crash_hook brick (fun () -> Hashtbl.reset t.ts_cache));
+  t
+
+(* The order round may only be elided on stripes where a partial
+   unordered write is guaranteed visible to every later quorum that
+   could roll it back or miss it: with m > f, any m blocks of a
+   version reach every quorum's intersection, so the write is either
+   rolled forward or permanently shadowed — never resurrected after a
+   read returned the old value (the strict-linearizability trap of
+   Figure 5). Geometries with m <= f (e.g. 1-of-3 replication) keep
+   the 2-round path unconditionally. *)
+let elision_on t ~stripe =
+  t.cfg.Config.ts_cache
+  && Config.m t.cfg ~stripe > Config.fault_bound t.cfg ~stripe
+
+let cache_find t ~stripe =
+  if elision_on t ~stripe then Hashtbl.find_opt t.ts_cache stripe else None
+
+let cache_invalidate t ~stripe = Hashtbl.remove t.ts_cache stripe
+
+let cache_put t ~stripe entry =
+  if elision_on t ~stripe then begin
+    if
+      Hashtbl.length t.ts_cache >= cache_capacity
+      && not (Hashtbl.mem t.ts_cache stripe)
+    then Hashtbl.reset t.ts_cache;
+    Hashtbl.replace t.ts_cache stripe entry
+  end
+
+(* Any reply showing a timestamp above the cached one — other than the
+   round's own proposal, which timestamp uniqueness (time, pid) makes
+   unmistakable — is foreign activity on the stripe (another
+   coordinator ordered or wrote): the entry no longer describes the
+   newest version, so the next write must pay the order round again. *)
+let reply_cur_ts = function
+  | Message.Read_r { cur_ts; _ }
+  | Message.Order_r { cur_ts; _ }
+  | Message.Order_read_r { cur_ts; _ }
+  | Message.Write_r { cur_ts; _ }
+  | Message.Modify_r { cur_ts; _ } ->
+      Some cur_ts
+  | _ -> None
+
+let cache_observe t ~stripe ~proposed replies =
+  if Hashtbl.length t.ts_cache > 0 then
+    match Hashtbl.find_opt t.ts_cache stripe with
+    | None -> ()
+    | Some e ->
+        if
+          List.exists
+            (fun (_, r) ->
+              match reply_cur_ts r with
+              | Some cur -> Ts.( > ) cur e.cts && not (Ts.equal cur proposed)
+              | None -> false)
+            replies
+        then cache_invalidate t ~stripe
+
+(* True when some reply saw a timestamp above our own proposal [ts]:
+   a concurrent coordinator is past us already, so a commit at [ts]
+   must not warm the cache. *)
+let foreign_above replies ts =
+  List.exists
+    (fun (_, r) ->
+      match reply_cur_ts r with
+      | Some cur -> Ts.( > ) cur ts
+      | None -> false)
+    replies
 
 let hint_retry t = t.retry_hint <- true
 
@@ -74,8 +157,10 @@ let emit_phase t ~op ~phase kind =
       kind;
     }
 
-(* One quorum round = one protocol phase of the operation's span. *)
-let quorum_call ?until t ~stripe ~op ~phase make_req =
+(* One quorum round = one protocol phase of the operation's span.
+   [proposed] is the round's own timestamp when it carries one, so the
+   timestamp cache does not mistake it for foreign activity. *)
+let quorum_call ?until ?(proposed = Ts.low) t ~stripe ~op ~phase make_req =
   let members = Config.members t.cfg ~stripe in
   let observing = Obs.enabled t.cfg.Config.obs in
   if observing then emit_phase t ~op ~phase Obs.Phase_start;
@@ -86,7 +171,13 @@ let quorum_call ?until t ~stripe ~op ~phase make_req =
   in
   if observing then emit_phase t ~op ~phase Obs.Phase_end;
   observe_replies t replies;
+  cache_observe t ~stripe ~proposed replies;
   replies
+
+(* Mark a protocol phase the operation proved it could skip (the warm
+   write paths below); `fab_sim explain` counts these per op kind. *)
+let emit_elided t ~op phase =
+  if Obs.enabled t.cfg.Config.obs then emit_phase t ~op ~phase Obs.Phase_elided
 
 let notify_gc t ~stripe ~op ts =
   if t.cfg.Config.gc_enabled then
@@ -195,21 +286,29 @@ let store_stripe t ~stripe ~op data ts =
   in
   Erasure.Codec.encode_into codec data ~into:enc;
   let replies =
-    quorum_call t ~stripe ~op ~phase:Obs.Write (fun dst ->
+    quorum_call ~proposed:ts t ~stripe ~op ~phase:Obs.Write (fun dst ->
         Message.Write { stripe; block = enc.(pos_of t ~stripe dst); ts })
   in
   if all_status_true replies then begin
     notify_gc t ~stripe ~op ts;
+    (* A full-quorum commit with the whole stripe content in hand warms
+       the cache — unless some member already saw a higher (foreign)
+       timestamp, in which case the entry would be born stale. *)
+    if foreign_above replies ts then cache_invalidate t ~stripe
+    else cache_put t ~stripe { cts = ts; cblocks = Some (Array.copy data) };
     Ok ()
   end
-  else Error `Aborted
+  else begin
+    cache_invalidate t ~stripe;
+    Error `Aborted
+  end
 
 (* read-prev-stripe (lines 24-33): walk versions newest-first until one
    has at least m surviving blocks. *)
 let read_prev_stripe t ~stripe ~op ts =
   let rec loop max =
     let replies =
-      quorum_call t ~stripe ~op ~phase:Obs.Recover (fun _ ->
+      quorum_call ~proposed:ts t ~stripe ~op ~phase:Obs.Recover (fun _ ->
           Message.Order_read { stripe; target = Message.All; max; ts })
     in
     if not (all_status_true replies) then Error `Aborted
@@ -282,17 +381,42 @@ let check_stripe_shape t ~stripe data =
         invalid_arg "Core.Coordinator.write_stripe: wrong block size")
     data
 
-(* write-stripe (lines 12-16). *)
+(* write-stripe (lines 12-16), with the order round elided when the
+   coordinator's last full-quorum write to the stripe is cached and no
+   foreign activity has been observed since (DESIGN 4d). The elided
+   write is safe regardless of cache staleness: replicas accept an
+   unordered write only at a timestamp above everything they logged or
+   promised, so it either commits like an ordered one or is refused —
+   and a refusal falls back to the full 2-round path below. *)
 let write_stripe t ~stripe data =
   check_stripe_shape t ~stripe data;
   traced t ~stripe "write-stripe" (fun op ->
-      let ts = Clock.new_ts t.clock in
-      let replies =
-        quorum_call t ~stripe ~op ~phase:Obs.Order (fun _ ->
-            Message.Order { stripe; ts })
+      let cold () =
+        let ts = Clock.new_ts t.clock in
+        let replies =
+          quorum_call ~proposed:ts t ~stripe ~op ~phase:Obs.Order (fun _ ->
+              Message.Order { stripe; ts })
+        in
+        if not (all_status_true replies) then begin
+          cache_invalidate t ~stripe;
+          Error `Aborted
+        end
+        else store_stripe t ~stripe ~op data ts
       in
-      if not (all_status_true replies) then Error `Aborted
-      else store_stripe t ~stripe ~op data ts)
+      match cache_find t ~stripe with
+      | Some e ->
+          let ts = Clock.new_ts t.clock in
+          if Ts.( > ) ts e.cts then begin
+            emit_elided t ~op Obs.Order;
+            match store_stripe t ~stripe ~op data ts with
+            | Ok () -> Ok ()
+            | Error `Aborted ->
+                (* The elided write lost a race; the entry is already
+                   invalidated, pay the two rounds once. *)
+                cold ()
+          end
+          else cold ()
+      | None -> cold ())
 
 (* ------------------------------------------------------------------ *)
 (* Algorithm 3: block access                                           *)
@@ -331,12 +455,57 @@ let read_block t ~stripe j =
       | Ok data -> Ok data.(j)
       | Error `Aborted -> Error `Aborted))
 
+(* Build the per-destination request of a Modify round writing block
+   [j] := [b] against old content [bj] at basis version [tsj]. *)
+let modify_req t ~stripe j ~bj b ~tsj ts =
+  if t.cfg.Config.optimized_modify then begin
+    (* One delta per operation, shared by every parity member's
+       message (and by retries): replicas fold it without mutating it,
+       so the buffer can be shipped n - m times. *)
+    let d = Erasure.Codec.delta ~old_data:bj ~new_data:b in
+    fun dst ->
+      let pos = pos_of t ~stripe dst in
+      let payload =
+        if pos = j then Some b
+        else if pos >= Config.m t.cfg ~stripe then Some d
+        else None
+      in
+      Message.Modify_delta { stripe; j; payload; tsj; ts }
+  end
+  else fun _ -> Message.Modify { stripe; j; bj; b; tsj; ts }
+
+(* Commit bookkeeping of a modify round. [cblocks] is the full stripe
+   content after the patch when the caller knows it (warm path, or a
+   cold path whose basis version was cached); a timestamp-only entry
+   still elides a later full-stripe write's order round. *)
+let finish_modify t ~stripe ~op ts ~cblocks replies =
+  if all_status_true replies then begin
+    notify_gc t ~stripe ~op ts;
+    if foreign_above replies ts then cache_invalidate t ~stripe
+    else cache_put t ~stripe { cts = ts; cblocks };
+    Ok ()
+  end
+  else begin
+    cache_invalidate t ~stripe;
+    Error `Aborted
+  end
+
+(* The stripe's content after applying [patches], when the cache holds
+   exactly the modify's basis version [tsj]; [None] otherwise. *)
+let patched_cache_blocks t ~stripe ~tsj patches =
+  match cache_find t ~stripe with
+  | Some { cts; cblocks = Some blocks } when Ts.equal cts tsj ->
+      let nb = Array.copy blocks in
+      List.iter (fun (j, b) -> nb.(j) <- b) patches;
+      Some nb
+  | _ -> None
+
 (* fast-write-block (lines 74-82). *)
 let fast_write_block t ~stripe ~op j b ts =
   let addr_j = (Config.members_array t.cfg ~stripe).(j) in
   let until replies = List.mem_assoc addr_j replies in
   let replies =
-    quorum_call ~until t ~stripe ~op ~phase:Obs.Order (fun _ ->
+    quorum_call ~until ~proposed:ts t ~stripe ~op ~phase:Obs.Order (fun _ ->
         Message.Order_read
           { stripe; target = Message.Addr addr_j; max = Ts.high; ts })
   in
@@ -344,30 +513,38 @@ let fast_write_block t ~stripe ~op j b ts =
   else
     match List.assoc_opt addr_j replies with
     | Some (Message.Order_read_r { lts = tsj; block = Some bj; _ }) ->
-        let make_req =
-          if t.cfg.Config.optimized_modify then begin
-            (* One delta per operation, shared by every parity member's
-               message (and by retries): replicas fold it without
-               mutating it, so the buffer can be shipped n - m times. *)
-            let d = Erasure.Codec.delta ~old_data:bj ~new_data:b in
-            fun dst ->
-              let pos = pos_of t ~stripe dst in
-              let payload =
-                if pos = j then Some b
-                else if pos >= Config.m t.cfg ~stripe then Some d
-                else None
-              in
-              Message.Modify_delta { stripe; j; payload; tsj; ts }
-          end
-          else fun _ -> Message.Modify { stripe; j; bj; b; tsj; ts }
+        let cblocks = patched_cache_blocks t ~stripe ~tsj [ (j, b) ] in
+        let replies =
+          quorum_call ~proposed:ts t ~stripe ~op ~phase:Obs.Modify
+            (modify_req t ~stripe j ~bj b ~tsj ts)
         in
-        let replies = quorum_call t ~stripe ~op ~phase:Obs.Modify make_req in
-        if all_status_true replies then begin
-          notify_gc t ~stripe ~op ts;
-          Some (Ok ())
-        end
-        else Some (Error `Aborted)
+        Some (finish_modify t ~stripe ~op ts ~cblocks replies)
     | Some _ | None -> None
+
+(* Warm fast-write-block: when the cache holds the stripe's full
+   content at its newest version, the Order&Read round would only
+   re-fetch what the coordinator already knows — skip it and run the
+   modify round directly against the cached basis. A refusal (stale
+   cache or concurrent order) makes the caller fall back to the slow
+   path at the same timestamp, exactly as after a failed cold fast
+   path: the partial states are identical, because members apply a
+   modify only where the basis version matched — i.e. where their
+   content equalled the cached content. *)
+let warm_write_block t ~stripe ~op j b ts =
+  match cache_find t ~stripe with
+  | Some { cts; cblocks = Some blocks } when Ts.( > ) ts cts ->
+      emit_elided t ~op Obs.Order;
+      let cblocks =
+        let nb = Array.copy blocks in
+        nb.(j) <- b;
+        Some nb
+      in
+      let replies =
+        quorum_call ~proposed:ts t ~stripe ~op ~phase:Obs.Modify
+          (modify_req t ~stripe j ~bj:blocks.(j) b ~tsj:cts ts)
+      in
+      Some (finish_modify t ~stripe ~op ts ~cblocks replies)
+  | _ -> None
 
 (* slow-write-block (lines 83-87): reconstruct, patch block j, store. *)
 let slow_write_block t ~stripe ~op j b ts =
@@ -440,7 +617,7 @@ let fast_write_blocks t ~stripe ~op j0 news ts =
     List.for_all (fun a -> List.mem_assoc a replies) targets
   in
   let replies =
-    quorum_call ~until t ~stripe ~op ~phase:Obs.Order (fun _ ->
+    quorum_call ~until ~proposed:ts t ~stripe ~op ~phase:Obs.Order (fun _ ->
         Message.Order_read
           { stripe; target = Message.Addrs targets; max = Ts.high; ts })
   in
@@ -462,17 +639,33 @@ let fast_write_blocks t ~stripe ~op j0 news ts =
       if not (List.for_all (fun (l, _) -> Ts.equal l tsj) infos) then None
       else begin
         let olds = Array.of_list (List.map snd infos) in
+        let cblocks =
+          patched_cache_blocks t ~stripe ~tsj
+            (List.init len (fun i -> (j0 + i, news.(i))))
+        in
         let replies =
-          quorum_call t ~stripe ~op ~phase:Obs.Modify (fun _ ->
+          quorum_call ~proposed:ts t ~stripe ~op ~phase:Obs.Modify (fun _ ->
               Message.Modify_multi { stripe; j0; olds; news; tsj; ts })
         in
-        if all_status_true replies then begin
-          notify_gc t ~stripe ~op ts;
-          Some (Ok ())
-        end
-        else Some (Error `Aborted)
+        Some (finish_modify t ~stripe ~op ts ~cblocks replies)
       end
   end
+
+(* Warm multi-block write; see [warm_write_block]. *)
+let warm_write_blocks t ~stripe ~op j0 news ts =
+  match cache_find t ~stripe with
+  | Some { cts; cblocks = Some blocks } when Ts.( > ) ts cts ->
+      emit_elided t ~op Obs.Order;
+      let len = Array.length news in
+      let olds = Array.sub blocks j0 len in
+      let nb = Array.copy blocks in
+      Array.iteri (fun i b -> nb.(j0 + i) <- b) news;
+      let replies =
+        quorum_call ~proposed:ts t ~stripe ~op ~phase:Obs.Modify (fun _ ->
+            Message.Modify_multi { stripe; j0; olds; news; tsj = cts; ts })
+      in
+      Some (finish_modify t ~stripe ~op ts ~cblocks:(Some nb) replies)
+  | _ -> None
 
 let slow_write_blocks t ~stripe ~op j0 news ts =
   match read_prev_stripe t ~stripe ~op ts with
@@ -493,24 +686,33 @@ let write_blocks t ~stripe j0 news =
   else
     traced t ~stripe "write-blocks" @@ fun op ->
     let ts = Clock.new_ts t.clock in
-    match fast_write_blocks t ~stripe ~op j0 news ts with
+    match warm_write_blocks t ~stripe ~op j0 news ts with
     | Some (Ok ()) -> Ok ()
-    | Some (Error `Aborted) | None -> slow_write_blocks t ~stripe ~op j0 news ts
+    | Some (Error `Aborted) -> slow_write_blocks t ~stripe ~op j0 news ts
+    | None -> (
+        match fast_write_blocks t ~stripe ~op j0 news ts with
+        | Some (Ok ()) -> Ok ()
+        | Some (Error `Aborted) | None ->
+            slow_write_blocks t ~stripe ~op j0 news ts)
 
 (* write-block (lines 70-73). *)
 let write_block t ~stripe j b =
   check_block_shape t ~stripe j b;
   traced t ~stripe "write-block" (fun op ->
   let ts = Clock.new_ts t.clock in
-  match fast_write_block t ~stripe ~op j b ts with
+  match warm_write_block t ~stripe ~op j b ts with
   | Some (Ok ()) -> Ok ()
-  | Some (Error `Aborted) | None ->
-      (* Per the paper, any fast-path failure falls back to the slow
-         path with the same timestamp. If the fast path's Modify
-         partially applied, replicas that logged it will refuse the
-         slow path's messages and the operation aborts — the partial
-         write is then rolled forward or back by the next read. *)
-      slow_write_block t ~stripe ~op j b ts)
+  | Some (Error `Aborted) -> slow_write_block t ~stripe ~op j b ts
+  | None -> (
+      match fast_write_block t ~stripe ~op j b ts with
+      | Some (Ok ()) -> Ok ()
+      | Some (Error `Aborted) | None ->
+          (* Per the paper, any fast-path failure falls back to the slow
+             path with the same timestamp. If the fast path's Modify
+             partially applied, replicas that logged it will refuse the
+             slow path's messages and the operation aborts — the partial
+             write is then rolled forward or back by the next read. *)
+          slow_write_block t ~stripe ~op j b ts))
 
 (* ------------------------------------------------------------------ *)
 (* Scrubbing: detect and repair silent block corruption               *)
@@ -531,7 +733,7 @@ let scrub t ~stripe =
   let ts = Clock.new_ts t.clock in
   let until replies = List.length replies = List.length members in
   let replies =
-    quorum_call ~until t ~stripe ~op ~phase:Obs.Recover (fun _ ->
+    quorum_call ~until ~proposed:ts t ~stripe ~op ~phase:Obs.Recover (fun _ ->
         Message.Order_read { stripe; target = Message.All; max = Ts.high; ts })
   in
   if not (all_status_true replies) then Error `Aborted

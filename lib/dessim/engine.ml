@@ -7,25 +7,34 @@ type event = {
   seq : int;
   action : unit -> unit;
   mutable cancelled : bool;
+  mutable owner : t option;
+      (* The engine the event is queued on, [None] once it fired (or for
+         the heap's dummy filler), so a late [cancel] of a fired timer
+         cannot disturb the live-event count. *)
 }
 
-type timer = event
-
-type t = {
+and t = {
   mutable clock : float;
   mutable heap : event array;
   mutable size : int;
+  mutable live : int;  (* queued events that are not cancelled *)
   mutable next_seq : int;
   rng : Random.State.t;
   mutable chooser : (int -> int) option;
   mutable observer : (now:float -> pending:int -> unit) option;
 }
 
+type timer = event
+
+let dummy_event =
+  { time = 0.; seq = 0; action = ignore; cancelled = true; owner = None }
+
 let create ?(seed = 42) () =
   {
     clock = 0.0;
-    heap = Array.make 64 { time = 0.; seq = 0; action = ignore; cancelled = true };
+    heap = Array.make 64 dummy_event;
     size = 0;
+    live = 0;
     next_seq = 0;
     rng = Random.State.make [| seed |];
     chooser = None;
@@ -34,7 +43,7 @@ let create ?(seed = 42) () =
 
 let now t = t.clock
 let rng t = t.rng
-let pending t = t.size
+let pending t = t.live
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -71,16 +80,57 @@ let rec sift_down t i =
 let schedule t ~delay action =
   if delay < 0.0 then invalid_arg "Dessim.Engine.schedule: negative delay";
   let ev =
-    { time = t.clock +. delay; seq = t.next_seq; action; cancelled = false }
+    {
+      time = t.clock +. delay;
+      seq = t.next_seq;
+      action;
+      cancelled = false;
+      owner = Some t;
+    }
   in
   t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
   grow t;
   t.heap.(t.size) <- ev;
   t.size <- t.size + 1;
   sift_up t (t.size - 1);
   ev
 
-let cancel ev = ev.cancelled <- true
+(* Rebuild the heap keeping only non-cancelled events. Floyd heapify
+   preserves the (time, seq) order relation, so the schedule is
+   unchanged; only dead entries (and their retained closures) go. *)
+let compact t =
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    let ev = t.heap.(i) in
+    if not ev.cancelled then begin
+      t.heap.(!j) <- ev;
+      incr j
+    end
+  done;
+  for i = !j to t.size - 1 do
+    t.heap.(i) <- dummy_event
+  done;
+  t.size <- !j;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
+(* Cancelled timers (every completed quorum call leaves one or two)
+   stay in the heap until popped; compact once they outnumber the live
+   events, with a floor so small queues never bother. *)
+let maybe_compact t =
+  if t.size >= 64 && t.size - t.live > t.live then compact t
+
+let cancel ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    match ev.owner with
+    | None -> ()
+    | Some t ->
+        t.live <- t.live - 1;
+        maybe_compact t
+  end
 
 let pop t =
   if t.size = 0 then None
@@ -88,9 +138,16 @@ let pop t =
     let top = t.heap.(0) in
     t.size <- t.size - 1;
     t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy_event;
     sift_down t 0;
     Some top
   end
+
+(* An event leaves the live count when it fires; clearing [owner]
+   makes a later [cancel] of the fired timer a no-op on the count. *)
+let fired t ev =
+  ev.owner <- None;
+  t.live <- t.live - 1
 
 let set_chooser t chooser = t.chooser <- chooser
 
@@ -124,6 +181,7 @@ let rec step_inner t =
       | [] -> false
       | [ ev ] ->
           t.clock <- ev.time;
+          fired t ev;
           ev.action ();
           true
       | batch ->
@@ -144,6 +202,7 @@ let rec step_inner t =
               end)
             batch;
           t.clock <- chosen.time;
+          fired t chosen;
           chosen.action ();
           true)
   | None -> (
@@ -154,6 +213,7 @@ let rec step_inner t =
           else begin
             assert (ev.time >= t.clock);
             t.clock <- ev.time;
+            fired t ev;
             ev.action ();
             true
           end)
@@ -165,7 +225,7 @@ let step t =
   let progressed = step_inner t in
   (match t.observer with
   | None -> ()
-  | Some f -> if progressed then f ~now:t.clock ~pending:t.size);
+  | Some f -> if progressed then f ~now:t.clock ~pending:t.live);
   progressed
 
 let peek_live t =

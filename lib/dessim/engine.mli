@@ -50,8 +50,8 @@ val set_chooser : t -> (int -> int) option -> unit
     hook (see the Explore test module). *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled ones not yet
-    reaped). *)
+(** Number of live events still queued: cancelled-but-unreaped timers
+    are not counted (the engine compacts its heap when they pile up). *)
 
 val set_observer : t -> (now:float -> pending:int -> unit) option -> unit
 (** [set_observer t (Some f)] calls [f ~now ~pending] after every

@@ -46,3 +46,53 @@ let cancel r =
       Effect.Deep.discontinue k Cancelled
 
 let is_live r = match r.state with Waiting _ -> true | Dead -> false
+
+(* Scatter-gather join. Children are ordinary spawned fibers; the
+   parent suspends until the last child settles. Cancellation of any
+   child (a coordinator crash tearing down its pending calls) stops
+   further launches, lets the already-launched children drain, and then
+   re-raises Cancelled in the parent, so a cancelled join behaves like
+   a cancelled sequential loop. *)
+let all ?(window = max_int) thunks =
+  if window < 1 then invalid_arg "Dessim.Fiber.all: window < 1";
+  match thunks with
+  | [] -> []
+  | _ ->
+      let thunks = Array.of_list thunks in
+      let n = Array.length thunks in
+      let results = Array.make n None in
+      let cancelled = ref false in
+      let active = ref 0 in
+      let next = ref 0 in
+      let parent = ref None in
+      let settle () =
+        if !active = 0 && (!cancelled || !next >= n) then
+          match !parent with
+          | Some r ->
+              parent := None;
+              resume r ()
+          | None -> ()
+      in
+      let rec launch () =
+        let i = !next in
+        incr next;
+        incr active;
+        spawn (fun () ->
+            (match thunks.(i) () with
+            | v ->
+                results.(i) <- Some v;
+                decr active
+            | exception Cancelled ->
+                cancelled := true;
+                decr active;
+                settle ();
+                raise Cancelled);
+            if (not !cancelled) && !next < n then launch ();
+            settle ())
+      in
+      while !active < window && !next < n && not !cancelled do
+        launch ()
+      done;
+      if !active > 0 then suspend (fun r -> parent := Some r);
+      if !cancelled then raise Cancelled;
+      Array.to_list (Array.map Option.get results)

@@ -42,3 +42,17 @@ val cancel : _ resumer -> unit
 
 val is_live : _ resumer -> bool
 (** [is_live r] is [true] until [r] has been resumed or cancelled. *)
+
+val all : ?window:int -> (unit -> 'a) list -> 'a list
+(** [all ?window thunks] runs every thunk as a child fiber with at most
+    [window] (default: unbounded) in flight at once, waits for all of
+    them, and returns their results in input order. Launch order is
+    input order; as a child finishes, the next unlaunched thunk starts.
+    Must be called from inside a fiber whenever any thunk can suspend.
+
+    If a child is cancelled ({!Cancelled} escapes it), no further
+    thunks are launched, the remaining live children are left to settle
+    (they are typically being cancelled by the same crash), and once
+    none remain the join re-raises [Cancelled] in the parent. Any other
+    escaping exception propagates like it does under {!spawn}.
+    @raise Invalid_argument if [window < 1]. *)

@@ -11,6 +11,7 @@ type t = {
   nbricks : int;
   block_size : int;
   op_retries : int;
+  pipeline_window : int;
   mutable next_stripe : int;
   mutable volumes : volume_meta list;  (* newest first *)
 }
@@ -19,9 +20,12 @@ type t = {
    coordinator; the cluster is created around a forward reference so
    the table can grow as volumes are created. *)
 let create ?seed ?net_config ?(block_size = 1024) ?clock ?gc_enabled
-    ?optimized_modify ?(op_retries = 3) ~bricks () =
+    ?optimized_modify ?ts_cache ?coalesce ?(op_retries = 3)
+    ?(pipeline_window = 8) ~bricks () =
   if bricks < 1 then invalid_arg "Fab.Pool.create: no bricks";
   if op_retries < 1 then invalid_arg "Fab.Pool.create: op_retries < 1";
+  if pipeline_window < 1 then
+    invalid_arg "Fab.Pool.create: pipeline_window < 1";
   let self = ref None in
   let policy_of stripe =
     match !self with
@@ -41,7 +45,7 @@ let create ?seed ?net_config ?(block_size = 1024) ?clock ?gc_enabled
   in
   let cluster =
     Core.Cluster.create_policied ?seed ?net_config ~block_size ?clock
-      ?gc_enabled ?optimized_modify ~bricks ~policy_of ()
+      ?gc_enabled ?optimized_modify ?ts_cache ?coalesce ~bricks ~policy_of ()
   in
   let pool =
     {
@@ -49,6 +53,7 @@ let create ?seed ?net_config ?(block_size = 1024) ?clock ?gc_enabled
       nbricks = bricks;
       block_size;
       op_retries;
+      pipeline_window;
       next_stripe = 0;
       volumes = [];
     }
@@ -99,7 +104,7 @@ let create_volume t ~name ~m ~n ?layout ~stripes () =
   let volume =
     Volume.of_cluster ~cluster:t.cluster ~m ~stripes
       ~block_size:t.block_size ~op_retries:t.op_retries
-      ~stripe_offset:first_stripe
+      ~pipeline_window:t.pipeline_window ~stripe_offset:first_stripe ()
   in
   let meta =
     {

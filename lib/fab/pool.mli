@@ -21,11 +21,16 @@ val create :
   ?clock:Core.Cluster.clock_kind ->
   ?gc_enabled:bool ->
   ?optimized_modify:bool ->
+  ?ts_cache:bool ->
+  ?coalesce:bool ->
   ?op_retries:int ->
+  ?pipeline_window:int ->
   bricks:int ->
   unit ->
   t
-(** [create ~bricks ()] is an empty pool of [bricks] bricks. *)
+(** [create ~bricks ()] is an empty pool of [bricks] bricks. Optional
+    knobs as in {!Volume.create}; they apply to every volume carved
+    out of the pool. *)
 
 val cluster : t -> Core.Cluster.t
 val bricks : t -> int

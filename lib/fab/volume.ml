@@ -4,6 +4,9 @@ type t = {
   stripes : int;
   block_size : int;
   op_retries : int;
+  pipeline_window : int;
+      (* Bound on concurrently in-flight per-stripe operations of one
+         read/write call; 1 recovers strictly serial extent order. *)
   stripe_offset : int;
       (* First global stripe id of this volume; volumes created through
          a Pool share one cluster and own disjoint stripe ranges. *)
@@ -12,9 +15,12 @@ type t = {
 type 'a outcome = ('a, [ `Aborted ]) result
 
 let create ?seed ?net_config ?bricks ?layout ?(block_size = 1024) ?clock
-    ?gc_enabled ?optimized_modify ?(op_retries = 3) ~m ~n ~stripes () =
+    ?gc_enabled ?optimized_modify ?ts_cache ?coalesce ?(op_retries = 3)
+    ?(pipeline_window = 8) ~m ~n ~stripes () =
   if op_retries < 1 then invalid_arg "Fab.Volume.create: op_retries < 1";
   if stripes <= 0 then invalid_arg "Fab.Volume.create: stripes <= 0";
+  if pipeline_window < 1 then
+    invalid_arg "Fab.Volume.create: pipeline_window < 1";
   let nbricks = match bricks with Some b -> b | None -> n in
   let kind =
     match layout with
@@ -24,13 +30,19 @@ let create ?seed ?net_config ?bricks ?layout ?(block_size = 1024) ?clock
   let layout_fn = Layout.make kind ~bricks:nbricks ~n in
   let cluster =
     Core.Cluster.create ?seed ?net_config ~bricks:nbricks ~layout:layout_fn
-      ~block_size ?clock ?gc_enabled ?optimized_modify ~m ~n ()
+      ~block_size ?clock ?gc_enabled ?optimized_modify ?ts_cache ?coalesce
+      ~m ~n ()
   in
-  { cluster; m; stripes; block_size; op_retries; stripe_offset = 0 }
+  { cluster; m; stripes; block_size; op_retries; pipeline_window;
+    stripe_offset = 0 }
 
 (* Used by Fab.Pool: a volume that is a view onto a shared cluster. *)
-let of_cluster ~cluster ~m ~stripes ~block_size ~op_retries ~stripe_offset =
-  { cluster; m; stripes; block_size; op_retries; stripe_offset }
+let of_cluster ~cluster ~m ~stripes ~block_size ~op_retries
+    ?(pipeline_window = 8) ~stripe_offset () =
+  if pipeline_window < 1 then
+    invalid_arg "Fab.Volume.of_cluster: pipeline_window < 1";
+  { cluster; m; stripes; block_size; op_retries; pipeline_window;
+    stripe_offset }
 
 let cluster t = t.cluster
 let capacity_blocks t = t.stripes * t.m
@@ -81,42 +93,49 @@ let retrying_block_write t c ~stripe f =
   in
   go t.op_retries
 
+(* Dispatch one thunk per extent through the scatter-gather join: each
+   extent is an independent register instance, so up to
+   [pipeline_window] of them proceed concurrently, each with its own
+   retry loop. Every thunk runs to completion (no early abort of
+   siblings): an aborted extent must not leave a sibling half-retried,
+   and the common case has no aborts at all. *)
+let scatter t thunks =
+  let oks = Dessim.Fiber.all ~window:t.pipeline_window thunks in
+  if List.for_all Fun.id oks then Ok () else Error `Aborted
+
 let read t ~coord ~lba ~count =
   if count <= 0 then invalid_arg "Fab.Volume.read: count <= 0";
   if lba < 0 || lba + count > capacity_blocks t then
     invalid_arg "Fab.Volume.read: range out of bounds";
   let c = coordinator t coord in
   let out = Bytes.create (count * t.block_size) in
-  let aborted = ref false in
   let offset = ref 0 in
-  List.iter
-    (fun (stripe, j, len) ->
-      if not !aborted then
-        if j = 0 && len = t.m then
-          (* Full-stripe read. *)
-          match retrying t c (fun () -> Core.Coordinator.read_stripe c ~stripe) with
+  let thunks =
+    List.map
+      (fun (stripe, j, len) ->
+        let off = !offset in
+        offset := off + (len * t.block_size);
+        fun () ->
+          let result =
+            if j = 0 && len = t.m then
+              (* Full-stripe read. *)
+              retrying t c (fun () -> Core.Coordinator.read_stripe c ~stripe)
+            else
+              (* Partial stripe: one multi-block protocol operation. *)
+              retrying t c (fun () ->
+                  Core.Coordinator.read_blocks c ~stripe j ~len)
+          in
+          match result with
           | Ok blocks ->
-              Array.iter
-                (fun b ->
-                  Bytes.blit b 0 out !offset t.block_size;
-                  offset := !offset + t.block_size)
-                blocks
-          | Error `Aborted -> aborted := true
-        else
-          (* Partial stripe: one multi-block protocol operation. *)
-          match
-            retrying t c (fun () ->
-                Core.Coordinator.read_blocks c ~stripe j ~len)
-          with
-          | Ok blocks ->
-              Array.iter
-                (fun b ->
-                  Bytes.blit b 0 out !offset t.block_size;
-                  offset := !offset + t.block_size)
-                blocks
-          | Error `Aborted -> aborted := true)
-    (extents t ~lba ~count);
-  if !aborted then Error `Aborted else Ok out
+              Array.iteri
+                (fun i b ->
+                  Bytes.blit b 0 out (off + (i * t.block_size)) t.block_size)
+                blocks;
+              true
+          | Error `Aborted -> false)
+      (extents t ~lba ~count)
+  in
+  Result.map (fun () -> out) (scatter t thunks)
 
 let write t ~coord ~lba data =
   let len = Bytes.length data in
@@ -126,33 +145,33 @@ let write t ~coord ~lba data =
   if lba < 0 || lba + count > capacity_blocks t then
     invalid_arg "Fab.Volume.write: range out of bounds";
   let c = coordinator t coord in
-  let aborted = ref false in
   let offset = ref 0 in
   let take_block () =
     let b = Bytes.sub data !offset t.block_size in
     offset := !offset + t.block_size;
     b
   in
-  List.iter
-    (fun (stripe, j, elen) ->
-      if not !aborted then
+  let thunks =
+    List.map
+      (fun (stripe, j, elen) ->
+        (* Slice the payload eagerly, in address order; only the
+           protocol rounds run concurrently. *)
         if j = 0 && elen = t.m then
           let blocks = Array.init t.m (fun _ -> take_block ()) in
-          match retrying t c (fun () -> Core.Coordinator.write_stripe c ~stripe blocks) with
-          | Ok () -> ()
-          | Error `Aborted -> aborted := true
-        else begin
+          fun () ->
+            Result.is_ok
+              (retrying t c (fun () ->
+                   Core.Coordinator.write_stripe c ~stripe blocks))
+        else
           (* Partial stripe: one multi-block protocol operation. *)
           let news = Array.init elen (fun _ -> take_block ()) in
-          match
-            retrying_block_write t c ~stripe (fun () ->
-                Core.Coordinator.write_blocks c ~stripe j news)
-          with
-          | Ok () -> ()
-          | Error `Aborted -> aborted := true
-        end)
-    (extents t ~lba ~count);
-  if !aborted then Error `Aborted else Ok ()
+          fun () ->
+            Result.is_ok
+              (retrying_block_write t c ~stripe (fun () ->
+                   Core.Coordinator.write_blocks c ~stripe j news)))
+      (extents t ~lba ~count)
+  in
+  scatter t thunks
 
 let run ?horizon t = Core.Cluster.run ?horizon t.cluster
 

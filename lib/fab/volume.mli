@@ -24,7 +24,10 @@ val create :
   ?clock:Core.Cluster.clock_kind ->
   ?gc_enabled:bool ->
   ?optimized_modify:bool ->
+  ?ts_cache:bool ->
+  ?coalesce:bool ->
   ?op_retries:int ->
+  ?pipeline_window:int ->
   m:int ->
   n:int ->
   stripes:int ->
@@ -36,7 +39,13 @@ val create :
     {!Core.Cluster.create}. Constituent register operations are
     retried up to [op_retries] times (default 3) on abort, the client
     retry loop every disk driver runs; pass [~op_retries:1] to surface
-    raw aborts (the abort-rate experiments do). *)
+    raw aborts (the abort-rate experiments do).
+
+    A request spanning several stripes dispatches its per-stripe
+    operations concurrently, at most [pipeline_window] (default 8) in
+    flight; [~pipeline_window:1] recovers strictly serial extent
+    order. [ts_cache]/[coalesce] enable the order-elision and
+    message-coalescing optimizations ({!Core.Cluster.create}). *)
 
 val of_cluster :
   cluster:Core.Cluster.t ->
@@ -44,7 +53,9 @@ val of_cluster :
   stripes:int ->
   block_size:int ->
   op_retries:int ->
+  ?pipeline_window:int ->
   stripe_offset:int ->
+  unit ->
   t
 (** A volume that is a view onto an existing cluster, owning the
     global stripe ids [stripe_offset .. stripe_offset + stripes - 1].
@@ -71,9 +82,11 @@ val read : t -> coord:int -> lba:int -> count:int -> Bytes.t outcome
 
 val write : t -> coord:int -> lba:int -> Bytes.t -> unit outcome
 (** Write data (length a positive multiple of the block size) starting
-    at [lba]; must run inside a fiber. Constituent operations execute
-    in address order; an abort leaves a prefix of the request applied,
-    like a failed multi-sector disk write. *)
+    at [lba]; must run inside a fiber. Constituent per-stripe
+    operations are dispatched concurrently (bounded by the pipeline
+    window); an abort may leave any subset of the spanned stripes
+    applied, like a failed multi-sector disk write — each stripe is
+    still individually atomic and linearizable. *)
 
 val run : ?horizon:float -> t -> unit
 val run_op : ?horizon:float -> t -> (unit -> 'a) -> 'a option

@@ -71,7 +71,9 @@ type kind =
   | Span_end of { op_kind : string; stripe : int; outcome : outcome }
   | Phase_start
   | Phase_end
+  | Phase_elided
   | Msg_send of { dst : int; bytes : int; label : string; bg : bool }
+  | Msg_queued of { dst : int; bytes : int; label : string }
   | Msg_recv of { src : int; label : string }
   | Msg_drop of { dst : int; bytes : int; bg : bool }
   | Io_read of { blocks : int }
@@ -92,7 +94,9 @@ let ev_name = function
   | Span_end _ -> "span_end"
   | Phase_start -> "phase_start"
   | Phase_end -> "phase_end"
+  | Phase_elided -> "phase_elided"
   | Msg_send _ -> "msg_send"
+  | Msg_queued _ -> "msg_queued"
   | Msg_recv _ -> "msg_recv"
   | Msg_drop _ -> "msg_drop"
   | Io_read _ -> "io_read"
@@ -117,6 +121,10 @@ let pp_event fmt ev =
         op
   | Phase_start -> Format.fprintf fmt "[%s] phase %tstart%t" a ph op
   | Phase_end -> Format.fprintf fmt "[%s] phase %tend%t" a ph op
+  | Phase_elided -> Format.fprintf fmt "[%s] phase %tELIDED%t" a ph op
+  | Msg_queued { dst; bytes; label } ->
+      Format.fprintf fmt "[%s] ~> b%d %s (%dB, coalesced)%t" a dst label bytes
+        op
   | Msg_send { dst; bytes; label; bg } ->
       Format.fprintf fmt "[%s] -> b%d %s (%dB%s)%t" a dst label bytes
         (if bg then ", bg" else "")
@@ -315,10 +323,12 @@ let to_json ev =
           ("stripe", Json.I stripe);
           ("outcome", Json.S (outcome_name outcome));
         ]
-    | Phase_start | Phase_end -> []
+    | Phase_start | Phase_end | Phase_elided -> []
     | Msg_send { dst; bytes; label; bg } ->
         [ ("dst", Json.I dst); ("bytes", Json.I bytes); ("msg", Json.S label) ]
-        @ if bg then [ ("bg", Json.B true) ] else []
+        @ (if bg then [ ("bg", Json.B true) ] else [])
+    | Msg_queued { dst; bytes; label } ->
+        [ ("dst", Json.I dst); ("bytes", Json.I bytes); ("msg", Json.S label) ]
     | Msg_recv { src; label } ->
         [ ("src", Json.I src); ("msg", Json.S label) ]
     | Msg_drop { dst; bytes; bg } ->
@@ -382,6 +392,14 @@ let of_json line =
                 }
           | "phase_start" -> Phase_start
           | "phase_end" -> Phase_end
+          | "phase_elided" -> Phase_elided
+          | "msg_queued" ->
+              Msg_queued
+                {
+                  dst = get "dst" Json.to_int "int";
+                  bytes = get "bytes" Json.to_int "int";
+                  label = get "msg" Json.to_string "string";
+                }
           | "msg_send" ->
               Msg_send
                 {
@@ -412,7 +430,7 @@ let of_json line =
         in
         (* Phase events must say which phase. *)
         (match kind with
-        | (Phase_start | Phase_end) when phase = None ->
+        | (Phase_start | Phase_end | Phase_elided) when phase = None ->
             raise (Json.Error "phase event without phase field")
         | _ -> ());
         `Event { time; actor; op; phase; kind }
@@ -636,6 +654,14 @@ let chrome oc =
           match ev.phase with Some p -> phase_name p | None -> "phase"
         in
         raw (ev_json ev ~ph:"e" ~name ~id:ev.op [])
+    | Phase_elided ->
+        let name =
+          match ev.phase with Some p -> phase_name p | None -> "phase"
+        in
+        instant (name ^ " elided") []
+    | Msg_queued { dst; bytes; label } ->
+        instant "msg_queued"
+          [ ("msg", Json.S label); ("dst", Json.I dst); ("bytes", Json.I bytes) ]
     | Msg_send { dst; bytes; label; _ } ->
         instant "msg_send"
           [ ("msg", Json.S label); ("dst", Json.I dst); ("bytes", Json.I bytes) ]
@@ -678,6 +704,7 @@ module Stats = struct
     mutable outcome : outcome option;
     mutable open_phase : (phase * float) option;
     mutable phases : (phase * float) list;  (* accumulated duration *)
+    mutable elided : (phase * int) list;  (* elided round count per phase *)
     mutable msgs : int;
     mutable bytes : int;
     mutable drops : int;
@@ -689,6 +716,11 @@ module Stats = struct
   type stats = {
     live : (int, op_stat) Hashtbl.t;
     mutable done_rev : op_stat list;  (* newest first *)
+    finished : (int, op_stat) Hashtbl.t;
+        (* same records as done_rev, by op id: events arriving after the
+           span closed (a coalesced background message flushing right
+           after span_end) update the completed record instead of
+           re-opening the op as live. *)
     queue_depth : (string, Metrics.Summary.t) Hashtbl.t;
     mutable untagged_msgs : int;
     mutable untagged_bytes : int;
@@ -698,6 +730,7 @@ module Stats = struct
     {
       live = Hashtbl.create 64;
       done_rev = [];
+      finished = Hashtbl.create 64;
       queue_depth = Hashtbl.create 8;
       untagged_msgs = 0;
       untagged_bytes = 0;
@@ -705,6 +738,9 @@ module Stats = struct
 
   let op_stat t op =
     match Hashtbl.find_opt t.live op with
+    | Some s -> s
+    | None ->
+    match Hashtbl.find_opt t.finished op with
     | Some s -> s
     | None ->
         let s =
@@ -717,6 +753,7 @@ module Stats = struct
             outcome = None;
             open_phase = None;
             phases = [];
+            elided = [];
             msgs = 0;
             bytes = 0;
             drops = 0;
@@ -768,6 +805,7 @@ module Stats = struct
             s.open_phase <- None
         | None -> ());
         Hashtbl.remove t.live ev.op;
+        Hashtbl.replace t.finished ev.op s;
         t.done_rev <- s :: t.done_rev
     | Phase_start -> (
         match ev.phase with
@@ -792,6 +830,21 @@ module Stats = struct
         let s = op_stat t ev.op in
         s.msgs <- s.msgs + 1;
         s.bytes <- s.bytes + bytes
+    | Msg_queued { bytes; _ } ->
+        (* An op's share of a coalesced batch envelope: counted as one
+           of the op's messages (the batch itself is untagged). *)
+        let s = op_stat t ev.op in
+        s.msgs <- s.msgs + 1;
+        s.bytes <- s.bytes + bytes
+    | Phase_elided -> (
+        match ev.phase with
+        | None -> ()
+        | Some p ->
+            let s = op_stat t ev.op in
+            let prev =
+              match List.assoc_opt p s.elided with Some c -> c | None -> 0
+            in
+            s.elided <- (p, prev + 1) :: List.remove_assoc p s.elided)
     | Msg_recv _ -> ()
     | Msg_drop _ ->
         let s = op_stat t ev.op in
@@ -893,6 +946,43 @@ module Stats = struct
       !order
     |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
+  (* Elided quorum rounds per op kind: (kind, [(phase, count)]),
+     summed over completed ops. Complements {!phase_breakdown}: a warm
+     write shows an order count here and no order time there. *)
+  let elided_by_kind t =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (p, c) ->
+            let phases =
+              match Hashtbl.find_opt tbl s.op_kind with
+              | Some phases -> phases
+              | None ->
+                  let phases = Hashtbl.create 4 in
+                  Hashtbl.add tbl s.op_kind phases;
+                  phases
+            in
+            let prev =
+              match Hashtbl.find_opt phases p with Some d -> d | None -> 0
+            in
+            Hashtbl.replace phases p (prev + c))
+          s.elided)
+      (completed t);
+    Hashtbl.fold
+      (fun kind phases acc ->
+        let per_phase =
+          List.filter_map
+            (fun p ->
+              match Hashtbl.find_opt phases p with
+              | Some c -> Some (p, c)
+              | None -> None)
+            all_phases
+        in
+        (kind, per_phase) :: acc)
+      tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
   let queue_depths t =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.queue_depth []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -980,7 +1070,7 @@ module Check = struct
             List.iter
               (fun evt ->
                 (match evt.kind with
-                | Phase_start | Phase_end ->
+                | Phase_start | Phase_end | Phase_elided ->
                     if evt.time < s.time || evt.time > e.time then
                       bad "op %d: phase event at %g outside span [%g, %g]" op
                         evt.time s.time e.time;
@@ -1004,6 +1094,14 @@ module Check = struct
                           (phase_name p) (phase_name q)
                     | None -> bad "op %d: phase_end %s with no open phase" op (phase_name p))
                 | Phase_end, None -> bad "op %d: phase_end without phase" op
+                | Phase_elided, None ->
+                    bad "op %d: phase_elided without phase" op
+                | Phase_elided, Some p -> (
+                    match !open_phase with
+                    | Some q ->
+                        bad "op %d: phase %s elided while %s is open" op
+                          (phase_name p) (phase_name q)
+                    | None -> ())
                 | _ -> ())
               evs;
             (match !open_phase with

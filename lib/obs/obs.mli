@@ -63,7 +63,15 @@ type kind =
   | Span_end of { op_kind : string; stripe : int; outcome : outcome }
   | Phase_start
   | Phase_end
+  | Phase_elided
+      (** A quorum round the coordinator proved it could skip (the
+          order round of a warm write); [phase] names the round that
+          did not happen. *)
   | Msg_send of { dst : int; bytes : int; label : string; bg : bool }
+  | Msg_queued of { dst : int; bytes : int; label : string }
+      (** One operation's item inside a coalesced batch envelope: the
+          envelope itself is an untagged [Msg_send]; each constituent
+          is attributed to its operation by one of these. *)
   | Msg_recv of { src : int; label : string }
   | Msg_drop of { dst : int; bytes : int; bg : bool }
   | Io_read of { blocks : int }
@@ -202,6 +210,8 @@ module Stats : sig
     mutable open_phase : (phase * float) option;
     mutable phases : (phase * float) list;
         (** accumulated duration per phase *)
+    mutable elided : (phase * int) list;
+        (** elided quorum rounds per phase *)
     mutable msgs : int;
     mutable bytes : int;
     mutable drops : int;
@@ -234,6 +244,10 @@ module Stats : sig
 
   val phase_breakdown : stats -> (string * int * (phase * float) list) list
   (** Per op kind: completed count and mean duration per phase. *)
+
+  val elided_by_kind : stats -> (string * (phase * int) list) list
+  (** Per op kind: total elided quorum rounds per phase over the
+      completed ops; kinds with no elisions are absent. *)
 
   val queue_depths : stats -> (string * Metrics.Summary.t) list
 

@@ -6,12 +6,18 @@ type ('req, 'rep) envelope =
   | Request of int * Obs.ctx * 'req
   | Reply of int * Obs.ctx * 'rep
   | Oneway of Obs.ctx * 'req
+  | Batch of ('req, 'rep) envelope list
+      (* Several same-instant messages for one destination, delivered
+         as one envelope with one delay sample. *)
 
 type ('req, 'rep) pending = {
   members : Net.addr list;
+  nmembers : int;
   quorum : int;
   until : (Net.addr * 'rep) list -> bool;
   mutable replies : (Net.addr * 'rep) list;  (* newest first *)
+  seen : Bytes.t;  (* per-address reply flag, indexed by Net.addr *)
+  mutable reply_count : int;
   resumer : (Net.addr * 'rep) list Fiber.resumer;
   mutable retry_timer : Engine.timer option;
   mutable grace_timer : Engine.timer option;
@@ -19,6 +25,14 @@ type ('req, 'rep) pending = {
   coord : Brick.t;
   make_req : Net.addr -> 'req;
   ctx : Obs.ctx;
+}
+
+(* One staged message awaiting its key's flush event. *)
+type ('req, 'rep) item = {
+  it_env : ('req, 'rep) envelope;
+  it_bytes : int;
+  it_label : string;
+  it_ctx : Obs.ctx;
 }
 
 type ('req, 'rep) t = {
@@ -29,6 +43,11 @@ type ('req, 'rep) t = {
   rep_label : 'rep -> string;
   retry_every : float;
   grace : float;
+  coalesce : bool;
+  staged :
+    (Net.addr * Net.addr * bool, ('req, 'rep) item list ref) Hashtbl.t;
+      (* (src, dst, background) -> items newest-first; the first item
+         staged for a key schedules that key's same-instant flush. *)
   retries : Metrics.Counter.t;
   obs : Obs.t;
   mutable next_rid : int;
@@ -38,7 +57,7 @@ type ('req, 'rep) t = {
 
 let create ~net ?(metrics = Metrics.Registry.create ()) ~req_bytes ~rep_bytes
     ?(req_label = fun _ -> "req") ?(rep_label = fun _ -> "rep")
-    ?(retry_every = 8.0) ?(grace = 1.0) () =
+    ?(retry_every = 8.0) ?(grace = 1.0) ?(coalesce = false) () =
   {
     net;
     req_bytes;
@@ -47,12 +66,79 @@ let create ~net ?(metrics = Metrics.Registry.create ()) ~req_bytes ~rep_bytes
     rep_label;
     retry_every;
     grace;
+    coalesce;
+    staged = Hashtbl.create 16;
     retries = Metrics.Registry.counter metrics "rpc.retries";
     obs = Net.obs net;
     next_rid = 0;
     pending = Hashtbl.create 32;
     handlers = Array.make (Net.n net) None;
   }
+
+(* --- per-destination coalescing ------------------------------------ *)
+
+let flush t ((src, dst, background) as key) =
+  match Hashtbl.find_opt t.staged key with
+  | None -> ()
+  | Some items -> (
+      Hashtbl.remove t.staged key;
+      match List.rev !items with
+      | [] -> ()
+      | [ it ] ->
+          (* A lone message goes out exactly as an uncoalesced send. *)
+          Net.send t.net ~background ~ctx:it.it_ctx ~info:it.it_label ~src
+            ~dst ~bytes_on_wire:it.it_bytes it.it_env
+      | its ->
+          let bytes = List.fold_left (fun a it -> a + it.it_bytes) 0 its in
+          (* The batch envelope pays one delay/drop sample and carries
+             the summed payload; each constituent is attributed to its
+             own operation with a Msg_queued event. *)
+          if Obs.enabled t.obs then begin
+            let now = Engine.now (Net.engine t.net) in
+            List.iter
+              (fun it ->
+                Obs.emit t.obs
+                  {
+                    Obs.time = now;
+                    actor = Obs.Brick src;
+                    op = it.it_ctx.Obs.op;
+                    phase = it.it_ctx.Obs.phase;
+                    kind =
+                      Obs.Msg_queued
+                        { dst; bytes = it.it_bytes; label = it.it_label };
+                  })
+              its
+          end;
+          let info =
+            if Obs.enabled t.obs then
+              Some (Printf.sprintf "batch[%d]" (List.length its))
+            else None
+          in
+          Net.send t.net ~background ~ctx:Obs.no_ctx ?info ~src ~dst
+            ~bytes_on_wire:bytes
+            (Batch (List.map (fun it -> it.it_env) its)))
+
+(* Route every outgoing message through the per-destination staging
+   buffer. The flush runs as a fresh engine event at the same instant,
+   after the currently-running event has staged everything it wants to
+   send, so all same-instant messages for one destination share one
+   envelope. With coalescing off this is exactly [Net.send]. *)
+let stage t ~src ~dst ~background ~ctx ~label ~bytes env =
+  if not t.coalesce then
+    Net.send t.net ~background ~ctx ~info:label ~src ~dst
+      ~bytes_on_wire:bytes env
+  else begin
+    let key = (src, dst, background) in
+    let it = { it_env = env; it_bytes = bytes; it_label = label; it_ctx = ctx }
+    in
+    match Hashtbl.find_opt t.staged key with
+    | Some items -> items := it :: !items
+    | None ->
+        Hashtbl.replace t.staged key (ref [ it ]);
+        ignore
+          (Engine.schedule (Net.engine t.net) ~delay:0. (fun () ->
+               flush t key))
+  end
 
 let cancel_timers p =
   (match p.retry_timer with Some tm -> Engine.cancel tm | None -> ());
@@ -62,17 +148,18 @@ let deliver_reply t rid src rep =
   match Hashtbl.find_opt t.pending rid with
   | None -> ()  (* stale reply: the call completed or the coordinator crashed *)
   | Some p ->
-      if not (List.mem_assoc src p.replies) then begin
+      if Bytes.get p.seen src = '\000' then begin
+        Bytes.set p.seen src '\001';
         p.replies <- (src, rep) :: p.replies;
-        let count = List.length p.replies in
-        let everyone = count = List.length p.members in
+        p.reply_count <- p.reply_count + 1;
+        let everyone = p.reply_count = p.nmembers in
         let complete () =
           Hashtbl.remove t.pending rid;
           cancel_timers p;
           Brick.remove_crash_hook p.coord p.crash_hook;
           Fiber.resume p.resumer (List.rev p.replies)
         in
-        if count >= p.quorum then
+        if p.reply_count >= p.quorum then
           if p.until p.replies || everyone then complete ()
           else if p.grace_timer = None then
             p.grace_timer <-
@@ -82,25 +169,28 @@ let deliver_reply t rid src rep =
       end
 
 let install_dispatcher t addr =
-  Net.register t.net addr (fun ~src env ->
-      match env with
-      | Request (rid, ctx, req) -> (
-          match t.handlers.(addr) with
-          | None -> ()
-          | Some handler -> (
-              match handler ~src ~ctx req with
-              | None -> ()
-              | Some rep ->
-                  let info =
-                    if Obs.enabled t.obs then Some (t.rep_label rep) else None
-                  in
-                  Net.send t.net ~ctx ?info ~src:addr ~dst:src
-                    ~bytes_on_wire:(t.rep_bytes rep) (Reply (rid, ctx, rep))))
-      | Oneway (ctx, req) -> (
-          match t.handlers.(addr) with
-          | None -> ()
-          | Some handler -> ignore (handler ~src ~ctx req))
-      | Reply (rid, _ctx, rep) -> deliver_reply t rid src rep)
+  let rec handle ~src env =
+    match env with
+    | Request (rid, ctx, req) -> (
+        match t.handlers.(addr) with
+        | None -> ()
+        | Some handler -> (
+            match handler ~src ~ctx req with
+            | None -> ()
+            | Some rep ->
+                let label =
+                  if Obs.enabled t.obs then t.rep_label rep else "msg"
+                in
+                stage t ~src:addr ~dst:src ~background:false ~ctx ~label
+                  ~bytes:(t.rep_bytes rep) (Reply (rid, ctx, rep))))
+    | Oneway (ctx, req) -> (
+        match t.handlers.(addr) with
+        | None -> ()
+        | Some handler -> ignore (handler ~src ~ctx req))
+    | Reply (rid, _ctx, rep) -> deliver_reply t rid src rep
+    | Batch items -> List.iter (handle ~src) items
+  in
+  Net.register t.net addr handle
 
 let serve t ~addr handler =
   t.handlers.(addr) <- Some handler;
@@ -119,8 +209,9 @@ let broadcast t ~src ~ctx ~targets make_req rid =
   List.iter
     (fun dst ->
       let req = make_req dst in
-      let info = if Obs.enabled t.obs then Some (t.req_label req) else None in
-      Net.send t.net ~ctx ?info ~src ~dst ~bytes_on_wire:(t.req_bytes req)
+      let label = if Obs.enabled t.obs then t.req_label req else "msg" in
+      stage t ~src ~dst ~background:false ~ctx ~label
+        ~bytes:(t.req_bytes req)
         (Request (rid, ctx, req)))
     targets
 
@@ -150,9 +241,12 @@ let call t ~coord ~members ~quorum ?(until = fun _ -> true)
       let p =
         {
           members;
+          nmembers = List.length members;
           quorum;
           until;
           replies = [];
+          seen = Bytes.make (Net.n t.net) '\000';
+          reply_count = 0;
           resumer;
           retry_timer = None;
           grace_timer = None;
@@ -170,7 +264,7 @@ let call t ~coord ~members ~quorum ?(until = fun _ -> true)
                  if Brick.is_alive coord && Hashtbl.mem t.pending rid then begin
                    let missing =
                      List.filter
-                       (fun a -> not (List.mem_assoc a p.replies))
+                       (fun a -> Bytes.get p.seen a = '\000')
                        p.members
                    in
                    Metrics.Counter.incr t.retries;
@@ -192,9 +286,9 @@ let call t ~coord ~members ~quorum ?(until = fun _ -> true)
 
 let notify t ~coord ~members ?(ctx = Obs.no_ctx) req =
   let src = Brick.id coord in
-  let info = if Obs.enabled t.obs then Some (t.req_label req) else None in
+  let label = if Obs.enabled t.obs then t.req_label req else "msg" in
   List.iter
     (fun dst ->
-      Net.send ~background:true ~ctx ?info t.net ~src ~dst
-        ~bytes_on_wire:(t.req_bytes req) (Oneway (ctx, req)))
+      stage t ~src ~dst ~background:true ~ctx ~label
+        ~bytes:(t.req_bytes req) (Oneway (ctx, req)))
     members

@@ -30,6 +30,7 @@ val create :
   ?rep_label:('rep -> string) ->
   ?retry_every:float ->
   ?grace:float ->
+  ?coalesce:bool ->
   unit ->
   ('req, 'rep) t
 (** [create ~net ~req_bytes ~rep_bytes ()] builds the layer.
@@ -41,7 +42,18 @@ val create :
     Retransmission rounds are counted in [metrics] under
     ["rpc.retries"]. [req_label]/[rep_label] give short human names
     for messages in traces (only evaluated when the network's
-    observability hub is enabled). *)
+    observability hub is enabled).
+
+    With [~coalesce:true] (default [false]), all messages one process
+    sends to one destination at the same instant are batched into a
+    single envelope: one network message, one delay and drop sample,
+    payload bytes summed — the fan-in a real NIC and RPC stack gives
+    concurrent stripe operations for free. A message alone in its
+    batch is sent exactly as an uncoalesced one, so serial workloads
+    are unaffected. The network's [Msg_send]/[Msg_recv] events and
+    ["net.msgs"] counters count envelopes; each constituent of a
+    multi-message batch is additionally attributed to its own
+    operation with an [Obs.Msg_queued] event. *)
 
 val serve :
   ('req, 'rep) t -> addr:Simnet.Net.addr ->

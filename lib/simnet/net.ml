@@ -41,6 +41,7 @@ let create ?(metrics = Metrics.Registry.create ()) ?(obs = Obs.create ())
 
 let n t = t.n
 let obs t = t.obs
+let engine t = t.engine
 
 let check_addr t a =
   if a < 0 || a >= t.n then invalid_arg "Simnet.Net: address out of range"

@@ -83,3 +83,7 @@ val n : 'msg t -> int
 
 val obs : 'msg t -> Obs.t
 (** The observability hub events are emitted to. *)
+
+val engine : 'msg t -> Dessim.Engine.t
+(** The engine deliveries are scheduled on; layers above use it to
+    schedule their own work (e.g. batch flushes) at send instants. *)

@@ -14,7 +14,10 @@ dune runtest
 echo "== @bench-smoke (microbenchmark harness) =="
 dune build @bench-smoke
 
-echo "== @obs-smoke (traced workload -> fab_sim explain) =="
+echo "== @obs-smoke (pipelined traced workload -> fab_sim explain) =="
 dune build @obs-smoke
+
+echo "== @bench-protocol-smoke (pipelining / elision / coalescing) =="
+dune build @bench-protocol-smoke
 
 echo "CI OK"

@@ -69,6 +69,40 @@ let test_step_and_pending () =
   Alcotest.(check bool) "step true" true (E.step e);
   Alcotest.(check bool) "step false on empty" false (E.step e)
 
+let test_pending_live_only () =
+  let e = E.create () in
+  let timers = List.init 10 (fun _ -> E.schedule e ~delay:1. ignore) in
+  Alcotest.(check int) "all live" 10 (E.pending e);
+  List.iteri (fun i t -> if i mod 2 = 0 then E.cancel t) timers;
+  Alcotest.(check int) "cancelled not counted" 5 (E.pending e);
+  ignore (E.step e);
+  Alcotest.(check int) "one fired" 4 (E.pending e);
+  (* Cancelling fired and already-cancelled timers must not disturb
+     the count; cancelling the remaining live ones drains it. *)
+  List.iter E.cancel timers;
+  List.iter E.cancel timers;
+  Alcotest.(check int) "all cancelled" 0 (E.pending e);
+  E.run e;
+  Alcotest.(check int) "empty" 0 (E.pending e)
+
+let test_compaction_under_churn () =
+  (* A long retry-timer churn: every scheduled timer is cancelled
+     before it can fire. Without compaction the heap only grows; with
+     it the live count stays exact and every surviving event fires. *)
+  let e = E.create () in
+  let fired = ref 0 in
+  let cancelled_fired = ref 0 in
+  for _ = 1 to 10_000 do
+    let dead = E.schedule e ~delay:1000. (fun () -> incr cancelled_fired) in
+    ignore (E.schedule e ~delay:1. (fun () -> incr fired));
+    E.cancel dead;
+    ignore (E.step e)
+  done;
+  E.run e;
+  Alcotest.(check int) "live events all fired" 10_000 !fired;
+  Alcotest.(check int) "cancelled events never fired" 0 !cancelled_fired;
+  Alcotest.(check int) "queue drained" 0 (E.pending e)
+
 let test_determinism () =
   let trace seed =
     let e = E.create ~seed () in
@@ -157,6 +191,99 @@ let test_exception_propagates () =
   Alcotest.check_raises "escaping exception" Exit (fun () ->
       Fiber.spawn (fun () -> raise Exit))
 
+(* --- scatter-gather join --- *)
+
+let sleep e delay =
+  Fiber.suspend (fun r ->
+      ignore (E.schedule e ~delay (fun () -> Fiber.resume r ())))
+
+let test_all_results_in_order () =
+  let e = E.create () in
+  let got = ref None in
+  Fiber.spawn (fun () ->
+      let results =
+        Fiber.all
+          (List.init 5 (fun i ->
+               fun () ->
+                 (* Later thunks finish earlier. *)
+                 sleep e (float_of_int (10 - i));
+                 i * i))
+      in
+      got := Some results);
+  E.run e;
+  Alcotest.(check (option (list int))) "input order" (Some [ 0; 1; 4; 9; 16 ])
+    !got;
+  Alcotest.(check (float 0.0)) "latency = max, not sum" 10. (E.now e)
+
+let test_all_synchronous_thunks () =
+  (* No thunk suspends: [all] must not need a running engine. *)
+  let got = ref None in
+  Fiber.spawn (fun () -> got := Some (Fiber.all [ (fun () -> 1); (fun () -> 2) ]));
+  Alcotest.(check (option (list int))) "immediate" (Some [ 1; 2 ]) !got;
+  Fiber.spawn (fun () -> got := Some (Fiber.all []));
+  Alcotest.(check (option (list int))) "empty" (Some []) !got
+
+let test_all_window_bounds_inflight () =
+  let e = E.create () in
+  let inflight = ref 0 in
+  let peak = ref 0 in
+  let finished = ref false in
+  Fiber.spawn (fun () ->
+      ignore
+        (Fiber.all ~window:3
+           (List.init 10 (fun _ ->
+                fun () ->
+                  incr inflight;
+                  if !inflight > !peak then peak := !inflight;
+                  sleep e 1.;
+                  decr inflight)));
+      finished := true);
+  E.run e;
+  Alcotest.(check bool) "join completed" true !finished;
+  Alcotest.(check int) "window respected" 3 !peak
+
+let test_all_window_one_is_serial () =
+  let e = E.create () in
+  let log = ref [] in
+  Fiber.spawn (fun () ->
+      ignore
+        (Fiber.all ~window:1
+           (List.init 4 (fun i ->
+                fun () ->
+                  log := (`Start i) :: !log;
+                  sleep e 1.;
+                  log := (`End i) :: !log))));
+  E.run e;
+  let expect = List.concat_map (fun i -> [ `Start i; `End i ]) [ 0; 1; 2; 3 ] in
+  Alcotest.(check bool) "strictly sequential" true (List.rev !log = expect)
+
+let test_all_cancellation () =
+  let e = E.create () in
+  let resumers = ref [] in
+  let after_join = ref false in
+  let cleaned = ref false in
+  Fiber.spawn (fun () ->
+      Fun.protect
+        ~finally:(fun () -> cleaned := true)
+        (fun () ->
+          ignore
+            (Fiber.all ~window:2
+               (List.init 4 (fun i ->
+                    fun () ->
+                      Fiber.suspend (fun r -> resumers := (i, r) :: !resumers))));
+          after_join := true));
+  (* Two children launched (window), both suspended. Cancel one, let the
+     other complete: the join must re-raise Cancelled in the parent and
+     never launch the remaining thunks. *)
+  Fiber.cancel (List.assoc 0 !resumers);
+  Alcotest.(check bool) "join still waiting" false !cleaned;
+  Fiber.resume (List.assoc 1 !resumers) ();
+  E.run e;
+  Alcotest.(check bool) "parent unwound by Cancelled" true !cleaned;
+  Alcotest.(check bool) "code after join skipped" false !after_join;
+  Alcotest.(check int) "later thunks never launched" 2
+    (List.length !resumers)
+
 let () =
   Alcotest.run "dessim"
     [
@@ -170,6 +297,9 @@ let () =
           Alcotest.test_case "negative delay rejected" `Quick
             test_negative_delay_rejected;
           Alcotest.test_case "step and pending" `Quick test_step_and_pending;
+          Alcotest.test_case "pending is live-only" `Quick test_pending_live_only;
+          Alcotest.test_case "compaction under churn" `Quick
+            test_compaction_under_churn;
           Alcotest.test_case "determinism" `Quick test_determinism;
         ] );
       ( "fiber",
@@ -180,5 +310,18 @@ let () =
           Alcotest.test_case "cancel unwinds" `Quick test_cancel_unwinds;
           Alcotest.test_case "sequential suspends" `Quick test_sequential_suspends;
           Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+        ] );
+      ( "fiber-all",
+        [
+          Alcotest.test_case "results in input order" `Quick
+            test_all_results_in_order;
+          Alcotest.test_case "synchronous thunks" `Quick
+            test_all_synchronous_thunks;
+          Alcotest.test_case "window bounds in-flight" `Quick
+            test_all_window_bounds_inflight;
+          Alcotest.test_case "window=1 is serial" `Quick
+            test_all_window_one_is_serial;
+          Alcotest.test_case "cancellation drains and re-raises" `Quick
+            test_all_cancellation;
         ] );
     ]
