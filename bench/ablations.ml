@@ -55,7 +55,7 @@ let abort_rate ~clients ~stripes ~skew ~seed =
             else Coordinator.read_stripe c ~stripe |> Result.map (fun _ -> ())
           in
           incr total;
-          match outcome with Ok () -> () | Error `Aborted -> incr aborts
+          match outcome with Ok () -> () | Error _ -> incr aborts
         done);
   done;
   Cluster.run ~horizon:100_000. cl;
@@ -253,7 +253,7 @@ let x5 () =
                    Coordinator.write_block c ~stripe:0 (1 + i) news.(i))
              with
              | Ok () -> go (i + 1)
-             | Error `Aborted -> Error `Aborted
+             | Error _ as e -> e
          in
          go 0)
    with
@@ -357,7 +357,7 @@ let x6 () =
         \  [quorum]  -> unavailability, never corruption\n"
   | Some (Ok got) ->
       Printf.printf "  [quorum]  read returned %C stripe safely\n" (tag got.(1))
-  | Some (Error `Aborted) -> Printf.printf "  [quorum]  read aborted\n");
+  | Some (Error _) -> Printf.printf "  [quorum]  read aborted\n");
   let cl = Cluster.create ~m:2 ~n:4 ~block_size:bs () in
   (match
      Cluster.run_op cl (fun c -> Coordinator.write_stripe c ~stripe:0 old_stripe)

@@ -67,7 +67,7 @@ let run_requests ?observe_from ~window ~ts_cache ~coalesce ~write ~requests ()
                 Result.map ignore (Fab.Volume.read volume ~coord:0 ~lba:0 ~count)
             with
            | Ok () -> incr oks
-           | Error `Aborted -> ());
+           | Error _ -> ());
            latencies := (Dessim.Engine.now engine -. t) :: !latencies;
            if observe_from = Some i && i < requests then observe ()
          done));

@@ -26,7 +26,7 @@ let measure_op ?(coord = 0) (cl : Cluster.t) f =
       let t0 = Dessim.Engine.now cl.Cluster.engine in
       (match f c with
       | Ok _ -> outcome := `Ok
-      | Error `Aborted -> outcome := `Aborted);
+      | Error (`Aborted | `Unavailable) -> outcome := `Aborted);
       latency := Dessim.Engine.now cl.Cluster.engine -. t0);
   Cluster.run cl;
   let after = Cluster.snapshot cl in

@@ -3,6 +3,7 @@
    Subcommands:
      workload  - run a synthetic workload against a simulated volume
      explain   - replay a JSONL trace into per-op phase breakdowns
+     chaos     - sweep fault plans x seeds under a linearizability check
      mttdl     - reliability (figure 2/3 style) tables
      quorum    - m-quorum system parameters for a code geometry
 
@@ -10,6 +11,8 @@
      fab_sim workload -m 5 -n 8 --clients 4 --ops 500 --profile web
      fab_sim workload -m 5 -n 8 --trace-out run.jsonl --stats-json stats.json
      fab_sim explain run.jsonl --validate
+     fab_sim chaos --seeds 50
+     fab_sim chaos --plan crash-storm --chaos-unsafe-skip-order
      fab_sim mttdl --capacity 256
      fab_sim quorum -m 5 -n 8 *)
 
@@ -473,6 +476,159 @@ let explain_cmd =
        ~doc:"Replay a structured trace into per-op phase-latency breakdowns")
     Term.(ret (const run_explain $ file $ per_op $ validate))
 
+(* ---------------- chaos ---------------- *)
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* A plan argument is a bundled plan name or a plan-file path. *)
+let resolve_plan spec =
+  match Chaos.Plan.builtin spec with
+  | plan -> Ok plan
+  | exception Not_found -> (
+      if Sys.file_exists spec then
+        match Chaos.Plan.of_string (read_file spec) with
+        | Ok plan -> Ok plan
+        | Error e -> Error (Printf.sprintf "%s: %s" spec e)
+      else
+        Error
+          (Printf.sprintf
+             "unknown plan %S (bundled: %s; or give a plan-file path)" spec
+             (String.concat ", " (List.map fst Chaos.Plan.builtins))))
+
+let run_chaos plans seeds seed_base m n stripes clients ops deadline
+    unsafe_skip_order shrink_out =
+  if seeds < 1 then `Error (false, "need --seeds >= 1")
+  else
+    let specs = if plans = [] then List.map fst Chaos.Plan.builtins else plans in
+    let resolved = List.map resolve_plan specs in
+    match
+      List.find_map (function Error e -> Some e | Ok _ -> None) resolved
+    with
+    | Some e -> `Error (false, e)
+    | None ->
+        let plans =
+          List.filter_map (function Ok p -> Some p | Error _ -> None) resolved
+        in
+        let harness_run ~seed plan =
+          Chaos.Harness.run ~m ~n ~stripes ~clients ~ops_per_client:ops
+            ~deadline ~unsafe_skip_order ~seed plan
+        in
+        let failure = ref None in
+        let totals = ref (0, 0, 0, 0) in
+        List.iter
+          (fun (plan : Chaos.Plan.t) ->
+            let failures = ref 0 in
+            let plan_totals = ref (0, 0, 0, 0) in
+            for i = 0 to seeds - 1 do
+              let seed = seed_base + i in
+              let r = harness_run ~seed plan in
+              let add (a, b, c, d) =
+                ( a + r.Chaos.Harness.ok,
+                  b + r.Chaos.Harness.aborted,
+                  c + r.Chaos.Harness.unavailable,
+                  d + r.Chaos.Harness.corrupt_reads )
+              in
+              plan_totals := add !plan_totals;
+              totals := add !totals;
+              if Chaos.Harness.failed r then begin
+                incr failures;
+                if !failure = None then failure := Some (plan, seed, r)
+              end
+            done;
+            let ok, ab, un, cr = !plan_totals in
+            Printf.printf
+              "plan %-18s: %d seeds, %d ok, %d aborted, %d unavailable, %d \
+               corrupt reads, %d FAILED\n"
+              plan.Chaos.Plan.name seeds ok ab un cr !failures)
+          plans;
+        let ok, ab, un, cr = !totals in
+        Printf.printf
+          "total: %d ops ok, %d aborted, %d unavailable, %d corrupt reads\n"
+          ok ab un cr;
+        (match !failure with
+        | None ->
+            Printf.printf "chaos: all %d runs clean\n"
+              (seeds * List.length plans);
+            `Ok ()
+        | Some (plan, seed, r) ->
+            Printf.printf "\nFAILURE: plan %s seed %d\n  %s\n"
+              plan.Chaos.Plan.name seed
+              (Format.asprintf "%a" Chaos.Harness.pp_result r);
+            Printf.printf "shrinking...\n%!";
+            let shrunk =
+              Chaos.Shrink.shrink
+                ~check:(fun p -> Chaos.Harness.failed (harness_run ~seed p))
+                plan
+            in
+            Printf.printf
+              "minimal reproducer (%d of %d events; replay with --plan \
+               FILE --seeds 1 --seed-base %d):\n%s"
+              (List.length shrunk.Chaos.Plan.events)
+              (List.length plan.Chaos.Plan.events)
+              seed
+              (Chaos.Plan.to_string shrunk);
+            Option.iter
+              (fun path ->
+                let oc = open_out path in
+                output_string oc (Chaos.Plan.to_string shrunk);
+                close_out oc;
+                Printf.printf "wrote %s\n" path)
+              shrink_out;
+            `Error (false, "chaos sweep failed"))
+
+let chaos_cmd =
+  let plans =
+    Arg.(value & opt_all string []
+         & info [ "plan" ] ~docv:"PLAN"
+             ~doc:"Fault plan: a bundled name (crash-storm, \
+                   rolling-partition, torn-writes, bit-rot) or a plan-file \
+                   path. Repeatable; default: all bundled plans.")
+  in
+  let seeds =
+    Arg.(value & opt int 10 & info [ "seeds" ] ~doc:"Seeds per plan.")
+  in
+  let seed_base =
+    Arg.(value & opt int 1 & info [ "seed-base" ] ~doc:"First seed.")
+  in
+  let m = Arg.(value & opt int 2 & info [ "m"; "data-blocks" ] ~doc:"Data blocks per stripe.") in
+  let n = Arg.(value & opt int 5 & info [ "n"; "total-blocks" ] ~doc:"Total blocks per stripe.") in
+  let stripes =
+    Arg.(value & opt int 4 & info [ "stripes" ] ~doc:"Stripes.")
+  in
+  let clients =
+    Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Concurrent clients.")
+  in
+  let ops =
+    Arg.(value & opt int 12 & info [ "ops" ] ~doc:"Operations per client.")
+  in
+  let deadline =
+    Arg.(value & opt float 200. & info [ "deadline" ]
+           ~doc:"Per-operation deadline in delta units (fail-fast \
+                 unavailability).")
+  in
+  let unsafe =
+    Arg.(value & flag & info [ "chaos-unsafe-skip-order" ]
+           ~doc:"Run the deliberately broken protocol variant that ignores \
+                 the order phase (no read barrier, no recovery-sample \
+                 promise, no store barrier); the sweep must catch it.")
+  in
+  let shrink_out =
+    Arg.(value & opt (some string) None & info [ "shrink-out" ] ~docv:"FILE"
+           ~doc:"Also write the shrunken reproducer plan to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Sweep fault plans x seeds under a strict-linearizability check")
+    Term.(
+      ret
+        (const run_chaos $ plans $ seeds $ seed_base $ m $ n $ stripes
+        $ clients $ ops $ deadline $ unsafe $ shrink_out))
+
 (* ---------------- mttdl ---------------- *)
 
 let run_mttdl capacity =
@@ -538,4 +694,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ workload_cmd; explain_cmd; mttdl_cmd; quorum_cmd ]))
+       (Cmd.group info
+          [ workload_cmd; explain_cmd; chaos_cmd; mttdl_cmd; quorum_cmd ]))

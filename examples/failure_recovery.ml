@@ -29,7 +29,7 @@ let show_read cl ~coord ~stripe label =
   | Some (Ok data) ->
       say "  %s -> stripe starts with %C\n" label (Bytes.get data.(0) 0);
       Some data
-  | Some (Error `Aborted) ->
+  | Some (Error _) ->
       say "  %s -> aborted\n" label;
       None
   | None ->

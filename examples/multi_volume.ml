@@ -10,7 +10,7 @@ module Volume = Fab.Volume
 
 let ok = function
   | Some (Ok x) -> x
-  | Some (Error `Aborted) -> failwith "operation aborted"
+  | Some (Error _) -> failwith "operation aborted"
   | None -> failwith "operation did not complete"
 
 let () =
@@ -65,7 +65,7 @@ let () =
   (match read archive with
   | None -> print_endline "archive stalls (needs a quorum) - safe, just unavailable"
   | Some (Ok _) -> print_endline "archive readable"
-  | Some (Error `Aborted) -> print_endline "archive aborted");
+  | Some (Error _) -> print_endline "archive aborted");
   List.iter (fun i -> Brick.recover bricks.(i)) [ 1; 4 ];
   print_endline "recovered bricks 1 and 4 (7 still down)";
   (match read archive with

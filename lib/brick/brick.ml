@@ -53,6 +53,7 @@ let add_crash_hook t f =
   h
 
 let remove_crash_hook t h = Hashtbl.remove t.crash_hooks h
+let hook_count t = Hashtbl.length t.crash_hooks
 
 (* Scratch pool: transient per-brick buffers for codec computation.
    Contents of a borrowed buffer are undefined; buffers must never be

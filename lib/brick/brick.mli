@@ -48,6 +48,11 @@ val add_crash_hook : t -> (unit -> unit) -> hook
 
 val remove_crash_hook : t -> hook -> unit
 
+val hook_count : t -> int
+(** Currently registered crash hooks. At quiescence (no in-flight
+    operations) only long-lived hooks remain, so tests use this to
+    check that every transient hook was deregistered. *)
+
 val scratch_take : t -> len:int -> Bytes.t
 (** Borrow a [len]-byte scratch buffer from the brick's pool (allocating
     if the pool is empty). Contents are undefined. Scratch buffers are

@@ -1,0 +1,322 @@
+module Cluster = Core.Cluster
+module Coordinator = Core.Coordinator
+module H = Linearize.History
+module Check = Linearize.Check
+
+type result = {
+  ok : int;
+  aborted : int;
+  unavailable : int;
+  stuck : int;
+  corrupt_reads : int;
+  violations : (int * Check.violation) list;
+  hook_leaks : int;
+  trace : string option;
+}
+
+let failed r = r.violations <> [] || r.stuck > 0 || r.hook_leaks > 0
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "ok=%d aborted=%d unavailable=%d stuck=%d corrupt_reads=%d \
+     hook_leaks=%d violations=%d"
+    r.ok r.aborted r.unavailable r.stuck r.corrupt_reads r.hook_leaks
+    (List.length r.violations);
+  List.iter
+    (fun (idx, v) ->
+      Format.fprintf fmt "@.  block %d: %a" idx Check.pp_violation v)
+    r.violations
+
+let block_size = 64
+
+let value_block s =
+  let b = Bytes.make block_size '\000' in
+  Bytes.blit_string s 0 b 0 (min (String.length s) block_size);
+  b
+
+let block_value b =
+  match Bytes.index_opt b '\000' with
+  | Some 0 -> H.nil
+  | Some i -> Bytes.sub_string b 0 i
+  | None -> Bytes.to_string b
+
+type op_record = {
+  ids : (int * int) list;  (* (block index within stripe, history op id) *)
+  stripe : int;
+  coord : int;
+  invoked_at : float;
+  mutable done_ : bool;
+}
+
+let run ?(m = 2) ?(n = 5) ?(stripes = 4) ?(clients = 3)
+    ?(ops_per_client = 12) ?(deadline = 200.) ?(unsafe_skip_order = false)
+    ?(capture_trace = false) ~seed (plan : Plan.t) =
+  (* Harness-local randomness: the engine's rng drives the simulated
+     system, this one drives the workload shape. Both derive from
+     [seed] so a run is a pure function of (plan, seed, knobs). *)
+  let rng = Random.State.make [| seed; 0xc4a05 |] in
+  let cl =
+    Cluster.create ~seed ~m ~n ~block_size ~deadline ~unsafe_skip_order ()
+  in
+  let engine = cl.Cluster.engine in
+  let trace_buf =
+    if capture_trace then begin
+      let buf = Buffer.create 4096 in
+      Obs.add_sink cl.Cluster.obs
+        (Obs.Sink.make (fun e ->
+             Buffer.add_string buf (Obs.to_json e);
+             Buffer.add_char buf '\n'));
+      Some buf
+    end
+    else None
+  in
+  let histories = Array.init (stripes * m) (fun _ -> H.create ()) in
+  let hist ~stripe ~j = histories.((stripe * m) + j) in
+  let ops : op_record list ref = ref [] in
+  let uid = ref 0 in
+  let counts = ref (0, 0, 0) in
+  (* ok, aborted, unavailable *)
+  let corrupt_reads = ref 0 in
+  let written : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let bit_rot_plan =
+    List.exists
+      (fun e -> match e.Plan.fault with Plan.Bit_rot _ -> true | _ -> false)
+      plan.Plan.events
+  in
+
+  let sleep delay =
+    Dessim.Fiber.suspend (fun r ->
+        ignore
+          (Dessim.Engine.schedule engine ~delay (fun () ->
+               Dessim.Fiber.resume r ())))
+  in
+
+  let record_op ~coord ~stripe ~blocks ~kind ~values =
+    let now = Dessim.Engine.now engine in
+    let ids =
+      List.map2
+        (fun j v ->
+          let id =
+            match kind with
+            | H.Write ->
+                Hashtbl.replace written v ();
+                H.invoke (hist ~stripe ~j) ~client:coord ~kind ~written:v
+                  ~now ()
+            | H.Read -> H.invoke (hist ~stripe ~j) ~client:coord ~kind ~now ()
+          in
+          (j, id))
+        blocks values
+    in
+    let r = { ids; stripe; coord; invoked_at = now; done_ = false } in
+    ops := r :: !ops;
+    r
+  in
+
+  let bump o =
+    let ok, ab, un = !counts in
+    counts :=
+      match o with
+      | `Ok -> (ok + 1, ab, un)
+      | `Aborted -> (ok, ab + 1, un)
+      | `Unavailable -> (ok, ab, un + 1)
+  in
+
+  let finish_op ~stripe r outcome =
+    let now = Dessim.Engine.now engine in
+    r.done_ <- true;
+    (* Under a bit-rot plan a read may surface a value no client ever
+       wrote (silent corruption below the checksum). Count it and
+       record an abort: storage damage, not an ordering bug. *)
+    let outcome =
+      match outcome with
+      | `ReadValues values
+        when bit_rot_plan
+             && List.exists
+                  (fun (_, v) -> v <> H.nil && not (Hashtbl.mem written v))
+                  values ->
+          incr corrupt_reads;
+          `Corrupt
+      | o -> o
+    in
+    (match outcome with
+    | `Wrote | `ReadValues _ -> bump `Ok
+    | `Corrupt | `Aborted -> bump `Aborted
+    | `Unavailable -> bump `Unavailable);
+    List.iter
+      (fun (j, id) ->
+        let h = hist ~stripe ~j in
+        match outcome with
+        | `Wrote -> H.complete_write h id ~now
+        | `ReadValues values ->
+            H.complete_read h id ~value:(List.assoc j values) ~now
+        | `Corrupt | `Aborted | `Unavailable -> H.abort h id ~now)
+      r.ids
+  in
+
+  let finish r result ~stripe ~blocks =
+    match result with
+    | `Write (Ok ()) -> finish_op ~stripe r `Wrote
+    | `Read (Ok values) ->
+        finish_op ~stripe r
+          (`ReadValues (List.map2 (fun j v -> (j, v)) blocks values))
+    | `Write (Error `Unavailable) | `Read (Error `Unavailable) ->
+        finish_op ~stripe r `Unavailable
+    | `Write (Error `Aborted) | `Read (Error `Aborted) ->
+        finish_op ~stripe r `Aborted
+  in
+
+  let client coord =
+    Dessim.Fiber.spawn (fun () ->
+        let c = cl.Cluster.coordinators.(coord) in
+        (* Spread the client's operations across the chaos window. *)
+        let mean_gap = plan.Plan.horizon /. float_of_int (ops_per_client + 1) in
+        for _ = 1 to ops_per_client do
+          sleep (Random.State.float rng (2. *. mean_gap));
+          let stripe = Random.State.int rng stripes in
+          match Random.State.int rng 6 with
+          | 0 ->
+              incr uid;
+              let values =
+                List.init m (fun j -> Printf.sprintf "s%d.u%d.b%d" seed !uid j)
+              in
+              let data = Array.of_list (List.map value_block values) in
+              let blocks = List.init m Fun.id in
+              let r =
+                record_op ~coord ~stripe ~blocks ~kind:H.Write ~values
+              in
+              finish r ~stripe ~blocks
+                (`Write (Coordinator.write_stripe c ~stripe data))
+          | 1 ->
+              let blocks = List.init m Fun.id in
+              let r =
+                record_op ~coord ~stripe ~blocks ~kind:H.Read
+                  ~values:(List.init m (fun _ -> ""))
+              in
+              finish r ~stripe ~blocks
+                (`Read
+                  (match Coordinator.read_stripe c ~stripe with
+                  | Ok data ->
+                      Ok (List.init m (fun j -> block_value data.(j)))
+                  | Error _ as e -> (e :> (string list, _) Stdlib.result)))
+          | 2 ->
+              incr uid;
+              let j = Random.State.int rng m in
+              let v = Printf.sprintf "s%d.u%d.b%d" seed !uid j in
+              let r =
+                record_op ~coord ~stripe ~blocks:[ j ] ~kind:H.Write
+                  ~values:[ v ]
+              in
+              finish r ~stripe ~blocks:[ j ]
+                (`Write (Coordinator.write_block c ~stripe j (value_block v)))
+          | 3 ->
+              let j = Random.State.int rng m in
+              let r =
+                record_op ~coord ~stripe ~blocks:[ j ] ~kind:H.Read
+                  ~values:[ "" ]
+              in
+              finish r ~stripe ~blocks:[ j ]
+                (`Read
+                  (match Coordinator.read_block c ~stripe j with
+                  | Ok b -> Ok [ block_value b ]
+                  | Error _ as e -> (e :> (string list, _) Stdlib.result)))
+          | 4 ->
+              incr uid;
+              let j0 = Random.State.int rng m in
+              let len = 1 + Random.State.int rng (m - j0) in
+              let values =
+                List.init len (fun i ->
+                    Printf.sprintf "s%d.u%d.b%d" seed !uid (j0 + i))
+              in
+              let news = Array.of_list (List.map value_block values) in
+              let blocks = List.init len (fun i -> j0 + i) in
+              let r =
+                record_op ~coord ~stripe ~blocks ~kind:H.Write ~values
+              in
+              finish r ~stripe ~blocks
+                (`Write (Coordinator.write_blocks c ~stripe j0 news))
+          | _ ->
+              let j0 = Random.State.int rng m in
+              let len = 1 + Random.State.int rng (m - j0) in
+              let blocks = List.init len (fun i -> j0 + i) in
+              let r =
+                record_op ~coord ~stripe ~blocks ~kind:H.Read
+                  ~values:(List.init len (fun _ -> ""))
+              in
+              finish r ~stripe ~blocks
+                (`Read
+                  (match Coordinator.read_blocks c ~stripe j0 ~len with
+                  | Ok bs ->
+                      Ok (List.init len (fun i -> block_value bs.(i)))
+                  | Error _ as e -> (e :> (string list, _) Stdlib.result)))
+        done)
+  in
+
+  for c = 0 to clients - 1 do
+    client (c mod n)
+  done;
+
+  let nemesis = Nemesis.install plan cl in
+  Cluster.run ~horizon:plan.Plan.horizon cl;
+  Nemesis.restore nemesis;
+  (* Settle: with the environment healthy again, every surviving fiber
+     must finish. Anything still pending afterwards is stuck. *)
+  Cluster.run ~horizon:20_000. cl;
+
+  (* Crash instants, straight from the plan (the nemesis schedule is
+     deterministic): used to mark pending operations of crashed
+     coordinators as partial. *)
+  let crashes =
+    List.filter_map
+      (fun e ->
+        match e.Plan.fault with
+        | Plan.Crash i | Plan.Torn_crash i -> Some (i, e.Plan.at)
+        | _ -> None)
+      plan.Plan.events
+  in
+  let stuck = ref 0 in
+  List.iter
+    (fun r ->
+      if not r.done_ then begin
+        let crash_time =
+          List.fold_left
+            (fun acc (b, t) ->
+              if b = r.coord && t >= r.invoked_at then
+                match acc with
+                | None -> Some t
+                | Some t' -> Some (Float.min t t')
+              else acc)
+            None crashes
+        in
+        match crash_time with
+        | Some t ->
+            List.iter
+              (fun (j, id) -> H.crash (hist ~stripe:r.stripe ~j) id ~now:t)
+              r.ids
+        | None -> incr stuck
+      end)
+    !ops;
+
+  let violations = ref [] in
+  Array.iteri
+    (fun idx h ->
+      match Check.strict h with
+      | Ok () -> ()
+      | Error v -> violations := (idx, v) :: !violations)
+    histories;
+
+  let hook_leaks =
+    Array.fold_left
+      (fun acc b -> acc + max 0 (Brick.hook_count b - 1))
+      0 cl.Cluster.bricks
+  in
+  let ok, aborted, unavailable = !counts in
+  {
+    ok;
+    aborted;
+    unavailable;
+    stuck = !stuck;
+    corrupt_reads = !corrupt_reads;
+    violations = List.rev !violations;
+    hook_leaks;
+    trace = Option.map Buffer.contents trace_buf;
+  }

@@ -1,0 +1,70 @@
+(** One chaos round: a cluster, concurrent clients, a nemesis running
+    a {!Plan}, and a strict-linearizability verdict.
+
+    The harness is a deterministic function of [(plan, seed, knobs)]:
+    the cluster's engine is seeded with [seed], the client mix is drawn
+    from a harness-local generator also derived from [seed], and the
+    nemesis schedule is the plan itself — so the same inputs replay the
+    same run, down to a byte-identical event trace
+    ([capture_trace:true] twice and compare).
+
+    Per-block histories are recorded exactly as in the fuzz suite
+    (invocations at call time, completions/aborts at return, pending
+    operations of crashed coordinators marked partial at the crash
+    instant) and checked with {!Linearize.Check.strict}.
+
+    Silent corruption needs one special case: a {!Plan.Bit_rot} fault
+    makes a replica serve garbage with a valid checksum, so a read can
+    return a value nobody ever wrote. That is storage damage, not a
+    protocol-ordering bug, and only {!Fab.Volume.scrub} can repair it
+    — so when (and only when) the plan contains [Bit_rot] events, a
+    completed read of a never-written value is reclassified as an
+    abort and counted in [corrupt_reads] instead of poisoning the
+    history. Protocol bugs proper (e.g. [--chaos-unsafe-skip-order])
+    surface as orderings of {e genuinely written} values and are still
+    caught at full strength. *)
+
+type result = {
+  ok : int;  (** operations that completed successfully *)
+  aborted : int;
+  unavailable : int;  (** fail-fast deadline expiries *)
+  stuck : int;
+      (** operations still pending at the end of the settle phase whose
+          coordinator never crashed — a liveness bug *)
+  corrupt_reads : int;
+      (** reads of never-written values under a [Bit_rot] plan *)
+  violations : (int * Linearize.Check.violation) list;
+      (** (block-history index, violation) for every non-linearizable
+          per-block history *)
+  hook_leaks : int;
+      (** crash hooks above the per-brick baseline of 1 (the
+          coordinator cache hook) — leaked registrations *)
+  trace : string option;
+      (** JSONL event trace when [capture_trace] was set *)
+}
+
+val failed : result -> bool
+(** A linearizability violation, a stuck operation, or a hook leak.
+    Aborts and unavailability are legitimate under faults and do not
+    fail a run. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+val run :
+  ?m:int ->
+  ?n:int ->
+  ?stripes:int ->
+  ?clients:int ->
+  ?ops_per_client:int ->
+  ?deadline:float ->
+  ?unsafe_skip_order:bool ->
+  ?capture_trace:bool ->
+  seed:int ->
+  Plan.t ->
+  result
+(** Defaults: [m = 2], [n = 5] (so q = 4, f = 1), [stripes = 4],
+    [clients = 3], [ops_per_client = 12], [deadline = 200.],
+    [unsafe_skip_order = false], [capture_trace = false]. The run
+    lasts the plan's horizon, then the nemesis restores the
+    environment and the engine runs to quiescence so in-flight
+    retries either finish or are exposed as stuck. *)

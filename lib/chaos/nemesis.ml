@@ -1,0 +1,117 @@
+module Cluster = Core.Cluster
+module Net = Simnet.Net
+
+type t = {
+  cluster : Cluster.t;
+  base_drop : float;
+  timers : Dessim.Engine.timer list;
+  (* directed links the plan took down and has not yet revived *)
+  mutable downed : (int * int) list;
+  mutable skewed : int list;
+  mutable restored : bool;
+}
+
+let emit_fault cl fault =
+  let obs = cl.Cluster.obs in
+  if Obs.enabled obs then
+    Obs.emit obs
+      {
+        Obs.time = Dessim.Engine.now cl.Cluster.engine;
+        actor = Obs.Sim;
+        op = -1;
+        phase = None;
+        kind = Obs.Fault { label = Plan.fault_label fault };
+      }
+
+(* Tear the most recent append on every stripe log the brick holds,
+   then crash it: what a power cut in mid-write leaves behind. *)
+let torn_crash cl i =
+  let replica = cl.Cluster.replicas.(i) in
+  List.iter
+    (fun stripe ->
+      match Core.Replica.log replica ~stripe with
+      | Some slog -> ignore (Core.Slog.tear_last slog)
+      | None -> ())
+    (Core.Replica.stripes replica);
+  Brick.crash cl.Cluster.bricks.(i)
+
+let on_log cl brick stripe f =
+  match Core.Replica.log cl.Cluster.replicas.(brick) ~stripe with
+  | Some slog -> f slog
+  | None -> ()
+
+let apply t fault =
+  let cl = t.cluster in
+  (match fault with
+  | Plan.Crash i -> Brick.crash cl.Cluster.bricks.(i)
+  | Plan.Recover i -> Brick.recover cl.Cluster.bricks.(i)
+  | Plan.Partition groups -> Net.partition cl.Cluster.net groups
+  | Plan.Heal -> Net.heal cl.Cluster.net
+  | Plan.Drop p -> Net.set_drop cl.Cluster.net p
+  | Plan.Link_down (src, dst) ->
+      t.downed <- (src, dst) :: t.downed;
+      Net.set_link_down cl.Cluster.net ~src ~dst true
+  | Plan.Link_up (src, dst) ->
+      t.downed <- List.filter (fun l -> l <> (src, dst)) t.downed;
+      Net.set_link_down cl.Cluster.net ~src ~dst false
+  | Plan.Skew (i, skew) ->
+      if not (List.mem i t.skewed) then t.skewed <- i :: t.skewed;
+      Core.Clock.set_skew (Core.Coordinator.clock cl.Cluster.coordinators.(i)) skew
+  | Plan.Torn_crash i -> torn_crash cl i
+  | Plan.Bit_rot (brick, stripe) ->
+      on_log cl brick stripe Core.Slog.corrupt_newest
+  | Plan.Sector_error (brick, stripe) ->
+      on_log cl brick stripe (fun slog ->
+          ignore (Core.Slog.damage_newest slog)));
+  emit_fault cl fault
+
+let install ?(base_drop = 0.) plan cluster =
+  let n = Array.length cluster.Cluster.bricks in
+  if Plan.max_brick plan >= n then
+    invalid_arg
+      (Printf.sprintf "Chaos.Nemesis.install: plan %S touches brick %d, \
+                       deployment has %d"
+         plan.Plan.name (Plan.max_brick plan) n);
+  let engine = cluster.Cluster.engine in
+  let now = Dessim.Engine.now engine in
+  let t =
+    {
+      cluster;
+      base_drop;
+      timers = [];
+      downed = [];
+      skewed = [];
+      restored = false;
+    }
+  in
+  let timers =
+    List.map
+      (fun { Plan.at; fault } ->
+        Dessim.Engine.schedule engine ~delay:(Float.max 0. (at -. now))
+          (fun () -> apply t fault))
+      plan.Plan.events
+  in
+  { t with timers }
+
+let restore t =
+  if not t.restored then begin
+    t.restored <- true;
+    List.iter Dessim.Engine.cancel t.timers;
+    let cl = t.cluster in
+    Net.heal cl.Cluster.net;
+    Net.set_drop cl.Cluster.net t.base_drop;
+    List.iter
+      (fun (src, dst) -> Net.set_link_down cl.Cluster.net ~src ~dst false)
+      t.downed;
+    t.downed <- [];
+    List.iter
+      (fun i ->
+        Core.Clock.set_skew
+          (Core.Coordinator.clock cl.Cluster.coordinators.(i))
+          0.)
+      t.skewed;
+    t.skewed <- [];
+    Array.iter
+      (fun b -> if not (Brick.is_alive b) then Brick.recover b)
+      cl.Cluster.bricks
+  end

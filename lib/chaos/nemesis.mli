@@ -1,0 +1,34 @@
+(** The nemesis: executes a {!Plan} against a live cluster.
+
+    [install] schedules every plan event on the cluster's engine; when
+    the engine reaches an event's time the corresponding fault is
+    applied — {!Brick.crash}/{!Brick.recover}, {!Simnet.Net.partition},
+    drop-probability and link changes, {!Core.Clock.set_skew} steps,
+    and the storage faults ({!Core.Slog.tear_last},
+    {!Core.Slog.corrupt_newest}, {!Core.Slog.damage_newest}) against
+    the victim brick's stripe logs. Each applied fault emits an
+    [Obs.Fault] event (actor [Sim], op [-1]) when observability is on,
+    so fault injections appear in traces interleaved with protocol
+    phases.
+
+    The nemesis only {e applies} faults; it never repairs the
+    deployment behind the protocol's back. Call {!restore} after the
+    plan's horizon to return the environment (not the stored state) to
+    health: partitions healed, drop probability back to [base_drop],
+    downed links revived, skews zeroed, crashed bricks recovered.
+    Storage corruption is deliberately left in place — repairing it is
+    the protocol's job (recovery reads, {!Fab.Volume.scrub}). *)
+
+type t
+
+val install : ?base_drop:float -> Plan.t -> Core.Cluster.t -> t
+(** Schedule every event of the plan on the cluster's engine, starting
+    from the engine's current time. [base_drop] (default [0.]) is the
+    drop probability {!restore} returns the network to.
+    @raise Invalid_argument if the plan touches a brick id outside the
+    deployment. *)
+
+val restore : t -> unit
+(** Return the {e environment} to health (see above). Idempotent.
+    Safe to call while scheduled events are still pending: pending
+    events are cancelled first. *)

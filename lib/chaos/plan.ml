@@ -1,0 +1,228 @@
+type fault =
+  | Crash of int
+  | Recover of int
+  | Partition of int list list
+  | Heal
+  | Drop of float
+  | Link_down of int * int
+  | Link_up of int * int
+  | Skew of int * float
+  | Torn_crash of int
+  | Bit_rot of int * int
+  | Sector_error of int * int
+
+type event = { at : float; fault : fault }
+type t = { name : string; horizon : float; events : event list }
+
+let sort_events evs =
+  List.stable_sort (fun a b -> Float.compare a.at b.at) evs
+
+let make ~name ~horizon events =
+  if horizon <= 0. then invalid_arg "Chaos.Plan.make: horizon <= 0";
+  List.iter
+    (fun e ->
+      if e.at < 0. then invalid_arg "Chaos.Plan.make: negative event time";
+      if e.at > horizon then
+        invalid_arg "Chaos.Plan.make: event beyond horizon")
+    events;
+  { name; horizon; events = sort_events events }
+
+(* %g prints floats compactly and round-trips every value we generate
+   (times are written as decimal literals in plan files). *)
+let fl = Printf.sprintf "%g"
+
+let fault_label = function
+  | Crash i -> Printf.sprintf "crash %d" i
+  | Recover i -> Printf.sprintf "recover %d" i
+  | Partition groups ->
+      Printf.sprintf "partition %s"
+        (String.concat "|"
+           (List.map
+              (fun g -> String.concat "," (List.map string_of_int g))
+              groups))
+  | Heal -> "heal"
+  | Drop p -> Printf.sprintf "drop %s" (fl p)
+  | Link_down (s, d) -> Printf.sprintf "link-down %d %d" s d
+  | Link_up (s, d) -> Printf.sprintf "link-up %d %d" s d
+  | Skew (i, f) -> Printf.sprintf "skew %d %s" i (fl f)
+  | Torn_crash i -> Printf.sprintf "torn-crash %d" i
+  | Bit_rot (b, s) -> Printf.sprintf "bit-rot %d %d" b s
+  | Sector_error (b, s) -> Printf.sprintf "sector-error %d %d" b s
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "name %s\n" t.name);
+  Buffer.add_string buf (Printf.sprintf "horizon %s\n" (fl t.horizon));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "at %s %s\n" (fl e.at) (fault_label e.fault)))
+    t.events;
+  Buffer.contents buf
+
+let parse_groups s =
+  List.map
+    (fun g ->
+      List.map int_of_string
+        (String.split_on_char ',' g |> List.filter (fun x -> x <> "")))
+    (String.split_on_char '|' s)
+
+let parse_fault = function
+  | [ "crash"; i ] -> Crash (int_of_string i)
+  | [ "recover"; i ] -> Recover (int_of_string i)
+  | [ "partition"; g ] -> Partition (parse_groups g)
+  | [ "heal" ] -> Heal
+  | [ "drop"; p ] -> Drop (float_of_string p)
+  | [ "link-down"; s; d ] -> Link_down (int_of_string s, int_of_string d)
+  | [ "link-up"; s; d ] -> Link_up (int_of_string s, int_of_string d)
+  | [ "skew"; i; f ] -> Skew (int_of_string i, float_of_string f)
+  | [ "torn-crash"; i ] -> Torn_crash (int_of_string i)
+  | [ "bit-rot"; b; s ] -> Bit_rot (int_of_string b, int_of_string s)
+  | [ "sector-error"; b; s ] -> Sector_error (int_of_string b, int_of_string s)
+  | _ -> failwith "unknown fault"
+
+let of_string s =
+  let name = ref "unnamed" and horizon = ref None and events = ref [] in
+  let err lineno line msg =
+    Error (Printf.sprintf "plan line %d (%S): %s" lineno line msg)
+  in
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno = function
+    | [] -> (
+        match !horizon with
+        | None -> Error "plan: missing horizon line"
+        | Some horizon -> (
+            match
+              make ~name:!name ~horizon (List.rev !events)
+            with
+            | plan -> Ok plan
+            | exception Invalid_argument m -> Error m))
+    | line :: rest -> (
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) rest
+        else
+          let words =
+            String.split_on_char ' ' trimmed
+            |> List.filter (fun w -> w <> "")
+          in
+          match words with
+          | "name" :: n :: [] ->
+              name := n;
+              go (lineno + 1) rest
+          | "horizon" :: h :: [] -> (
+              match float_of_string_opt h with
+              | Some h ->
+                  horizon := Some h;
+                  go (lineno + 1) rest
+              | None -> err lineno line "bad horizon")
+          | "at" :: time :: fault -> (
+              match float_of_string_opt time with
+              | None -> err lineno line "bad event time"
+              | Some at -> (
+                  match parse_fault fault with
+                  | fault ->
+                      events := { at; fault } :: !events;
+                      go (lineno + 1) rest
+                  | exception _ -> err lineno line "bad fault"))
+          | _ -> err lineno line "expected name/horizon/at")
+  in
+  go 1 lines
+
+let max_brick t =
+  List.fold_left
+    (fun acc e ->
+      let touched =
+        match e.fault with
+        | Crash i | Recover i | Skew (i, _) | Torn_crash i -> [ i ]
+        | Bit_rot (b, _) | Sector_error (b, _) -> [ b ]
+        | Link_down (s, d) | Link_up (s, d) -> [ s; d ]
+        | Partition groups -> List.concat groups
+        | Heal | Drop _ -> []
+      in
+      List.fold_left max acc touched)
+    (-1) t.events
+
+(* ------------------------------------------------------------------ *)
+(* Bundled plans (written for 5 bricks, >= 4 stripes).                 *)
+(* ------------------------------------------------------------------ *)
+
+let ev at fault = { at; fault }
+
+let crash_storm =
+  make ~name:"crash-storm" ~horizon:600.
+    [
+      ev 40. (Crash 1);
+      ev 90. (Recover 1);
+      ev 120. (Crash 2);
+      ev 140. (Crash 3);
+      (* two down: quorum lost on some stripes until 180 *)
+      ev 180. (Recover 2);
+      ev 220. (Recover 3);
+      ev 260. (Crash 0);
+      ev 310. (Recover 0);
+      ev 340. (Torn_crash 4);
+      ev 400. (Recover 4);
+    ]
+
+let rolling_partition =
+  make ~name:"rolling-partition" ~horizon:600.
+    [
+      ev 50. (Partition [ [ 0; 1; 2 ]; [ 3; 4 ] ]);
+      ev 110. Heal;
+      ev 150. (Partition [ [ 0; 1 ]; [ 2; 3; 4 ] ]);
+      ev 210. Heal;
+      ev 250. (Partition [ [ 0; 4 ]; [ 1; 2; 3 ] ]);
+      ev 310. Heal;
+      ev 350. (Drop 0.2);
+      ev 450. (Drop 0.);
+      ev 470. (Link_down (0, 3));
+      ev 520. (Link_up (0, 3));
+    ]
+
+(* Every tear hits the same brick: a torn write revokes one durable
+   copy of whatever version is newest on the victim, and a completed
+   write is only guaranteed q = 4 of 5 durable copies. A later
+   recovery samples a quorum of 4 bricks — it can miss one of the
+   survivors — and needs to see m = 2 copies of the version to keep
+   it. So a quiescent stripe tolerates exactly one distinct tear
+   victim between writes: tears on two distinct bricks can leave a
+   completed write with only 2 copies, of which a legitimate quorum
+   sample sees just 1, and the resulting roll-back erases the write
+   (a storage-loss outcome, not a protocol bug). Repeating brick 1
+   exercises the torn-slog handling on every crash while staying
+   inside that durability envelope. *)
+let torn_writes =
+  make ~name:"torn-writes" ~horizon:600.
+    [
+      ev 60. (Torn_crash 1);
+      ev 110. (Recover 1);
+      ev 170. (Torn_crash 1);
+      ev 220. (Recover 1);
+      ev 280. (Torn_crash 1);
+      ev 340. (Recover 1);
+      ev 400. (Crash 2);
+      ev 450. (Recover 2);
+    ]
+
+let bit_rot =
+  make ~name:"bit-rot" ~horizon:600.
+    [
+      ev 50. (Bit_rot (0, 0));
+      ev 90. (Bit_rot (1, 1));
+      ev 130. (Sector_error (2, 0));
+      ev 170. (Bit_rot (3, 2));
+      ev 210. (Sector_error (4, 1));
+      ev 250. (Bit_rot (2, 3));
+      ev 300. (Skew (1, 20.));
+      ev 380. (Skew (1, 0.));
+    ]
+
+let builtins =
+  [
+    ("crash-storm", crash_storm);
+    ("rolling-partition", rolling_partition);
+    ("torn-writes", torn_writes);
+    ("bit-rot", bit_rot);
+  ]
+
+let builtin name = List.assoc name builtins

@@ -1,0 +1,70 @@
+(* ddmin over the event list (Zeller & Hildebrandt, "Simplifying and
+   isolating failure-inducing input"). *)
+
+let with_events plan events =
+  (* Bypass Plan.make's sort: [events] is a subsequence of an
+     already-sorted list. *)
+  { plan with Plan.events }
+
+(* Split [lst] into [k] contiguous chunks, as evenly as possible. *)
+let chunks k lst =
+  let len = List.length lst in
+  let base = len / k and extra = len mod k in
+  let rec go i rest acc =
+    if i = k then List.rev acc
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest =
+        let rec take n l acc =
+          if n = 0 then (List.rev acc, l)
+          else
+            match l with
+            | [] -> (List.rev acc, [])
+            | x :: tl -> take (n - 1) tl (x :: acc)
+        in
+        take size rest []
+      in
+      go (i + 1) rest (chunk :: acc)
+  in
+  go 0 lst []
+
+let shrink ~check plan =
+  let fails events = check (with_events plan events) in
+  (* ddmin: try dropping each chunk; if no drop keeps the failure,
+     double the granularity. *)
+  let rec ddmin events k =
+    let len = List.length events in
+    if len <= 1 then events
+    else
+      let parts = chunks (min k len) events in
+      let rec try_drop i =
+        if i >= List.length parts then None
+        else
+          let reduced =
+            List.concat (List.filteri (fun j _ -> j <> i) parts)
+          in
+          if reduced <> [] && fails reduced then Some reduced
+          else try_drop (i + 1)
+      in
+      match try_drop 0 with
+      | Some reduced -> ddmin reduced (max 2 (min k (List.length reduced)))
+      | None ->
+          if min k len >= len then events
+          else ddmin events (min len (2 * k))
+  in
+  let events =
+    if plan.Plan.events = [] then []
+    else ddmin plan.Plan.events 2
+  in
+  (* Trim the horizon to just past the last surviving event, if the
+     shorter run still fails. *)
+  let plan = with_events plan events in
+  match List.rev events with
+  | [] -> plan
+  | last :: _ ->
+      let tight = Float.min plan.Plan.horizon (last.Plan.at +. 60.) in
+      if tight < plan.Plan.horizon then begin
+        let candidate = { plan with Plan.horizon = tight } in
+        if check candidate then candidate else plan
+      end
+      else plan

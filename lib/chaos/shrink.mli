@@ -1,0 +1,20 @@
+(** Plan shrinking: reduce a failing fault plan to a minimal
+    reproducer.
+
+    Classic delta debugging (ddmin) over the plan's event list: try
+    removing large chunks of events first (halves, then quarters, down
+    to single events), keeping a removal whenever the reduced plan
+    still fails the caller's [check], and iterate to a fixpoint — the
+    result is 1-minimal (no single event can be removed without losing
+    the failure). A final pass trims the horizon down to just past the
+    last surviving event, so the reproducer also {e runs} quickly.
+
+    [check] is typically [fun p -> Harness.failed (Harness.run ~seed p)]
+    with the seed of the original failure: same plan + same seed is a
+    deterministic replay, so shrinking never flakes. *)
+
+val shrink : check:(Plan.t -> bool) -> Plan.t -> Plan.t
+(** [shrink ~check plan] assumes [check plan = true] and returns a
+    plan that still satisfies [check] with as few events as ddmin can
+    manage. The number of [check] evaluations is O(e^2) worst case,
+    O(e log e) typical, for [e] events. *)

@@ -1,6 +1,10 @@
 type source =
   | Logical
-  | Realtime of { engine : Dessim.Engine.t; skew : float; resolution : float }
+  | Realtime of {
+      engine : Dessim.Engine.t;
+      mutable skew : float;
+      resolution : float;
+    }
 
 type t = { pid : int; source : source; mutable last : int }
 
@@ -33,3 +37,8 @@ let observe t ts =
   | Logical, _ | Realtime _, _ -> ()
 
 let pid t = t.pid
+
+let set_skew t skew =
+  match t.source with
+  | Logical -> ()
+  | Realtime r -> r.skew <- skew

@@ -34,3 +34,9 @@ val observe : t -> Timestamp.t -> unit
     clocks do not jump forward, they abort and retry instead. *)
 
 val pid : t -> int
+
+val set_skew : t -> float -> unit
+(** Step a {!realtime} clock's skew (the chaos nemesis's clock-skew
+    fault). Monotonicity still holds — a skew step backwards just
+    makes the clock lean on the [last + 1] bump until wall time
+    catches up. No-op on {!logical} clocks. *)

@@ -21,8 +21,8 @@ let default_codec ~m ~n =
 
 (* Shared wiring: engine, network, RPC, bricks, replicas and
    coordinators around a configuration built by [make_cfg]. *)
-let wire ~seed ~net_config ~nbricks ~clock ~retry_every ?coalesce ~make_cfg ()
-    =
+let wire ~seed ~net_config ~nbricks ~clock ~retry_every ?retry_backoff
+    ?retry_cap ?coalesce ~make_cfg () =
   let engine = Dessim.Engine.create ~seed () in
   let metrics = Metrics.Registry.create () in
   let obs = Obs.create () in
@@ -47,7 +47,8 @@ let wire ~seed ~net_config ~nbricks ~clock ~retry_every ?coalesce ~make_cfg ()
   let rpc =
     Quorum.Rpc.create ~net ~metrics ~req_bytes:Message.bytes_on_wire
       ~rep_bytes:Message.bytes_on_wire ~req_label:Message.label
-      ~rep_label:Message.label ?retry_every ?coalesce
+      ~rep_label:Message.label ?retry_every ?retry_backoff ?retry_cap
+      ?coalesce
       ~grace:(net_config.Simnet.Net.delay +. net_config.Simnet.Net.jitter)
       ()
   in
@@ -73,7 +74,8 @@ let wire ~seed ~net_config ~nbricks ~clock ~retry_every ?coalesce ~make_cfg ()
 
 let create ?(seed = 42) ?(net_config = Simnet.Net.default_config) ?bricks
     ?layout ?(block_size = 1024) ?(clock = Logical) ?gc_enabled
-    ?optimized_modify ?ts_cache ?coalesce ?retry_every ~m ~n () =
+    ?optimized_modify ?ts_cache ?deadline ?unsafe_skip_order ?coalesce
+    ?retry_every ?retry_backoff ?retry_cap ~m ~n () =
   let nbricks = match bricks with Some b -> b | None -> n in
   if nbricks < n then invalid_arg "Core.Cluster.create: bricks < n";
   let layout =
@@ -85,20 +87,25 @@ let create ?(seed = 42) ?(net_config = Simnet.Net.default_config) ?bricks
   in
   let codec = default_codec ~m ~n in
   let mq = Quorum.Mquorum.create ~n ~m in
-  wire ~seed ~net_config ~nbricks ~clock ~retry_every ?coalesce
+  wire ~seed ~net_config ~nbricks ~clock ~retry_every ?retry_backoff
+    ?retry_cap ?coalesce
     ~make_cfg:(fun ~engine ~rpc ~metrics ~obs ->
       Config.create ~codec ~mq ~block_size ~engine ~rpc ~metrics ~layout
-        ~obs ?gc_enabled ?optimized_modify ?ts_cache ())
+        ~obs ?gc_enabled ?optimized_modify ?ts_cache ?deadline
+        ?unsafe_skip_order ())
     ()
 
 let create_policied ?(seed = 42) ?(net_config = Simnet.Net.default_config)
     ?(block_size = 1024) ?(clock = Logical) ?gc_enabled ?optimized_modify
-    ?ts_cache ?coalesce ?retry_every ~bricks:nbricks ~policy_of () =
+    ?ts_cache ?deadline ?unsafe_skip_order ?coalesce ?retry_every
+    ?retry_backoff ?retry_cap ~bricks:nbricks ~policy_of () =
   if nbricks < 1 then invalid_arg "Core.Cluster.create_policied: no bricks";
-  wire ~seed ~net_config ~nbricks ~clock ~retry_every ?coalesce
+  wire ~seed ~net_config ~nbricks ~clock ~retry_every ?retry_backoff
+    ?retry_cap ?coalesce
     ~make_cfg:(fun ~engine ~rpc ~metrics ~obs ->
       Config.create_policied ~policy_of ~block_size ~engine ~rpc ~metrics
-        ~obs ?gc_enabled ?optimized_modify ?ts_cache ())
+        ~obs ?gc_enabled ?optimized_modify ?ts_cache ?deadline
+        ?unsafe_skip_order ())
     ()
 
 let run ?(horizon = 100_000.) t =

@@ -36,8 +36,12 @@ val create :
   ?gc_enabled:bool ->
   ?optimized_modify:bool ->
   ?ts_cache:bool ->
+  ?deadline:float ->
+  ?unsafe_skip_order:bool ->
   ?coalesce:bool ->
   ?retry_every:float ->
+  ?retry_backoff:float ->
+  ?retry_cap:float ->
   m:int ->
   n:int ->
   unit ->
@@ -53,7 +57,14 @@ val create :
     order-round elision ({!Config.t.ts_cache}); [coalesce] (default
     off) batches same-instant same-destination messages into one
     envelope ({!Quorum.Rpc.create}). Both are off by default so the
-    per-operation message and round counts of Table 1 remain exact. *)
+    per-operation message and round counts of Table 1 remain exact.
+
+    [deadline] bounds every coordinator operation in sim-time units
+    (fail-fast [`Unavailable], {!Config.t.deadline});
+    [retry_backoff]/[retry_cap] shape the RPC retransmission schedule
+    ({!Quorum.Rpc.create}); [unsafe_skip_order] enables the
+    deliberately broken protocol variant the chaos harness must catch
+    ({!Config.t.unsafe_skip_order}). *)
 
 val create_policied :
   ?seed:int ->
@@ -63,8 +74,12 @@ val create_policied :
   ?gc_enabled:bool ->
   ?optimized_modify:bool ->
   ?ts_cache:bool ->
+  ?deadline:float ->
+  ?unsafe_skip_order:bool ->
   ?coalesce:bool ->
   ?retry_every:float ->
+  ?retry_backoff:float ->
+  ?retry_cap:float ->
   bricks:int ->
   policy_of:(int -> Config.policy) ->
   unit ->

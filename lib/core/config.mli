@@ -51,6 +51,25 @@ type t = {
           coordinator silently keeps the 2-round path, since a partial
           unordered write could otherwise violate strict
           linearizability. *)
+  deadline : float option;
+      (** Per-operation deadline in sim-time units. With [Some d],
+          every coordinator operation that has not completed [d] after
+          its (possibly retried) attempt started fails fast with
+          [`Unavailable] instead of retransmitting forever — the
+          behavior when more than [n - quorum_size] bricks are
+          unreachable. [None] (default) is the paper's model: wait
+          forever. *)
+  unsafe_skip_order : bool;
+      (** Deliberately WRONG protocol variant for harness validation:
+          replicas ignore the order phase entirely — Read and
+          Order&Read answer [status = true] without checking (or
+          recording) the order promise, and Write/Modify skip the
+          [ts >= ord_ts] store barrier. Without the Order&Read
+          sample-and-promise a recovery whose sample predates a
+          concurrently completing write can roll the stripe back over
+          it at a higher timestamp, erasing a completed write — a
+          strict-linearizability violation the chaos harness must
+          catch and shrink. Never enable outside tests. *)
 }
 
 val create :
@@ -65,12 +84,14 @@ val create :
   ?gc_enabled:bool ->
   ?optimized_modify:bool ->
   ?ts_cache:bool ->
+  ?deadline:float ->
+  ?unsafe_skip_order:bool ->
   unit ->
   t
 (** Uniform deployment: every stripe uses the same codec and quorum
     system; [layout stripe] gives the members.
     @raise Invalid_argument if the codec's (m, n) disagree with the
-    quorum system's, or [block_size <= 0]. *)
+    quorum system's, [block_size <= 0], or [deadline <= 0]. *)
 
 val create_policied :
   policy_of:(int -> policy) ->
@@ -82,11 +103,13 @@ val create_policied :
   ?gc_enabled:bool ->
   ?optimized_modify:bool ->
   ?ts_cache:bool ->
+  ?deadline:float ->
+  ?unsafe_skip_order:bool ->
   unit ->
   t
 (** Heterogeneous deployment: [policy_of stripe] may differ per
     stripe (multi-volume brick pools).
-    @raise Invalid_argument if [block_size <= 0]. *)
+    @raise Invalid_argument if [block_size <= 0] or [deadline <= 0]. *)
 
 val policy : t -> stripe:int -> policy
 val codec : t -> stripe:int -> Erasure.Codec.t

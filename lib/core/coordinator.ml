@@ -14,7 +14,7 @@ type t = {
   ts_cache : (int, cache_entry) Hashtbl.t;  (* stripe -> entry *)
 }
 
-type 'a outcome = ('a, [ `Aborted ]) result
+type 'a outcome = ('a, [ `Aborted | `Unavailable ]) result
 
 (* Bound the cache so a coordinator sweeping a huge volume cannot
    retain every stripe's blocks; flushing everything on overflow is
@@ -25,8 +25,14 @@ let create cfg ~brick ~clock =
   let t = { cfg; brick; clock; retry_hint = false; ts_cache = Hashtbl.create 16 }
   in
   (* A crashed coordinator loses its cache: after recovery it must not
-     elide order rounds based on pre-crash commits. *)
-  ignore (Brick.add_crash_hook brick (fun () -> Hashtbl.reset t.ts_cache));
+     elide order rounds based on pre-crash commits. Brick.crash clears
+     the hook table before running hooks, so the hook re-registers
+     itself to stay armed across repeated crash/recover cycles. *)
+  let rec hook () =
+    Hashtbl.reset t.ts_cache;
+    ignore (Brick.add_crash_hook brick hook)
+  in
+  ignore (Brick.add_crash_hook brick hook);
   t
 
 (* The order round may only be elided on stripes where a partial
@@ -110,19 +116,39 @@ let emit_span t ~op kind =
    into every quorum round so replica- and network-side events are
    attributed to it. The retry hint is consumed here, synchronously at
    entry (no suspension point in between), so an abort whose caller
-   will retry it is reported as [Retry] rather than [Abort]. *)
+   will retry it is reported as [Retry] rather than [Abort].
+
+   The operation's absolute deadline is computed here — config.deadline
+   sim-time units from the span opening — and threaded through every
+   quorum round; a round that overruns it raises
+   [Quorum.Rpc.Unavailable], which surfaces as the [`Unavailable]
+   outcome. The timestamp cache is invalidated on the way out: a
+   deadline expiry leaves the rounds' effects unknown, so the next
+   write must pay the order round. *)
 let traced t ~stripe name f =
   let obs = t.cfg.Config.obs in
   let op = Obs.next_op obs in
+  let dl =
+    match t.cfg.Config.deadline with
+    | None -> None
+    | Some d -> Some (Dessim.Engine.now t.cfg.Config.engine +. d)
+  in
   let will_retry = t.retry_hint in
   t.retry_hint <- false;
-  if not (Obs.enabled obs) then f op
+  let run () =
+    try f op dl
+    with Quorum.Rpc.Unavailable ->
+      cache_invalidate t ~stripe;
+      Error `Unavailable
+  in
+  if not (Obs.enabled obs) then run ()
   else begin
     emit_span t ~op (Obs.Span_start { op_kind = name; stripe });
-    let result = f op in
+    let result = run () in
     let outcome =
       match result with
       | Ok _ -> Obs.Ok
+      | Error `Unavailable -> Obs.Unavailable
       | Error `Aborted -> if will_retry then Obs.Retry else Obs.Abort
     in
     emit_span t ~op (Obs.Span_end { op_kind = name; stripe; outcome });
@@ -160,14 +186,20 @@ let emit_phase t ~op ~phase kind =
 (* One quorum round = one protocol phase of the operation's span.
    [proposed] is the round's own timestamp when it carries one, so the
    timestamp cache does not mistake it for foreign activity. *)
-let quorum_call ?until ?(proposed = Ts.low) t ~stripe ~op ~phase make_req =
+let quorum_call ?until ?(proposed = Ts.low) t ~stripe ~op ~dl ~phase make_req =
   let members = Config.members t.cfg ~stripe in
   let observing = Obs.enabled t.cfg.Config.obs in
   if observing then emit_phase t ~op ~phase Obs.Phase_start;
   let replies =
-    Quorum.Rpc.call t.cfg.Config.rpc ~coord:t.brick ~members
-      ~quorum:(Config.quorum_size t.cfg ~stripe) ?until
-      ~ctx:(Obs.ctx ~phase op) make_req
+    try
+      Quorum.Rpc.call t.cfg.Config.rpc ~coord:t.brick ~members
+        ~quorum:(Config.quorum_size t.cfg ~stripe) ?until
+        ~ctx:(Obs.ctx ~phase op) ?deadline:dl make_req
+    with Quorum.Rpc.Unavailable as e ->
+      (* Close the phase span before the deadline expiry unwinds the
+         operation, so traces stay well-formed. *)
+      if observing then emit_phase t ~op ~phase Obs.Phase_end;
+      raise e
   in
   if observing then emit_phase t ~op ~phase Obs.Phase_end;
   observe_replies t replies;
@@ -231,13 +263,13 @@ let unanimous_version replies =
 (* ------------------------------------------------------------------ *)
 
 (* fast-read-stripe (lines 5-11): one round, no state modified. *)
-let fast_read_stripe t ~stripe ~op =
+let fast_read_stripe t ~stripe ~op ~dl =
   let targets = pick_targets t ~stripe in
   let until replies =
     List.for_all (fun a -> List.mem_assoc a replies) targets
   in
   let replies =
-    quorum_call ~until t ~stripe ~op ~phase:Obs.Fast_read (fun _ ->
+    quorum_call ~until t ~stripe ~op ~dl ~phase:Obs.Fast_read (fun _ ->
         Message.Read { stripe; targets })
   in
   match unanimous_version replies with
@@ -277,7 +309,7 @@ let all_status_true replies =
    hand ownership of [data] to the store. Parity blocks are freshly
    allocated per operation because replica logs retain what they are
    sent; only the m data-block copies of the old encode are saved. *)
-let store_stripe t ~stripe ~op data ts =
+let store_stripe t ~stripe ~op ~dl data ts =
   let codec = Config.codec t.cfg ~stripe in
   let cm = Erasure.Codec.m codec and cn = Erasure.Codec.n codec in
   let len = Bytes.length data.(0) in
@@ -286,7 +318,7 @@ let store_stripe t ~stripe ~op data ts =
   in
   Erasure.Codec.encode_into codec data ~into:enc;
   let replies =
-    quorum_call ~proposed:ts t ~stripe ~op ~phase:Obs.Write (fun dst ->
+    quorum_call ~proposed:ts t ~stripe ~op ~dl ~phase:Obs.Write (fun dst ->
         Message.Write { stripe; block = enc.(pos_of t ~stripe dst); ts })
   in
   if all_status_true replies then begin
@@ -305,10 +337,10 @@ let store_stripe t ~stripe ~op data ts =
 
 (* read-prev-stripe (lines 24-33): walk versions newest-first until one
    has at least m surviving blocks. *)
-let read_prev_stripe t ~stripe ~op ts =
+let read_prev_stripe t ~stripe ~op ~dl ts =
   let rec loop max =
     let replies =
-      quorum_call ~proposed:ts t ~stripe ~op ~phase:Obs.Recover (fun _ ->
+      quorum_call ~proposed:ts t ~stripe ~op ~dl ~phase:Obs.Recover (fun _ ->
           Message.Order_read { stripe; target = Message.All; max; ts })
     in
     if not (all_status_true replies) then Error `Aborted
@@ -351,24 +383,24 @@ let read_prev_stripe t ~stripe ~op ts =
   loop Ts.high
 
 (* recover (lines 17-23). *)
-let recover_with t ~stripe ~op ~patch =
+let recover_with t ~stripe ~op ~dl ~patch =
   let ts = Clock.new_ts t.clock in
-  match read_prev_stripe t ~stripe ~op ts with
+  match read_prev_stripe t ~stripe ~op ~dl ts with
   | Error `Aborted -> Error `Aborted
   | Ok data -> (
       patch data;
-      match store_stripe t ~stripe ~op data ts with
+      match store_stripe t ~stripe ~op ~dl data ts with
       | Ok () -> Ok data
       | Error `Aborted -> Error `Aborted)
 
 let recover t ~stripe =
-  traced t ~stripe "recover" (fun op ->
-      recover_with t ~stripe ~op ~patch:ignore)
+  traced t ~stripe "recover" (fun op dl ->
+      recover_with t ~stripe ~op ~dl ~patch:ignore)
 
 (* read-stripe (lines 1-4). *)
 let read_stripe t ~stripe =
-  traced t ~stripe "read-stripe" (fun op ->
-      match fast_read_stripe t ~stripe ~op with
+  traced t ~stripe "read-stripe" (fun op dl ->
+      match fast_read_stripe t ~stripe ~op ~dl with
       | Some data -> Ok data
       | None -> recover t ~stripe)
 
@@ -390,25 +422,25 @@ let check_stripe_shape t ~stripe data =
    and a refusal falls back to the full 2-round path below. *)
 let write_stripe t ~stripe data =
   check_stripe_shape t ~stripe data;
-  traced t ~stripe "write-stripe" (fun op ->
+  traced t ~stripe "write-stripe" (fun op dl ->
       let cold () =
         let ts = Clock.new_ts t.clock in
         let replies =
-          quorum_call ~proposed:ts t ~stripe ~op ~phase:Obs.Order (fun _ ->
+          quorum_call ~proposed:ts t ~stripe ~op ~dl ~phase:Obs.Order (fun _ ->
               Message.Order { stripe; ts })
         in
         if not (all_status_true replies) then begin
           cache_invalidate t ~stripe;
           Error `Aborted
         end
-        else store_stripe t ~stripe ~op data ts
+        else store_stripe t ~stripe ~op ~dl data ts
       in
       match cache_find t ~stripe with
       | Some e ->
           let ts = Clock.new_ts t.clock in
           if Ts.( > ) ts e.cts then begin
             emit_elided t ~op Obs.Order;
-            match store_stripe t ~stripe ~op data ts with
+            match store_stripe t ~stripe ~op ~dl data ts with
             | Ok () -> Ok ()
             | Error `Aborted ->
                 (* The elided write lost a race; the entry is already
@@ -432,12 +464,12 @@ let check_block_shape t ~stripe j b =
 let read_block t ~stripe j =
   if j < 0 || j >= Config.m t.cfg ~stripe then
     invalid_arg "Core.Coordinator: block index out of range";
-  traced t ~stripe "read-block" (fun op ->
+  traced t ~stripe "read-block" (fun op dl ->
   let addr_j = (Config.members_array t.cfg ~stripe).(j) in
   let targets = [ addr_j ] in
   let until replies = List.mem_assoc addr_j replies in
   let replies =
-    quorum_call ~until t ~stripe ~op ~phase:Obs.Fast_read (fun _ ->
+    quorum_call ~until t ~stripe ~op ~dl ~phase:Obs.Fast_read (fun _ ->
         Message.Read { stripe; targets })
   in
   let fast =
@@ -453,7 +485,7 @@ let read_block t ~stripe j =
   | None -> (
       match recover t ~stripe with
       | Ok data -> Ok data.(j)
-      | Error `Aborted -> Error `Aborted))
+      | Error _ as e -> e))
 
 (* Build the per-destination request of a Modify round writing block
    [j] := [b] against old content [bj] at basis version [tsj]. *)
@@ -501,11 +533,11 @@ let patched_cache_blocks t ~stripe ~tsj patches =
   | _ -> None
 
 (* fast-write-block (lines 74-82). *)
-let fast_write_block t ~stripe ~op j b ts =
+let fast_write_block t ~stripe ~op ~dl j b ts =
   let addr_j = (Config.members_array t.cfg ~stripe).(j) in
   let until replies = List.mem_assoc addr_j replies in
   let replies =
-    quorum_call ~until ~proposed:ts t ~stripe ~op ~phase:Obs.Order (fun _ ->
+    quorum_call ~until ~proposed:ts t ~stripe ~op ~dl ~phase:Obs.Order (fun _ ->
         Message.Order_read
           { stripe; target = Message.Addr addr_j; max = Ts.high; ts })
   in
@@ -515,7 +547,7 @@ let fast_write_block t ~stripe ~op j b ts =
     | Some (Message.Order_read_r { lts = tsj; block = Some bj; _ }) ->
         let cblocks = patched_cache_blocks t ~stripe ~tsj [ (j, b) ] in
         let replies =
-          quorum_call ~proposed:ts t ~stripe ~op ~phase:Obs.Modify
+          quorum_call ~proposed:ts t ~stripe ~op ~dl ~phase:Obs.Modify
             (modify_req t ~stripe j ~bj b ~tsj ts)
         in
         Some (finish_modify t ~stripe ~op ts ~cblocks replies)
@@ -530,7 +562,7 @@ let fast_write_block t ~stripe ~op j b ts =
    path: the partial states are identical, because members apply a
    modify only where the basis version matched — i.e. where their
    content equalled the cached content. *)
-let warm_write_block t ~stripe ~op j b ts =
+let warm_write_block t ~stripe ~op ~dl j b ts =
   match cache_find t ~stripe with
   | Some { cts; cblocks = Some blocks } when Ts.( > ) ts cts ->
       emit_elided t ~op Obs.Order;
@@ -540,19 +572,19 @@ let warm_write_block t ~stripe ~op j b ts =
         Some nb
       in
       let replies =
-        quorum_call ~proposed:ts t ~stripe ~op ~phase:Obs.Modify
+        quorum_call ~proposed:ts t ~stripe ~op ~dl ~phase:Obs.Modify
           (modify_req t ~stripe j ~bj:blocks.(j) b ~tsj:cts ts)
       in
       Some (finish_modify t ~stripe ~op ts ~cblocks replies)
   | _ -> None
 
 (* slow-write-block (lines 83-87): reconstruct, patch block j, store. *)
-let slow_write_block t ~stripe ~op j b ts =
-  match read_prev_stripe t ~stripe ~op ts with
+let slow_write_block t ~stripe ~op ~dl j b ts =
+  match read_prev_stripe t ~stripe ~op ~dl ts with
   | Error `Aborted -> Error `Aborted
   | Ok data ->
       data.(j) <- b;
-      store_stripe t ~stripe ~op data ts
+      store_stripe t ~stripe ~op ~dl data ts
 
 (* ------------------------------------------------------------------ *)
 (* Footnote-2 extension: contiguous multi-block access                 *)
@@ -572,14 +604,14 @@ let read_blocks t ~stripe j0 ~len =
   check_range t ~stripe j0 len;
   if len = Config.m t.cfg ~stripe then read_stripe t ~stripe
   else
-    traced t ~stripe "read-blocks" @@ fun op ->
+    traced t ~stripe "read-blocks" @@ fun op dl ->
     begin
     let targets = range_addrs t ~stripe j0 len in
     let until replies =
       List.for_all (fun a -> List.mem_assoc a replies) targets
     in
     let replies =
-      quorum_call ~until t ~stripe ~op ~phase:Obs.Fast_read (fun _ ->
+      quorum_call ~until t ~stripe ~op ~dl ~phase:Obs.Fast_read (fun _ ->
           Message.Read { stripe; targets })
     in
     let fast =
@@ -603,21 +635,21 @@ let read_blocks t ~stripe j0 ~len =
     | None -> (
         match recover t ~stripe with
         | Ok data -> Ok (Array.sub data j0 len)
-        | Error `Aborted -> Error `Aborted)
+        | Error _ as e -> e)
   end
 
 (* fast-write-blocks: one Order&Read round fetching the range's current
    blocks, then one Modify_multi round. The range's blocks must all be
    at the same version timestamp; mixed versions (e.g. after an
    interleaved single-block write) take the slow path. *)
-let fast_write_blocks t ~stripe ~op j0 news ts =
+let fast_write_blocks t ~stripe ~op ~dl j0 news ts =
   let len = Array.length news in
   let targets = range_addrs t ~stripe j0 len in
   let until replies =
     List.for_all (fun a -> List.mem_assoc a replies) targets
   in
   let replies =
-    quorum_call ~until ~proposed:ts t ~stripe ~op ~phase:Obs.Order (fun _ ->
+    quorum_call ~until ~proposed:ts t ~stripe ~op ~dl ~phase:Obs.Order (fun _ ->
         Message.Order_read
           { stripe; target = Message.Addrs targets; max = Ts.high; ts })
   in
@@ -644,7 +676,7 @@ let fast_write_blocks t ~stripe ~op j0 news ts =
             (List.init len (fun i -> (j0 + i, news.(i))))
         in
         let replies =
-          quorum_call ~proposed:ts t ~stripe ~op ~phase:Obs.Modify (fun _ ->
+          quorum_call ~proposed:ts t ~stripe ~op ~dl ~phase:Obs.Modify (fun _ ->
               Message.Modify_multi { stripe; j0; olds; news; tsj; ts })
         in
         Some (finish_modify t ~stripe ~op ts ~cblocks replies)
@@ -652,7 +684,7 @@ let fast_write_blocks t ~stripe ~op j0 news ts =
   end
 
 (* Warm multi-block write; see [warm_write_block]. *)
-let warm_write_blocks t ~stripe ~op j0 news ts =
+let warm_write_blocks t ~stripe ~op ~dl j0 news ts =
   match cache_find t ~stripe with
   | Some { cts; cblocks = Some blocks } when Ts.( > ) ts cts ->
       emit_elided t ~op Obs.Order;
@@ -661,18 +693,18 @@ let warm_write_blocks t ~stripe ~op j0 news ts =
       let nb = Array.copy blocks in
       Array.iteri (fun i b -> nb.(j0 + i) <- b) news;
       let replies =
-        quorum_call ~proposed:ts t ~stripe ~op ~phase:Obs.Modify (fun _ ->
+        quorum_call ~proposed:ts t ~stripe ~op ~dl ~phase:Obs.Modify (fun _ ->
             Message.Modify_multi { stripe; j0; olds; news; tsj = cts; ts })
       in
       Some (finish_modify t ~stripe ~op ts ~cblocks:(Some nb) replies)
   | _ -> None
 
-let slow_write_blocks t ~stripe ~op j0 news ts =
-  match read_prev_stripe t ~stripe ~op ts with
+let slow_write_blocks t ~stripe ~op ~dl j0 news ts =
+  match read_prev_stripe t ~stripe ~op ~dl ts with
   | Error `Aborted -> Error `Aborted
   | Ok data ->
       Array.iteri (fun i b -> data.(j0 + i) <- b) news;
-      store_stripe t ~stripe ~op data ts
+      store_stripe t ~stripe ~op ~dl data ts
 
 let write_blocks t ~stripe j0 news =
   let len = Array.length news in
@@ -684,27 +716,27 @@ let write_blocks t ~stripe j0 news =
     news;
   if len = Config.m t.cfg ~stripe then write_stripe t ~stripe news
   else
-    traced t ~stripe "write-blocks" @@ fun op ->
+    traced t ~stripe "write-blocks" @@ fun op dl ->
     let ts = Clock.new_ts t.clock in
-    match warm_write_blocks t ~stripe ~op j0 news ts with
+    match warm_write_blocks t ~stripe ~op ~dl j0 news ts with
     | Some (Ok ()) -> Ok ()
-    | Some (Error `Aborted) -> slow_write_blocks t ~stripe ~op j0 news ts
+    | Some (Error `Aborted) -> slow_write_blocks t ~stripe ~op ~dl j0 news ts
     | None -> (
-        match fast_write_blocks t ~stripe ~op j0 news ts with
+        match fast_write_blocks t ~stripe ~op ~dl j0 news ts with
         | Some (Ok ()) -> Ok ()
         | Some (Error `Aborted) | None ->
-            slow_write_blocks t ~stripe ~op j0 news ts)
+            slow_write_blocks t ~stripe ~op ~dl j0 news ts)
 
 (* write-block (lines 70-73). *)
 let write_block t ~stripe j b =
   check_block_shape t ~stripe j b;
-  traced t ~stripe "write-block" (fun op ->
+  traced t ~stripe "write-block" (fun op dl ->
   let ts = Clock.new_ts t.clock in
-  match warm_write_block t ~stripe ~op j b ts with
+  match warm_write_block t ~stripe ~op ~dl j b ts with
   | Some (Ok ()) -> Ok ()
-  | Some (Error `Aborted) -> slow_write_block t ~stripe ~op j b ts
+  | Some (Error `Aborted) -> slow_write_block t ~stripe ~op ~dl j b ts
   | None -> (
-      match fast_write_block t ~stripe ~op j b ts with
+      match fast_write_block t ~stripe ~op ~dl j b ts with
       | Some (Ok ()) -> Ok ()
       | Some (Error `Aborted) | None ->
           (* Per the paper, any fast-path failure falls back to the slow
@@ -712,7 +744,7 @@ let write_block t ~stripe j b =
              partially applied, replicas that logged it will refuse the
              slow path's messages and the operation aborts — the partial
              write is then rolled forward or back by the next read. *)
-          slow_write_block t ~stripe ~op j b ts))
+          slow_write_block t ~stripe ~op ~dl j b ts))
 
 (* ------------------------------------------------------------------ *)
 (* Scrubbing: detect and repair silent block corruption               *)
@@ -727,13 +759,14 @@ let rec subsets k lo n =
     @ subsets k (lo + 1) n
 
 let scrub t ~stripe =
-  traced t ~stripe "scrub" @@ fun op ->
+  traced t ~stripe "scrub" @@ fun op dl ->
   let m = Config.m t.cfg ~stripe in
   let members = Config.members t.cfg ~stripe in
   let ts = Clock.new_ts t.clock in
   let until replies = List.length replies = List.length members in
   let replies =
-    quorum_call ~until ~proposed:ts t ~stripe ~op ~phase:Obs.Recover (fun _ ->
+    quorum_call ~until ~proposed:ts t ~stripe ~op ~dl ~phase:Obs.Recover
+      (fun _ ->
         Message.Order_read { stripe; target = Message.All; max = Ts.high; ts })
   in
   if not (all_status_true replies) then Error `Aborted
@@ -804,7 +837,7 @@ let scrub t ~stripe =
           let data = Erasure.Codec.decode codec blocks in
           Result.map
             (fun () -> List.sort compare corrupted)
-            (store_stripe t ~stripe ~op data ts)
+            (store_stripe t ~stripe ~op ~dl data ts)
     end
   end
 
@@ -818,5 +851,8 @@ let with_retries ?(attempts = 3) t f =
     | Ok v -> Ok v
     | Error `Aborted when left > 1 -> go (left - 1)
     | Error `Aborted -> Error `Aborted
+    (* A deadline expiry means the quorum is presumed unreachable;
+       retrying immediately would just burn the next deadline too. *)
+    | Error `Unavailable -> Error `Unavailable
   in
   go attempts

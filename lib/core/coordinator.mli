@@ -11,7 +11,14 @@
     Operations return [Error `Aborted] when a replica refuses a
     timestamp — which happens only under concurrent conflicting
     operations on the same stripe or badly skewed clocks (section 3).
-    The caller may retry with a fresh operation. *)
+    The caller may retry with a fresh operation.
+
+    With a per-operation deadline configured ({!Config.t.deadline}),
+    operations return [Error `Unavailable] when a quorum round misses
+    the deadline — the fail-fast answer when more than [n - q] bricks
+    are unreachable. An unavailable operation may have partially
+    applied; like a coordinator crash it leaves at worst a partial
+    write for the next read's recovery to resolve. *)
 
 type t
 
@@ -22,7 +29,7 @@ val create : Config.t -> brick:Brick.t -> clock:Clock.t -> t
 val brick : t -> Brick.t
 val clock : t -> Clock.t
 
-type 'a outcome = ('a, [ `Aborted ]) result
+type 'a outcome = ('a, [ `Aborted | `Unavailable ]) result
 
 val read_stripe : t -> stripe:int -> Bytes.t array outcome
 (** Read the whole stripe: [m] data blocks. One round trip in the
@@ -92,4 +99,7 @@ val with_retries : ?attempts:int -> t -> (unit -> 'a outcome) -> 'a outcome
     a fresh timestamp, and because the coordinator's logical clock has
     observed the replicas' timestamps during the failed attempt, a
     retry that lost only to a stale clock succeeds immediately.
-    Genuine write-write conflicts may still abort. *)
+    Genuine write-write conflicts may still abort. [`Unavailable] is
+    returned immediately without further attempts: a deadline expiry
+    means a quorum is presumed unreachable, and a retry would only
+    burn its own deadline against the same dead bricks. *)

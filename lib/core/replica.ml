@@ -37,7 +37,14 @@ let set_ord_ts t st ts =
 let handle_read t ctx stripe targets =
   let st = state t stripe in
   let val_ts = Slog.max_ts st.log in
-  let status = Ts.( >= ) val_ts st.ord_ts in
+  (* The unsafe_skip_order variant drops the write-order barrier: a
+     replica with a pending Order promise (ord_ts > val_ts) answers as
+     if its value were current, hiding in-flight writes from fast
+     reads. Deliberately wrong — exists so the chaos harness has a
+     real strict-linearizability violation to detect and shrink. *)
+  let status =
+    t.cfg.Config.unsafe_skip_order || Ts.( >= ) val_ts st.ord_ts
+  in
   let block =
     if status && List.mem (Brick.id t.brick) targets then begin
       Brick.count_disk_read ~ctx t.brick;
@@ -56,13 +63,26 @@ let handle_order t stripe ts =
   if fresh && not (Ts.equal st.ord_ts ts) then set_ord_ts t st ts;
   Message.Order_r { status; cur_ts = cur_ts st }
 
-(* [Order&Read, j, max, ts] — lines 49-56. *)
+(* [Order&Read, j, max, ts] — lines 49-56.
+
+   The unsafe_skip_order variant degrades this round to a plain read:
+   no freshness check and, crucially, no promise recorded. The
+   atomicity of sample-and-promise is what lets a recovery invalidate
+   the in-flight stores of the operation it read past; without the
+   promise (and with the store-side barrier also skipped, below) a
+   recovery whose sample predates a concurrently-completing write can
+   roll the stripe back over it at a higher timestamp — erasing a
+   completed write, the strict-linearizability violation the chaos
+   harness exists to catch. *)
 let handle_order_read t ctx stripe target max ts =
   let st = state t stripe in
-  let status = Ts.( > ) ts (Slog.max_ts st.log) && Ts.( >= ) ts st.ord_ts in
+  let skip = t.cfg.Config.unsafe_skip_order in
+  let status =
+    skip || (Ts.( > ) ts (Slog.max_ts st.log) && Ts.( >= ) ts st.ord_ts)
+  in
   let lts = ref Ts.low and block = ref None in
   if status then begin
-    if not (Ts.equal st.ord_ts ts) then set_ord_ts t st ts;
+    if (not skip) && not (Ts.equal st.ord_ts ts) then set_ord_ts t st ts;
     let wanted =
       match target with
       | Message.All -> true
@@ -78,6 +98,20 @@ let handle_order_read t ctx stripe target max ts =
       | None -> ()
   end;
   Message.Order_read_r { status; lts = !lts; block = !block; cur_ts = cur_ts st }
+
+(* The unsafe_skip_order variant also drops the order barrier on the
+   store side: a replica accepts a Write/Modify above its log head even
+   when a newer Order promise stands ([ts < ord_ts]). The promise is
+   what lets a recovery invalidate the in-flight stores of the
+   operation it is superseding; without it, a write whose store round
+   was overtaken by a read-triggered recovery can still gather a
+   quorum of acks and report success to its client while the recovery
+   (whose Order&Read sample predates those stores) rolls the stripe
+   back at a higher timestamp — erasing a completed write. A later
+   read then returns the older value: a strict-linearizability
+   violation the chaos harness must detect and shrink. *)
+let ord_barrier t st ts =
+  t.cfg.Config.unsafe_skip_order || Ts.( >= ) ts st.ord_ts
 
 (* [Write, b, ts] — lines 57-60. A re-delivered Write whose entry is
    already logged with the same content re-acknowledges; an entry at
@@ -97,7 +131,7 @@ let handle_write t ctx stripe block ts =
     already
     || ((not (Slog.mem st.log ts))
        && Ts.( > ) ts (Slog.max_ts st.log)
-       && Ts.( >= ) ts st.ord_ts)
+       && ord_barrier t st ts)
   in
   if status && not already then begin
     Slog.add st.log ts (Some block);
@@ -133,7 +167,7 @@ let handle_modify t ctx stripe j bj b tsj ts =
   let already = Slog.mem st.log ts in
   let status =
     already
-    || (Ts.equal tsj (Slog.max_ts st.log) && Ts.( >= ) ts st.ord_ts)
+    || (Ts.equal tsj (Slog.max_ts st.log) && ord_barrier t st ts)
   in
   if status && not already then begin
     match my_pos t stripe with
@@ -154,7 +188,7 @@ let handle_modify_delta t ctx stripe j payload tsj ts =
   let already = Slog.mem st.log ts in
   let status =
     already
-    || (Ts.equal tsj (Slog.max_ts st.log) && Ts.( >= ) ts st.ord_ts)
+    || (Ts.equal tsj (Slog.max_ts st.log) && ord_barrier t st ts)
   in
   if status && not already then begin
     match my_pos t stripe with
@@ -190,7 +224,7 @@ let handle_modify_multi t ctx stripe j0 olds news tsj ts =
   let already = Slog.mem st.log ts in
   let status =
     already
-    || (Ts.equal tsj (Slog.max_ts st.log) && Ts.( >= ) ts st.ord_ts)
+    || (Ts.equal tsj (Slog.max_ts st.log) && ord_barrier t st ts)
   in
   if status && not already then begin
     match my_pos t stripe with
@@ -256,7 +290,13 @@ let dispatch t ctx msg =
 
 let handle t ~src ~ctx (msg : Message.t) : Message.t option =
   ignore src;
-  if not (Brick.is_alive t.brick) then None else dispatch t ctx msg
+  if not (Brick.is_alive t.brick) then begin
+    (* Delivered to a crashed process: dropped on the floor, but the
+       wire carried it — account it under net.drops.dead. *)
+    Quorum.Rpc.count_dead_drop t.cfg.Config.rpc;
+    None
+  end
+  else dispatch t ctx msg
 
 let create cfg ~brick =
   let t = { cfg; brick; states = Hashtbl.create 64; gc_removed = 0 } in

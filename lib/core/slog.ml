@@ -4,15 +4,44 @@ module TsMap = Map.Make (struct
   let compare = Timestamp.compare
 end)
 
+(* Each persisted pair carries the checksum computed when it was
+   written. A stored entry whose checksum no longer matches its
+   content models a detectably-damaged record — a torn write or a
+   latent sector error — and every read path below treats it as
+   absent, so the protocol's recovery and scrub paths repair it like
+   a missing version. *)
+type entry = { block : Bytes.t option; mutable sum : int }
+
 type t = {
   block_size : int;
-  mutable entries : Bytes.t option TsMap.t;
+  nil : Bytes.t;
+  mutable entries : entry TsMap.t;
+  mutable last_add : Timestamp.t option;
+      (* Most recent [add], volatile (not part of persistent state):
+         the write a crash can tear. *)
 }
+
+(* FNV-1a folded into OCaml's 63-bit int; a bot marker hashes to a
+   fixed tag so torn marker records are detectable too. *)
+let checksum = function
+  | None -> 0x1ae16a3b2f90404f
+  | Some b ->
+      let h = ref 0x3bf29ce484222325 in
+      Bytes.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) b;
+      !h land max_int
+
+let intact e = e.sum = checksum e.block
+let fresh block = { block; sum = checksum block }
 
 let create ~block_size =
   if block_size <= 0 then invalid_arg "Core.Slog.create: block_size <= 0";
   let nil = Bytes.make block_size '\000' in
-  { block_size; entries = TsMap.singleton Timestamp.low (Some nil) }
+  {
+    block_size;
+    nil;
+    entries = TsMap.singleton Timestamp.low (fresh (Some nil));
+    last_add = None;
+  }
 
 let block_size t = t.block_size
 
@@ -25,52 +54,70 @@ let add t ts block =
   | Some b when Bytes.length b <> t.block_size ->
       invalid_arg "Core.Slog.add: wrong block size"
   | Some _ | None -> ());
-  if not (TsMap.mem ts t.entries) then
-    t.entries <- TsMap.add ts block t.entries
+  (* Set semantics over intact entries; a damaged record at the same
+     timestamp is overwritten (this is how recovery and scrub repair
+     detected corruption in place). *)
+  (match TsMap.find_opt ts t.entries with
+  | Some e when intact e -> ()
+  | Some _ | None -> t.entries <- TsMap.add ts (fresh block) t.entries);
+  t.last_add <- Some ts
 
-let mem t ts = TsMap.mem ts t.entries
-let find t ts = TsMap.find_opt ts t.entries
+let find t ts =
+  match TsMap.find_opt ts t.entries with
+  | Some e when intact e -> Some e.block
+  | Some _ | None -> None
 
-let max_ts t = fst (TsMap.max_binding t.entries)
+let mem t ts = find t ts <> None
+
+let max_ts t =
+  let best =
+    TsMap.fold
+      (fun ts e acc -> if intact e then Some ts else acc)
+      t.entries None
+  in
+  match best with Some ts -> ts | None -> Timestamp.low
 
 let newest_real_below_or_at t bound =
-  (* Newest non-bot entry with timestamp <= bound. *)
-  let below, at, _ = TsMap.split bound t.entries in
-  match at with
-  | Some (Some b) -> Some (bound, b)
-  | Some None | None ->
-      let rec search m =
-        if TsMap.is_empty m then None
-        else
-          let ts, block = TsMap.max_binding m in
-          match block with
-          | Some b -> Some (ts, b)
-          | None -> search (TsMap.remove ts m)
-      in
-      search below
+  (* Newest intact non-bot entry with timestamp <= bound. *)
+  TsMap.fold
+    (fun ts e acc ->
+      if Timestamp.( > ) ts bound then acc
+      else
+        match e.block with
+        | Some b when intact e -> Some (ts, b)
+        | Some _ | None -> acc)
+    t.entries None
 
 let max_block t =
   match newest_real_below_or_at t (max_ts t) with
   | Some (ts, b) -> (ts, b)
   | None ->
-      (* The initial nil entry is non-bot and gc preserves the newest
-         non-bot entry, so this is unreachable. *)
-      assert false
+      (* Every intact real entry was damaged: the log is detectably
+         empty, which reads identically to an unwritten register. The
+         quorum repairs this brick as long as at most f members are in
+         this state. *)
+      (Timestamp.low, t.nil)
 
 let max_below t bound =
-  let below, _, _ = TsMap.split bound t.entries in
-  if TsMap.is_empty below then None
-  else
-    let lts, block = TsMap.max_binding below in
-    match block with
-    | Some b -> Some (lts, Some b)
-    | None ->
-        let content =
-          match newest_real_below_or_at t lts with
-          | Some (_, b) -> Some b
-          | None -> None
-        in
-        Some (lts, content)
+  let lts =
+    TsMap.fold
+      (fun ts e acc ->
+        if Timestamp.( >= ) ts bound then acc
+        else if intact e then Some ts
+        else acc)
+      t.entries None
+  in
+  match lts with
+  | None -> None
+  | Some lts ->
+      let content =
+        match newest_real_below_or_at t lts with
+        | Some (_, b) -> Some b
+        | None -> None
+      in
+      (match TsMap.find_opt lts t.entries with
+      | Some ({ block = Some b; _ } as e) when intact e -> Some (lts, Some b)
+      | _ -> Some (lts, content))
 
 let gc t ~before =
   let newest = max_ts t in
@@ -88,10 +135,42 @@ let gc t ~before =
 let size t = TsMap.cardinal t.entries
 
 let entries t =
-  TsMap.fold (fun ts b acc -> (ts, b) :: acc) t.entries []
+  TsMap.fold (fun ts e acc -> (ts, e.block) :: acc) t.entries []
+
+let checksum_errors t =
+  TsMap.fold (fun _ e acc -> if intact e then acc else acc + 1) t.entries 0
 
 let corrupt_newest t =
   let ts, block = max_block t in
   let copy = Bytes.copy block in
   Bytes.set copy 0 (Char.chr (Char.code (Bytes.get copy 0) lxor 0x40));
-  t.entries <- TsMap.add ts (Some copy) t.entries
+  (* The checksum is recomputed over the flipped content: this models
+     corruption below the checksum's radar (bad RAM at write time,
+     firmware writing the wrong bits with a valid CRC). Only scrub's
+     cross-brick decode can catch it. *)
+  t.entries <- TsMap.add ts (fresh (Some copy)) t.entries
+
+let damage_newest t =
+  match
+    TsMap.fold
+      (fun ts e acc ->
+        match e.block with
+        | Some _ when intact e -> Some (ts, e)
+        | Some _ | None -> acc)
+      t.entries None
+  with
+  | None -> None
+  | Some (ts, e) ->
+      e.sum <- e.sum lxor 1;
+      Some ts
+
+let tear_last t =
+  match t.last_add with
+  | None -> None
+  | Some ts ->
+      t.last_add <- None;
+      (match TsMap.find_opt ts t.entries with
+      | Some e when intact e ->
+          e.sum <- e.sum lxor 1;
+          Some ts
+      | Some _ | None -> None)

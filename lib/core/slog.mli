@@ -23,9 +23,11 @@ val create : block_size:int -> t
     @raise Invalid_argument if [block_size <= 0]. *)
 
 val add : t -> Timestamp.t -> Bytes.t option -> unit
-(** [add t ts b] inserts the pair. Re-inserting an existing timestamp
-    is a no-op (set semantics, making retransmitted requests
-    idempotent).
+(** [add t ts b] inserts the pair, stamped with a content checksum.
+    Re-inserting an existing intact timestamp is a no-op (set
+    semantics, making retransmitted requests idempotent); re-inserting
+    over a checksum-damaged record replaces it — this is how recovery
+    and scrub repair detected corruption in place.
     @raise Invalid_argument on a sentinel timestamp or a block of the
     wrong size. *)
 
@@ -39,8 +41,10 @@ val max_ts : t -> Timestamp.t
 (** Highest timestamp in the log. *)
 
 val max_block : t -> Timestamp.t * Bytes.t
-(** The non-bot entry with the highest timestamp. Always exists: the
-    initial nil entry is non-bot and {!gc} preserves the invariant. *)
+(** The intact non-bot entry with the highest timestamp. If every real
+    entry is checksum-damaged the log reads as an unwritten register,
+    [(LowTS, nil)] — the quorum then repairs this process as long as
+    at most [f] members are in that state. *)
 
 val max_below : t -> Timestamp.t -> (Timestamp.t * Bytes.t option) option
 (** [max_below t ts] is [Some (lts, content)] where [lts] is the
@@ -75,7 +79,24 @@ val entries : t -> (Timestamp.t * Bytes.t option) list
 val block_size : t -> int
 
 val corrupt_newest : t -> unit
-(** Flip a bit in the newest non-bot block — simulated silent media
-    corruption (bit rot), used to exercise scrubbing. The log's
-    metadata (timestamps) is untouched, exactly like a latent sector
-    error below the protocol's radar. *)
+(** Flip a bit in the newest non-bot block {e and} restamp its
+    checksum — simulated silent corruption below the checksum's radar
+    (bad RAM at write time, firmware writing wrong bits with a valid
+    CRC). Invisible to single-replica reads; only {!val:Volume.scrub}'s
+    cross-brick decode can catch it. *)
+
+val damage_newest : t -> Timestamp.t option
+(** Corrupt the newest intact non-bot entry {e detectably}: its stored
+    checksum stops matching, modeling a latent sector error or bit rot
+    that the read path catches. The entry then reads as absent
+    everywhere until some [add] (recovery, scrub) rewrites it. Returns
+    the damaged timestamp, or [None] if no intact real entry exists. *)
+
+val tear_last : t -> Timestamp.t option
+(** Tear the most recent {!add} — the half-written record a crash in
+    mid-write leaves behind. The entry fails its checksum and reads as
+    absent. Each add can be torn at most once, and only while it is
+    still the latest ([None] otherwise). *)
+
+val checksum_errors : t -> int
+(** Number of stored records currently failing their checksum. *)

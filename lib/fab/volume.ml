@@ -12,10 +12,11 @@ type t = {
          a Pool share one cluster and own disjoint stripe ranges. *)
 }
 
-type 'a outcome = ('a, [ `Aborted ]) result
+type 'a outcome = ('a, [ `Aborted | `Unavailable ]) result
 
 let create ?seed ?net_config ?bricks ?layout ?(block_size = 1024) ?clock
-    ?gc_enabled ?optimized_modify ?ts_cache ?coalesce ?(op_retries = 3)
+    ?gc_enabled ?optimized_modify ?ts_cache ?deadline ?unsafe_skip_order
+    ?coalesce ?retry_backoff ?retry_cap ?(op_retries = 3)
     ?(pipeline_window = 8) ~m ~n ~stripes () =
   if op_retries < 1 then invalid_arg "Fab.Volume.create: op_retries < 1";
   if stripes <= 0 then invalid_arg "Fab.Volume.create: stripes <= 0";
@@ -30,8 +31,8 @@ let create ?seed ?net_config ?bricks ?layout ?(block_size = 1024) ?clock
   let layout_fn = Layout.make kind ~bricks:nbricks ~n in
   let cluster =
     Core.Cluster.create ?seed ?net_config ~bricks:nbricks ~layout:layout_fn
-      ~block_size ?clock ?gc_enabled ?optimized_modify ?ts_cache ?coalesce
-      ~m ~n ()
+      ~block_size ?clock ?gc_enabled ?optimized_modify ?ts_cache ?deadline
+      ?unsafe_skip_order ?coalesce ?retry_backoff ?retry_cap ~m ~n ()
   in
   { cluster; m; stripes; block_size; op_retries; pipeline_window;
     stripe_offset = 0 }
@@ -90,6 +91,7 @@ let retrying_block_write t c ~stripe f =
         ignore (Core.Coordinator.recover c ~stripe);
         go (left - 1)
     | Error `Aborted -> Error `Aborted
+    | Error `Unavailable -> Error `Unavailable
   in
   go t.op_retries
 
@@ -98,10 +100,15 @@ let retrying_block_write t c ~stripe f =
    [pipeline_window] of them proceed concurrently, each with its own
    retry loop. Every thunk runs to completion (no early abort of
    siblings): an aborted extent must not leave a sibling half-retried,
-   and the common case has no aborts at all. *)
+   and the common case has no aborts at all. Unavailability dominates
+   the joined verdict — it tells the caller the deployment, not just
+   this request, is in trouble. *)
 let scatter t thunks =
-  let oks = Dessim.Fiber.all ~window:t.pipeline_window thunks in
-  if List.for_all Fun.id oks then Ok () else Error `Aborted
+  let outcomes = Dessim.Fiber.all ~window:t.pipeline_window thunks in
+  if List.exists (fun o -> o = Error `Unavailable) outcomes then
+    Error `Unavailable
+  else if List.exists Result.is_error outcomes then Error `Aborted
+  else Ok ()
 
 let read t ~coord ~lba ~count =
   if count <= 0 then invalid_arg "Fab.Volume.read: count <= 0";
@@ -131,8 +138,8 @@ let read t ~coord ~lba ~count =
                 (fun i b ->
                   Bytes.blit b 0 out (off + (i * t.block_size)) t.block_size)
                 blocks;
-              true
-          | Error `Aborted -> false)
+              Ok ()
+          | Error e -> Error e)
       (extents t ~lba ~count)
   in
   Result.map (fun () -> out) (scatter t thunks)
@@ -159,16 +166,14 @@ let write t ~coord ~lba data =
         if j = 0 && elen = t.m then
           let blocks = Array.init t.m (fun _ -> take_block ()) in
           fun () ->
-            Result.is_ok
-              (retrying t c (fun () ->
-                   Core.Coordinator.write_stripe c ~stripe blocks))
+            retrying t c (fun () ->
+                Core.Coordinator.write_stripe c ~stripe blocks)
         else
           (* Partial stripe: one multi-block protocol operation. *)
           let news = Array.init elen (fun _ -> take_block ()) in
           fun () ->
-            Result.is_ok
-              (retrying_block_write t c ~stripe (fun () ->
-                   Core.Coordinator.write_blocks c ~stripe j news)))
+            retrying_block_write t c ~stripe (fun () ->
+                Core.Coordinator.write_blocks c ~stripe j news))
       (extents t ~lba ~count)
   in
   scatter t thunks
@@ -184,25 +189,27 @@ let run_op ?horizon t f =
 let scrub t ~coord =
   let c = coordinator t coord in
   let repaired = ref [] in
-  let aborted = ref false in
+  let failed = ref None in
   for s = 0 to t.stripes - 1 do
-    if not !aborted then begin
+    if !failed = None then begin
       let stripe = t.stripe_offset + s in
       match retrying t c (fun () -> Core.Coordinator.scrub c ~stripe) with
       | Ok [] -> ()
       | Ok positions -> repaired := (s, positions) :: !repaired
-      | Error `Aborted -> aborted := true
+      | Error e -> failed := Some e
     end
   done;
-  if !aborted then Error `Aborted else Ok (List.rev !repaired)
+  match !failed with
+  | Some e -> Error e
+  | None -> Ok (List.rev !repaired)
 
 let rebuild_brick t ~brick ~coord =
   let c = coordinator t coord in
   let touched = ref 0 in
-  let aborted = ref false in
+  let failed = ref None in
   for s = 0 to t.stripes - 1 do
     let stripe = t.stripe_offset + s in
-    if not !aborted then begin
+    if !failed = None then begin
       let members =
         Core.Config.members_array t.cluster.Core.Cluster.cfg ~stripe
       in
@@ -210,8 +217,8 @@ let rebuild_brick t ~brick ~coord =
         incr touched;
         match retrying t c (fun () -> Core.Coordinator.recover c ~stripe) with
         | Ok _ -> ()
-        | Error `Aborted -> aborted := true
+        | Error e -> failed := Some e
       end
     end
   done;
-  if !aborted then Error `Aborted else Ok !touched
+  match !failed with Some e -> Error e | None -> Ok !touched

@@ -25,7 +25,11 @@ val create :
   ?gc_enabled:bool ->
   ?optimized_modify:bool ->
   ?ts_cache:bool ->
+  ?deadline:float ->
+  ?unsafe_skip_order:bool ->
   ?coalesce:bool ->
+  ?retry_backoff:float ->
+  ?retry_cap:float ->
   ?op_retries:int ->
   ?pipeline_window:int ->
   m:int ->
@@ -45,7 +49,9 @@ val create :
     operations concurrently, at most [pipeline_window] (default 8) in
     flight; [~pipeline_window:1] recovers strictly serial extent
     order. [ts_cache]/[coalesce] enable the order-elision and
-    message-coalescing optimizations ({!Core.Cluster.create}). *)
+    message-coalescing optimizations; [deadline], [retry_backoff],
+    [retry_cap] and [unsafe_skip_order] are forwarded to
+    {!Core.Cluster.create}. *)
 
 val of_cluster :
   cluster:Core.Cluster.t ->
@@ -73,7 +79,13 @@ val stripe_of_lba : t -> int -> int * int
 (** [(stripe, index-within-stripe)] of a logical block address.
     @raise Invalid_argument if out of range. *)
 
-type 'a outcome = ('a, [ `Aborted ]) result
+type 'a outcome = ('a, [ `Aborted | `Unavailable ]) result
+(** [`Aborted]: a register operation kept losing timestamp races;
+    retrying later is reasonable. [`Unavailable]: a configured
+    per-operation deadline expired with a quorum presumed unreachable
+    (more than [n - q] bricks down or partitioned away); retries are
+    not attempted — the condition clears only when bricks recover or
+    the partition heals. *)
 
 val read : t -> coord:int -> lba:int -> count:int -> Bytes.t outcome
 (** Read [count] logical blocks; must run inside a fiber. Aborts if

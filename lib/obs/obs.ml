@@ -32,14 +32,19 @@ let phase_of_name = function
 
 let all_phases = [ Fast_read; Order; Write; Modify; Recover; Gc ]
 
-type outcome = Ok | Abort | Retry
+type outcome = Ok | Abort | Retry | Unavailable
 
-let outcome_name = function Ok -> "ok" | Abort -> "abort" | Retry -> "retry"
+let outcome_name = function
+  | Ok -> "ok"
+  | Abort -> "abort"
+  | Retry -> "retry"
+  | Unavailable -> "unavailable"
 
 let outcome_of_name = function
   | "ok" -> Some Ok
   | "abort" -> Some Abort
   | "retry" -> Some Retry
+  | "unavailable" -> Some Unavailable
   | _ -> None
 
 type actor = Coord of int | Brick of int | Sim
@@ -78,8 +83,9 @@ type kind =
   | Msg_drop of { dst : int; bytes : int; bg : bool }
   | Io_read of { blocks : int }
   | Io_write of { blocks : int }
-  | Timeout of { missing : int }
+  | Timeout of { missing : int; attempt : int }
   | Queue_depth of { depth : int }
+  | Fault of { label : string }
 
 type event = {
   time : float;
@@ -103,6 +109,7 @@ let ev_name = function
   | Io_write _ -> "io_write"
   | Timeout _ -> "timeout"
   | Queue_depth _ -> "queue_depth"
+  | Fault _ -> "fault"
 
 let pp_event fmt ev =
   let a = actor_name ev.actor in
@@ -117,7 +124,11 @@ let pp_event fmt ev =
       Format.fprintf fmt "[%s/s%d] %s start%t" a stripe op_kind op
   | Span_end { op_kind; stripe; outcome } ->
       Format.fprintf fmt "[%s/s%d] %s %s%t" a stripe op_kind
-        (match outcome with Ok -> "ok" | Abort -> "ABORT" | Retry -> "abort (will retry)")
+        (match outcome with
+        | Ok -> "ok"
+        | Abort -> "ABORT"
+        | Retry -> "abort (will retry)"
+        | Unavailable -> "UNAVAILABLE")
         op
   | Phase_start -> Format.fprintf fmt "[%s] phase %tstart%t" a ph op
   | Phase_end -> Format.fprintf fmt "[%s] phase %tend%t" a ph op
@@ -134,9 +145,11 @@ let pp_event fmt ev =
       Format.fprintf fmt "[%s] DROP -> b%d (%dB)%t" a dst bytes op
   | Io_read { blocks } -> Format.fprintf fmt "[%s] disk read x%d%t" a blocks op
   | Io_write { blocks } -> Format.fprintf fmt "[%s] disk write x%d%t" a blocks op
-  | Timeout { missing } ->
-      Format.fprintf fmt "[%s] retransmit, %d member(s) missing%t" a missing op
+  | Timeout { missing; attempt } ->
+      Format.fprintf fmt "[%s] retransmit #%d, %d member(s) missing%t" a attempt
+        missing op
   | Queue_depth { depth } -> Format.fprintf fmt "[%s] queue depth %d" a depth
+  | Fault { label } -> Format.fprintf fmt "[%s] FAULT %s" a label
 
 (* ------------------------------------------------------------------ *)
 (* Minimal flat JSON (we control both ends of the schema)              *)
@@ -335,8 +348,10 @@ let to_json ev =
         [ ("dst", Json.I dst); ("bytes", Json.I bytes) ]
         @ if bg then [ ("bg", Json.B true) ] else []
     | Io_read { blocks } | Io_write { blocks } -> [ ("blocks", Json.I blocks) ]
-    | Timeout { missing } -> [ ("missing", Json.I missing) ]
+    | Timeout { missing; attempt } ->
+        [ ("missing", Json.I missing); ("attempt", Json.I attempt) ]
     | Queue_depth { depth } -> [ ("depth", Json.I depth) ]
+    | Fault { label } -> [ ("fault", Json.S label) ]
   in
   Json.obj (base @ opf @ phf @ kf)
 
@@ -423,9 +438,15 @@ let of_json line =
                 }
           | "io_read" -> Io_read { blocks = get "blocks" Json.to_int "int" }
           | "io_write" -> Io_write { blocks = get "blocks" Json.to_int "int" }
-          | "timeout" -> Timeout { missing = get "missing" Json.to_int "int" }
+          | "timeout" ->
+              Timeout
+                {
+                  missing = get "missing" Json.to_int "int";
+                  attempt = get "attempt" Json.to_int "int";
+                }
           | "queue_depth" ->
               Queue_depth { depth = get "depth" Json.to_int "int" }
+          | "fault" -> Fault { label = get "fault" Json.to_string "string" }
           | other -> raise (Json.Error ("unknown event " ^ other))
         in
         (* Phase events must say which phase. *)
@@ -671,7 +692,10 @@ let chrome oc =
         instant "msg_drop" [ ("dst", Json.I dst); ("bytes", Json.I bytes) ]
     | Io_read { blocks } -> instant "io_read" [ ("blocks", Json.I blocks) ]
     | Io_write { blocks } -> instant "io_write" [ ("blocks", Json.I blocks) ]
-    | Timeout { missing } -> instant "timeout" [ ("missing", Json.I missing) ]
+    | Timeout { missing; attempt } ->
+        instant "timeout"
+          [ ("missing", Json.I missing); ("attempt", Json.I attempt) ]
+    | Fault { label } -> instant "fault" [ ("fault", Json.S label) ]
     | Queue_depth { depth } ->
         let name =
           match ev.actor with
@@ -846,6 +870,7 @@ module Stats = struct
             in
             s.elided <- (p, prev + 1) :: List.remove_assoc p s.elided)
     | Msg_recv _ -> ()
+    | Fault _ -> ()
     | Msg_drop _ ->
         let s = op_stat t ev.op in
         s.drops <- s.drops + 1
@@ -1009,6 +1034,7 @@ module Stats = struct
         | Some Ok -> ()
         | Some Abort -> Metrics.Registry.incr reg "obs.aborts"
         | Some Retry -> Metrics.Registry.incr reg "obs.retries"
+        | Some Unavailable -> Metrics.Registry.incr reg "obs.unavailable"
         | None -> ())
       (completed t);
     List.iter

@@ -33,10 +33,12 @@ val phase_name : phase -> string
 val phase_of_name : string -> phase option
 val all_phases : phase list
 
-type outcome = Ok | Abort | Retry
+type outcome = Ok | Abort | Retry | Unavailable
 (** [Retry] marks an aborted attempt whose caller will retry it (set
     via the coordinator's retry hint), letting latency analyses
-    distinguish transient conflicts from final failures. *)
+    distinguish transient conflicts from final failures.
+    [Unavailable] marks an operation that hit its deadline with too few
+    reachable members and failed fast instead of retransmitting. *)
 
 val outcome_name : outcome -> string
 val outcome_of_name : string -> outcome option
@@ -76,8 +78,14 @@ type kind =
   | Msg_drop of { dst : int; bytes : int; bg : bool }
   | Io_read of { blocks : int }
   | Io_write of { blocks : int }
-  | Timeout of { missing : int }
+  | Timeout of { missing : int; attempt : int }
+      (** A retransmission round: [attempt] counts retransmissions of
+          this call (1 = first retransmit), [missing] is how many
+          members still owe a reply. *)
   | Queue_depth of { depth : int }
+  | Fault of { label : string }
+      (** A chaos-nemesis action (crash, partition, bit-rot, ...);
+          [label] is the plan event in plan-file syntax. *)
 
 type event = {
   time : float;  (** sim-time *)
@@ -255,7 +263,7 @@ module Stats : sig
   (** Write the derived distributions into a registry:
       ["op.<kind>.latency"], ["phase.<name>.latency"],
       ["queue.<actor>.depth"] summaries plus ["obs.ops"],
-      ["obs.aborts"], ["obs.retries"] counters. *)
+      ["obs.aborts"], ["obs.retries"], ["obs.unavailable"] counters. *)
 end
 
 module Check : sig

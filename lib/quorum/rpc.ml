@@ -10,6 +10,8 @@ type ('req, 'rep) envelope =
       (* Several same-instant messages for one destination, delivered
          as one envelope with one delay sample. *)
 
+exception Unavailable
+
 type ('req, 'rep) pending = {
   members : Net.addr list;
   nmembers : int;
@@ -21,6 +23,8 @@ type ('req, 'rep) pending = {
   resumer : (Net.addr * 'rep) list Fiber.resumer;
   mutable retry_timer : Engine.timer option;
   mutable grace_timer : Engine.timer option;
+  mutable deadline_timer : Engine.timer option;
+  mutable attempt : int;  (* retransmission rounds so far *)
   crash_hook : Brick.hook;
   coord : Brick.t;
   make_req : Net.addr -> 'req;
@@ -42,6 +46,8 @@ type ('req, 'rep) t = {
   req_label : 'req -> string;
   rep_label : 'rep -> string;
   retry_every : float;
+  retry_backoff : float;
+  retry_cap : float;
   grace : float;
   coalesce : bool;
   staged :
@@ -57,7 +63,13 @@ type ('req, 'rep) t = {
 
 let create ~net ?(metrics = Metrics.Registry.create ()) ~req_bytes ~rep_bytes
     ?(req_label = fun _ -> "req") ?(rep_label = fun _ -> "rep")
-    ?(retry_every = 8.0) ?(grace = 1.0) ?(coalesce = false) () =
+    ?(retry_every = 8.0) ?(retry_backoff = 2.0) ?retry_cap ?(grace = 1.0)
+    ?(coalesce = false) () =
+  if retry_backoff < 1.0 then
+    invalid_arg "Quorum.Rpc.create: retry_backoff < 1";
+  let retry_cap =
+    match retry_cap with Some c -> c | None -> retry_every *. 8.
+  in
   {
     net;
     req_bytes;
@@ -65,6 +77,8 @@ let create ~net ?(metrics = Metrics.Registry.create ()) ~req_bytes ~rep_bytes
     req_label;
     rep_label;
     retry_every;
+    retry_backoff;
+    retry_cap;
     grace;
     coalesce;
     staged = Hashtbl.create 16;
@@ -142,7 +156,27 @@ let stage t ~src ~dst ~background ~ctx ~label ~bytes env =
 
 let cancel_timers p =
   (match p.retry_timer with Some tm -> Engine.cancel tm | None -> ());
-  match p.grace_timer with Some tm -> Engine.cancel tm | None -> ()
+  (match p.grace_timer with Some tm -> Engine.cancel tm | None -> ());
+  match p.deadline_timer with Some tm -> Engine.cancel tm | None -> ()
+
+(* Deterministic retransmission jitter in [0.75, 1.25), hashed from
+   (request id, attempt) rather than drawn from the engine rng: faulty
+   runs must not perturb the rng stream that fault-free code samples,
+   or determinism comparisons across configurations break. *)
+let jitter_factor rid attempt =
+  let h = (rid * 0x2545f491) lxor (attempt * 0x9e3779b1) in
+  let h = (h lxor (h lsr 16)) * 0x45d9f3b land max_int in
+  0.75 +. (0.5 *. float_of_int (h land 0xffff) /. 65536.)
+
+(* Exponential backoff: retry_every * backoff^(attempt-1), capped. *)
+let retry_delay t rid attempt =
+  let base =
+    Float.min t.retry_cap
+      (t.retry_every *. (t.retry_backoff ** float_of_int (attempt - 1)))
+  in
+  base *. jitter_factor rid attempt
+
+let count_dead_drop t = Net.count_dead_drop t.net
 
 let deliver_reply t rid src rep =
   match Hashtbl.find_opt t.pending rid with
@@ -216,7 +250,7 @@ let broadcast t ~src ~ctx ~targets make_req rid =
     targets
 
 let call t ~coord ~members ~quorum ?(until = fun _ -> true)
-    ?(ctx = Obs.no_ctx) make_req =
+    ?(ctx = Obs.no_ctx) ?deadline make_req =
   if quorum > List.length members then
     invalid_arg "Quorum.Rpc.call: quorum larger than member count";
   if quorum < 1 then invalid_arg "Quorum.Rpc.call: quorum < 1";
@@ -225,64 +259,101 @@ let call t ~coord ~members ~quorum ?(until = fun _ -> true)
   let engine = Brick.engine coord in
   let src = Brick.id coord in
   ensure_dispatcher t src;
-  Fiber.suspend (fun resumer ->
-      (* A coordinator crash abandons the call: drop the pending entry
-         (so late replies are ignored) and cancel the fiber, turning
-         the operation into a partial operation. *)
-      let crash_hook =
-        Brick.add_crash_hook coord (fun () ->
-            match Hashtbl.find_opt t.pending rid with
-            | None -> ()
-            | Some p ->
-                Hashtbl.remove t.pending rid;
-                cancel_timers p;
-                Fiber.cancel p.resumer)
-      in
-      let p =
-        {
-          members;
-          nmembers = List.length members;
-          quorum;
-          until;
-          replies = [];
-          seen = Bytes.make (Net.n t.net) '\000';
-          reply_count = 0;
-          resumer;
-          retry_timer = None;
-          grace_timer = None;
-          crash_hook;
-          coord;
-          make_req;
-          ctx;
-        }
-      in
-      Hashtbl.replace t.pending rid p;
-      let rec arm_retry () =
-        p.retry_timer <-
-          Some
-            (Engine.schedule engine ~delay:t.retry_every (fun () ->
-                 if Brick.is_alive coord && Hashtbl.mem t.pending rid then begin
-                   let missing =
-                     List.filter
-                       (fun a -> Bytes.get p.seen a = '\000')
-                       p.members
-                   in
-                   Metrics.Counter.incr t.retries;
-                   if Obs.enabled t.obs then
-                     Obs.emit t.obs
-                       {
-                         Obs.time = Engine.now engine;
-                         actor = Obs.Coord src;
-                         op = p.ctx.Obs.op;
-                         phase = p.ctx.Obs.phase;
-                         kind = Obs.Timeout { missing = List.length missing };
-                       };
-                   broadcast t ~src ~ctx:p.ctx ~targets:missing p.make_req rid;
-                   arm_retry ()
-                 end))
-      in
-      broadcast t ~src ~ctx ~targets:members make_req rid;
-      arm_retry ())
+  (match deadline with
+  | Some d when Engine.now engine >= d -> raise Unavailable
+  | Some _ | None -> ());
+  let deadline_hit = ref false in
+  let replies =
+    Fiber.suspend (fun resumer ->
+        (* A coordinator crash abandons the call: drop the pending entry
+           (so late replies are ignored) and cancel the fiber, turning
+           the operation into a partial operation. *)
+        let crash_hook =
+          Brick.add_crash_hook coord (fun () ->
+              match Hashtbl.find_opt t.pending rid with
+              | None -> ()
+              | Some p ->
+                  Hashtbl.remove t.pending rid;
+                  cancel_timers p;
+                  Fiber.cancel p.resumer)
+        in
+        let p =
+          {
+            members;
+            nmembers = List.length members;
+            quorum;
+            until;
+            replies = [];
+            seen = Bytes.make (Net.n t.net) '\000';
+            reply_count = 0;
+            resumer;
+            retry_timer = None;
+            grace_timer = None;
+            deadline_timer = None;
+            attempt = 0;
+            crash_hook;
+            coord;
+            make_req;
+            ctx;
+          }
+        in
+        Hashtbl.replace t.pending rid p;
+        (* At the deadline the call stops retransmitting and fails fast:
+           the pending entry and crash hook go away exactly as on
+           completion, and the fiber is resumed to raise {!Unavailable}
+           (below, outside the suspension). *)
+        (match deadline with
+        | None -> ()
+        | Some d ->
+            p.deadline_timer <-
+              Some
+                (Engine.schedule engine ~delay:(d -. Engine.now engine)
+                   (fun () ->
+                     if Hashtbl.mem t.pending rid then begin
+                       Hashtbl.remove t.pending rid;
+                       cancel_timers p;
+                       Brick.remove_crash_hook p.coord p.crash_hook;
+                       deadline_hit := true;
+                       Fiber.resume p.resumer []
+                     end)));
+        let rec arm_retry () =
+          let delay = retry_delay t rid (p.attempt + 1) in
+          p.retry_timer <-
+            Some
+              (Engine.schedule engine ~delay (fun () ->
+                   if Brick.is_alive coord && Hashtbl.mem t.pending rid
+                   then begin
+                     let missing =
+                       List.filter
+                         (fun a -> Bytes.get p.seen a = '\000')
+                         p.members
+                     in
+                     p.attempt <- p.attempt + 1;
+                     Metrics.Counter.incr t.retries;
+                     if Obs.enabled t.obs then
+                       Obs.emit t.obs
+                         {
+                           Obs.time = Engine.now engine;
+                           actor = Obs.Coord src;
+                           op = p.ctx.Obs.op;
+                           phase = p.ctx.Obs.phase;
+                           kind =
+                             Obs.Timeout
+                               {
+                                 missing = List.length missing;
+                                 attempt = p.attempt;
+                               };
+                         };
+                     broadcast t ~src ~ctx:p.ctx ~targets:missing p.make_req
+                       rid;
+                     arm_retry ()
+                   end))
+        in
+        broadcast t ~src ~ctx ~targets:members make_req rid;
+        arm_retry ())
+  in
+  if !deadline_hit then raise Unavailable;
+  replies
 
 let notify t ~coord ~members ?(ctx = Obs.no_ctx) req =
   let src = Brick.id coord in

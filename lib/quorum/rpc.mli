@@ -21,6 +21,12 @@ type ('req, 'rep) envelope
 type ('req, 'rep) t
 (** An RPC endpoint layer shared by all processes on one network. *)
 
+exception Unavailable
+(** Raised by {!call} when its deadline expires before enough replies
+    arrived: the quorum is presumed unreachable (more than [n - q]
+    members down or partitioned away) and the caller fails fast
+    instead of retransmitting forever. *)
+
 val create :
   net:(('req, 'rep) envelope) Simnet.Net.t ->
   ?metrics:Metrics.Registry.t ->
@@ -29,6 +35,8 @@ val create :
   ?req_label:('req -> string) ->
   ?rep_label:('rep -> string) ->
   ?retry_every:float ->
+  ?retry_backoff:float ->
+  ?retry_cap:float ->
   ?grace:float ->
   ?coalesce:bool ->
   unit ->
@@ -36,13 +44,18 @@ val create :
 (** [create ~net ~req_bytes ~rep_bytes ()] builds the layer.
     [req_bytes]/[rep_bytes] give the accounted payload size of a
     message (the block bytes it carries). [retry_every] (default 8
-    network delays) is the retransmission period; [grace] (default one
-    network delay) is how long a call with an [~until] predicate keeps
-    waiting after reaching a bare quorum before settling for it.
-    Retransmission rounds are counted in [metrics] under
-    ["rpc.retries"]. [req_label]/[rep_label] give short human names
-    for messages in traces (only evaluated when the network's
-    observability hub is enabled).
+    network delays) is the first retransmission delay; subsequent
+    delays grow by a factor of [retry_backoff] (default 2, must be
+    >= 1) up to [retry_cap] (default [8 * retry_every]), each scaled
+    by a deterministic jitter in [0.75, 1.25) hashed from the request
+    id and attempt number — never drawn from the engine rng, so fault
+    injection does not perturb the rng stream fault-free code samples.
+    [grace] (default one network delay) is how long a call with an
+    [~until] predicate keeps waiting after reaching a bare quorum
+    before settling for it. Retransmission rounds are counted in
+    [metrics] under ["rpc.retries"]. [req_label]/[rep_label] give
+    short human names for messages in traces (only evaluated when the
+    network's observability hub is enabled).
 
     With [~coalesce:true] (default [false]), all messages one process
     sends to one destination at the same instant are batched into a
@@ -73,6 +86,7 @@ val call :
   quorum:int ->
   ?until:((Simnet.Net.addr * 'rep) list -> bool) ->
   ?ctx:Obs.ctx ->
+  ?deadline:float ->
   (Simnet.Net.addr -> 'req) ->
   (Simnet.Net.addr * 'rep) list
 (** [call t ~coord ~members ~quorum make_req] is the paper's
@@ -91,11 +105,23 @@ val call :
 
     [ctx] (default {!Obs.no_ctx}) tags every message of the round, and
     every retransmission emits a [Timeout] observability event naming
-    how many members are still missing.
+    how many members are still missing and which attempt this is.
+
+    [deadline] is an absolute sim-time bound: if the call has not
+    completed by then, retransmission stops, the pending state and
+    crash hook are torn down exactly as on completion, and
+    {!Unavailable} is raised in the calling fiber. Without a deadline
+    the call retransmits forever (the paper's model).
 
     Must run inside a {!Dessim.Fiber}; raises [Dessim.Fiber.Cancelled]
     if [coord] crashes while the call is pending.
     @raise Invalid_argument if [quorum] exceeds the member count. *)
+
+val count_dead_drop : ('req, 'rep) t -> unit
+(** Bump the network's ["net.drops.dead"] counter — called by a server
+    layer when it receives a message for a crashed process (the RPC
+    layer itself cannot distinguish that from a one-way request that
+    simply has no reply). *)
 
 val notify :
   ('req, 'rep) t -> coord:Brick.t -> members:Simnet.Net.addr list ->

@@ -16,6 +16,7 @@ type 'msg t = {
   bg_msgs : Metrics.Counter.t;
   bg_bytes : Metrics.Counter.t;
   drops : Metrics.Counter.t;
+  drops_dead : Metrics.Counter.t;
   obs : Obs.t;
   inflight : int array;  (* messages queued for delivery, per destination *)
 }
@@ -35,6 +36,7 @@ let create ?(metrics = Metrics.Registry.create ()) ?(obs = Obs.create ())
     bg_msgs = Metrics.Registry.counter metrics "net.msgs.bg";
     bg_bytes = Metrics.Registry.counter metrics "net.bytes.bg";
     drops = Metrics.Registry.counter metrics "net.drops";
+    drops_dead = Metrics.Registry.counter metrics "net.drops.dead";
     obs;
     inflight = Array.make n 0;
   }
@@ -125,8 +127,10 @@ let send ?(background = false) ?(ctx = Obs.no_ctx) ?info t ~src ~dst
                };
            match t.handlers.(dst) with
            | Some handler -> handler ~src msg
-           | None -> ()))
+           | None -> Metrics.Counter.incr t.drops_dead))
   end
+
+let count_dead_drop t = Metrics.Counter.incr t.drops_dead
 
 let partition t groups =
   let assignment = Array.make t.n (-1) in

@@ -10,8 +10,9 @@
 
     The network counts messages and payload bytes into a
     {!Metrics.Registry} under the names ["net.msgs"] and
-    ["net.bytes"] (plus ["net.drops"] for simulated losses); Table 1
-    reproductions read those counters. When the deployment's {!Obs.t}
+    ["net.bytes"] (plus ["net.drops"] for simulated losses and
+    ["net.drops.dead"] for messages to unregistered or crashed
+    destinations); Table 1 reproductions read those counters. When the deployment's {!Obs.t}
     hub is enabled the network additionally emits [Msg_send] /
     [Msg_recv] / [Msg_drop] events attributed to the sending
     operation, and per-destination [Queue_depth] samples. *)
@@ -43,8 +44,13 @@ val create :
 val register : 'msg t -> addr -> (src:addr -> 'msg -> unit) -> unit
 (** [register t a handler] installs the message handler for address
     [a], replacing any previous one. Messages to an address without a
-    handler are dropped silently (models a process that never came
-    up). *)
+    handler are dropped (models a process that never came up) and
+    counted under ["net.drops.dead"]. *)
+
+val count_dead_drop : 'msg t -> unit
+(** Bump ["net.drops.dead"]: a message that reached a registered
+    handler which turned out to be dead (crashed process). The RPC
+    layer calls this, since only it can see a handler decline. *)
 
 val send :
   ?background:bool ->

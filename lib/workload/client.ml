@@ -3,6 +3,7 @@ type stats = {
   mutable reads : int;
   mutable writes : int;
   mutable aborts : int;
+  mutable unavailable : int;
   mutable blocks_moved : int;
   latency : Metrics.Summary.t;
 }
@@ -13,6 +14,7 @@ let fresh_stats () =
     reads = 0;
     writes = 0;
     aborts = 0;
+    unavailable = 0;
     blocks_moved = 0;
     latency = Metrics.Summary.create ();
   }
@@ -49,7 +51,8 @@ let spawn volume ~coord ~gen ~ops ?(think_time = 0.) ?(payload_tag = 'w')
                    ~count:op.Gen.count
                with
               | Ok _ -> `Ok
-              | Error `Aborted -> `Aborted)
+              | Error `Aborted -> `Aborted
+              | Error `Unavailable -> `Unavailable)
           | `Write ->
               stats.writes <- stats.writes + 1;
               (match
@@ -57,12 +60,14 @@ let spawn volume ~coord ~gen ~ops ?(think_time = 0.) ?(payload_tag = 'w')
                    (payload op.Gen.count)
                with
               | Ok () -> `Ok
-              | Error `Aborted -> `Aborted)
+              | Error `Aborted -> `Aborted
+              | Error `Unavailable -> `Unavailable)
         in
         stats.ops <- stats.ops + 1;
         (match outcome with
         | `Ok -> stats.blocks_moved <- stats.blocks_moved + op.Gen.count
-        | `Aborted -> stats.aborts <- stats.aborts + 1);
+        | `Aborted -> stats.aborts <- stats.aborts + 1
+        | `Unavailable -> stats.unavailable <- stats.unavailable + 1);
         Metrics.Summary.add stats.latency (Dessim.Engine.now engine -. started);
         if think_time > 0. then sleep think_time
       done)

@@ -12,6 +12,9 @@ type stats = {
   mutable reads : int;
   mutable writes : int;
   mutable aborts : int;
+  mutable unavailable : int;
+      (** Operations that failed fast on a deadline expiry
+          ({!Fab.Volume.outcome}); always 0 without a deadline. *)
   mutable blocks_moved : int;
   latency : Metrics.Summary.t;  (** per-op latency in delta units *)
 }

@@ -20,4 +20,7 @@ dune build @obs-smoke
 echo "== @bench-protocol-smoke (pipelining / elision / coalescing) =="
 dune build @bench-protocol-smoke
 
+echo "== @chaos-smoke (fault plans clean, unsafe variant caught) =="
+dune build @chaos-smoke
+
 echo "CI OK"

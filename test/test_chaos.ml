@@ -1,0 +1,318 @@
+(* Chaos subsystem tests.
+
+   - Plan files round-trip through print/parse, and parse errors are
+     reported with line context.
+   - Quorum loss fails fast: with more than n - q bricks down every
+     operation returns `Unavailable within the configured deadline, the
+     same operation succeeds after recovery, and no crash hooks
+     accumulate across the outage.
+   - Scrub under fire: bit rot injected while full-stripe writes are in
+     flight; Volume.scrub repairs every corrupted block and the final
+     history is strictly linearizable.
+   - The harness is deterministic: same (plan, seed, knobs) produces a
+     byte-identical event trace.
+   - The deliberately broken --chaos-unsafe-skip-order variant is
+     caught by the harness and ddmin-shrinks to a small reproducer that
+     still fails unsafe and passes safe. *)
+
+module Cluster = Core.Cluster
+module Coordinator = Core.Coordinator
+module Plan = Chaos.Plan
+module Harness = Chaos.Harness
+module H = Linearize.History
+module Check = Linearize.Check
+
+let bs = 64
+
+let value_block s =
+  let b = Bytes.make bs '\000' in
+  Bytes.blit_string s 0 b 0 (min (String.length s) bs);
+  b
+
+let block_value b =
+  match Bytes.index_opt b '\000' with
+  | Some 0 -> H.nil
+  | Some i -> Bytes.sub_string b 0 i
+  | None -> Bytes.to_string b
+
+(* --- plan files --- *)
+
+let test_plan_roundtrip () =
+  List.iter
+    (fun (name, plan) ->
+      match Plan.of_string (Plan.to_string plan) with
+      | Ok plan' ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s round-trips" name)
+            (Plan.to_string plan) (Plan.to_string plan')
+      | Error e -> Alcotest.failf "%s failed to re-parse: %s" name e)
+    Plan.builtins
+
+let test_plan_parse () =
+  let src =
+    "# commissioning test\n\
+     name demo\n\
+     horizon 100\n\n\
+     at 10 crash 1\n\
+     at 20 partition 0,1|2,3,4\n\
+     at 30 heal\n\
+     at 40 drop 0.25\n\
+     at 50 skew 2 -7.5\n\
+     at 60 torn-crash 0\n\
+     at 70 bit-rot 3 1\n"
+  in
+  match Plan.of_string src with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok p ->
+      Alcotest.(check string) "name" "demo" p.Plan.name;
+      Alcotest.(check int) "events" 7 (List.length p.Plan.events);
+      Alcotest.(check int) "max brick" 4 (Plan.max_brick p)
+
+let test_plan_parse_errors () =
+  let bad l =
+    match Plan.of_string l with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse error for %S" l
+  in
+  bad "at 10 crash 1\n";                  (* missing horizon *)
+  bad "horizon 100\nat 10 frobnicate 1\n";(* unknown fault *)
+  bad "horizon 100\nat nope crash 1\n";   (* bad time *)
+  bad "horizon 100\nat 200 crash 1\n"     (* beyond horizon *)
+
+(* --- quorum-loss liveness (fail fast, recover, no hook leaks) --- *)
+
+let test_quorum_loss_fail_fast () =
+  let deadline = 200. in
+  let cl = Cluster.create ~seed:5 ~m:2 ~n:5 ~block_size:bs ~deadline () in
+  let engine = cl.Cluster.engine in
+  let hooks () =
+    Array.to_list (Array.map Brick.hook_count cl.Cluster.bricks)
+  in
+  let baseline = hooks () in
+  let data tag = Array.init 2 (fun j -> value_block (Printf.sprintf "%s%d" tag j)) in
+  (* q = 4, so two bricks down is one more than the system tolerates. *)
+  Cluster.crash cl 3;
+  Cluster.crash cl 4;
+  (match
+     Cluster.run_op ~coord:0 cl (fun c ->
+         let t0 = Dessim.Engine.now engine in
+         let r = Coordinator.write_stripe c ~stripe:0 (data "a") in
+         (r, Dessim.Engine.now engine -. t0))
+   with
+  | Some (Error `Unavailable, elapsed) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "failed fast (%.0f <= %.0f + slack)" elapsed deadline)
+        true
+        (elapsed <= (2. *. deadline) +. 50.)
+  | Some (Ok (), _) -> Alcotest.fail "write succeeded without a quorum"
+  | Some (Error `Aborted, _) -> Alcotest.fail "expected `Unavailable, got abort"
+  | None -> Alcotest.fail "operation stuck (fiber never completed)");
+  (* Reads fail fast too. *)
+  (match Cluster.run_op ~coord:1 cl (fun c -> Coordinator.read_stripe c ~stripe:1) with
+  | Some (Error `Unavailable) -> ()
+  | Some _ -> Alcotest.fail "read should be unavailable"
+  | None -> Alcotest.fail "read stuck");
+  (* Recovery restores service for the very same operation. *)
+  Cluster.recover cl 3;
+  Cluster.recover cl 4;
+  (match Cluster.run_op ~coord:0 cl (fun c -> Coordinator.write_stripe c ~stripe:0 (data "b")) with
+  | Some (Ok ()) -> ()
+  | _ -> Alcotest.fail "write after recovery failed");
+  (match Cluster.run_op ~coord:2 cl (fun c -> Coordinator.read_stripe c ~stripe:0) with
+  | Some (Ok got) ->
+      Alcotest.(check string) "reads the recovered write" "b0"
+        (block_value got.(0))
+  | _ -> Alcotest.fail "read after recovery failed");
+  (* Failed and retried operations must not accumulate crash hooks. *)
+  Alcotest.(check (list int)) "hook counts balanced" baseline (hooks ())
+
+(* --- scrub under fire --- *)
+
+module V = Fab.Volume
+
+let test_scrub_under_fire () =
+  let m = 2 and stripes = 4 in
+  let v = V.create ~seed:11 ~m ~n:5 ~stripes ~block_size:bs () in
+  let cl = V.cluster v in
+  let engine = cl.Cluster.engine in
+  let histories = Array.init (stripes * m) (fun _ -> H.create ()) in
+  let uid = ref 0 in
+  let sleep delay =
+    Dessim.Fiber.suspend (fun r ->
+        ignore
+          (Dessim.Engine.schedule engine ~delay (fun () ->
+               Dessim.Fiber.resume r ())))
+  in
+  (* Stripe logs are created lazily by the first store, so rot that
+     races the very first writes may find nothing — like the nemesis,
+     treat that as a no-op unless the caller requires a target. *)
+  let rot ?(required = false) brick stripe =
+    match Core.Replica.log cl.Cluster.replicas.(brick) ~stripe with
+    | Some l -> Core.Slog.corrupt_newest l
+    | None -> if required then Alcotest.fail "no log to corrupt"
+  in
+  (* Full-stripe writers (no read-modify-write, so corruption cannot
+     launder itself into a freshly written version) racing bit rot. *)
+  let writer coord rounds =
+    Dessim.Fiber.spawn (fun () ->
+        for _ = 1 to rounds do
+          sleep (10. +. float_of_int (coord * 3));
+          incr uid;
+          let stripe = !uid mod stripes in
+          let values =
+            List.init m (fun j -> Printf.sprintf "u%d.b%d" !uid j)
+          in
+          let now = Dessim.Engine.now engine in
+          let ids =
+            List.mapi
+              (fun j v ->
+                ( j,
+                  H.invoke histories.((stripe * m) + j) ~client:coord
+                    ~kind:H.Write ~written:v ~now () ))
+              values
+          in
+          let data =
+            Bytes.concat Bytes.empty (List.map value_block values)
+          in
+          let r = V.write v ~coord ~lba:(stripe * m) data in
+          let now = Dessim.Engine.now engine in
+          List.iter
+            (fun (j, id) ->
+              let h = histories.((stripe * m) + j) in
+              match r with
+              | Ok () -> H.complete_write h id ~now
+              | Error _ -> H.abort h id ~now)
+            ids
+        done)
+  in
+  writer 0 8;
+  writer 1 8;
+  writer 2 8;
+  (* Rot strikes while the writers run... *)
+  List.iter
+    (fun (delay, brick, stripe) ->
+      ignore
+        (Dessim.Engine.schedule engine ~delay (fun () -> rot brick stripe)))
+    [ (25., 1, 0); (45., 3, 2); (70., 0, 1); (95., 4, 3) ];
+  V.run v;
+  (* ...and twice more on the quiescent volume, where the corrupted
+     entry is certainly the newest version and must be found. *)
+  rot ~required:true 2 1;
+  rot ~required:true 4 3;
+  let repaired =
+    match V.run_op v (fun () -> V.scrub v ~coord:0) with
+    | Some (Ok r) -> r
+    | _ -> Alcotest.fail "scrub failed"
+  in
+  Alcotest.(check bool) "scrub found the quiescent corruption" true
+    (List.mem_assoc 1 repaired && List.mem_assoc 3 repaired);
+  (match V.run_op v (fun () -> V.scrub v ~coord:1) with
+  | Some (Ok []) -> ()
+  | Some (Ok l) ->
+      Alcotest.failf "second scrub still repairing %d stripes"
+        (List.length l)
+  | _ -> Alcotest.fail "second scrub failed");
+  (* Every block now reads as some value a client actually wrote, and
+     each per-block history is strictly linearizable. *)
+  for lba = 0 to (stripes * m) - 1 do
+    let stripe, j = V.stripe_of_lba v lba in
+    let h = histories.((stripe * m) + j) in
+    match V.run_op v (fun () -> V.read v ~coord:(lba mod 5) ~lba ~count:1) with
+    | Some (Ok b) ->
+        let now = Dessim.Engine.now engine in
+        let id = H.invoke h ~client:5 ~kind:H.Read ~now () in
+        H.complete_read h id ~value:(block_value b) ~now
+    | _ -> Alcotest.failf "final read of lba %d failed" lba
+  done;
+  Array.iteri
+    (fun idx h ->
+      match Check.strict h with
+      | Ok () -> ()
+      | Error viol ->
+          Alcotest.failf "block %d after scrub: %a" idx Check.pp_violation
+            viol)
+    histories
+
+(* --- harness determinism --- *)
+
+let test_trace_determinism () =
+  let plan = Plan.builtin "rolling-partition" in
+  let r1 = Harness.run ~capture_trace:true ~seed:7 plan in
+  let r2 = Harness.run ~capture_trace:true ~seed:7 plan in
+  (match (r1.Harness.trace, r2.Harness.trace) with
+  | Some t1, Some t2 ->
+      Alcotest.(check bool) "trace nonempty" true (String.length t1 > 0);
+      Alcotest.(check bool) "byte-identical traces" true (String.equal t1 t2)
+  | _ -> Alcotest.fail "traces not captured");
+  Alcotest.(check (list int)) "identical outcome counts"
+    [ r1.Harness.ok; r1.Harness.aborted; r1.Harness.unavailable ]
+    [ r2.Harness.ok; r2.Harness.aborted; r2.Harness.unavailable ];
+  Alcotest.(check bool) "clean run" false (Harness.failed r1)
+
+(* --- bundled plans stay clean; the unsafe variant is caught --- *)
+
+let test_bundled_plans_clean () =
+  List.iter
+    (fun (name, plan) ->
+      for seed = 1 to 3 do
+        let r = Harness.run ~seed plan in
+        if Harness.failed r then
+          Alcotest.failf "plan %s seed %d: %a" name seed Harness.pp_result r
+      done)
+    Plan.builtins
+
+let test_unsafe_variant_caught_and_shrunk () =
+  let plan = Plan.builtin "crash-storm" in
+  let failing_seed =
+    let rec scan seed =
+      if seed > 10 then
+        Alcotest.fail "unsafe variant escaped 10 seeds of crash-storm"
+      else if Harness.failed (Harness.run ~unsafe_skip_order:true ~seed plan)
+      then seed
+      else scan (seed + 1)
+    in
+    scan 1
+  in
+  let check p =
+    Harness.failed (Harness.run ~unsafe_skip_order:true ~seed:failing_seed p)
+  in
+  let minimal = Chaos.Shrink.shrink ~check plan in
+  Alcotest.(check bool) "shrunk plan still fails unsafe" true (check minimal);
+  Alcotest.(check bool) "shrinking removed events" true
+    (List.length minimal.Plan.events < List.length plan.Plan.events);
+  Alcotest.(check bool) "horizon trimmed" true
+    (minimal.Plan.horizon <= plan.Plan.horizon);
+  (* The same reproducer is clean under the real protocol: the failure
+     is the order-phase elision, not the fault schedule. *)
+  let safe = Harness.run ~seed:failing_seed minimal in
+  if Harness.failed safe then
+    Alcotest.failf "safe protocol fails the shrunk plan: %a"
+      Harness.pp_result safe
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "builtin round-trip" `Quick test_plan_roundtrip;
+          Alcotest.test_case "parse" `Quick test_plan_parse;
+          Alcotest.test_case "parse errors" `Quick test_plan_parse_errors;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "quorum loss fails fast" `Quick
+            test_quorum_loss_fail_fast;
+        ] );
+      ( "scrub",
+        [
+          Alcotest.test_case "scrub under fire" `Slow test_scrub_under_fire;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "trace determinism" `Slow test_trace_determinism;
+          Alcotest.test_case "bundled plans clean" `Slow
+            test_bundled_plans_clean;
+          Alcotest.test_case "unsafe variant caught and shrunk" `Slow
+            test_unsafe_variant_caught_and_shrunk;
+        ] );
+    ]

@@ -70,7 +70,7 @@ let run_scenario ~m ~n ~ops ~choose =
                           ~stripe:0 stripe_val
                       with
                      | Ok () -> H.complete_write h id ~now:(now ())
-                     | Error `Aborted -> H.abort h id ~now:(now ()))
+                     | Error _ -> H.abort h id ~now:(now ()))
                  | `Read ->
                      let id =
                        H.invoke h ~client:coord ~kind:H.Read ~now:(now ()) ()
@@ -82,7 +82,7 @@ let run_scenario ~m ~n ~ops ~choose =
                      | Ok data ->
                          H.complete_read h id ~value:(block_value data.(0))
                            ~now:(now ())
-                     | Error `Aborted -> H.abort h id ~now:(now ()))))))
+                     | Error _ -> H.abort h id ~now:(now ()))))))
     ops;
   Cluster.run ~horizon:1_000. cl;
   h

@@ -127,7 +127,7 @@ let fuzz_round ~seed =
               in
               (match Coordinator.write_stripe c ~stripe data with
               | Ok () -> finish_op ~stripe r `Wrote
-              | Error `Aborted -> finish_op ~stripe r `Aborted)
+              | Error _ -> finish_op ~stripe r `Aborted)
           | 1 ->
               (* stripe read *)
               let r =
@@ -141,7 +141,7 @@ let fuzz_round ~seed =
                     List.init m (fun j -> (j, block_value data.(j)))
                   in
                   finish_op ~stripe r (`ReadValues values)
-              | Error `Aborted -> finish_op ~stripe r `Aborted)
+              | Error _ -> finish_op ~stripe r `Aborted)
           | 2 ->
               (* block write *)
               incr uid;
@@ -153,7 +153,7 @@ let fuzz_round ~seed =
               in
               (match Coordinator.write_block c ~stripe j (value_block v) with
               | Ok () -> finish_op ~stripe r `Wrote
-              | Error `Aborted -> finish_op ~stripe r `Aborted)
+              | Error _ -> finish_op ~stripe r `Aborted)
           | 3 ->
               (* block read *)
               let j = Random.State.int rng m in
@@ -163,7 +163,7 @@ let fuzz_round ~seed =
               in
               (match Coordinator.read_block c ~stripe j with
               | Ok b -> finish_op ~stripe r (`ReadValues [ (j, block_value b) ])
-              | Error `Aborted -> finish_op ~stripe r `Aborted)
+              | Error _ -> finish_op ~stripe r `Aborted)
           | 4 ->
               (* multi-block write over a random range *)
               incr uid;
@@ -181,7 +181,7 @@ let fuzz_round ~seed =
               in
               (match Coordinator.write_blocks c ~stripe j0 news with
               | Ok () -> finish_op ~stripe r `Wrote
-              | Error `Aborted -> finish_op ~stripe r `Aborted)
+              | Error _ -> finish_op ~stripe r `Aborted)
           | _ ->
               (* multi-block read over a random range *)
               let j0 = Random.State.int rng m in
@@ -198,7 +198,7 @@ let fuzz_round ~seed =
                     List.init len (fun i -> (j0 + i, block_value blocks.(i)))
                   in
                   finish_op ~stripe r (`ReadValues values)
-              | Error `Aborted -> finish_op ~stripe r `Aborted)
+              | Error _ -> finish_op ~stripe r `Aborted)
         done)
   in
 

@@ -68,7 +68,7 @@ let sample_events =
     { time = 3.; actor = Brick 2; op = 3; phase = Some Modify;
       kind = Io_write { blocks = 1 } };
     { time = 3.5; actor = Coord 1; op = 3; phase = Some Recover;
-      kind = Timeout { missing = 2 } };
+      kind = Timeout { missing = 2; attempt = 1 } };
     { time = 4.; actor = Coord 1; op = 3; phase = Some Write;
       kind = Phase_end };
     { time = 4.5; actor = Sim; op = -1; phase = None;
@@ -181,7 +181,7 @@ let test_retry_outcome () =
               Coordinator.write_stripe c ~stripe:0 data)
         with
         | Ok () -> incr oks
-        | Error `Aborted -> ())
+        | Error _ -> ())
   done;
   Cluster.run cl;
   Alcotest.(check int) "both writers succeed" 2 !oks;
@@ -249,7 +249,8 @@ let tally events =
           match outcome with
           | Obs.Ok -> t.ok <- t.ok + 1
           | Obs.Abort -> t.abort <- t.abort + 1
-          | Obs.Retry -> t.retry <- t.retry + 1)
+          | Obs.Retry -> t.retry <- t.retry + 1
+          | Obs.Unavailable -> ())
       | _ -> ())
     events;
   t

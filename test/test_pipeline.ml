@@ -98,7 +98,7 @@ let fuzz_round ~seed =
               (fun i id ->
                 match outcome with
                 | Ok () -> H.complete_write histories.(lba + i) id ~now
-                | Error `Aborted -> H.abort histories.(lba + i) id ~now)
+                | Error _ -> H.abort histories.(lba + i) id ~now)
               ids
           end
           else begin
@@ -118,7 +118,7 @@ let fuzz_round ~seed =
                     let b = Bytes.sub data (i * block_size) block_size in
                     H.complete_read histories.(lba + i) id
                       ~value:(block_value b) ~now
-                | Error `Aborted -> H.abort histories.(lba + i) id ~now)
+                | Error _ -> H.abort histories.(lba + i) id ~now)
               ids
           end
         done)

@@ -15,12 +15,12 @@ let stripe_data tag m =
 let check_stripe msg expected = function
   | Some (Ok data) ->
       Alcotest.(check bool) msg true (Array.for_all2 Bytes.equal data expected)
-  | Some (Error `Aborted) -> Alcotest.fail (msg ^ ": aborted")
+  | Some (Error _) -> Alcotest.fail (msg ^ ": aborted")
   | None -> Alcotest.fail (msg ^ ": no result")
 
 let check_ok msg = function
   | Some (Ok ()) -> ()
-  | Some (Error `Aborted) -> Alcotest.fail (msg ^ ": aborted")
+  | Some (Error _) -> Alcotest.fail (msg ^ ": aborted")
   | None -> Alcotest.fail (msg ^ ": no result")
 
 let write cl ?coord ~stripe data =
@@ -432,7 +432,7 @@ let test_message_loss_resilience () =
                Coordinator.write_stripe c ~stripe:0 data))
      with
     | Some (Ok ()) -> ()
-    | Some (Error `Aborted) -> Alcotest.fail "lossy write aborted"
+    | Some (Error _) -> Alcotest.fail "lossy write aborted"
     | None -> Alcotest.fail "lossy write hung");
     match
       Cluster.run_op ~coord:((round + 2) mod 5) ~horizon:10_000. cl (fun c ->
@@ -703,7 +703,7 @@ let run_model_sequence (m, n, ops) =
         match result with
         | Some (Ok true) -> ()
         | Some (Ok false) -> ok := false  (* read disagreed with model *)
-        | Some (Error `Aborted) -> ok := false  (* sequential ops must not abort *)
+        | Some (Error _) -> ok := false  (* sequential ops must not abort *)
         | None -> ok := false
       end)
     ops;
