@@ -4,7 +4,7 @@ module Net = Simnet.Net
 type t = {
   cluster : Cluster.t;
   base_drop : float;
-  timers : Dessim.Engine.timer list;
+  mutable timers : Dessim.Engine.timer list;
   (* directed links the plan took down and has not yet revived *)
   mutable downed : (int * int) list;
   mutable skewed : int list;
@@ -84,14 +84,17 @@ let install ?(base_drop = 0.) plan cluster =
       restored = false;
     }
   in
-  let timers =
+  (* The fault closures capture [t], so [t] itself must be the record
+     handed to [restore]: rebuilding it with [{ t with timers }] would
+     leave restore looking at empty [downed]/[skewed] lists while the
+     closures mutate the original's. *)
+  t.timers <-
     List.map
       (fun { Plan.at; fault } ->
         Dessim.Engine.schedule engine ~delay:(Float.max 0. (at -. now))
           (fun () -> apply t fault))
-      plan.Plan.events
-  in
-  { t with timers }
+      plan.Plan.events;
+  t
 
 let restore t =
   if not t.restored then begin

@@ -42,3 +42,5 @@ let set_skew t skew =
   match t.source with
   | Logical -> ()
   | Realtime r -> r.skew <- skew
+
+let skew t = match t.source with Logical -> 0. | Realtime r -> r.skew

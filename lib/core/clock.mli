@@ -40,3 +40,7 @@ val set_skew : t -> float -> unit
     fault). Monotonicity still holds — a skew step backwards just
     makes the clock lean on the [last + 1] bump until wall time
     catches up. No-op on {!logical} clocks. *)
+
+val skew : t -> float
+(** Current skew of a {!realtime} clock, [0.] for a {!logical} one;
+    lets tests assert the nemesis restored what it skewed. *)

@@ -56,11 +56,14 @@ let add t ts block =
   | Some _ | None -> ());
   (* Set semantics over intact entries; a damaged record at the same
      timestamp is overwritten (this is how recovery and scrub repair
-     detected corruption in place). *)
-  (match TsMap.find_opt ts t.entries with
+     detected corruption in place). [last_add] only moves when a write
+     physically happens: a deduped retransmission touches no media, so
+     there is nothing for a crash to tear. *)
+  match TsMap.find_opt ts t.entries with
   | Some e when intact e -> ()
-  | Some _ | None -> t.entries <- TsMap.add ts (fresh block) t.entries);
-  t.last_add <- Some ts
+  | Some _ | None ->
+      t.entries <- TsMap.add ts (fresh block) t.entries;
+      t.last_add <- Some ts
 
 let find t ts =
   match TsMap.find_opt ts t.entries with

@@ -25,9 +25,10 @@ val create : block_size:int -> t
 val add : t -> Timestamp.t -> Bytes.t option -> unit
 (** [add t ts b] inserts the pair, stamped with a content checksum.
     Re-inserting an existing intact timestamp is a no-op (set
-    semantics, making retransmitted requests idempotent); re-inserting
-    over a checksum-damaged record replaces it — this is how recovery
-    and scrub repair detected corruption in place.
+    semantics, making retransmitted requests idempotent) and does not
+    make the entry tearable again — no physical write occurred;
+    re-inserting over a checksum-damaged record replaces it — this is
+    how recovery and scrub repair detected corruption in place.
     @raise Invalid_argument on a sentinel timestamp or a block of the
     wrong size. *)
 
@@ -93,10 +94,11 @@ val damage_newest : t -> Timestamp.t option
     the damaged timestamp, or [None] if no intact real entry exists. *)
 
 val tear_last : t -> Timestamp.t option
-(** Tear the most recent {!add} — the half-written record a crash in
-    mid-write leaves behind. The entry fails its checksum and reads as
-    absent. Each add can be torn at most once, and only while it is
-    still the latest ([None] otherwise). *)
+(** Tear the most recent {!add} that physically wrote an entry — the
+    half-written record a crash in mid-write leaves behind. The entry
+    fails its checksum and reads as absent. Each written entry can be
+    torn at most once, and only while it is still the latest; deduped
+    no-op adds are never torn ([None] otherwise). *)
 
 val checksum_errors : t -> int
 (** Number of stored records currently failing their checksum. *)

@@ -168,7 +168,10 @@ let jitter_factor rid attempt =
   let h = (h lxor (h lsr 16)) * 0x45d9f3b land max_int in
   0.75 +. (0.5 *. float_of_int (h land 0xffff) /. 65536.)
 
-(* Exponential backoff: retry_every * backoff^(attempt-1), capped. *)
+(* Exponential backoff: retry_every * backoff^(attempt-1), capped.
+   The cap bounds the pre-jitter base (see the .mli): capping after
+   jitter would collapse every capped delay to retry_cap and
+   re-synchronize the retries jitter exists to spread out. *)
 let retry_delay t rid attempt =
   let base =
     Float.min t.retry_cap

@@ -46,10 +46,15 @@ val create :
     message (the block bytes it carries). [retry_every] (default 8
     network delays) is the first retransmission delay; subsequent
     delays grow by a factor of [retry_backoff] (default 2, must be
-    >= 1) up to [retry_cap] (default [8 * retry_every]), each scaled
-    by a deterministic jitter in [0.75, 1.25) hashed from the request
-    id and attempt number — never drawn from the engine rng, so fault
-    injection does not perturb the rng stream fault-free code samples.
+    >= 1). [retry_cap] (default [8 * retry_every]) bounds the
+    exponential base {e before} jitter: each delay is the capped base
+    scaled by a deterministic jitter in [0.75, 1.25), so the effective
+    delay may exceed [retry_cap] by up to 25% (capping after jitter
+    would make every capped retransmission identical, re-synchronizing
+    exactly the retries jitter exists to spread out). The jitter is
+    hashed from the request id and attempt number — never drawn from
+    the engine rng, so fault injection does not perturb the rng stream
+    fault-free code samples.
     [grace] (default one network delay) is how long a call with an
     [~until] predicate keeps waiting after reaching a bare quorum
     before settling for it. Retransmission rounds are counted in

@@ -233,6 +233,58 @@ let test_scrub_under_fire () =
             viol)
     histories
 
+(* --- nemesis restore --- *)
+
+let test_nemesis_restore () =
+  (* Regression: the fault closures mutate the very record [install]
+     returns, so [restore] sees the links and skew the plan left down
+     and actually heals them — even when shrinking dropped the
+     matching link-up / skew-reset events from the schedule. *)
+  let cl =
+    Cluster.create ~seed:3 ~m:2 ~n:4 ~block_size:bs ~deadline:100.
+      ~clock:(Cluster.Realtime { skew_of = (fun _ -> 0.); resolution = 1. })
+      ()
+  in
+  let engine = cl.Cluster.engine in
+  let plan =
+    Plan.make ~name:"restore-regression" ~horizon:10.
+      [
+        { Plan.at = 1.; fault = Plan.Link_down (0, 2) };
+        { Plan.at = 1.; fault = Plan.Link_down (0, 3) };
+        { Plan.at = 2.; fault = Plan.Skew (0, 42.) };
+      ]
+  in
+  let nem = Chaos.Nemesis.install plan cl in
+  Dessim.Engine.run ~until:10. engine;
+  let clk = Coordinator.clock cl.Cluster.coordinators.(0) in
+  Alcotest.(check (float 0.)) "skew applied" 42. (Core.Clock.skew clk);
+  let data tag = Array.init 2 (fun j -> value_block (Printf.sprintf "%s%d" tag j)) in
+  (* Two of four request links dead: coordinator 0 cannot reach a
+     quorum of 3 and must fail fast. *)
+  (match
+     Cluster.run_op ~coord:0 cl (fun c ->
+         Coordinator.write_stripe c ~stripe:0 (data "x"))
+   with
+  | Some (Error `Unavailable) -> ()
+  | Some (Ok ()) -> Alcotest.fail "write reached a quorum through dead links"
+  | Some (Error `Aborted) -> Alcotest.fail "expected `Unavailable, got abort"
+  | None -> Alcotest.fail "write stuck");
+  Chaos.Nemesis.restore nem;
+  Alcotest.(check (float 0.)) "skew restored" 0. (Core.Clock.skew clk);
+  (match
+     Cluster.run_op ~coord:0 cl (fun c ->
+         Coordinator.write_stripe c ~stripe:0 (data "y"))
+   with
+  | Some (Ok ()) -> ()
+  | _ -> Alcotest.fail "write after restore failed");
+  match
+    Cluster.run_op ~coord:2 cl (fun c -> Coordinator.read_stripe c ~stripe:0)
+  with
+  | Some (Ok got) ->
+      Alcotest.(check string) "reads the post-restore write" "y0"
+        (block_value got.(0))
+  | _ -> Alcotest.fail "read after restore failed"
+
 (* --- harness determinism --- *)
 
 let test_trace_determinism () =
@@ -306,6 +358,11 @@ let () =
       ( "scrub",
         [
           Alcotest.test_case "scrub under fire" `Slow test_scrub_under_fire;
+        ] );
+      ( "nemesis",
+        [
+          Alcotest.test_case "restore heals links and skew" `Quick
+            test_nemesis_restore;
         ] );
       ( "harness",
         [

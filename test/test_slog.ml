@@ -149,6 +149,40 @@ let test_entries_newest_first () =
       Alcotest.(check bool) "then Low" true (Ts.equal t3 Ts.low)
   | _ -> Alcotest.fail "unexpected shape"
 
+let test_tear_last () =
+  let l = Slog.create ~block_size:bs in
+  Alcotest.(check bool) "nothing to tear" true (Slog.tear_last l = None);
+  Slog.add l (ts 5) (Some (blk 'a'));
+  (match Slog.tear_last l with
+  | Some t -> Alcotest.(check bool) "tears 5" true (Ts.equal t (ts 5))
+  | None -> Alcotest.fail "expected a tear");
+  Alcotest.(check bool) "reads as absent" false (Slog.mem l (ts 5));
+  Alcotest.(check int) "one checksum error" 1 (Slog.checksum_errors l);
+  Alcotest.(check bool) "each write torn at most once" true
+    (Slog.tear_last l = None);
+  (* Recovery rewrites the damaged entry in place. *)
+  Slog.add l (ts 5) (Some (blk 'a'));
+  Alcotest.(check bool) "repaired" true (Slog.mem l (ts 5))
+
+let test_tear_skips_deduped_add () =
+  (* Regression: a retransmitted add deduped by set semantics touches
+     no media, so a crash racing it must not tear the long-durable
+     entry it happened to name — only the last physical write. *)
+  let l = Slog.create ~block_size:bs in
+  Slog.add l (ts 5) (Some (blk 'a'));
+  Slog.add l (ts 9) (Some (blk 'b'));
+  Slog.add l (ts 5) (Some (blk 'a'));  (* deduped retransmission *)
+  (match Slog.tear_last l with
+  | Some t ->
+      Alcotest.(check bool) "tears the last physical write" true
+        (Ts.equal t (ts 9))
+  | None -> Alcotest.fail "expected a tear");
+  Alcotest.(check bool) "durable entry untouched" true (Slog.mem l (ts 5));
+  (* With 9 already torn, another deduped add leaves nothing tearable. *)
+  Slog.add l (ts 5) (Some (blk 'a'));
+  Alcotest.(check bool) "no-op add is not tearable" true
+    (Slog.tear_last l = None)
+
 let qtest name gen f =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:200 ~name gen f)
 
@@ -209,6 +243,12 @@ let () =
           Alcotest.test_case "preserves newest" `Quick
             test_gc_preserves_newest_even_if_old;
           Alcotest.test_case "idempotent" `Quick test_gc_idempotent;
+        ] );
+      ( "tear",
+        [
+          Alcotest.test_case "tear_last" `Quick test_tear_last;
+          Alcotest.test_case "deduped add not tearable" `Quick
+            test_tear_skips_deduped_add;
         ] );
       ("properties", slog_props);
     ]
