@@ -30,6 +30,17 @@ let () =
   let args =
     match Array.to_list Sys.argv with _ :: args -> args | [] -> []
   in
+  (* Standalone CI helpers: print the kernel backends usable on this
+     machine (one per line, for shell loops), or run the split-vs-table
+     regression gate. Both exit without touching the sections. *)
+  if List.mem "--list-kernels" args then begin
+    Micro.list_kernels ();
+    exit 0
+  end;
+  if List.mem "--check-split" args then begin
+    Micro.check_split ();
+    exit 0
+  end;
   let args =
     List.filter
       (fun a ->

@@ -2,21 +2,29 @@
    primitives this implementation hand-rolls — the compute cost a FAB
    brick pays per block on the wire-side of the protocol.
 
-   Three groups:
-   - "erasure": the codec-level primitives (encode/decode/modify);
+   Four groups:
+   - "erasure": the codec-level primitives (encode/decode/modify) under
+     the default (fastest available) GF(2^8) kernel;
    - "kernel": the GF(2^8) slice kernels against the reference
      implementations they replaced (64-bit-wide XOR vs byte-at-a-time,
-     coefficient product table vs branchy log/exp lookups);
+     coefficient product table vs branchy log/exp lookups), plus one
+     dispatched single-coefficient row per available kernel backend;
+   - "fused": the fused all-parity-rows encode of rs(10,14), once per
+     available kernel backend — the head-to-head the split-table and
+     SIMD work is judged by;
    - "plan": decode with a warm decode-plan cache vs re-running
      Gaussian elimination on every call.
 
    [json_out] (set by bench/main.ml's --json flag) additionally writes
    every row to BENCH_micro.json so the perf trajectory is
    machine-tracked; [smoke] (--smoke) shrinks the measurement quota so
-   a CI alias can exercise the harness in well under a second. *)
+   a CI alias can exercise the harness in well under a second.
+   [check_split] (--check-split) is a pass/fail gate: the split64
+   kernel must not regress below the table kernel on rs(10,14) encode. *)
 
 open Bechamel
 open Toolkit
+module K = Gf256.Kernel
 
 let json_out : string option ref = ref None
 let smoke : bool ref = ref false
@@ -69,6 +77,15 @@ let kernel_tests () =
     Test.make ~name:"mul log/exp"
       (Staged.stage (fun () -> logexp_mul_slice ~dst ~src c));
   ]
+  (* One dispatched single-coefficient multiply-accumulate per available
+     backend: what a parity-delta application costs under each kernel. *)
+  @ List.map
+      (fun impl ->
+        let mul = K.make_mul impl c in
+        Test.make
+          ~name:("mul_acc " ^ K.name impl)
+          (Staged.stage (fun () -> K.mul_acc mul ~dst ~src)))
+      (K.available_impls ())
 
 let erasure_tests () =
   let mk_codec name codec m =
@@ -91,9 +108,35 @@ let erasure_tests () =
                   ~old_data:data.(0) ~new_data:new_block ~old_parity:enc.(m))));
     ]
   in
-  mk_codec "rs(5,8)" (Erasure.Codec.rs ~m:5 ~n:8) 5
-  @ mk_codec "rs(10,14)" (Erasure.Codec.rs ~m:10 ~n:14) 10
-  @ mk_codec "parity(4,5)" (Erasure.Codec.parity ~m:4) 4
+  mk_codec "rs(5,8)" (Erasure.Codec.rs ~m:5 ~n:8 ()) 5
+  @ mk_codec "rs(10,14)" (Erasure.Codec.rs ~m:10 ~n:14 ()) 10
+  @ mk_codec "parity(4,5)" (Erasure.Codec.parity ~m:4 ()) 4
+
+(* The fused all-parity encode of rs(10,14), head to head across every
+   kernel backend available on this machine. encode_into with pinned
+   output buffers, so the rows measure pure kernel work. *)
+let fused_m = 10
+let fused_n = 14
+
+let fused_codec impl = Erasure.Codec.rs ~kernel:impl ~m:fused_m ~n:fused_n ()
+
+let fused_encode_test impl =
+  let codec = fused_codec impl in
+  let data = stripe fused_m in
+  let into =
+    Array.init fused_n (fun i ->
+        if i < fused_m then data.(i) else Bytes.create block_size)
+  in
+  (codec, data, into)
+
+let fused_tests () =
+  List.map
+    (fun impl ->
+      let codec, data, into = fused_encode_test impl in
+      Test.make
+        ~name:("encode rs(10,14) " ^ K.name impl)
+        (Staged.stage (fun () -> Erasure.Codec.encode_into codec data ~into)))
+    (K.available_impls ())
 
 (* Small blocks so plan construction (Gaussian elimination, O(m^3))
    dominates over slice work: this isolates what the decode-plan cache
@@ -102,7 +145,7 @@ let plan_block_size = 64
 
 let plan_tests () =
   let m = 10 and n = 14 in
-  let codec = Erasure.Codec.rs ~m ~n in
+  let codec = Erasure.Codec.rs ~m ~n () in
   let data =
     Array.init m (fun i -> Bytes.make plan_block_size (Char.chr (33 + i)))
   in
@@ -146,8 +189,8 @@ let measure_group (group, tests, bytes_per_op) =
 
 let write_json path rows =
   let oc = open_out path in
-  (* Stamp run metadata (commit, date, geometry) so results files stay
-     comparable across commits; see Obs.Meta. *)
+  (* Stamp run metadata (commit, date, geometry, selected kernel) so
+     results files stay comparable across commits; see Obs.Meta. *)
   let meta =
     Obs.Meta.standard
       ~extra:
@@ -156,6 +199,8 @@ let write_json path rows =
             ("tool", S "bench micro");
             ("block_size", I block_size);
             ("plan_block_size", I plan_block_size);
+            ("gf_kernel", S (K.name (K.default ())));
+            ("simd_level", I K.simd_level);
           ]
       ()
   in
@@ -176,11 +221,16 @@ let write_json path rows =
 
 let run () =
   Util.section "MICRO | erasure-coding primitive throughput (4 KiB blocks)";
+  Printf.printf "  gf kernel: %s (simd level %d; available: %s)\n"
+    (K.name (K.default ()))
+    K.simd_level
+    (String.concat " " (List.map K.name (K.available_impls ())));
   let rows =
     List.concat_map measure_group
       [
         ("erasure", erasure_tests (), block_size);
         ("kernel", kernel_tests (), block_size);
+        ("fused", fused_tests (), fused_m * block_size);
         ("plan", plan_tests (), plan_block_size);
       ]
   in
@@ -194,3 +244,38 @@ let run () =
       | None -> Printf.printf "  %-38s %16s %16s\n" name "(n/a)" "(n/a)")
     rows;
   match !json_out with None -> () | Some path -> write_json path rows
+
+(* ------------------------------------------------------------------ *)
+(* CI gates                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let list_kernels () =
+  List.iter (fun impl -> print_endline (K.name impl)) (K.available_impls ())
+
+(* Directly timed (not Bechamel: the smoke quota is too noisy for a
+   pass/fail gate) encode comparison. The split64 kernel exists to beat
+   the table kernel on fused multi-row maps; fail CI if it ever drops
+   below 0.9x table throughput on the reference rs(10,14) encode. *)
+let check_split () =
+  let time_encode impl =
+    let codec, data, into = fused_encode_test impl in
+    let iters = 200 in
+    for _ = 1 to 20 do
+      Erasure.Codec.encode_into codec data ~into
+    done;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      Erasure.Codec.encode_into codec data ~into
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9
+  in
+  let table_ns = time_encode K.Table in
+  let split_ns = time_encode K.Split64 in
+  Printf.printf
+    "check-split: rs(10,14) encode_into  table %.0f ns  split64 %.0f ns  (%.2fx)\n"
+    table_ns split_ns (table_ns /. split_ns);
+  if split_ns > table_ns /. 0.9 then begin
+    Printf.eprintf
+      "check-split: FAIL: split64 kernel slower than 0.9x table kernel\n";
+    exit 1
+  end

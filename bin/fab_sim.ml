@@ -144,6 +144,9 @@ let run_workload m n bricks stripes block_size clients ops profile drop seed
             ("pipeline_window", Obs.Json.I pipeline_window);
             ("ts_cache", Obs.Json.B (not no_ts_cache));
             ("coalesce", Obs.Json.B (not no_coalesce));
+            ( "gf_kernel",
+              Obs.Json.S (Erasure.Codec.kernel_name (Fab.Volume.codec volume))
+            );
           ]
         ()
     in
@@ -211,6 +214,26 @@ let run_workload m n bricks stripes block_size clients ops profile drop seed
       (Metrics.Registry.value metrics "disk.reads")
       (Metrics.Registry.value metrics "disk.writes")
       (Metrics.Registry.value metrics "nvram.writes");
+    (* Codec counters join the registry so --stats-json records the
+       decode-plan cache behavior and the selected GF(2^8) kernel
+       alongside the network and disk counters. *)
+    let codec = Fab.Volume.codec volume in
+    let plan_hits, plan_misses, plan_entries =
+      Erasure.Codec.plan_cache_stats codec
+    in
+    Metrics.Registry.incr ~by:(float_of_int plan_hits) metrics
+      "codec.plan_hits";
+    Metrics.Registry.incr ~by:(float_of_int plan_misses) metrics
+      "codec.plan_misses";
+    Metrics.Registry.incr ~by:(float_of_int plan_entries) metrics
+      "codec.plan_entries";
+    List.iter
+      (fun (kname, count) ->
+        Metrics.Registry.incr ~by:(float_of_int count) metrics
+          ("codec.kernel." ^ kname))
+      (Gf256.Kernel.selection_counts ());
+    Printf.printf "  codec         : %s kernel, plan cache %d hits / %d misses\n"
+      (Erasure.Codec.kernel_name codec) plan_hits plan_misses;
     Obs.close obs;
     List.iter close_out !channels;
     Option.iter

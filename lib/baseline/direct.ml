@@ -27,9 +27,9 @@ let engine t = t.engine
 
 let create ?(seed = 42) ?(block_size = 1024) ~m ~n () =
   let codec =
-    if m = 1 then Erasure.Codec.replication ~n
-    else if n = m + 1 then Erasure.Codec.parity ~m
-    else Erasure.Codec.rs ~m ~n
+    if m = 1 then Erasure.Codec.replication ~n ()
+    else if n = m + 1 then Erasure.Codec.parity ~m ()
+    else Erasure.Codec.rs ~m ~n ()
   in
   let engine = Dessim.Engine.create ~seed () in
   let metrics = Metrics.Registry.create () in

@@ -15,9 +15,9 @@ type clock_kind =
   | Realtime of { skew_of : int -> float; resolution : float }
 
 let default_codec ~m ~n =
-  if m = 1 then Erasure.Codec.replication ~n
-  else if n = m + 1 then Erasure.Codec.parity ~m
-  else Erasure.Codec.rs ~m ~n
+  if m = 1 then Erasure.Codec.replication ~n ()
+  else if n = m + 1 then Erasure.Codec.parity ~m ()
+  else Erasure.Codec.rs ~m ~n ()
 
 (* Shared wiring: engine, network, RPC, bricks, replicas and
    coordinators around a configuration built by [make_cfg]. *)

@@ -237,19 +237,27 @@ let handle_modify_multi t ctx stripe j0 olds news tsj ts =
           else if pos >= m then begin
             Brick.count_disk_read ~ctx t.brick;
             (* Fold every block's change into one fresh parity buffer
-               (the log retains it); the per-block deltas run on one
-               pooled scratch buffer instead of allocating 2*len
-               intermediates. *)
+               (the log retains it). The per-block deltas land in pooled
+               scratch buffers and are applied in one batched pass, so
+               the parity block is read and written once however many
+               blocks the write covers. *)
             let codec = Config.codec t.cfg ~stripe in
             let out = Bytes.copy (snd (Slog.max_block st.log)) in
-            let d = Brick.scratch_take t.brick ~len:(Bytes.length out) in
-            for i = 0 to len - 1 do
-              Erasure.Codec.delta_into ~old_data:olds.(i) ~new_data:news.(i)
-                ~into:d;
-              Erasure.Codec.apply_delta_into codec ~data_idx:(j0 + i)
-                ~parity_idx:(pos - m) ~delta:d ~parity:out
-            done;
-            Brick.scratch_release t.brick d;
+            let blen = Bytes.length out in
+            let ds =
+              Array.init len (fun _ -> Brick.scratch_take t.brick ~len:blen)
+            in
+            let deltas =
+              Array.mapi
+                (fun i d ->
+                  Erasure.Codec.delta_into ~old_data:olds.(i)
+                    ~new_data:news.(i) ~into:d;
+                  (j0 + i, d))
+                ds
+            in
+            Erasure.Codec.apply_deltas_into codec ~parity_idx:(pos - m)
+              ~deltas ~parity:out;
+            Array.iter (Brick.scratch_release t.brick) ds;
             Some out
           end
           else None

@@ -6,34 +6,39 @@
    ones (parity, replication), and in both cases every mixed selection
    of identity and parity rows stays invertible.
 
-   The hot paths are engineered like kernels (see DESIGN.md):
-   - every generator coefficient >= 2 has its 256-entry product table
-     resolved at codec construction, so encode does one branch-free
-     table lookup per byte (c = 0 rows are skipped, c = 1 rows take the
-     64-bit-wide XOR path in Gf256.Field);
-   - decode memoizes its inverted submatrix and the row tables in a
-     bounded LRU keyed by the sorted surviving-index set, so repeated
-     degraded reads and recovery over the same survivors skip Gaussian
-     elimination entirely;
+   The hot paths are engineered like kernels (see DESIGN.md 4b):
+   - every codec picks one Gf256.Kernel implementation at construction
+     (fastest available by default, overridable per codec or via the
+     FAB_GF_KERNEL environment variable) and precompiles its linear maps
+     against it, so steady-state encode/decode never branches on kernel
+     choice or builds a table;
+   - encode applies all n - m parity rows as one fused Kernel.rows map
+     per stripe, and decode memoizes its inverted submatrix as a fused
+     map in a bounded LRU keyed by the sorted surviving-index set, so
+     repeated degraded reads and recovery over the same survivors skip
+     Gaussian elimination and table setup entirely;
+   - parity-delta application goes through per-(parity, data)
+     precompiled multipliers, including a batched entry point that folds
+     several deltas into a parity block in a single pass;
    - [encode_into]/[decode_into]/[reconstruct_into] write into
      caller-provided buffers so steady-state paths can reuse scratch
      instead of allocating per operation. *)
 
 module F = Gf256.Field
 module M = Gf256.Matrix
+module K = Gf256.Kernel
 
 type kind = Rs | Parity | Replication
 
-(* One output row of a linear map over the stripe: the coefficient array
-   and, for each coefficient, its product table. Tables for c < 2 are
-   present but unused (those coefficients dispatch to memset/blit/XOR). *)
-type row = { coeffs : int array; tables : Bytes.t array }
-
-let make_row coeffs = { coeffs; tables = Array.map F.mul_table coeffs }
-
 (* A memoized decode plan: the inverse of the generator submatrix for
-   one sorted set of surviving indices, with per-entry product tables. *)
-type plan = { rows : row array }
+   one sorted set of surviving indices, precompiled as a fused kernel
+   map. Reconstruction rows (generator row composed with the inverse)
+   are derived lazily per target index and memoized alongside. *)
+type plan = {
+  p_rows : K.rows; (* m x m: survivors -> data blocks *)
+  p_coeffs : int array array; (* the inverse matrix itself *)
+  p_recon : K.rows option array; (* length n: survivors -> block idx *)
+}
 
 type cached_plan = { plan : plan; mutable last_use : int }
 
@@ -47,8 +52,7 @@ type plan_cache = {
 
 (* Big enough to hold every m-subset of common codes (C(8,5) = 56) but
    bounded so wide codes (C(14,10) = 1001 subsets) cannot pin unbounded
-   memory: each plan is O(m^2) ints plus pointers to the globally cached
-   product tables. *)
+   memory: each plan is O(m^2) ints plus its precompiled kernel map. *)
 let plan_cache_capacity = 128
 
 type t = {
@@ -56,12 +60,16 @@ type t = {
   m : int;
   n : int;
   gen : M.t;
-  parity_rows : row array; (* rows m..n-1 of gen, table-resolved *)
+  kernel : K.impl;
+  encode_rows : K.rows; (* (n - m) x m parity map, fused *)
+  delta_muls : K.mul array array; (* (n - m) x m precompiled multipliers *)
   plans : plan_cache;
 }
 
 let m t = t.m
 let n t = t.n
+let kernel t = t.kernel
+let kernel_name t = K.name t.kernel
 
 let coeff t ~row ~col =
   if row < 0 || row >= t.n || col < 0 || col >= t.m then
@@ -72,17 +80,19 @@ let systematic_generator ~m ~n parity_row =
   M.init ~rows:n ~cols:m (fun r c ->
       if r < m then if r = c then 1 else 0 else parity_row (r - m) c)
 
-let make ~kind ~m ~n gen =
-  let parity_rows =
-    Array.init (n - m) (fun p ->
-        make_row (Array.init m (fun c -> M.get gen (m + p) c)))
+let make ~kind ?kernel ~m ~n gen =
+  let kernel = K.select ?impl:kernel () in
+  let parity_coeffs =
+    Array.init (n - m) (fun p -> Array.init m (fun c -> M.get gen (m + p) c))
   in
   {
     kind;
     m;
     n;
     gen;
-    parity_rows;
+    kernel;
+    encode_rows = K.make_rows kernel parity_coeffs;
+    delta_muls = Array.map (Array.map (K.make_mul kernel)) parity_coeffs;
     plans =
       {
         tbl = Hashtbl.create 32;
@@ -93,7 +103,7 @@ let make ~kind ~m ~n gen =
       };
   }
 
-let rs ~m ~n =
+let rs ?kernel ~m ~n () =
   if m < 1 || n <= m || n > 256 then
     invalid_arg "Erasure.Codec.rs: need 1 <= m < n <= 256";
   (* xs indexes parity rows, ys indexes data columns; the two index sets
@@ -101,40 +111,17 @@ let rs ~m ~n =
   let xs = Array.init (n - m) (fun i -> m + i) in
   let ys = Array.init m (fun j -> j) in
   let c = M.cauchy ~xs ~ys in
-  make ~kind:Rs ~m ~n (systematic_generator ~m ~n (M.get c))
+  make ~kind:Rs ?kernel ~m ~n (systematic_generator ~m ~n (M.get c))
 
-let parity ~m =
+let parity ?kernel ~m () =
   if m < 1 then invalid_arg "Erasure.Codec.parity: need m >= 1";
   let n = m + 1 in
-  make ~kind:Parity ~m ~n (systematic_generator ~m ~n (fun _ _ -> 1))
+  make ~kind:Parity ?kernel ~m ~n (systematic_generator ~m ~n (fun _ _ -> 1))
 
-let replication ~n =
+let replication ?kernel ~n () =
   if n < 2 then invalid_arg "Erasure.Codec.replication: need n >= 2";
-  make ~kind:Replication ~m:1 ~n (systematic_generator ~m:1 ~n (fun _ _ -> 1))
-
-(* ------------------------------------------------------------------ *)
-(* Row application kernel                                              *)
-(* ------------------------------------------------------------------ *)
-
-(* dst <- sum_k row.coeffs.(k) * srcs.(k). The first contributing term
-   overwrites (so dst needs no pre-zeroing); subsequent terms
-   accumulate. All-zero rows zero-fill. *)
-let apply_row row ~srcs ~dst len =
-  let coeffs = row.coeffs and tables = row.tables in
-  let started = ref false in
-  for k = 0 to Array.length coeffs - 1 do
-    let c = Array.unsafe_get coeffs k in
-    if c <> 0 then begin
-      let src = Array.unsafe_get srcs k in
-      (if not !started then
-         if c = 1 then Bytes.blit src 0 dst 0 len
-         else F.mul_table_slice_set ~dst ~src (Array.unsafe_get tables k)
-       else if c = 1 then F.mul_slice ~dst ~src 1
-       else F.mul_table_slice ~dst ~src (Array.unsafe_get tables k));
-      started := true
-    end
-  done;
-  if not !started then Bytes.fill dst 0 len '\000'
+  make ~kind:Replication ?kernel ~m:1 ~n
+    (systematic_generator ~m:1 ~n (fun _ _ -> 1))
 
 (* ------------------------------------------------------------------ *)
 (* Encode                                                              *)
@@ -168,9 +155,9 @@ let encode_into t stripe ~into =
        self-copy so callers can ship data blocks without duplication. *)
     if into.(i) != stripe.(i) then Bytes.blit stripe.(i) 0 into.(i) 0 len
   done;
-  for p = 0 to t.n - t.m - 1 do
-    apply_row t.parity_rows.(p) ~srcs:stripe ~dst:into.(t.m + p) len
-  done
+  (* All parity rows in one fused pass over the stripe. *)
+  K.apply_rows t.encode_rows ~srcs:stripe
+    ~dsts:(Array.sub into t.m (t.n - t.m))
 
 let encode t stripe =
   let len = check_stripe t stripe in
@@ -213,10 +200,13 @@ let build_plan t idxs =
       (* Impossible for our MDS constructions; defensive. *)
       invalid_arg "Erasure.Codec.decode: singular submatrix"
   | Some inv ->
+      let p_coeffs =
+        Array.init t.m (fun r -> Array.init t.m (fun k -> M.get inv r k))
+      in
       {
-        rows =
-          Array.init t.m (fun r ->
-              make_row (Array.init t.m (fun k -> M.get inv r k)));
+        p_rows = K.make_rows t.kernel p_coeffs;
+        p_coeffs;
+        p_recon = Array.make t.n None;
       }
 
 let evict_lru cache =
@@ -275,9 +265,7 @@ let decode_into t blocks ~into =
     into;
   let idxs, srcs = sorted_inputs blocks in
   let plan = plan_for t idxs in
-  for r = 0 to t.m - 1 do
-    apply_row plan.rows.(r) ~srcs ~dst:into.(r) len
-  done
+  K.apply_rows plan.p_rows ~srcs ~dsts:into
 
 let decode t blocks =
   let len = check_indexed_blocks t blocks in
@@ -315,11 +303,27 @@ let apply_delta_into t ~data_idx ~parity_idx ~delta ~parity =
   check_delta_indices "apply_delta_into" t ~data_idx ~parity_idx;
   if Bytes.length delta <> Bytes.length parity then
     invalid_arg "Erasure.Codec.apply_delta_into: size mismatch";
-  let row = t.parity_rows.(parity_idx) in
-  let c = row.coeffs.(data_idx) in
-  if c = 0 then ()
-  else if c = 1 then F.mul_slice ~dst:parity ~src:delta 1
-  else F.mul_table_slice ~dst:parity ~src:delta row.tables.(data_idx)
+  K.mul_acc t.delta_muls.(parity_idx).(data_idx) ~dst:parity ~src:delta
+
+(* Fold several data-block deltas into one parity block with as few
+   passes over the parity bytes as the kernel allows. Equivalent to
+   iterating {!apply_delta_into}. *)
+let apply_deltas_into t ~parity_idx ~deltas ~parity =
+  if parity_idx < 0 || parity_idx >= t.n - t.m then
+    invalid_arg "Erasure.Codec.apply_deltas_into: parity_idx out of range";
+  let len = Bytes.length parity in
+  Array.iter
+    (fun (data_idx, d) ->
+      if data_idx < 0 || data_idx >= t.m then
+        invalid_arg "Erasure.Codec.apply_deltas_into: data_idx out of range";
+      if Bytes.length d <> len then
+        invalid_arg "Erasure.Codec.apply_deltas_into: size mismatch")
+    deltas;
+  let row = t.delta_muls.(parity_idx) in
+  K.mul_acc_multi
+    (Array.map (fun (di, _) -> row.(di)) deltas)
+    ~dst:parity
+    ~srcs:(Array.map snd deltas)
 
 let apply_delta t ~data_idx ~parity_idx ~delta ~old_parity =
   check_delta_indices "apply_delta" t ~data_idx ~parity_idx;
@@ -340,18 +344,27 @@ let modify t ~data_idx ~parity_idx ~old_data ~new_data ~old_parity =
 (* Rebuilding encoded block [idx] from survivors is the single linear
    map gen_row(idx) . inv(sub), so we compose the coefficient vectors
    (m scalar multiply-accumulates per entry) instead of materializing
-   the m intermediate data blocks. *)
-let reconstruct_row t plan ~idx =
-  if idx < t.m then plan.rows.(idx)
-  else
-    make_row
-      (Array.init t.m (fun k ->
-           let acc = ref 0 in
-           for j = 0 to t.m - 1 do
-             acc :=
-               F.add !acc (F.mul (M.get t.gen idx j) plan.rows.(j).coeffs.(k))
-           done;
-           !acc))
+   the m intermediate data blocks. The compiled single-row map is
+   memoized on the plan, so steady-state recovery of the same block
+   from the same survivors pays no setup. *)
+let recon_rows t plan ~idx =
+  match plan.p_recon.(idx) with
+  | Some rows -> rows
+  | None ->
+      let coeffs =
+        if idx < t.m then plan.p_coeffs.(idx)
+        else
+          Array.init t.m (fun k ->
+              let acc = ref 0 in
+              for j = 0 to t.m - 1 do
+                acc :=
+                  F.add !acc (F.mul (M.get t.gen idx j) plan.p_coeffs.(j).(k))
+              done;
+              !acc)
+      in
+      let rows = K.make_rows t.kernel [| coeffs |] in
+      plan.p_recon.(idx) <- Some rows;
+      rows
 
 let reconstruct_into t ~idx blocks ~into =
   if idx < 0 || idx >= t.n then
@@ -361,7 +374,7 @@ let reconstruct_into t ~idx blocks ~into =
     invalid_arg "Erasure.Codec.reconstruct_into: output block size mismatch";
   let idxs, srcs = sorted_inputs blocks in
   let plan = plan_for t idxs in
-  apply_row (reconstruct_row t plan ~idx) ~srcs ~dst:into len
+  K.apply_rows (recon_rows t plan ~idx) ~srcs ~dsts:[| into |]
 
 let reconstruct_block t ~idx blocks =
   if idx < 0 || idx >= t.n then

@@ -13,23 +13,30 @@
     - {!replication}: mirroring as the degenerate case [m = 1].
 
     All three satisfy the paper's three primitives [encode], [decode]
-    and [modify]. *)
+    and [modify].
+
+    Every codec is compiled against one {!Gf256.Kernel} implementation,
+    chosen at construction: the fastest kernel available on the machine
+    by default, overridable per codec with [?kernel] or process-wide
+    with the [FAB_GF_KERNEL] environment variable. All kernels compute
+    byte-identical results; see {!kernel_name}. *)
 
 type t
 (** An m-of-n codec. Codecs are immutable and can be shared freely. *)
 
-val rs : m:int -> n:int -> t
-(** [rs ~m ~n] is a systematic Cauchy Reed-Solomon code. Any square
+val rs : ?kernel:Gf256.Kernel.impl -> m:int -> n:int -> unit -> t
+(** [rs ~m ~n ()] is a systematic Cauchy Reed-Solomon code. Any square
     submatrix of a Cauchy matrix is invertible, so any [m] of the [n]
     blocks suffice to decode.
-    @raise Invalid_argument unless [1 <= m < n <= 256]. *)
+    @raise Invalid_argument unless [1 <= m < n <= 256], or if [?kernel]
+    names an unavailable kernel. *)
 
-val parity : m:int -> t
-(** [parity ~m] is the [m]-of-[m+1] XOR parity code (RAID-5 across
+val parity : ?kernel:Gf256.Kernel.impl -> m:int -> unit -> t
+(** [parity ~m ()] is the [m]-of-[m+1] XOR parity code (RAID-5 across
     bricks). @raise Invalid_argument unless [m >= 1]. *)
 
-val replication : n:int -> t
-(** [replication ~n] is 1-of-[n] mirroring: every encoded block is a
+val replication : ?kernel:Gf256.Kernel.impl -> n:int -> unit -> t
+(** [replication ~n ()] is 1-of-[n] mirroring: every encoded block is a
     copy of the single data block.
     @raise Invalid_argument unless [n >= 2]. *)
 
@@ -38,6 +45,13 @@ val m : t -> int
 
 val n : t -> int
 (** Total number of encoded blocks per stripe. *)
+
+val kernel : t -> Gf256.Kernel.impl
+(** The GF(2^8) kernel implementation this codec was compiled against. *)
+
+val kernel_name : t -> string
+(** [Gf256.Kernel.name (kernel t)]; stamped into benchmark metadata and
+    workload statistics. *)
 
 val coeff : t -> row:int -> col:int -> Gf256.Field.t
 (** [coeff t ~row ~col] is the generator-matrix entry used to weight
@@ -114,6 +128,17 @@ val apply_delta_into :
     {!delta} into [parity] in place: [parity ^= coeff * delta]. [delta]
     must not alias [parity]. This is the allocation-free core of
     {!apply_delta} and {!modify}.
+    @raise Invalid_argument on out-of-range indices or size mismatch. *)
+
+val apply_deltas_into :
+  t -> parity_idx:int -> deltas:(int * Bytes.t) array -> parity:Bytes.t ->
+  unit
+(** [apply_deltas_into t ~parity_idx ~deltas ~parity] folds several
+    [(data_idx, delta)] pairs into [parity] with as few passes over the
+    parity bytes as the kernel allows (multi-source accumulation under
+    the table kernels). Equivalent to calling {!apply_delta_into} once
+    per pair; used by replicas applying a multi-block write in one step.
+    Deltas must not alias [parity].
     @raise Invalid_argument on out-of-range indices or size mismatch. *)
 
 val reconstruct_block : t -> idx:int -> (int * Bytes.t) list -> Bytes.t

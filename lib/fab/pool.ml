@@ -87,9 +87,9 @@ let create_volume t ~name ~m ~n ?layout ~stripes () =
   in
   let layout_fn = Layout.make kind ~bricks:t.nbricks ~n in
   let codec =
-    if m = 1 then Erasure.Codec.replication ~n
-    else if n = m + 1 then Erasure.Codec.parity ~m
-    else Erasure.Codec.rs ~m ~n
+    if m = 1 then Erasure.Codec.replication ~n ()
+    else if n = m + 1 then Erasure.Codec.parity ~m ()
+    else Erasure.Codec.rs ~m ~n ()
   in
   let mq = Quorum.Mquorum.create ~n ~m in
   let first_stripe = t.next_stripe in

@@ -46,6 +46,10 @@ let of_cluster ~cluster ~m ~stripes ~block_size ~op_retries
     stripe_offset }
 
 let cluster t = t.cluster
+
+let codec t =
+  Core.Config.codec t.cluster.Core.Cluster.cfg ~stripe:t.stripe_offset
+
 let capacity_blocks t = t.stripes * t.m
 let block_size t = t.block_size
 let m t = t.m

@@ -70,6 +70,12 @@ val of_cluster :
 val stripe_offset : t -> int
 
 val cluster : t -> Core.Cluster.t
+
+val codec : t -> Erasure.Codec.t
+(** The erasure codec of this volume's stripes (a volume is uniform:
+    every stripe uses the same codec instance). Exposed so tools can
+    report the selected GF(2^8) kernel and decode-plan cache behavior. *)
+
 val capacity_blocks : t -> int
 val block_size : t -> int
 val m : t -> int

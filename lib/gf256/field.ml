@@ -177,6 +177,111 @@ let mul_table_slice_set_unchecked ~dst ~src table len =
     Bytes.unsafe_set dst i (Bytes.unsafe_get table s)
   done
 
+(* Multi-source accumulate: one read-modify-write pass over [dst] folds
+   in two (or four) table-mapped sources, halving (quartering) the dst
+   memory traffic compared to chaining single-source kernels. These are
+   the "acc2/acc4" building blocks of the fused codec kernels. *)
+
+let mul_table_slice_acc2_unchecked ~dst ~src1 t1 ~src2 t2 len =
+  let words = len lsr 3 in
+  for w = 0 to words - 1 do
+    let off = w lsl 3 in
+    unsafe_set_64 dst off
+      (Int64.logxor (unsafe_get_64 dst off)
+         (Int64.logxor
+            (lookup_word t1 (unsafe_get_64 src1 off))
+            (lookup_word t2 (unsafe_get_64 src2 off))))
+  done;
+  for i = words lsl 3 to len - 1 do
+    let s1 = Char.code (Bytes.unsafe_get src1 i) in
+    let s2 = Char.code (Bytes.unsafe_get src2 i) in
+    Bytes.unsafe_set dst i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst i)
+         lxor Char.code (Bytes.unsafe_get t1 s1)
+         lxor Char.code (Bytes.unsafe_get t2 s2)))
+  done
+
+let mul_table_slice_acc4_unchecked ~dst ~src1 t1 ~src2 t2 ~src3 t3 ~src4 t4 len
+    =
+  let words = len lsr 3 in
+  for w = 0 to words - 1 do
+    let off = w lsl 3 in
+    let a =
+      Int64.logxor
+        (lookup_word t1 (unsafe_get_64 src1 off))
+        (lookup_word t2 (unsafe_get_64 src2 off))
+    in
+    let b =
+      Int64.logxor
+        (lookup_word t3 (unsafe_get_64 src3 off))
+        (lookup_word t4 (unsafe_get_64 src4 off))
+    in
+    unsafe_set_64 dst off
+      (Int64.logxor (unsafe_get_64 dst off) (Int64.logxor a b))
+  done;
+  for i = words lsl 3 to len - 1 do
+    let s1 = Char.code (Bytes.unsafe_get src1 i) in
+    let s2 = Char.code (Bytes.unsafe_get src2 i) in
+    let s3 = Char.code (Bytes.unsafe_get src3 i) in
+    let s4 = Char.code (Bytes.unsafe_get src4 i) in
+    Bytes.unsafe_set dst i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst i)
+         lxor Char.code (Bytes.unsafe_get t1 s1)
+         lxor Char.code (Bytes.unsafe_get t2 s2)
+         lxor Char.code (Bytes.unsafe_get t3 s3)
+         lxor Char.code (Bytes.unsafe_get t4 s4)))
+  done
+
+let mul_table_slice_acc2 ~dst ~src1 t1 ~src2 t2 =
+  let len = check_slice "mul_table_slice_acc2" ~dst ~src:src1 in
+  if Bytes.length src2 <> len then
+    invalid_arg "Gf256.Field.mul_table_slice_acc2: length mismatch";
+  check_table "mul_table_slice_acc2" t1;
+  check_table "mul_table_slice_acc2" t2;
+  mul_table_slice_acc2_unchecked ~dst ~src1 t1 ~src2 t2 len
+
+let mul_table_slice_acc4 ~dst ~src1 t1 ~src2 t2 ~src3 t3 ~src4 t4 =
+  let len = check_slice "mul_table_slice_acc4" ~dst ~src:src1 in
+  if
+    Bytes.length src2 <> len || Bytes.length src3 <> len
+    || Bytes.length src4 <> len
+  then invalid_arg "Gf256.Field.mul_table_slice_acc4: length mismatch";
+  check_table "mul_table_slice_acc4" t1;
+  check_table "mul_table_slice_acc4" t2;
+  check_table "mul_table_slice_acc4" t3;
+  check_table "mul_table_slice_acc4" t4;
+  mul_table_slice_acc4_unchecked ~dst ~src1 t1 ~src2 t2 ~src3 t3 ~src4 t4 len
+
+(* ------------------------------------------------------------------ *)
+(* SPLIT(8,4) nibble tables                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* For a coefficient c the product c * s splits over the nibbles of s:
+   c * s = c * (s_hi << 4) + c * s_lo, so two 16-entry tables — one for
+   each nibble — reproduce the full 256-entry product table in 32 bytes.
+   This is the table layout consumed by byte-shuffle SIMD (SSSE3
+   [pshufb], NEON [tbl]) and by the 64-bit lane-expanded kernels in
+   {!Gf256.Kernel}. Layout: bytes 0..15 are c * v, bytes 16..31 are
+   c * (v << 4). Cached per coefficient (256 * 32 B = 8 KiB total). *)
+
+let split_tables_cache : Bytes.t option array = Array.make field_size None
+
+let split_tables c =
+  check_element c;
+  match split_tables_cache.(c) with
+  | Some t -> t
+  | None ->
+      let mul_c s = if c = 0 || s = 0 then 0 else exp.(log.(c) + log.(s)) in
+      let t =
+        Bytes.init 32 (fun i ->
+            Char.unsafe_chr
+              (if i < 16 then mul_c i else mul_c ((i - 16) lsl 4)))
+      in
+      split_tables_cache.(c) <- Some t;
+      t
+
 let mul_table_slice ~dst ~src table =
   let len = check_slice "mul_table_slice" ~dst ~src in
   check_table "mul_table_slice" table;

@@ -78,6 +78,32 @@ val mul_table_slice_set : dst:Bytes.t -> src:Bytes.t -> Bytes.t -> unit
     @raise Invalid_argument if the buffers have different lengths or
     [table] is not 256 bytes. *)
 
+val mul_table_slice_acc2 :
+  dst:Bytes.t -> src1:Bytes.t -> Bytes.t -> src2:Bytes.t -> Bytes.t -> unit
+(** [mul_table_slice_acc2 ~dst ~src1 t1 ~src2 t2] sets
+    [dst.(i) <- dst.(i) + t1.[src1.(i)] + t2.[src2.(i)]]: two
+    table-mapped sources folded into [dst] in a single read-modify-write
+    pass, halving the destination memory traffic of two chained
+    {!mul_table_slice} calls.
+    @raise Invalid_argument on length mismatch or non-256-entry table. *)
+
+val mul_table_slice_acc4 :
+  dst:Bytes.t ->
+  src1:Bytes.t -> Bytes.t -> src2:Bytes.t -> Bytes.t ->
+  src3:Bytes.t -> Bytes.t -> src4:Bytes.t -> Bytes.t -> unit
+(** Four-source variant of {!mul_table_slice_acc2}: one pass over [dst]
+    accumulates four table-mapped sources. *)
+
+val split_tables : t -> Bytes.t
+(** [split_tables c] is the 32-byte SPLIT(8,4) table pair for [c]:
+    bytes [0..15] hold [c * v] for the low nibble [v], bytes [16..31]
+    hold [c * (v << 4)] for the high nibble, so
+    [c * s = lo.[s land 15] lxor hi.[s lsr 4]]. This is the layout
+    consumed by byte-shuffle SIMD (SSSE3 [pshufb] / NEON [tbl]) and by
+    the lane-expanded kernels in {!Gf256.Kernel}. Cached per
+    coefficient; the returned bytes MUST NOT be mutated.
+    @raise Invalid_argument if [c] is out of range. *)
+
 val check_element : t -> unit
 (** [check_element a] raises [Invalid_argument] unless [0 <= a <= 255].
     Called by {!mul}, {!inv} and {!div}, so scalar entry points reject

@@ -1,0 +1,520 @@
+(* Kernel dispatch for GF(2^8) slice arithmetic.
+
+   Four interchangeable implementations of the same linear-map
+   primitives, selected per codec at construction time:
+
+   - [Scalar]: byte-at-a-time log/exp reference. Slow on purpose — it
+     is the ground truth every other kernel is property-tested against
+     and the honest "before" row in the microbenchmarks.
+   - [Table]: the PR-1 kernels — one 256-entry product table per
+     coefficient, applied 8 bytes per step ({!Field.mul_table_slice}).
+   - [Split64]: SPLIT(8,4) tables expanded into 64-bit lookup lanes.
+     For an r-row fused map each coefficient column gets a 256-entry
+     table of 64-bit words whose byte lane p holds [c_p * s]; one
+     lookup then feeds up to 8 output rows at once, and the interleaved
+     accumulator is de-interleaved into the row buffers after the last
+     source. r-fold fewer lookups than [Table] on multi-row maps.
+   - [C_simd]: the same SPLIT(8,4) tables handed to C stubs that apply
+     them 16/32 bytes per step with byte shuffles (SSSE3/AVX2 pshufb,
+     NEON tbl). Only offered when the stubs report usable SIMD.
+
+   All implementations share the trivial-row fast path: rows with at
+   most one nonzero coefficient (identity rows of decode plans over
+   surviving data blocks, replication rows) are served by blit /
+   zero-fill / single-table passes and never enter the fused engines,
+   so replicated and systematic-survivor workloads keep their
+   wide-XOR/memcpy speed under every kernel.
+
+   The module keeps one process-wide scratch buffer for the Split64
+   interleaved accumulator; like the rest of the codec hot paths it is
+   not safe for concurrent use from multiple domains. *)
+
+module F = Field
+
+type impl = Scalar | Table | Split64 | C_simd
+
+let all = [ Scalar; Table; Split64; C_simd ]
+
+let name = function
+  | Scalar -> "scalar"
+  | Table -> "table"
+  | Split64 -> "split64"
+  | C_simd -> "c_simd"
+
+let of_name = function
+  | "scalar" -> Scalar
+  | "table" -> Table
+  | "split64" -> Split64
+  | "c_simd" -> C_simd
+  | s -> invalid_arg (Printf.sprintf "Gf256.Kernel.of_name: unknown kernel %S" s)
+
+(* ------------------------------------------------------------------ *)
+(* C stubs                                                             *)
+(* ------------------------------------------------------------------ *)
+
+external stub_simd_level : unit -> int = "gf256_simd_level" [@@noalloc]
+
+external c_mul_acc : Bytes.t -> Bytes.t -> Bytes.t -> int -> unit
+  = "gf256_mul_acc_stub"
+[@@noalloc]
+
+external c_mul_set : Bytes.t -> Bytes.t -> Bytes.t -> int -> unit
+  = "gf256_mul_set_stub"
+[@@noalloc]
+
+external c_rows_apply :
+  Bytes.t -> Bytes.t array -> Bytes.t array -> int -> int -> int -> bool ->
+  unit = "gf256_rows_apply_bytecode" "gf256_rows_apply_native"
+[@@noalloc]
+
+let simd_level = stub_simd_level ()
+
+let available = function
+  | Scalar | Table | Split64 -> true
+  | C_simd -> simd_level > 0
+
+let available_impls () = List.filter available all
+
+let best_available () = if simd_level > 0 then C_simd else Split64
+
+let env_var = "FAB_GF_KERNEL"
+
+let default () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> best_available ()
+  | Some s ->
+      let impl =
+        try of_name (String.lowercase_ascii s)
+        with Invalid_argument _ ->
+          invalid_arg
+            (Printf.sprintf "%s=%S: unknown kernel (known: %s)" env_var s
+               (String.concat " " (List.map name all)))
+      in
+      if available impl then impl
+      else
+        invalid_arg
+          (Printf.sprintf "%s=%s: kernel unavailable on this machine" env_var
+             (name impl))
+
+(* Selection counters: how many codecs picked each implementation since
+   process start. Surfaced through Metrics.Registry by the simulator
+   CLI so --stats-json records which kernel served a run. *)
+let selections = Array.make 4 0
+
+let impl_index = function Scalar -> 0 | Table -> 1 | Split64 -> 2 | C_simd -> 3
+
+let select ?impl () =
+  let impl = match impl with Some i -> i | None -> default () in
+  if not (available impl) then
+    invalid_arg
+      (Printf.sprintf "Gf256.Kernel.select: %s unavailable" (name impl));
+  selections.(impl_index impl) <- selections.(impl_index impl) + 1;
+  impl
+
+let selection_counts () =
+  List.map (fun i -> (name i, selections.(impl_index i))) all
+
+(* ------------------------------------------------------------------ *)
+(* Wide-word helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+(* Process-wide scratch for the Split64 interleaved accumulator: 8
+   bytes (one lane word) per source byte, grown on demand. *)
+let scratch = ref Bytes.empty
+
+let ensure_scratch len =
+  let need = len lsl 3 in
+  if Bytes.length !scratch < need then
+    scratch := Bytes.create (max need 8192);
+  !scratch
+
+(* ------------------------------------------------------------------ *)
+(* Scalar reference ops                                                *)
+(* ------------------------------------------------------------------ *)
+
+let scalar_mul_acc ~dst ~src c len =
+  for i = 0 to len - 1 do
+    let p = F.mul c (Char.code (Bytes.unsafe_get src i)) in
+    Bytes.unsafe_set dst i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst i) lxor p))
+  done
+
+let scalar_mul_set ~dst ~src c len =
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set dst i
+      (Char.unsafe_chr (F.mul c (Char.code (Bytes.unsafe_get src i))))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Single-coefficient multipliers                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Both table layouts are precomputed at construction (and globally
+   cached per coefficient in Field), so the hot calls never allocate —
+   this also retires the last per-call [mul_table] lookups the old
+   codec paid on every delta application. *)
+type mul = { mimpl : impl; c : int; t256 : Bytes.t; t32 : Bytes.t }
+
+let make_mul impl c =
+  F.check_element c;
+  { mimpl = impl; c; t256 = F.mul_table c; t32 = F.split_tables c }
+
+let mul_coeff m = m.c
+
+let check_pair name ~dst ~src =
+  let len = Bytes.length src in
+  if Bytes.length dst <> len then
+    invalid_arg (Printf.sprintf "Gf256.Kernel.%s: length mismatch" name);
+  len
+
+let mul_acc m ~dst ~src =
+  let len = check_pair "mul_acc" ~dst ~src in
+  match m.mimpl with
+  | _ when m.c = 0 -> ()
+  | Scalar -> scalar_mul_acc ~dst ~src m.c len
+  | _ when m.c = 1 -> F.mul_slice ~dst ~src 1
+  | Table | Split64 -> F.mul_table_slice ~dst ~src m.t256
+  | C_simd -> c_mul_acc dst src m.t32 len
+
+let mul_set m ~dst ~src =
+  let len = check_pair "mul_set" ~dst ~src in
+  match m.mimpl with
+  | _ when m.c = 0 -> Bytes.fill dst 0 len '\000'
+  | Scalar -> scalar_mul_set ~dst ~src m.c len
+  | _ when m.c = 1 -> Bytes.blit src 0 dst 0 len
+  | Table | Split64 -> F.mul_table_slice_set ~dst ~src m.t256
+  | C_simd -> c_mul_set dst src m.t32 len
+
+(* Fold many (coefficient, source) products into one destination with
+   as few destination passes as the implementation allows. Used for
+   batched parity-delta application. *)
+let mul_acc_multi muls ~dst ~srcs =
+  let n = Array.length muls in
+  if Array.length srcs <> n then
+    invalid_arg "Gf256.Kernel.mul_acc_multi: arity mismatch";
+  if n > 0 then begin
+    let len = Bytes.length dst in
+    Array.iter
+      (fun s ->
+        if Bytes.length s <> len then
+          invalid_arg "Gf256.Kernel.mul_acc_multi: length mismatch")
+      srcs;
+    match muls.(0).mimpl with
+    | Scalar | C_simd ->
+        Array.iteri (fun i m -> mul_acc m ~dst ~src:srcs.(i)) muls
+    | Table | Split64 ->
+        (* XOR columns wide, general columns in acc4/acc2 chunks. *)
+        let gen = ref [] in
+        Array.iteri
+          (fun i m ->
+            if m.c = 1 then F.mul_slice ~dst ~src:srcs.(i) 1
+            else if m.c > 1 then gen := (srcs.(i), m.t256) :: !gen)
+          muls;
+        let rec chunks = function
+          | (s1, t1) :: (s2, t2) :: (s3, t3) :: (s4, t4) :: rest ->
+              F.mul_table_slice_acc4 ~dst ~src1:s1 t1 ~src2:s2 t2 ~src3:s3 t3
+                ~src4:s4 t4;
+              chunks rest
+          | (s1, t1) :: (s2, t2) :: rest ->
+              F.mul_table_slice_acc2 ~dst ~src1:s1 t1 ~src2:s2 t2;
+              chunks rest
+          | [ (s, t) ] -> F.mul_table_slice ~dst ~src:s t
+          | [] -> ()
+        in
+        chunks !gen
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fused row-group application                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Trivial rows (at most one nonzero coefficient) bypass the fused
+   engines entirely. *)
+type trivial = T_zero | T_one of int (* column; coefficient 1 *) | T_mul of int * mul
+
+(* A lane group: up to 8 dense output rows served by one set of
+   lane-expanded tables. [rows] are indices into the caller's dst
+   array; [tables.(j)] is the 256 x 8 B lane table of source column j. *)
+type lane_group = { g_rows : int array; g_tables : Bytes.t array }
+
+type dense =
+  | D_none
+  | D_rowtables of { d_rows : int array; d_tables : Bytes.t array array }
+    (* Scalar (tables unused) and Table: one 256-table per (row, col). *)
+  | D_multi of { d_row : int; d_muls : mul array; d_srcidx : int array }
+    (* Split64 with a single dense row: multi-source acc2/acc4. *)
+  | D_lanes of lane_group array
+    (* Split64 with >= 2 dense rows: lane-fused groups. *)
+  | D_c of { d_rows : int array; d_tables : Bytes.t }
+    (* C_simd: r' * k * 32 B of SPLIT(8,4) tables, applied in C. *)
+
+type rows = {
+  impl : impl;
+  r : int;
+  k : int;
+  coeffs : int array array;
+  trivial : (int * trivial) array; (* (row, op) *)
+  dense : dense;
+}
+
+let lane_table cols =
+  (* cols.(lane) is the coefficient feeding that lane; entry [s] packs
+     [cols.(lane) * s] into byte lane [lane] of a 64-bit word. Written
+     and read in native byte order, so lane extraction by integer
+     shifts is endian-agnostic. *)
+  let t = Bytes.create 2048 in
+  for s = 0 to 255 do
+    let w = ref 0L in
+    Array.iteri
+      (fun lane c ->
+        w :=
+          Int64.logor !w
+            (Int64.shift_left (Int64.of_int (F.mul c s)) (lane * 8)))
+      cols;
+    Bytes.set_int64_ne t (s * 8) !w
+  done;
+  t
+
+let make_rows impl coeffs =
+  let r = Array.length coeffs in
+  if r = 0 then invalid_arg "Gf256.Kernel.make_rows: no rows";
+  let k = Array.length coeffs.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then
+        invalid_arg "Gf256.Kernel.make_rows: ragged coefficient matrix";
+      Array.iter F.check_element row)
+    coeffs;
+  let trivial = ref [] and dense_rows = ref [] in
+  Array.iteri
+    (fun p row ->
+      let nonzero = ref 0 and last = ref 0 in
+      Array.iteri
+        (fun j c -> if c <> 0 then begin incr nonzero; last := j end)
+        row;
+      match !nonzero with
+      | 0 -> trivial := (p, T_zero) :: !trivial
+      | 1 when row.(!last) = 1 -> trivial := (p, T_one !last) :: !trivial
+      | 1 -> trivial := (p, T_mul (!last, make_mul impl row.(!last))) :: !trivial
+      | _ -> dense_rows := p :: !dense_rows)
+    coeffs;
+  let trivial = Array.of_list (List.rev !trivial) in
+  let dense_rows = Array.of_list (List.rev !dense_rows) in
+  let dense =
+    if Array.length dense_rows = 0 then D_none
+    else
+      match impl with
+      | Scalar ->
+          D_rowtables { d_rows = dense_rows; d_tables = [||] }
+      | Table ->
+          D_rowtables
+            {
+              d_rows = dense_rows;
+              d_tables =
+                Array.map
+                  (fun p -> Array.map F.mul_table coeffs.(p))
+                  dense_rows;
+            }
+      | Split64 ->
+          if Array.length dense_rows = 1 then begin
+            let p = dense_rows.(0) in
+            let muls = ref [] and idxs = ref [] in
+            Array.iteri
+              (fun j c ->
+                if c <> 0 then begin
+                  muls := make_mul Split64 c :: !muls;
+                  idxs := j :: !idxs
+                end)
+              coeffs.(p);
+            D_multi
+              {
+                d_row = p;
+                d_muls = Array.of_list (List.rev !muls);
+                d_srcidx = Array.of_list (List.rev !idxs);
+              }
+          end
+          else begin
+            let ngroups = (Array.length dense_rows + 7) / 8 in
+            D_lanes
+              (Array.init ngroups (fun g ->
+                   let lo = g * 8 in
+                   let lanes = min 8 (Array.length dense_rows - lo) in
+                   let g_rows = Array.sub dense_rows lo lanes in
+                   let g_tables =
+                     Array.init k (fun j ->
+                         lane_table
+                           (Array.map (fun p -> coeffs.(p).(j)) g_rows))
+                   in
+                   { g_rows; g_tables }))
+          end
+      | C_simd ->
+          let r' = Array.length dense_rows in
+          let tb = Bytes.create (r' * k * 32) in
+          Array.iteri
+            (fun p' p ->
+              Array.iteri
+                (fun j c ->
+                  Bytes.blit (F.split_tables c) 0 tb (((p' * k) + j) * 32) 32)
+                coeffs.(p))
+            dense_rows;
+          D_c { d_rows = dense_rows; d_tables = tb }
+  in
+  { impl; r; k; coeffs; trivial; dense }
+
+let rows_impl t = t.impl
+let rows_shape t = (t.r, t.k)
+
+(* --- Split64 fused engine ------------------------------------------ *)
+
+(* One pass per source: scratch word i accumulates the lane-expanded
+   products of every source's byte i. Sources are read byte-wise (the
+   per-byte index is needed for the lookup anyway, and byte reads keep
+   the kernel endian-agnostic); tables and scratch move 8 bytes per
+   step. *)
+let split_acc_pass ~sc ~src ~tbl ~len ~first =
+  if first then
+    for i = 0 to len - 1 do
+      let s = Char.code (Bytes.unsafe_get src i) in
+      unsafe_set_64 sc (i lsl 3) (unsafe_get_64 tbl (s lsl 3))
+    done
+  else
+    for i = 0 to len - 1 do
+      let s = Char.code (Bytes.unsafe_get src i) in
+      let off = i lsl 3 in
+      unsafe_set_64 sc off
+        (Int64.logxor (unsafe_get_64 sc off) (unsafe_get_64 tbl (s lsl 3)))
+    done
+
+(* Lane extraction goes through two 32-bit halves so no byte is lost to
+   OCaml's 63-bit int truncation. *)
+let deinterleave_lane ~sc ~dst ~len ~lane ~acc =
+  let shift = (lane land 3) * 8 in
+  let hi_half = lane >= 4 in
+  for i = 0 to len - 1 do
+    let w = unsafe_get_64 sc (i lsl 3) in
+    let half =
+      if hi_half then Int64.to_int (Int64.shift_right_logical w 32)
+      else Int64.to_int w land 0xffffffff
+    in
+    let v = (half lsr shift) land 0xff in
+    let v =
+      if acc then Char.code (Bytes.unsafe_get dst i) lxor v else v
+    in
+    Bytes.unsafe_set dst i (Char.unsafe_chr v)
+  done
+
+let apply_lane_group ~group ~srcs ~dsts ~len ~acc =
+  let sc = ensure_scratch len in
+  Array.iteri
+    (fun j src ->
+      split_acc_pass ~sc ~src ~tbl:group.g_tables.(j) ~len ~first:(j = 0))
+    srcs;
+  Array.iteri
+    (fun lane p ->
+      deinterleave_lane ~sc ~dst:dsts.(p) ~len ~lane ~acc)
+    group.g_rows
+
+(* --- Table / Scalar row loop --------------------------------------- *)
+
+let apply_row_tables ~coeffs ~tables ~srcs ~dst ~len ~acc =
+  (* The PR-1 per-row kernel: first contributing term overwrites unless
+     accumulating, the rest fold in; c = 1 takes the wide-XOR path. *)
+  let started = ref acc in
+  Array.iteri
+    (fun j c ->
+      if c <> 0 then begin
+        let src = srcs.(j) in
+        (if not !started then
+           if c = 1 then Bytes.blit src 0 dst 0 len
+           else F.mul_table_slice_set ~dst ~src tables.(j)
+         else if c = 1 then F.mul_slice ~dst ~src 1
+         else F.mul_table_slice ~dst ~src tables.(j));
+        started := true
+      end)
+    coeffs;
+  if not !started then Bytes.fill dst 0 len '\000'
+
+let apply_row_scalar ~coeffs ~srcs ~dst ~len ~acc =
+  for i = 0 to len - 1 do
+    let v = ref (if acc then Char.code (Bytes.unsafe_get dst i) else 0) in
+    Array.iteri
+      (fun j c ->
+        if c <> 0 then
+          v := !v lxor F.mul c (Char.code (Bytes.unsafe_get srcs.(j) i)))
+      coeffs;
+    Bytes.unsafe_set dst i (Char.unsafe_chr !v)
+  done
+
+(* --- Dispatch ------------------------------------------------------ *)
+
+let apply_trivial t ~srcs ~dsts ~len ~acc =
+  Array.iter
+    (fun (p, op) ->
+      let dst = dsts.(p) in
+      match op with
+      | T_zero -> if not acc then Bytes.fill dst 0 len '\000'
+      | T_one j ->
+          if acc then F.mul_slice ~dst ~src:srcs.(j) 1
+          else if dst != srcs.(j) then Bytes.blit srcs.(j) 0 dst 0 len
+      | T_mul (j, m) ->
+          if acc then mul_acc m ~dst ~src:srcs.(j)
+          else mul_set m ~dst ~src:srcs.(j))
+    t.trivial
+
+let apply_rows ?(acc = false) t ~srcs ~dsts =
+  if Array.length srcs <> t.k then
+    invalid_arg "Gf256.Kernel.apply_rows: expected k sources";
+  if Array.length dsts <> t.r then
+    invalid_arg "Gf256.Kernel.apply_rows: expected r destinations";
+  let len = if t.k > 0 then Bytes.length srcs.(0) else 0 in
+  Array.iter
+    (fun b ->
+      if Bytes.length b <> len then
+        invalid_arg "Gf256.Kernel.apply_rows: source length mismatch")
+    srcs;
+  Array.iter
+    (fun b ->
+      if Bytes.length b <> len then
+        invalid_arg "Gf256.Kernel.apply_rows: destination length mismatch")
+    dsts;
+  apply_trivial t ~srcs ~dsts ~len ~acc;
+  match t.dense with
+  | D_none -> ()
+  | D_rowtables { d_rows; d_tables } ->
+      Array.iteri
+        (fun i p ->
+          match t.impl with
+          | Scalar ->
+              apply_row_scalar ~coeffs:t.coeffs.(p) ~srcs ~dst:dsts.(p) ~len
+                ~acc
+          | _ ->
+              apply_row_tables ~coeffs:t.coeffs.(p) ~tables:d_tables.(i) ~srcs
+                ~dst:dsts.(p) ~len ~acc)
+        d_rows
+  | D_multi { d_row; d_muls; d_srcidx } ->
+      let dst = dsts.(d_row) in
+      if not acc then begin
+        (* Initialize from the first term, accumulate the rest. *)
+        let m0 = d_muls.(0) in
+        mul_set m0 ~dst ~src:srcs.(d_srcidx.(0));
+        mul_acc_multi
+          (Array.sub d_muls 1 (Array.length d_muls - 1))
+          ~dst
+          ~srcs:
+            (Array.init
+               (Array.length d_muls - 1)
+               (fun i -> srcs.(d_srcidx.(i + 1))))
+      end
+      else
+        mul_acc_multi d_muls ~dst
+          ~srcs:(Array.map (fun j -> srcs.(j)) d_srcidx)
+  | D_lanes groups ->
+      Array.iter
+        (fun group -> apply_lane_group ~group ~srcs ~dsts ~len ~acc)
+        groups
+  | D_c { d_rows; d_tables } ->
+      let dense_dsts = Array.map (fun p -> dsts.(p)) d_rows in
+      c_rows_apply d_tables srcs dense_dsts t.k (Array.length d_rows) len acc

@@ -24,7 +24,7 @@ let test_roundtrip_all_subsets () =
   let configs = [ (1, 3); (2, 3); (2, 4); (3, 5); (5, 8); (4, 6) ] in
   List.iter
     (fun (m, n) ->
-      let codec = if m = 1 then C.replication ~n else C.rs ~m ~n in
+      let codec = if m = 1 then C.replication ~n () else C.rs ~m ~n () in
       let stripe = random_stripe rng m in
       let enc = C.encode codec stripe in
       Alcotest.(check int) "n blocks" n (Array.length enc);
@@ -46,7 +46,7 @@ let test_roundtrip_all_subsets () =
 let test_parity_codec_is_xor () =
   let rng = Random.State.make [| 12 |] in
   let m = 4 in
-  let codec = C.parity ~m in
+  let codec = C.parity ~m () in
   let stripe = random_stripe rng m in
   let enc = C.encode codec stripe in
   let xor = Bytes.make block_size '\000' in
@@ -61,7 +61,7 @@ let test_parity_codec_is_xor () =
     (Bytes.equal enc.(m) xor)
 
 let test_replication_copies () =
-  let codec = C.replication ~n:4 in
+  let codec = C.replication ~n:4 () in
   let b = Bytes.make block_size 'x' in
   let enc = C.encode codec [| b |] in
   Array.iter
@@ -72,7 +72,7 @@ let test_modify_equals_reencode () =
   let rng = Random.State.make [| 13 |] in
   List.iter
     (fun (m, n) ->
-      let codec = if n = m + 1 then C.parity ~m else C.rs ~m ~n in
+      let codec = if n = m + 1 then C.parity ~m () else C.rs ~m ~n () in
       let stripe = random_stripe rng m in
       let enc = C.encode codec stripe in
       for j = 0 to m - 1 do
@@ -94,7 +94,7 @@ let test_modify_equals_reencode () =
 
 let test_delta_composition () =
   let rng = Random.State.make [| 14 |] in
-  let codec = C.rs ~m:5 ~n:8 in
+  let codec = C.rs ~m:5 ~n:8 () in
   let stripe = random_stripe rng 5 in
   let enc = C.encode codec stripe in
   let new_b = Bytes.init block_size (fun _ -> Char.chr (Random.State.int rng 256)) in
@@ -114,7 +114,7 @@ let test_delta_composition () =
 
 let test_reconstruct_block () =
   let rng = Random.State.make [| 15 |] in
-  let codec = C.rs ~m:3 ~n:6 in
+  let codec = C.rs ~m:3 ~n:6 () in
   let stripe = random_stripe rng 3 in
   let enc = C.encode codec stripe in
   (* Rebuild every block from the "other" blocks. *)
@@ -131,7 +131,7 @@ let test_reconstruct_block () =
   done
 
 let test_coeff_systematic () =
-  let codec = C.rs ~m:4 ~n:7 in
+  let codec = C.rs ~m:4 ~n:7 () in
   for r = 0 to 3 do
     for c = 0 to 3 do
       Alcotest.(check int) "identity top" (if r = c then 1 else 0)
@@ -164,7 +164,7 @@ let test_into_equals_allocating () =
   let configs = [ (2, 4); (3, 5); (5, 8) ] in
   List.iter
     (fun (m, n) ->
-      let codec = C.rs ~m ~n in
+      let codec = C.rs ~m ~n () in
       List.iter
         (fun len ->
           let stripe = random_stripe_len rng m len in
@@ -209,7 +209,7 @@ let test_encode_into_aliased_data () =
   List.iter
     (fun len ->
       let m = 3 and n = 5 in
-      let codec = C.rs ~m ~n in
+      let codec = C.rs ~m ~n () in
       let stripe = random_stripe_len rng m len in
       let expected = C.encode codec stripe in
       let into =
@@ -225,7 +225,7 @@ let test_delta_into_equals_delta () =
   let rng = Random.State.make [| 23 |] in
   List.iter
     (fun len ->
-      let codec = C.rs ~m:4 ~n:7 in
+      let codec = C.rs ~m:4 ~n:7 () in
       let stripe = random_stripe_len rng 4 len in
       let enc = C.encode codec stripe in
       let new_b = Bytes.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
@@ -258,7 +258,7 @@ let test_delta_into_equals_delta () =
 let test_plan_cache () =
   let rng = Random.State.make [| 24 |] in
   let m = 3 and n = 6 in
-  let codec = C.rs ~m ~n in
+  let codec = C.rs ~m ~n () in
   let stripe = random_stripe rng m in
   let enc = C.encode codec stripe in
   C.reset_plan_cache codec;
@@ -305,14 +305,14 @@ let prop_tests =
     qtest "rs(3,5): decode any parity-heavy subset"
       (QCheck.pair (stripe_gen 3) (QCheck.int_range 0 9))
       (fun (stripe, pick) ->
-        let codec = C.rs ~m:3 ~n:5 in
+        let codec = C.rs ~m:3 ~n:5 () in
         let enc = C.encode codec stripe in
         let all = subsets 3 0 5 in
         let subset = List.nth all (pick mod List.length all) in
         let dec = C.decode codec (List.map (fun i -> (i, enc.(i))) subset) in
         Array.for_all2 Bytes.equal dec stripe);
     qtest "rs(5,8): encode deterministic" (stripe_gen 5) (fun stripe ->
-        let codec = C.rs ~m:5 ~n:8 in
+        let codec = C.rs ~m:5 ~n:8 () in
         let a = C.encode codec stripe and b = C.encode codec stripe in
         Array.for_all2 Bytes.equal a b);
     qtest "delta of equal blocks is zero" (stripe_gen 1) (fun s ->
@@ -321,7 +321,7 @@ let prop_tests =
   ]
 
 let test_errors () =
-  let codec = C.rs ~m:3 ~n:5 in
+  let codec = C.rs ~m:3 ~n:5 () in
   let stripe = Array.init 3 (fun _ -> Bytes.make 8 'a') in
   let enc = C.encode codec stripe in
   Alcotest.check_raises "wrong count"
@@ -338,24 +338,129 @@ let test_errors () =
       ignore (C.decode codec [ (0, enc.(0)); (1, enc.(1)); (9, enc.(2)) ]));
   Alcotest.check_raises "rs m >= n"
     (Invalid_argument "Erasure.Codec.rs: need 1 <= m < n <= 256") (fun () ->
-      ignore (C.rs ~m:5 ~n:5));
+      ignore (C.rs ~m:5 ~n:5 ()));
   Alcotest.check_raises "replication n < 2"
     (Invalid_argument "Erasure.Codec.replication: need n >= 2") (fun () ->
-      ignore (C.replication ~n:1))
+      ignore (C.replication ~n:1 ()))
 
 let test_pp () =
   Alcotest.(check string) "pp rs" "rs(5,8)"
-    (Format.asprintf "%a" C.pp (C.rs ~m:5 ~n:8));
+    (Format.asprintf "%a" C.pp (C.rs ~m:5 ~n:8 ()));
   Alcotest.(check string) "pp parity" "parity(4,5)"
-    (Format.asprintf "%a" C.pp (C.parity ~m:4));
+    (Format.asprintf "%a" C.pp (C.parity ~m:4 ()));
   Alcotest.(check string) "pp replication" "replication(1,3)"
-    (Format.asprintf "%a" C.pp (C.replication ~n:3))
+    (Format.asprintf "%a" C.pp (C.replication ~n:3 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Kernel backends: every available GF(2^8) kernel must produce
+   byte-identical codec results.                                       *)
+(* ------------------------------------------------------------------ *)
+
+module K = Gf256.Kernel
+
+(* rs(5,8) under every kernel: identical encodings, identical decodes
+   over every m-subset of survivors, identical reconstruction of every
+   block. Lengths include non-multiples of 8/16/32 so each kernel's
+   tail handling is exercised. *)
+let test_kernels_byte_identical () =
+  let rng = Random.State.make [| 61 |] in
+  let m = 5 and n = 8 in
+  let impls = K.available_impls () in
+  let codecs = List.map (fun k -> (k, C.rs ~kernel:k ~m ~n ())) impls in
+  List.iter
+    (fun len ->
+      let stripe = random_stripe_len rng m len in
+      let reference = C.encode (List.assoc K.Scalar codecs) stripe in
+      List.iter
+        (fun (impl, codec) ->
+          Alcotest.(check string)
+            "kernel_name reflects request" (K.name impl)
+            (C.kernel_name codec);
+          let enc = C.encode codec stripe in
+          if not (stripes_equal enc reference) then
+            Alcotest.failf "%s encode len=%d diverges from scalar"
+              (K.name impl) len;
+          List.iter
+            (fun subset ->
+              let blocks = List.map (fun i -> (i, enc.(i))) subset in
+              let dec = C.decode codec blocks in
+              if not (stripes_equal dec stripe) then
+                Alcotest.failf "%s decode len=%d [%s] wrong" (K.name impl) len
+                  (String.concat "," (List.map string_of_int subset));
+              List.iter
+                (fun idx ->
+                  if not (List.mem idx subset) then
+                    let rebuilt = C.reconstruct_block codec ~idx blocks in
+                    if not (Bytes.equal rebuilt enc.(idx)) then
+                      Alcotest.failf "%s reconstruct %d len=%d [%s] wrong"
+                        (K.name impl) idx len
+                        (String.concat "," (List.map string_of_int subset)))
+                (List.init n Fun.id))
+            (subsets m 0 n))
+        codecs)
+    [ 13; 32; 100 ]
+
+(* The batched multi-delta fold equals sequential single-delta folds,
+   under every kernel and for every batch size. *)
+let test_apply_deltas_batched () =
+  let rng = Random.State.make [| 62 |] in
+  let m = 5 and n = 8 in
+  let len = 57 in
+  List.iter
+    (fun impl ->
+      let codec = C.rs ~kernel:impl ~m ~n () in
+      let stripe = random_stripe_len rng m len in
+      let enc = C.encode codec stripe in
+      List.iter
+        (fun batch ->
+          let deltas =
+            Array.init batch (fun i ->
+                ( (i * 2) mod m,
+                  Bytes.init len (fun _ -> Char.chr (Random.State.int rng 256))
+                ))
+          in
+          for p = 0 to n - m - 1 do
+            let expected = Bytes.copy enc.(m + p) in
+            Array.iter
+              (fun (data_idx, d) ->
+                C.apply_delta_into codec ~data_idx ~parity_idx:p ~delta:d
+                  ~parity:expected)
+              deltas;
+            let batched = Bytes.copy enc.(m + p) in
+            C.apply_deltas_into codec ~parity_idx:p ~deltas ~parity:batched;
+            if not (Bytes.equal batched expected) then
+              Alcotest.failf "%s batched deltas (batch=%d, p=%d) diverge"
+                (K.name impl) batch p
+          done)
+        [ 0; 1; 2; 3; 5 ])
+    (K.available_impls ())
+
+(* Codec construction honours the FAB_GF_KERNEL override and rejects
+   unknown names (same contract as Gf256.Kernel.default). *)
+let test_codec_kernel_env () =
+  List.iter
+    (fun impl ->
+      Unix.putenv K.env_var (K.name impl);
+      let codec = C.rs ~m:3 ~n:5 () in
+      Alcotest.(check string) "env-forced codec kernel" (K.name impl)
+        (C.kernel_name codec))
+    (K.available_impls ());
+  Unix.putenv K.env_var "bogus";
+  (try
+     ignore (C.rs ~m:3 ~n:5 ());
+     Alcotest.fail "unknown kernel accepted"
+   with Invalid_argument _ -> ());
+  Unix.putenv K.env_var "";
+  let codec = C.rs ~m:3 ~n:5 () in
+  Alcotest.(check string) "empty env falls back to best"
+    (K.name (K.best_available ()))
+    (C.kernel_name codec)
 
 let test_large_code () =
   (* A wide code near the field-size limit still round-trips. *)
   let rng = Random.State.make [| 16 |] in
   let m = 20 and n = 36 in
-  let codec = C.rs ~m ~n in
+  let codec = C.rs ~m ~n () in
   let stripe = random_stripe rng m in
   let enc = C.encode codec stripe in
   (* Decode from the last m blocks (all parity-heavy). *)
@@ -391,6 +496,15 @@ let () =
           Alcotest.test_case "delta_into / apply_delta_into" `Quick
             test_delta_into_equals_delta;
           Alcotest.test_case "plan cache stats" `Quick test_plan_cache;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "all kernels byte-identical" `Quick
+            test_kernels_byte_identical;
+          Alcotest.test_case "batched deltas equal sequential" `Quick
+            test_apply_deltas_batched;
+          Alcotest.test_case "FAB_GF_KERNEL env override" `Quick
+            test_codec_kernel_env;
         ] );
       ("properties", prop_tests);
       ( "errors",

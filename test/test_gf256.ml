@@ -213,6 +213,242 @@ let test_wide_kernels_match_reference () =
     slice_lengths
 
 (* ------------------------------------------------------------------ *)
+(* Multi-source accumulators and split tables                          *)
+(* ------------------------------------------------------------------ *)
+
+let rng_bytes rng len =
+  Bytes.init len (fun _ -> Char.chr (Random.State.int rng 256))
+
+(* acc2/acc4 fold their sources exactly like chained single-source
+   passes, on every length class. *)
+let test_acc_kernels_match_chained () =
+  let rng = Random.State.make [| 31 |] in
+  List.iter
+    (fun len ->
+      let srcs = Array.init 4 (fun _ -> rng_bytes rng len) in
+      let cs = Array.init 4 (fun _ -> 2 + Random.State.int rng 254) in
+      let tabs = Array.map F.mul_table cs in
+      let dst0 = rng_bytes rng len in
+      let expected = Bytes.copy dst0 in
+      Array.iteri
+        (fun i t -> F.mul_table_slice ~dst:expected ~src:srcs.(i) t)
+        tabs;
+      let dst2 = Bytes.copy dst0 in
+      F.mul_table_slice_acc2 ~dst:dst2 ~src1:srcs.(0) tabs.(0) ~src2:srcs.(1)
+        tabs.(1);
+      F.mul_table_slice_acc2 ~dst:dst2 ~src1:srcs.(2) tabs.(2) ~src2:srcs.(3)
+        tabs.(3);
+      if not (Bytes.equal dst2 expected) then
+        Alcotest.failf "acc2 len=%d diverges from chained passes" len;
+      let dst4 = Bytes.copy dst0 in
+      F.mul_table_slice_acc4 ~dst:dst4 ~src1:srcs.(0) tabs.(0) ~src2:srcs.(1)
+        tabs.(1) ~src3:srcs.(2) tabs.(2) ~src4:srcs.(3) tabs.(3);
+      if not (Bytes.equal dst4 expected) then
+        Alcotest.failf "acc4 len=%d diverges from chained passes" len)
+    slice_lengths
+
+(* The SPLIT(8,4) nibble tables must reproduce c * s for every pair:
+   c * s = lo[s land 15] lxor hi[s lsr 4]. *)
+let test_split_tables_agree () =
+  for c = 0 to 255 do
+    let t = F.split_tables c in
+    check_int "split table length" 32 (Bytes.length t);
+    for s = 0 to 255 do
+      let p =
+        Char.code (Bytes.get t (s land 15))
+        lxor Char.code (Bytes.get t (16 + (s lsr 4)))
+      in
+      if p <> F.mul c s then
+        Alcotest.failf "split_tables %d disagrees with mul at %d" c s
+    done;
+    Alcotest.(check bool) "cached" true (F.split_tables c == t)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Kernel dispatch layer                                               *)
+(* ------------------------------------------------------------------ *)
+
+module K = Gf256.Kernel
+
+(* Unaligned and sub-word lengths: the wide kernels must handle 64-bit
+   bodies, SIMD tails and lengths below one vector identically. *)
+let kernel_lengths = [ 1; 7; 8; 9; 15; 17; 64; 65; 257; 1000 ]
+
+(* Every implementation, every coefficient, every length class:
+   mul_acc/mul_set match the scalar field definition, including when
+   dst and src are the same buffer. *)
+let test_kernel_mul_equivalence () =
+  let rng = Random.State.make [| 41 |] in
+  List.iter
+    (fun impl ->
+      for c = 0 to 255 do
+        let len = List.nth kernel_lengths (c mod List.length kernel_lengths) in
+        let mul = K.make_mul impl c in
+        let src = rng_bytes rng len in
+        let dst0 = rng_bytes rng len in
+        let dst = Bytes.copy dst0 in
+        K.mul_acc mul ~dst ~src;
+        for i = 0 to len - 1 do
+          let expected =
+            Char.code (Bytes.get dst0 i)
+            lxor F.mul c (Char.code (Bytes.get src i))
+          in
+          if Char.code (Bytes.get dst i) <> expected then
+            Alcotest.failf "%s mul_acc c=%d len=%d mismatch at %d"
+              (K.name impl) c len i
+        done;
+        let dst = Bytes.copy dst0 in
+        K.mul_set mul ~dst ~src;
+        for i = 0 to len - 1 do
+          if
+            Char.code (Bytes.get dst i)
+            <> F.mul c (Char.code (Bytes.get src i))
+          then
+            Alcotest.failf "%s mul_set c=%d len=%d mismatch at %d"
+              (K.name impl) c len i
+        done;
+        (* Aliased dst == src (in-place scale / self-accumulate). *)
+        let self = Bytes.copy src in
+        K.mul_acc mul ~dst:self ~src:self;
+        for i = 0 to len - 1 do
+          let v = Char.code (Bytes.get src i) in
+          if Char.code (Bytes.get self i) <> v lxor F.mul c v then
+            Alcotest.failf "%s mul_acc aliased c=%d mismatch at %d"
+              (K.name impl) c i
+        done;
+        let self = Bytes.copy src in
+        K.mul_set mul ~dst:self ~src:self;
+        for i = 0 to len - 1 do
+          let v = Char.code (Bytes.get src i) in
+          if Char.code (Bytes.get self i) <> F.mul c v then
+            Alcotest.failf "%s mul_set aliased c=%d mismatch at %d"
+              (K.name impl) c i
+        done
+      done)
+    (K.available_impls ())
+
+(* mul_acc_multi equals sequential mul_acc under every kernel. *)
+let test_kernel_mul_multi () =
+  let rng = Random.State.make [| 43 |] in
+  List.iter
+    (fun impl ->
+      List.iter
+        (fun nsrc ->
+          let len = 137 in
+          let cs = Array.init nsrc (fun _ -> Random.State.int rng 256) in
+          let muls = Array.map (K.make_mul impl) cs in
+          let srcs = Array.init nsrc (fun _ -> rng_bytes rng len) in
+          let dst0 = rng_bytes rng len in
+          let expected = Bytes.copy dst0 in
+          Array.iteri
+            (fun i m -> K.mul_acc m ~dst:expected ~src:srcs.(i))
+            muls;
+          let dst = Bytes.copy dst0 in
+          K.mul_acc_multi muls ~dst ~srcs;
+          if not (Bytes.equal dst expected) then
+            Alcotest.failf "%s mul_acc_multi nsrc=%d diverges" (K.name impl)
+              nsrc)
+        [ 0; 1; 2; 3; 4; 5; 9 ])
+    (K.available_impls ())
+
+(* Fused row groups: every implementation against the scalar reference,
+   across shapes that exercise the trivial-row fast path (zero rows,
+   identity rows, single-coefficient rows), single dense rows, full
+   lane groups and multi-group maps (r > 8), in both overwrite and
+   accumulate modes. *)
+let test_kernel_rows_equivalence () =
+  let rng = Random.State.make [| 47 |] in
+  let shapes =
+    [ (1, 1); (1, 4); (2, 3); (4, 10); (5, 8); (8, 5); (10, 10); (14, 3) ]
+  in
+  List.iter
+    (fun (r, k) ->
+      List.iter
+        (fun len ->
+          let coeffs =
+            Array.init r (fun p ->
+                Array.init k (fun j ->
+                    (* Seed trivial rows alongside dense ones. *)
+                    match p mod 4 with
+                    | 0 -> if j = p mod k then 1 else 0
+                    | 1 when r > 1 -> 0
+                    | _ -> Random.State.int rng 256))
+          in
+          let srcs = Array.init k (fun _ -> rng_bytes rng len) in
+          let dsts0 = Array.init r (fun _ -> rng_bytes rng len) in
+          let scalar = K.make_rows K.Scalar coeffs in
+          let expected = Array.map Bytes.copy dsts0 in
+          K.apply_rows scalar ~srcs ~dsts:expected;
+          let expected_acc = Array.map Bytes.copy dsts0 in
+          K.apply_rows ~acc:true scalar ~srcs ~dsts:expected_acc;
+          List.iter
+            (fun impl ->
+              let rows = K.make_rows impl coeffs in
+              let dsts = Array.map Bytes.copy dsts0 in
+              K.apply_rows rows ~srcs ~dsts;
+              Array.iteri
+                (fun p b ->
+                  if not (Bytes.equal b expected.(p)) then
+                    Alcotest.failf "%s rows %dx%d len=%d row %d diverges"
+                      (K.name impl) r k len p)
+                dsts;
+              let dsts = Array.map Bytes.copy dsts0 in
+              K.apply_rows ~acc:true rows ~srcs ~dsts;
+              Array.iteri
+                (fun p b ->
+                  if not (Bytes.equal b expected_acc.(p)) then
+                    Alcotest.failf "%s rows acc %dx%d len=%d row %d diverges"
+                      (K.name impl) r k len p)
+                dsts)
+            (K.available_impls ()))
+        [ 1; 9; 64; 257 ])
+    shapes
+
+(* Forcing each kernel through the environment override: unset and
+   empty pick the best available, explicit names pick that kernel, and
+   unknown names are rejected. *)
+let test_kernel_dispatch_env () =
+  let set v = Unix.putenv K.env_var v in
+  set "";
+  Alcotest.(check bool)
+    "empty means best available" true
+    (K.default () = K.best_available ());
+  List.iter
+    (fun impl ->
+      set (K.name impl);
+      Alcotest.(check string)
+        ("env forces " ^ K.name impl)
+        (K.name impl)
+        (K.name (K.default ())))
+    (K.available_impls ());
+  set "not-a-kernel";
+  (try
+     ignore (K.default ());
+     Alcotest.fail "unknown kernel name accepted"
+   with Invalid_argument _ -> ());
+  set "";
+  (* Selection counters move when codec constructions pick a kernel. *)
+  let before = List.assoc "table" (K.selection_counts ()) in
+  ignore (K.select ~impl:K.Table ());
+  let after = List.assoc "table" (K.selection_counts ()) in
+  check_int "selection counted" (before + 1) after
+
+let test_kernel_names () =
+  List.iter
+    (fun impl ->
+      Alcotest.(check bool)
+        ("of_name roundtrip " ^ K.name impl)
+        true
+        (K.of_name (K.name impl) = impl))
+    K.all;
+  Alcotest.(check bool) "scalar always available" true (K.available K.Scalar);
+  Alcotest.(check bool) "split64 always available" true
+    (K.available K.Split64);
+  Alcotest.(check bool)
+    "c_simd availability tracks simd level" (K.simd_level > 0)
+    (K.available K.C_simd)
+
+(* ------------------------------------------------------------------ *)
 (* Matrices                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -339,7 +575,23 @@ let () =
               test_mul_table_agrees;
             Alcotest.test_case "wide kernels match reference" `Quick
               test_wide_kernels_match_reference;
+            Alcotest.test_case "acc2/acc4 match chained passes" `Quick
+              test_acc_kernels_match_chained;
+            Alcotest.test_case "split tables agree with mul" `Quick
+              test_split_tables_agree;
           ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "names and availability" `Quick test_kernel_names;
+          Alcotest.test_case "mul equivalence (all coefficients)" `Quick
+            test_kernel_mul_equivalence;
+          Alcotest.test_case "mul_acc_multi equals sequential" `Quick
+            test_kernel_mul_multi;
+          Alcotest.test_case "fused rows equivalence" `Quick
+            test_kernel_rows_equivalence;
+          Alcotest.test_case "dispatch env override" `Quick
+            test_kernel_dispatch_env;
+        ] );
       ( "matrix",
         [
           Alcotest.test_case "identity mul" `Quick test_identity_mul;
