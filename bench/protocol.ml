@@ -209,15 +209,25 @@ let run () =
       let num k v = (k, F v) in
       let doc =
         [
+          (* Full meta stamp (commit, date, kernel, seed) so bench_diff
+             can refuse apples-to-oranges comparisons, same as
+             BENCH_micro.json. *)
           section "meta"
-            [
-              ("m", I m);
-              ("n", I n);
-              ("span_stripes", I span_stripes);
-              ("block_size", I block_size);
-              ("requests", I requests);
-              ("smoke", B !smoke);
-            ];
+            (Obs.Meta.standard
+               ~extra:
+                 [
+                   ("tool", S "bench protocol");
+                   ("seed", I 1);
+                   ("m", I m);
+                   ("n", I n);
+                   ("span_stripes", I span_stripes);
+                   ("block_size", I block_size);
+                   ("requests", I requests);
+                   ("smoke", B !smoke);
+                   ("gf_kernel", S Gf256.Kernel.(name (default ())));
+                   ("simd_level", I Gf256.Kernel.simd_level);
+                 ]
+               ());
           section "pipeline"
             [
               num "serial_read_ops_per_kdelta" (ops_per_kdelta serial_r);

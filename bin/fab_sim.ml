@@ -35,6 +35,23 @@ let summary_fields s =
       ("p50", Obs.Json.F (S.percentile s 50.));
       ("p95", Obs.Json.F (S.percentile s 95.));
       ("p99", Obs.Json.F (S.percentile s 99.));
+      ("p999", Obs.Json.F (S.percentile s 99.9));
+    ]
+
+let hist_fields h =
+  let module H = Metrics.Hist in
+  if H.count h = 0 then [ ("count", Obs.Json.I 0) ]
+  else
+    [
+      ("count", Obs.Json.I (H.count h));
+      ("mean", Obs.Json.F (H.mean h));
+      ("min", Obs.Json.F (H.min h));
+      ("max", Obs.Json.F (H.max h));
+      ("p50", Obs.Json.F (H.percentile h 50.));
+      ("p95", Obs.Json.F (H.percentile h 95.));
+      ("p99", Obs.Json.F (H.percentile h 99.));
+      ("p999", Obs.Json.F (H.percentile h 99.9));
+      ("rel_error", Obs.Json.F (H.relative_error h));
     ]
 
 (* One nesting level: {"a": {...}, "b": {...}}. *)
@@ -467,12 +484,15 @@ let run_explain file per_op validate =
       if validate then begin
         List.iter (Printf.eprintf "schema error: %s\n") schema_errors;
         List.iter (Printf.eprintf "span error: %s\n") span_errors;
-        if schema_errors <> [] || span_errors <> [] then
-          `Error
-            ( false,
-              Printf.sprintf "trace validation failed (%d schema, %d span)"
-                (List.length schema_errors)
-                (List.length span_errors) )
+        if schema_errors <> [] || span_errors <> [] then begin
+          (* Exit 1, not via [`Error]: cmdliner reserves 124 for CLI
+             usage errors, and a bad trace is a checked input failure
+             scripts need to distinguish (documented exit code 1). *)
+          Printf.eprintf "fab_sim: trace validation failed (%d schema, %d span)\n"
+            (List.length schema_errors)
+            (List.length span_errors);
+          exit 1
+        end
         else begin
           Printf.printf "\nvalidation: OK (schema + span well-formedness)\n";
           `Ok ()
@@ -498,6 +518,618 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:"Replay a structured trace into per-op phase-latency breakdowns")
     Term.(ret (const run_explain $ file $ per_op $ validate))
+
+(* ---------------- report ---------------- *)
+
+(* Nested JSON for BENCH_workload.json (Obs.Json is flat by design —
+   the event schema — so the report builds its own small tree). *)
+module Jt = struct
+  type t = O of (string * t) list | A of t list | L of Obs.Json.v
+
+  let rec render ?(level = 0) = function
+    | L v -> Obs.Json.render v
+    | A items -> "[" ^ String.concat ", " (List.map (render ~level) items) ^ "]"
+    | O [] -> "{}"
+    | O fields ->
+        let pad = String.make (2 * (level + 1)) ' ' in
+        "{\n"
+        ^ String.concat ",\n"
+            (List.map
+               (fun (k, v) -> pad ^ quote k ^ ": " ^ render ~level:(level + 1) v)
+               fields)
+        ^ "\n" ^ String.make (2 * level) ' ' ^ "}"
+end
+
+(* "rep-K" (K-way replication = 1-of-K) or "ec-M-N" (M-of-N code). *)
+let parse_geometry s =
+  let fail () =
+    Error (`Msg (Printf.sprintf "bad geometry %S (want rep-K or ec-M-N)" s))
+  in
+  match String.split_on_char '-' s with
+  | [ "rep"; k ] -> (
+      match int_of_string_opt k with
+      | Some k when k >= 2 -> Ok (s, 1, k)
+      | _ -> fail ())
+  | [ "ec"; m; n ] -> (
+      match (int_of_string_opt m, int_of_string_opt n) with
+      | Some m, Some n when 1 <= m && m < n -> Ok (s, m, n)
+      | _ -> fail ())
+  | _ -> fail ()
+
+let geometry_conv =
+  Arg.conv
+    ( parse_geometry,
+      fun fmt (name, _, _) -> Format.pp_print_string fmt name )
+
+let profile_of_name = function
+  | "web" -> Ok Workload.Gen.web_server
+  | "oltp" -> Ok Workload.Gen.oltp
+  | "backup" -> Ok Workload.Gen.backup
+  | "ingest" -> Ok Workload.Gen.ingest
+  | s -> Error (Printf.sprintf "unknown profile %S" s)
+
+let slo_conv =
+  Arg.conv
+    ( (fun s ->
+        match Obs.Slo.parse s with
+        | Result.Ok o -> Ok o
+        | Result.Error e -> Error (`Msg e)),
+      fun fmt o -> Format.pp_print_string fmt (Obs.Slo.name o) )
+
+(* A small fault plan scaled to the deployment and window width: crash
+   the last brick for two windows, then a loss burst for one. *)
+let report_fault_plan ~n ~window =
+  let ev at fault = { Chaos.Plan.at; fault } in
+  Chaos.Plan.make ~name:"report-faults" ~horizon:(8. *. window)
+    [
+      ev (2. *. window) (Chaos.Plan.Crash (n - 1));
+      ev (4. *. window) (Chaos.Plan.Recover (n - 1));
+      ev (5. *. window) (Chaos.Plan.Drop 0.2);
+      ev (6. *. window) (Chaos.Plan.Drop 0.);
+    ]
+
+(* Unicode eighth-blocks; [None] (empty window) renders as a dot. *)
+let spark values =
+  let bars = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+  in
+  let top =
+    List.fold_left
+      (fun acc -> function Some v -> Float.max acc v | None -> acc)
+      0. values
+  in
+  String.concat ""
+    (List.map
+       (function
+         | None -> "\xc2\xb7"
+         | Some v ->
+             let i =
+               if top <= 0. then 0
+               else
+                 min 7 (int_of_float (Float.round (v /. top *. 7.)))
+             in
+             bars.(max 0 i))
+       values)
+
+type cell = {
+  c_name : string;  (* "<geometry>/<profile>" *)
+  c_geom : string;
+  c_profile : string;
+  c_m : int;
+  c_n : int;
+  c_elapsed : float;
+  c_ops : int;
+  c_ok : int;
+  c_aborts : int;
+  c_unavail : int;
+  c_msgs : float;
+  c_net_blocks : float;
+  c_disk_reads : float;
+  c_disk_writes : float;
+  c_latency : Metrics.Summary.t;  (* merged client latency *)
+  c_hist : Metrics.Hist.t;  (* merged client latency histogram *)
+  c_kinds : (string * Metrics.Summary.t * Metrics.Hist.t) list;
+  c_timeline : Obs.Timeline.t;
+  c_slos : Obs.Slo.report list;
+  c_evicted : int;
+}
+
+let run_cell ~geom ~m ~n ~stripes ~block_size ~clients ~ops ~profile_name
+    ~profile ~seed ~window ~faults ~deadline ~slos =
+  let volume =
+    Fab.Volume.create ~m ~n ~stripes ~block_size ~seed
+      ?deadline:(if deadline > 0. then Some deadline else None)
+      ()
+  in
+  let cluster = Fab.Volume.cluster volume in
+  let nbricks = Array.length cluster.Core.Cluster.bricks in
+  let obs = cluster.Core.Cluster.obs in
+  let timeline =
+    Obs.Timeline.create ~classify:Chaos.Plan.overlay_of_label ~width:window ()
+  in
+  Obs.add_sink obs (Obs.Timeline.sink timeline);
+  let obs_stats = Obs.Stats.create ~retain:4096 () in
+  Obs.add_sink obs (Obs.Stats.sink obs_stats);
+  let nemesis =
+    if faults then Some (Chaos.Nemesis.install (report_fault_plan ~n ~window) cluster)
+    else None
+  in
+  let stats = Array.init clients (fun _ -> Workload.Client.fresh_stats ()) in
+  let started = Dessim.Engine.now cluster.Core.Cluster.engine in
+  (* The fault plan crashes brick n-1; keep coordinators off it, as a
+     crashed coordinator strands its client's in-flight op (the
+     workload client has no coordinator failover). *)
+  let coord_slots = if faults then max 1 (nbricks - 1) else nbricks in
+  for c = 0 to clients - 1 do
+    let gen =
+      Workload.Gen.make profile
+        ~capacity_blocks:(Fab.Volume.capacity_blocks volume)
+        ~rng:(Random.State.make [| seed; c |])
+    in
+    Workload.Client.spawn volume ~coord:(c mod coord_slots) ~gen ~ops
+      ~payload_tag:(Char.chr (97 + (c mod 26)))
+      stats.(c)
+  done;
+  Fab.Volume.run ~horizon:10_000_000. volume;
+  Option.iter Chaos.Nemesis.restore nemesis;
+  Obs.close obs;
+  let elapsed = Dessim.Engine.now cluster.Core.Cluster.engine -. started in
+  let metrics = cluster.Core.Cluster.metrics in
+  let total field = Array.fold_left (fun acc s -> acc + field s) 0 stats in
+  let ops_done = total (fun s -> s.Workload.Client.ops) in
+  let aborts = total (fun s -> s.Workload.Client.aborts) in
+  let unavail = total (fun s -> s.Workload.Client.unavailable) in
+  let per_op v = if ops_done = 0 then 0. else v /. float_of_int ops_done in
+  let latency =
+    Array.fold_left
+      (fun acc s -> Metrics.Summary.merge acc s.Workload.Client.latency)
+      (Metrics.Summary.create ())
+      stats
+  in
+  let hist =
+    Array.fold_left
+      (fun acc s -> Metrics.Hist.merge acc s.Workload.Client.latency_hist)
+      (Metrics.Hist.create ())
+      stats
+  in
+  let kinds =
+    List.map
+      (fun (k, sum) ->
+        let h =
+          match List.assoc_opt k (Obs.Stats.hist_by_kind obs_stats) with
+          | Some h -> h
+          | None -> Metrics.Hist.create ()
+        in
+        (k, sum, h))
+      (Obs.Stats.by_kind obs_stats)
+  in
+  {
+    c_name = geom ^ "/" ^ profile_name;
+    c_geom = geom;
+    c_profile = profile_name;
+    c_m = m;
+    c_n = n;
+    c_elapsed = elapsed;
+    c_ops = ops_done;
+    c_ok = ops_done - aborts - unavail;
+    c_aborts = aborts;
+    c_unavail = unavail;
+    c_msgs = per_op (Metrics.Registry.value metrics "net.msgs");
+    c_net_blocks =
+      per_op (Metrics.Registry.value metrics "net.bytes")
+      /. float_of_int block_size;
+    c_disk_reads = per_op (Metrics.Registry.value metrics "disk.reads");
+    c_disk_writes = per_op (Metrics.Registry.value metrics "disk.writes");
+    c_latency = latency;
+    c_hist = hist;
+    c_kinds = kinds;
+    c_timeline = timeline;
+    c_slos = List.map (Obs.Slo.evaluate timeline) slos;
+    c_evicted = Obs.Stats.evicted obs_stats;
+  }
+
+let cell_windows cell =
+  let ts = Obs.Timeline.series cell.c_timeline in
+  match Metrics.Timeseries.span ts with
+  | None -> []
+  | Some (w0, w1) ->
+      List.init (w1 - w0 + 1) (fun i ->
+          let w = w0 + i in
+          let h = Metrics.Timeseries.hist ts "lat.all" w in
+          let pc p =
+            Option.map (fun h -> Metrics.Hist.percentile h p) h
+          in
+          ( w,
+            Metrics.Timeseries.window_start ts w,
+            (match h with Some h -> Metrics.Hist.count h | None -> 0),
+            pc 50.,
+            pc 99.,
+            pc 99.9,
+            Metrics.Timeseries.counter ts "out.ok" w,
+            Metrics.Timeseries.counter ts "retransmits" w,
+            Obs.Timeline.faults_in cell.c_timeline w ))
+
+let cell_json cell =
+  let slo_fields (r : Obs.Slo.report) =
+    ( Obs.Slo.name r.Obs.Slo.objective,
+      Jt.O
+        [
+          ("total", Jt.L (Obs.Json.I r.Obs.Slo.total));
+          ("bad", Jt.L (Obs.Json.I r.Obs.Slo.bad));
+          ("budget_frac", Jt.L (Obs.Json.F r.Obs.Slo.budget_frac));
+          ("burn", Jt.L (Obs.Json.F r.Obs.Slo.burn));
+          ("compliant", Jt.L (Obs.Json.B r.Obs.Slo.compliant));
+        ] )
+  in
+  let windows =
+    List.map
+      (fun (w, t0, n, p50, p99, p999, goodput, rtx, faults) ->
+        let pc name v fields =
+          match v with Some v -> (name, Jt.L (Obs.Json.F v)) :: fields | None -> fields
+        in
+        Jt.O
+          (("w", Jt.L (Obs.Json.I w))
+           :: ("t0", Jt.L (Obs.Json.F t0))
+           :: ("n", Jt.L (Obs.Json.I n))
+           :: (pc "p50" p50 @@ pc "p99" p99 @@ pc "p999" p999
+                 [
+                   ("goodput", Jt.L (Obs.Json.F goodput));
+                   ("retransmits", Jt.L (Obs.Json.F rtx));
+                   ("faults", Jt.L (Obs.Json.S (String.concat "," faults)));
+                 ])))
+      (cell_windows cell)
+  in
+  ( cell.c_name,
+    Jt.O
+      [
+        ("geometry", Jt.L (Obs.Json.S cell.c_geom));
+        ("profile", Jt.L (Obs.Json.S cell.c_profile));
+        ("m", Jt.L (Obs.Json.I cell.c_m));
+        ("n", Jt.L (Obs.Json.I cell.c_n));
+        ("elapsed", Jt.L (Obs.Json.F cell.c_elapsed));
+        ("ops", Jt.L (Obs.Json.I cell.c_ops));
+        ("ok", Jt.L (Obs.Json.I cell.c_ok));
+        ("aborts", Jt.L (Obs.Json.I cell.c_aborts));
+        ("unavailable", Jt.L (Obs.Json.I cell.c_unavail));
+        ( "throughput",
+          Jt.L
+            (Obs.Json.F
+               (if cell.c_elapsed <= 0. then 0.
+                else float_of_int cell.c_ops /. cell.c_elapsed *. 1000.)) );
+        ( "cost_per_op",
+          Jt.O
+            [
+              ("msgs", Jt.L (Obs.Json.F cell.c_msgs));
+              ("net_blocks", Jt.L (Obs.Json.F cell.c_net_blocks));
+              ("disk_reads", Jt.L (Obs.Json.F cell.c_disk_reads));
+              ("disk_writes", Jt.L (Obs.Json.F cell.c_disk_writes));
+            ] );
+        ("latency", Jt.O (List.map (fun (k, v) -> (k, Jt.L v)) (summary_fields cell.c_latency)));
+        ("latency_hist", Jt.O (List.map (fun (k, v) -> (k, Jt.L v)) (hist_fields cell.c_hist)));
+        ( "kinds",
+          Jt.O
+            (List.map
+               (fun (k, sum, h) ->
+                 ( k,
+                   Jt.O
+                     (List.map (fun (k, v) -> (k, Jt.L v)) (summary_fields sum)
+                     @ [ ("hist", Jt.O (List.map (fun (k, v) -> (k, Jt.L v)) (hist_fields h))) ]) ))
+               cell.c_kinds) );
+        ("slo", Jt.O (List.map slo_fields cell.c_slos));
+        ("evicted", Jt.L (Obs.Json.I cell.c_evicted));
+        ("windows", Jt.A windows);
+      ] )
+
+let fnum v = Printf.sprintf "%.2f" v
+let fpct num den = if den = 0 then "0.0%" else Printf.sprintf "%.1f%%" (100. *. float_of_int num /. float_of_int den)
+
+let write_report_md path ~meta ~window ~slos cells =
+  let buf = Buffer.create 8192 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "# FAB workload report";
+  line "";
+  line "%s"
+    (String.concat "  \n"
+       (List.filter_map
+          (fun (k, v) ->
+            if k = "ev" then None
+            else Some (Printf.sprintf "`%s=%s`" k (Obs.Json.render v)))
+          meta));
+  line "";
+  line "Latency in delta units; window width %g delta of simulated time." window;
+  line "";
+  line "## Geometry matrix";
+  line "";
+  line "| cell | ops | ok | abort | unavail | ops/kdelta | mean | p50 | p99 | p99.9 | msgs/op | net blk/op | disk rd/op | disk wr/op |";
+  line "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|";
+  List.iter
+    (fun c ->
+      let h = c.c_hist in
+      let pc p =
+        if Metrics.Hist.count h = 0 then "-"
+        else fnum (Metrics.Hist.percentile h p)
+      in
+      line "| %s | %d | %s | %s | %s | %s | %s | %s | %s | %s | %s | %s | %s | %s |"
+        c.c_name c.c_ops (fpct c.c_ok c.c_ops) (fpct c.c_aborts c.c_ops)
+        (fpct c.c_unavail c.c_ops)
+        (if c.c_elapsed <= 0. then "-"
+         else fnum (float_of_int c.c_ops /. c.c_elapsed *. 1000.))
+        (if Metrics.Summary.count c.c_latency = 0 then "-"
+         else fnum (Metrics.Summary.mean c.c_latency))
+        (pc 50.) (pc 99.) (pc 99.9) (fnum c.c_msgs) (fnum c.c_net_blocks)
+        (fnum c.c_disk_reads) (fnum c.c_disk_writes))
+    cells;
+  line "";
+  line "Cost columns are measured per completed operation — the Table-1";
+  line "currencies (messages, network bandwidth in block units, disk reads,";
+  line "disk writes) of the paper.";
+  line "";
+  line "## SLO compliance";
+  line "";
+  (match slos with
+  | [] -> line "_no objectives declared (pass `--slo`)_"
+  | _ ->
+      line "| cell | objective | governed | out of SLO | budget | burn | compliant |";
+      line "|---|---|---|---|---|---|---|";
+      List.iter
+        (fun c ->
+          List.iter
+            (fun (r : Obs.Slo.report) ->
+              line "| %s | %s | %d | %d | %s | %s | %s |" c.c_name
+                (Obs.Slo.name r.Obs.Slo.objective)
+                r.Obs.Slo.total r.Obs.Slo.bad
+                (Printf.sprintf "%.2f%%" (100. *. r.Obs.Slo.budget_frac))
+                (Printf.sprintf "%.0f%%" (100. *. r.Obs.Slo.burn))
+                (if r.Obs.Slo.compliant then "yes" else "**NO**"))
+            c.c_slos)
+        cells;
+      line "";
+      line "Burn is the share of the error budget spent (>100%% = objective";
+      line "violated). Windows overlapping chaos faults are flagged in the";
+      line "per-cell tables below.");
+  List.iter
+    (fun c ->
+      let ts = Obs.Timeline.series c.c_timeline in
+      let windows = cell_windows c in
+      line "";
+      line "## %s" c.c_name;
+      line "";
+      let wids = List.map (fun (w, _, _, _, _, _, _, _, _) -> w) windows in
+      let p_series p =
+        List.map
+          (fun w ->
+            Option.map (fun h -> Metrics.Hist.percentile h p)
+              (Metrics.Timeseries.hist ts "lat.all" w))
+          wids
+      in
+      let c_series name =
+        List.map (fun w -> Some (Metrics.Timeseries.counter ts name w)) wids
+      in
+      let h_series name p =
+        List.map
+          (fun w ->
+            Option.map (fun h -> Metrics.Hist.percentile h p)
+              (Metrics.Timeseries.hist ts name w))
+          wids
+      in
+      line "| series | over %d windows |" (List.length wids);
+      line "|---|---|";
+      line "| lat p50 | %s |" (spark (p_series 50.));
+      line "| lat p99 | %s |" (spark (p_series 99.));
+      line "| lat p99.9 | %s |" (spark (p_series 99.9));
+      line "| goodput (ok ops) | %s |" (spark (c_series "out.ok"));
+      line "| retransmits | %s |" (spark (c_series "retransmits"));
+      line "| in-flight p99 | %s |" (spark (h_series "inflight" 99.));
+      let fault_row =
+        String.concat ""
+          (List.map
+             (fun (_, _, _, _, _, _, _, _, faults) ->
+               if faults = [] then "\xc2\xb7" else "\xc3\x97")
+             windows)
+      in
+      line "| chaos faults | %s |" fault_row;
+      (match Obs.Timeline.faults c.c_timeline with
+      | [] -> ()
+      | fs ->
+          line "";
+          line "Fault overlays: %s."
+            (String.concat "; "
+               (List.map
+                  (fun (label, t0, t1) ->
+                    if t0 = t1 then Printf.sprintf "%s at %g" label t0
+                    else Printf.sprintf "%s during [%g, %g]" label t0 t1)
+                  fs)));
+      line "";
+      let max_rows = 64 in
+      let shown = List.filteri (fun i _ -> i < max_rows) windows in
+      line "| w | t0 | n | p50 | p99 | p99.9 | goodput | rtx |%s faults |"
+        (String.concat ""
+           (List.map
+              (fun (r : Obs.Slo.report) ->
+                Printf.sprintf " %s |" (Obs.Slo.name r.Obs.Slo.objective))
+              c.c_slos));
+      line "|---|---|---|---|---|---|---|---|%s---|"
+        (String.concat ""
+           (List.map (fun _ -> "---|") c.c_slos));
+      List.iter
+        (fun (w, t0, n, p50, p99, p999, goodput, rtx, faults) ->
+          let cellv = function None -> "-" | Some v -> fnum v in
+          let slo_cells =
+            String.concat ""
+              (List.map
+                 (fun (r : Obs.Slo.report) ->
+                   match
+                     List.find_opt
+                       (fun (ws : Obs.Slo.window_stat) -> ws.Obs.Slo.window = w)
+                       r.Obs.Slo.windows
+                   with
+                   | Some ws when not ws.Obs.Slo.w_compliant -> " **✗** |"
+                   | Some _ -> " ✓ |"
+                   | None -> " - |")
+                 c.c_slos)
+          in
+          line "| %d | %g | %d | %s | %s | %s | %.0f | %.0f |%s %s |" w t0 n
+            (cellv p50) (cellv p99) (cellv p999) goodput rtx slo_cells
+            (String.concat "," faults))
+        shown;
+      if List.length windows > max_rows then
+        line "| … | | | | | | | | %d more windows elided |"
+          (List.length windows - max_rows))
+    cells;
+  line "";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let run_report geometries profiles stripes block_size clients ops seed window
+    slos faults deadline out md =
+  if window <= 0. then `Error (false, "need --window > 0")
+  else
+    let geometries =
+      if geometries = [] then
+        [ ("rep-2", 1, 2); ("rep-3", 1, 3); ("ec-2-4", 2, 4) ]
+      else geometries
+    in
+    let profiles = if profiles = [] then [ "web"; "oltp" ] else profiles in
+    match
+      List.find_map
+        (fun p ->
+          match profile_of_name p with Ok _ -> None | Error e -> Some e)
+        profiles
+    with
+    | Some e -> `Error (false, e)
+    | None ->
+        let resolved =
+          List.map
+            (fun p ->
+              match profile_of_name p with
+              | Ok spec -> (p, spec)
+              | Error _ -> assert false)
+            profiles
+        in
+        let cells =
+          List.concat_map
+            (fun (geom, m, n) ->
+              List.map
+                (fun (profile_name, profile) ->
+                  Printf.printf "report: running %s/%s (%d-of-%d, %d clients x %d ops)...\n%!"
+                    geom profile_name m n clients ops;
+                  run_cell ~geom ~m ~n ~stripes ~block_size ~clients ~ops
+                    ~profile_name ~profile ~seed ~window ~faults ~deadline
+                    ~slos)
+                resolved)
+            geometries
+        in
+        let meta =
+          Obs.Meta.standard
+            ~extra:
+              [
+                ("tool", Obs.Json.S "fab_sim report");
+                ("seed", Obs.Json.I seed);
+                ("stripes", Obs.Json.I stripes);
+                ("block_size", Obs.Json.I block_size);
+                ("clients", Obs.Json.I clients);
+                ("ops", Obs.Json.I ops);
+                ("window", Obs.Json.F window);
+                ("faults", Obs.Json.B faults);
+                ( "geometries",
+                  Obs.Json.S
+                    (String.concat ","
+                       (List.map (fun (g, _, _) -> g) geometries)) );
+                ("profiles", Obs.Json.S (String.concat "," profiles));
+                ( "slos",
+                  Obs.Json.S
+                    (String.concat "; " (List.map Obs.Slo.name slos)) );
+                ("gf_kernel", Obs.Json.S (Gf256.Kernel.name (Gf256.Kernel.default ())));
+                ("simd_level", Obs.Json.I Gf256.Kernel.simd_level);
+              ]
+            ()
+        in
+        let doc =
+          Jt.O
+            [
+              ("meta", Jt.O (List.map (fun (k, v) -> (k, Jt.L v)) meta));
+              ("cells", Jt.O (List.map cell_json cells));
+            ]
+        in
+        let oc = open_out out in
+        output_string oc (Jt.render doc);
+        output_char oc '\n';
+        close_out oc;
+        write_report_md md ~meta ~window ~slos cells;
+        Printf.printf "report: wrote %s and %s (%d cells)\n" out md
+          (List.length cells);
+        `Ok ()
+
+let report_cmd =
+  let geometries =
+    Arg.(value & opt_all geometry_conv []
+         & info [ "geometry" ] ~docv:"GEOM"
+             ~doc:"Geometry to run: rep-K (K-way replication) or ec-M-N \
+                   (M-of-N erasure code). Repeatable; default: rep-2, \
+                   rep-3, ec-2-4.")
+  in
+  let profiles =
+    Arg.(value & opt_all string []
+         & info [ "profile" ] ~docv:"NAME"
+             ~doc:"Workload mix: web, oltp, backup, ingest. Repeatable; \
+                   default: web, oltp.")
+  in
+  let stripes =
+    Arg.(value & opt int 16 & info [ "stripes" ] ~doc:"Stripes per volume.")
+  in
+  let block_size =
+    Arg.(value & opt int 512 & info [ "block-size" ] ~doc:"Block size in bytes.")
+  in
+  let clients =
+    Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Concurrent clients.")
+  in
+  let ops =
+    Arg.(value & opt int 150 & info [ "ops" ] ~doc:"Operations per client.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let window =
+    Arg.(value & opt float 50. & info [ "window" ] ~docv:"DELTA"
+           ~doc:"Time-series window width in delta units of simulated time.")
+  in
+  let slos =
+    Arg.(value & opt_all slo_conv
+           [
+             Obs.Slo.Latency { kind = Some "read"; p = 99.; limit = 6. };
+             Obs.Slo.Availability { min_pct = 99.9 };
+           ]
+         & info [ "slo" ] ~docv:"SLO"
+             ~doc:"Objective, e.g. 'read p99 < 6' or 'availability >= \
+                   99.9%'. Repeatable; replaces the defaults.")
+  in
+  let faults =
+    Arg.(value & flag & info [ "faults" ]
+           ~doc:"Inject a small chaos plan (a crash window and a loss \
+                 burst, scaled to the geometry) into every cell.")
+  in
+  let deadline =
+    Arg.(value & opt float 0. & info [ "deadline" ]
+           ~doc:"Per-operation deadline in delta units (0 = none); give \
+                 one when injecting faults so quorum loss fails fast \
+                 instead of stalling.")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_workload.json" & info [ "out" ] ~docv:"FILE"
+           ~doc:"Machine-readable report (diff two of these with \
+                 scripts/bench_diff).")
+  in
+  let md =
+    Arg.(value & opt string "REPORT_workload.md" & info [ "md" ] ~docv:"FILE"
+           ~doc:"Auto-generated markdown report.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run a geometry matrix and emit BENCH_workload.json plus a \
+             markdown SLO/time-series report")
+    Term.(
+      ret
+        (const run_report $ geometries $ profiles $ stripes $ block_size
+        $ clients $ ops $ seed $ window $ slos $ faults $ deadline $ out $ md))
 
 (* ---------------- chaos ---------------- *)
 
@@ -718,4 +1350,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ workload_cmd; explain_cmd; chaos_cmd; mttdl_cmd; quorum_cmd ]))
+          [
+            workload_cmd;
+            explain_cmd;
+            report_cmd;
+            chaos_cmd;
+            mttdl_cmd;
+            quorum_cmd;
+          ]))

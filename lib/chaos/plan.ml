@@ -128,6 +128,31 @@ let of_string s =
   in
   go 1 lines
 
+(* How a fault shows up on a report's fault-overlay track: faults with
+   a clear undo open/close an interval keyed so begin and end match up;
+   one-shot storage damage is a point. [Torn_crash] opens the same
+   interval a plain crash does — the brick is down either way until its
+   [Recover]. *)
+let overlay_of_fault = function
+  | Crash i | Torn_crash i -> `Begin (Printf.sprintf "crash b%d" i)
+  | Recover i -> `End (Printf.sprintf "crash b%d" i)
+  | Partition _ -> `Begin "partition"
+  | Heal -> `End "partition"
+  | Drop p -> if p > 0. then `Begin "drop" else `End "drop"
+  | Link_down (s, d) -> `Begin (Printf.sprintf "link b%d-b%d" s d)
+  | Link_up (s, d) -> `End (Printf.sprintf "link b%d-b%d" s d)
+  | Skew (i, f) ->
+      if f <> 0. then `Begin (Printf.sprintf "skew b%d" i)
+      else `End (Printf.sprintf "skew b%d" i)
+  | Bit_rot (b, s) -> `Point (Printf.sprintf "bit-rot b%d/s%d" b s)
+  | Sector_error (b, s) -> `Point (Printf.sprintf "sector-error b%d/s%d" b s)
+
+let overlay_of_label label =
+  match parse_fault (String.split_on_char ' ' label
+                     |> List.filter (fun w -> w <> "")) with
+  | fault -> overlay_of_fault fault
+  | exception _ -> `Point label
+
 let max_brick t =
   List.fold_left
     (fun acc e ->

@@ -69,6 +69,129 @@ module Summary : sig
   val pp : Format.formatter -> t -> unit
 end
 
+module Hist : sig
+  type t
+  (** Log-bucketed (HDR-style) histogram over non-negative finite
+      floats. Each power-of-two octave is split into [2^sub_bits]
+      equal-width sub-buckets, so the quantization error of any
+      reported percentile is bounded by {!relative_error} of the true
+      value — independent of the value range and the observation
+      count. Counts are exact integers and memory grows only with the
+      number of octaves spanned ([log2 (max/min)]), never with the
+      number of observations: the constant-memory companion to the
+      sampling {!Summary}, trustworthy at p99.9 over millions of
+      observations. *)
+
+  val create : ?sub_bits:int -> unit -> t
+  (** [sub_bits] (default 5, i.e. 32 sub-buckets per octave, ≤ 3.125%
+      relative error) sets the precision/memory trade-off.
+      @raise Invalid_argument unless [1 <= sub_bits <= 12]. *)
+
+  val sub_bits : t -> int
+
+  val relative_error : t -> float
+  (** [2^-sub_bits]: any percentile is within this relative distance
+      of some true sample value at the same rank. *)
+
+  val add : ?count:int -> t -> float -> unit
+  (** Record [count] (default 1) observations of a value.
+      @raise Invalid_argument on a negative count or a negative,
+      infinite or NaN value. *)
+
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val percentile : t -> float -> float
+  (** Nearest-rank percentile over the exact bucket counts; the
+      returned value is the containing bucket's midpoint clamped into
+      [[min, max]], hence within {!relative_error} of the true sample
+      at that rank. @raise Invalid_argument on an empty histogram or
+      [p] outside [0,100]. *)
+
+  val count_above : t -> float -> int
+  (** Observations strictly above a threshold, at bucket granularity
+      (the threshold's own bucket is excluded, so the result may
+      undercount by at most one bucket's population). Used for SLO
+      error budgets ("requests over the latency limit"). *)
+
+  val merge : t -> t -> t
+  (** Pooled histogram; the inputs are unchanged. Merging is exact
+      (bucket counts add index-to-index) and associative on every
+      observable except [mean] (float addition). Merging an empty
+      histogram is the identity.
+      @raise Invalid_argument if the precisions differ. *)
+
+  val merge_into : dst:t -> t -> unit
+  (** In-place {!merge}. *)
+
+  val buckets : t -> (float * float * int) list
+  (** Non-empty buckets as [(lower, upper, count)], ascending; an
+      exact zero bucket reports as [(0., 0., n)]. For serialization
+      and sparkline rendering. *)
+
+  val clear : t -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
+module Timeseries : sig
+  type t
+  (** Named counters and histograms bucketed per fixed window of
+      simulated time: window [w] covers [[w*width, (w+1)*width)].
+      Cells materialize on first touch, so memory scales with the
+      number of active (name, window) pairs. The observability layer
+      feeds one of these from the event hub to get
+      latency-over-time, per-brick queue depth, goodput and
+      retransmit series without touching instrumentation sites. *)
+
+  val create : ?hist_bits:int -> width:float -> unit -> t
+  (** [width] is the window length in (simulated) time units;
+      [hist_bits] the precision of per-window histograms (see
+      {!Hist.create}). @raise Invalid_argument if [width <= 0]. *)
+
+  val width : t -> float
+
+  val window_of : t -> float -> int
+  (** The window index containing a time. *)
+
+  val window_start : t -> int -> float
+
+  val span : t -> (int * int) option
+  (** [(first, last)] window index touched so far, [None] if no data. *)
+
+  val incr : t -> time:float -> ?by:float -> string -> unit
+  (** Bump the named counter in the window containing [time]. *)
+
+  val observe : t -> time:float -> string -> float -> unit
+  (** Record a value into the named histogram of the window containing
+      [time]. @raise Invalid_argument on negative/non-finite values
+      (see {!Hist.add}). *)
+
+  val counter_names : t -> string list
+  val hist_names : t -> string list
+
+  val counter : t -> string -> int -> float
+  (** Counter value in one window ([0.] where never touched). *)
+
+  val hist : t -> string -> int -> Hist.t option
+
+  val counter_series : t -> string -> (int * float) list
+  (** One entry per window of {!span} (zero-filled), ascending. *)
+
+  val hist_series : t -> string -> (int * Hist.t option) list
+
+  val percentile_series : t -> string -> float -> (int * float option) list
+  (** Per-window percentile; [None] where the window has no data. *)
+
+  val total : t -> string -> float
+  (** Sum of a counter over all windows. *)
+
+  val merged_hist : t -> string -> Hist.t option
+  (** All windows of a histogram pooled ({!Hist.merge}); [None] if the
+      name has no data at all. *)
+end
+
 module Registry : sig
   type t
 
@@ -103,8 +226,22 @@ module Registry : sig
   val summary_names : t -> string list
   (** All registered summary names, sorted. *)
 
+  val hist : ?sub_bits:int -> t -> string -> Hist.t
+  (** [hist t name] returns the histogram registered under [name],
+      creating it (with [sub_bits], see {!Hist.create}) on first use.
+      [sub_bits] is ignored on later lookups. *)
+
+  val hist_opt : t -> string -> Hist.t option
+
+  val put_hist : t -> string -> Hist.t -> unit
+  (** Install (or replace) a histogram under a name — used by the
+      observability layer to materialize derived distributions. *)
+
+  val hist_names : t -> string list
+  (** All registered histogram names, sorted. *)
+
   val reset_all : t -> unit
-  (** Reset every counter to 0 and clear every summary. *)
+  (** Reset every counter to 0 and clear every summary and histogram. *)
 end
 
 module Snapshot : sig

@@ -737,24 +737,91 @@ module Stats = struct
     mutable disk_writes : int;
   }
 
+  (* Incremental per-op-kind aggregate, updated when a span completes,
+     so the derived distributions stay correct even after the
+     completed-op records themselves are evicted (bounded [retain]). *)
+  type agg = {
+    mutable n : int;
+    latency : Metrics.Summary.t;
+    hist : Metrics.Hist.t;
+    mutable ok : int;
+    mutable aborts : int;
+    mutable retries : int;
+    mutable unavail : int;
+    mutable phase_total : (phase * float) list;  (* summed over all ops *)
+    mutable elided_total : (phase * int) list;
+  }
+
+  (* Summaries bound their reservoir so a million-op run keeps constant
+     memory; the paired Hist keeps p99/p99.9 trustworthy regardless. *)
+  let agg_capacity = 8192
+
+  let fresh_agg () =
+    {
+      n = 0;
+      latency = Metrics.Summary.create ~capacity:agg_capacity ();
+      hist = Metrics.Hist.create ();
+      ok = 0;
+      aborts = 0;
+      retries = 0;
+      unavail = 0;
+      phase_total = [];
+      elided_total = [];
+    }
+
   type stats = {
     live : (int, op_stat) Hashtbl.t;
-    mutable done_rev : op_stat list;  (* newest first *)
+    retain : int;  (* completed records kept; 0 = unbounded *)
+    order : int Queue.t;  (* completed op ids, oldest first *)
     finished : (int, op_stat) Hashtbl.t;
-        (* same records as done_rev, by op id: events arriving after the
-           span closed (a coalesced background message flushing right
-           after span_end) update the completed record instead of
-           re-opening the op as live. *)
+        (* retained completed records by op id: events arriving after
+           the span closed (a coalesced background message flushing
+           right after span_end) update the completed record instead
+           of re-opening the op as live. *)
+    mutable evicted : int;
+    mutable evicted_floor : int;
+        (* highest evicted op id: late events for evicted ops are
+           routed to a scrap record instead of re-opening them *)
+    scrap : op_stat;
+    by_kind_agg : (string, agg) Hashtbl.t;
+    phase_agg : (phase, Metrics.Summary.t) Hashtbl.t;
+        (* per-(op, phase) accumulated durations, across kinds *)
     queue_depth : (string, Metrics.Summary.t) Hashtbl.t;
     mutable untagged_msgs : int;
     mutable untagged_bytes : int;
   }
 
-  let create () =
+  let fresh_op_stat op =
+    {
+      op;
+      op_kind = "?";
+      stripe = -1;
+      t_start = nan;
+      t_end = nan;
+      outcome = None;
+      open_phase = None;
+      phases = [];
+      elided = [];
+      msgs = 0;
+      bytes = 0;
+      drops = 0;
+      timeouts = 0;
+      disk_reads = 0;
+      disk_writes = 0;
+    }
+
+  let create ?(retain = 0) () =
+    if retain < 0 then invalid_arg "Obs.Stats.create: retain < 0";
     {
       live = Hashtbl.create 64;
-      done_rev = [];
+      retain;
+      order = Queue.create ();
       finished = Hashtbl.create 64;
+      evicted = 0;
+      evicted_floor = -1;
+      scrap = fresh_op_stat (-1);
+      by_kind_agg = Hashtbl.create 8;
+      phase_agg = Hashtbl.create 8;
       queue_depth = Hashtbl.create 8;
       untagged_msgs = 0;
       untagged_bytes = 0;
@@ -767,31 +834,70 @@ module Stats = struct
     match Hashtbl.find_opt t.finished op with
     | Some s -> s
     | None ->
-        let s =
-          {
-            op;
-            op_kind = "?";
-            stripe = -1;
-            t_start = nan;
-            t_end = nan;
-            outcome = None;
-            open_phase = None;
-            phases = [];
-            elided = [];
-            msgs = 0;
-            bytes = 0;
-            drops = 0;
-            timeouts = 0;
-            disk_reads = 0;
-            disk_writes = 0;
-          }
-        in
-        Hashtbl.add t.live op s;
-        s
+        if op <= t.evicted_floor then t.scrap
+        else begin
+          let s = fresh_op_stat op in
+          Hashtbl.add t.live op s;
+          s
+        end
 
   let add_phase s p dur =
     let prev = match List.assoc_opt p s.phases with Some d -> d | None -> 0. in
     s.phases <- (p, prev +. dur) :: List.remove_assoc p s.phases
+
+  let kind_agg t kind =
+    match Hashtbl.find_opt t.by_kind_agg kind with
+    | Some a -> a
+    | None ->
+        let a = fresh_agg () in
+        Hashtbl.add t.by_kind_agg kind a;
+        a
+
+  (* Fold a just-completed span into the running aggregates. *)
+  let aggregate_completed t (s : op_stat) =
+    let a = kind_agg t s.op_kind in
+    a.n <- a.n + 1;
+    let lat = s.t_end -. s.t_start in
+    Metrics.Summary.add a.latency lat;
+    if lat >= 0. then Metrics.Hist.add a.hist lat;
+    (match s.outcome with
+    | Some Ok -> a.ok <- a.ok + 1
+    | Some Abort -> a.aborts <- a.aborts + 1
+    | Some Retry -> a.retries <- a.retries + 1
+    | Some Unavailable -> a.unavail <- a.unavail + 1
+    | None -> ());
+    List.iter
+      (fun (p, dur) ->
+        let prev =
+          match List.assoc_opt p a.phase_total with Some d -> d | None -> 0.
+        in
+        a.phase_total <- (p, prev +. dur) :: List.remove_assoc p a.phase_total;
+        let sum =
+          match Hashtbl.find_opt t.phase_agg p with
+          | Some sum -> sum
+          | None ->
+              let sum = Metrics.Summary.create ~capacity:agg_capacity () in
+              Hashtbl.add t.phase_agg p sum;
+              sum
+        in
+        Metrics.Summary.add sum dur)
+      s.phases;
+    List.iter
+      (fun (p, c) ->
+        let prev =
+          match List.assoc_opt p a.elided_total with Some d -> d | None -> 0
+        in
+        a.elided_total <- (p, prev + c) :: List.remove_assoc p a.elided_total)
+      s.elided
+
+  (* Drop the oldest retained completed records down to [keep]. *)
+  let evict_down_to t keep =
+    while Queue.length t.order > keep do
+      let op = Queue.pop t.order in
+      Hashtbl.remove t.finished op;
+      if op > t.evicted_floor then t.evicted_floor <- op;
+      t.evicted <- t.evicted + 1
+    done
 
   let feed t ev =
     match ev.kind with
@@ -829,8 +935,12 @@ module Stats = struct
             s.open_phase <- None
         | None -> ());
         Hashtbl.remove t.live ev.op;
-        Hashtbl.replace t.finished ev.op s;
-        t.done_rev <- s :: t.done_rev
+        if not (Hashtbl.mem t.finished ev.op) then begin
+          Hashtbl.replace t.finished ev.op s;
+          Queue.push ev.op t.order;
+          aggregate_completed t s;
+          if t.retain > 0 then evict_down_to t t.retain
+        end
     | Phase_start -> (
         match ev.phase with
         | None -> ()
@@ -886,157 +996,127 @@ module Stats = struct
 
   let sink t = Sink.make (feed t)
 
-  let completed t = List.rev t.done_rev
+  (* Retained completed records, oldest first. With a [retain] bound
+     this is only the most recent window; the aggregate accessors below
+     still describe every op ever completed. *)
+  let completed t =
+    Queue.fold
+      (fun acc op ->
+        match Hashtbl.find_opt t.finished op with
+        | Some s -> s :: acc
+        | None -> acc)
+      [] t.order
+    |> List.rev
+
   let unfinished t = Hashtbl.length t.live
+  let evicted t = t.evicted
   let latency s = s.t_end -. s.t_start
 
-  (* Per-op-kind latency distributions, sorted by kind. *)
-  let by_kind t =
-    let tbl = Hashtbl.create 8 in
-    List.iter
-      (fun s ->
-        let sum =
-          match Hashtbl.find_opt tbl s.op_kind with
-          | Some sum -> sum
-          | None ->
-              let sum = Metrics.Summary.create () in
-              Hashtbl.add tbl s.op_kind sum;
-              sum
-        in
-        Metrics.Summary.add sum (latency s))
-      (completed t);
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  let sorted_kinds t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_kind_agg []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  (* Per-op-kind latency distributions, sorted by kind. *)
+  let by_kind t = List.map (fun (k, a) -> (k, a.latency)) (sorted_kinds t)
+
+  (* Per-op-kind latency histograms (exact counts, bounded rank error
+     at any op count), sorted by kind. *)
+  let hist_by_kind t = List.map (fun (k, a) -> (k, a.hist)) (sorted_kinds t)
+
+  (* Per-op-kind outcome tallies: (kind, (ok, aborts, retries,
+     unavailable)), sorted by kind. *)
+  let outcome_counts t =
+    List.map
+      (fun (k, a) -> (k, (a.ok, a.aborts, a.retries, a.unavail)))
+      (sorted_kinds t)
 
   (* Per-phase time distributions across all completed ops. *)
   let by_phase t =
-    let tbl = Hashtbl.create 8 in
-    List.iter
-      (fun s ->
-        List.iter
-          (fun (p, dur) ->
-            let sum =
-              match Hashtbl.find_opt tbl p with
-              | Some sum -> sum
-              | None ->
-                  let sum = Metrics.Summary.create () in
-                  Hashtbl.add tbl p sum;
-                  sum
-            in
-            Metrics.Summary.add sum dur)
-          s.phases)
-      (completed t);
     List.filter_map
       (fun p ->
-        match Hashtbl.find_opt tbl p with Some s -> Some (p, s) | None -> None)
+        match Hashtbl.find_opt t.phase_agg p with
+        | Some s -> Some (p, s)
+        | None -> None)
       all_phases
 
   (* Mean phase durations per op kind: (kind, count, [(phase, mean)]). *)
   let phase_breakdown t =
-    let tbl = Hashtbl.create 8 in
-    let order = ref [] in
-    List.iter
-      (fun s ->
-        let acc =
-          match Hashtbl.find_opt tbl s.op_kind with
-          | Some acc -> acc
-          | None ->
-              let acc = (ref 0, Hashtbl.create 8) in
-              Hashtbl.add tbl s.op_kind acc;
-              order := s.op_kind :: !order;
-              acc
-        in
-        let count, phases = acc in
-        incr count;
-        List.iter
-          (fun (p, dur) ->
-            let prev =
-              match Hashtbl.find_opt phases p with Some d -> d | None -> 0.
-            in
-            Hashtbl.replace phases p (prev +. dur))
-          s.phases)
-      (completed t);
-    List.rev_map
-      (fun kind ->
-        let count, phases = Hashtbl.find tbl kind in
+    List.map
+      (fun (kind, a) ->
         let per_phase =
           List.filter_map
             (fun p ->
-              match Hashtbl.find_opt phases p with
-              | Some total -> Some (p, total /. float_of_int !count)
+              match List.assoc_opt p a.phase_total with
+              | Some total -> Some (p, total /. float_of_int a.n)
               | None -> None)
             all_phases
         in
-        (kind, !count, per_phase))
-      !order
-    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+        (kind, a.n, per_phase))
+      (sorted_kinds t)
 
   (* Elided quorum rounds per op kind: (kind, [(phase, count)]),
      summed over completed ops. Complements {!phase_breakdown}: a warm
      write shows an order count here and no order time there. *)
   let elided_by_kind t =
-    let tbl = Hashtbl.create 8 in
-    List.iter
-      (fun s ->
-        List.iter
-          (fun (p, c) ->
-            let phases =
-              match Hashtbl.find_opt tbl s.op_kind with
-              | Some phases -> phases
-              | None ->
-                  let phases = Hashtbl.create 4 in
-                  Hashtbl.add tbl s.op_kind phases;
-                  phases
-            in
-            let prev =
-              match Hashtbl.find_opt phases p with Some d -> d | None -> 0
-            in
-            Hashtbl.replace phases p (prev + c))
-          s.elided)
-      (completed t);
-    Hashtbl.fold
-      (fun kind phases acc ->
-        let per_phase =
+    List.filter_map
+      (fun (kind, a) ->
+        match
           List.filter_map
             (fun p ->
-              match Hashtbl.find_opt phases p with
+              match List.assoc_opt p a.elided_total with
               | Some c -> Some (p, c)
               | None -> None)
             all_phases
-        in
-        (kind, per_phase) :: acc)
-      tbl []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        with
+        | [] -> None
+        | per_phase -> Some (kind, per_phase))
+      (sorted_kinds t)
 
   let queue_depths t =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.queue_depth []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
   (* Write the derived distributions into a metrics registry: latency
-     summaries under "op.<kind>.latency" and "phase.<name>.latency",
-     queue depth gauges under "queue.<actor>.depth", plus outcome
-     counters. *)
+     summaries and histograms under "op.<kind>.latency", summaries
+     under "phase.<name>.latency", queue depth gauges under
+     "queue.<actor>.depth", plus outcome counters. Reads only the
+     aggregates, so it is unaffected by eviction; with a [retain]
+     bound the remaining completed records are themselves evicted
+     afterwards ("obs.evictions" records how many went overall). *)
   let materialize t reg =
     List.iter
-      (fun s ->
-        Metrics.Summary.add
-          (Metrics.Registry.summary reg ("op." ^ s.op_kind ^ ".latency"))
-          (latency s);
-        List.iter
-          (fun (p, dur) ->
-            Metrics.Summary.add
-              (Metrics.Registry.summary reg
-                 ("phase." ^ phase_name p ^ ".latency"))
-              dur)
-          s.phases;
-        Metrics.Registry.incr reg "obs.ops";
-        match s.outcome with
-        | Some Ok -> ()
-        | Some Abort -> Metrics.Registry.incr reg "obs.aborts"
-        | Some Retry -> Metrics.Registry.incr reg "obs.retries"
-        | Some Unavailable -> Metrics.Registry.incr reg "obs.unavailable"
-        | None -> ())
-      (completed t);
+      (fun (kind, a) ->
+        let name = "op." ^ kind ^ ".latency" in
+        let merged =
+          match Metrics.Registry.summary_opt reg name with
+          | Some existing -> Metrics.Summary.merge existing a.latency
+          | None -> Metrics.Summary.merge (Metrics.Summary.create ()) a.latency
+        in
+        Metrics.Registry.put_summary reg name merged;
+        let hmerged =
+          match Metrics.Registry.hist_opt reg name with
+          | Some existing -> Metrics.Hist.merge existing a.hist
+          | None -> Metrics.Hist.merge (Metrics.Hist.create ()) a.hist
+        in
+        Metrics.Registry.put_hist reg name hmerged;
+        Metrics.Registry.incr ~by:(float_of_int a.n) reg "obs.ops";
+        let tally name n =
+          if n > 0 then Metrics.Registry.incr ~by:(float_of_int n) reg name
+        in
+        tally "obs.aborts" a.aborts;
+        tally "obs.retries" a.retries;
+        tally "obs.unavailable" a.unavail)
+      (sorted_kinds t);
+    List.iter
+      (fun (p, sum) ->
+        let name = "phase." ^ phase_name p ^ ".latency" in
+        let merged =
+          match Metrics.Registry.summary_opt reg name with
+          | Some existing -> Metrics.Summary.merge existing sum
+          | None -> Metrics.Summary.merge (Metrics.Summary.create ()) sum
+        in
+        Metrics.Registry.put_summary reg name merged)
+      (by_phase t);
     List.iter
       (fun (actor, depth) ->
         let name = "queue." ^ actor ^ ".depth" in
@@ -1046,7 +1126,298 @@ module Stats = struct
           | None -> Metrics.Summary.merge (Metrics.Summary.create ()) depth
         in
         Metrics.Registry.put_summary reg name merged)
-      (queue_depths t)
+      (queue_depths t);
+    if t.retain > 0 then begin
+      evict_down_to t 0;
+      Metrics.Registry.incr ~by:(float_of_int t.evicted) reg "obs.evictions"
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Windowed time series over simulated time (itself a sink)            *)
+(* ------------------------------------------------------------------ *)
+
+module Timeline = struct
+  (* How a fault label relates to an overlay interval. The classifier
+     is pluggable because the label syntax belongs to lib/chaos, which
+     depends on this library: chaos supplies its own classifier and
+     the default treats every fault as an instantaneous point. *)
+  type overlay = [ `Begin of string | `End of string | `Point of string ]
+
+  type t = {
+    ts : Metrics.Timeseries.t;
+    classify : string -> overlay;
+    mutable live_spans : (int, float * string) Hashtbl.t;
+    mutable inflight : int;
+    mutable active : (string * float) list;  (* open overlays: key, t0 *)
+    mutable intervals : (string * float * float) list;  (* closed, rev *)
+    mutable last_time : float;
+  }
+
+  let create ?hist_bits ?(classify = fun l -> `Point l) ~width () =
+    {
+      ts = Metrics.Timeseries.create ?hist_bits ~width ();
+      classify;
+      live_spans = Hashtbl.create 64;
+      inflight = 0;
+      active = [];
+      intervals = [];
+      last_time = 0.;
+    }
+
+  let series t = t.ts
+
+  let feed t ev =
+    if ev.time > t.last_time then t.last_time <- ev.time;
+    let time = ev.time in
+    let incr ?by name = Metrics.Timeseries.incr t.ts ~time ?by name in
+    let observe name v =
+      if Float.is_finite v && v >= 0. then
+        Metrics.Timeseries.observe t.ts ~time name v
+    in
+    match ev.kind with
+    | Span_start { op_kind; _ } ->
+        if ev.op >= 0 then
+          Hashtbl.replace t.live_spans ev.op (ev.time, op_kind);
+        t.inflight <- t.inflight + 1;
+        observe "inflight" (float_of_int t.inflight)
+    | Span_end { op_kind; outcome; _ } ->
+        (match Hashtbl.find_opt t.live_spans ev.op with
+        | Some (t0, _) ->
+            Hashtbl.remove t.live_spans ev.op;
+            let lat = ev.time -. t0 in
+            observe "lat.all" lat;
+            observe ("lat." ^ op_kind) lat
+        | None -> ());
+        if t.inflight > 0 then t.inflight <- t.inflight - 1;
+        observe "inflight" (float_of_int t.inflight);
+        incr "ops.all";
+        incr ("out." ^ outcome_name outcome);
+        if outcome = Ok then incr ("ops." ^ op_kind)
+    | Phase_start | Phase_end | Phase_elided -> ()
+    | Msg_send { bytes; _ } | Msg_queued { bytes; _ } ->
+        incr "msgs";
+        incr ~by:(float_of_int bytes) "bytes"
+    | Msg_recv _ -> ()
+    | Msg_drop _ -> incr "drops"
+    | Io_read { blocks } -> incr ~by:(float_of_int blocks) "io.read"
+    | Io_write { blocks } -> incr ~by:(float_of_int blocks) "io.write"
+    | Timeout _ -> incr "retransmits"
+    | Queue_depth { depth } ->
+        observe ("queue." ^ actor_name ev.actor) (float_of_int depth)
+    | Fault { label } -> (
+        incr "faults";
+        match t.classify label with
+        | `Point key -> t.intervals <- (key, ev.time, ev.time) :: t.intervals
+        | `Begin key ->
+            if not (List.mem_assoc key t.active) then
+              t.active <- (key, ev.time) :: t.active
+        | `End key -> (
+            match List.assoc_opt key t.active with
+            | Some t0 ->
+                t.active <- List.remove_assoc key t.active;
+                t.intervals <- (key, t0, ev.time) :: t.intervals
+            | None -> ()))
+
+  let sink t = Sink.make (feed t)
+
+  (* Fault overlay intervals, oldest first. Overlays still open at the
+     last observed event extend to that time; points have t0 = t1. *)
+  let faults t =
+    let open_ones =
+      List.rev_map (fun (key, t0) -> (key, t0, t.last_time)) t.active
+    in
+    List.sort
+      (fun (_, a, _) (_, b, _) -> Float.compare a b)
+      (List.rev_append t.intervals open_ones)
+
+  (* Overlay labels whose interval intersects window [w], sorted. *)
+  let faults_in t w =
+    let w0 = Metrics.Timeseries.window_start t.ts w in
+    let w1 = w0 +. Metrics.Timeseries.width t.ts in
+    List.filter_map
+      (fun (key, t0, t1) -> if t0 < w1 && t1 >= w0 then Some key else None)
+      (faults t)
+    |> List.sort_uniq String.compare
+end
+
+(* ------------------------------------------------------------------ *)
+(* Service-level objectives and error budgets                          *)
+(* ------------------------------------------------------------------ *)
+
+module Slo = struct
+  (* An objective either bounds a latency percentile for a family of
+     op kinds ("read p99 < 6") or floors the success ratio
+     ("availability >= 99.9%"). The error budget is the complement:
+     for a p99 bound, 1% of requests may exceed the limit; for 99.9%
+     availability, 0.1% may fail. Burn is the fraction of that budget
+     actually spent. *)
+  type objective =
+    | Latency of { kind : string option; p : float; limit : float }
+    | Availability of { min_pct : float }
+
+  let name = function
+    | Latency { kind; p; limit } ->
+        Printf.sprintf "%sp%g < %g"
+          (match kind with Some k -> k ^ " " | None -> "")
+          p limit
+    | Availability { min_pct } ->
+        Printf.sprintf "availability >= %g%%" min_pct
+
+  (* "read p99 < 6" / "p99.9 <= 12.5" / "availability >= 99.9%" *)
+  let parse s =
+    let toks =
+      String.split_on_char ' ' (String.trim s)
+      |> List.filter (fun t -> t <> "")
+    in
+    let num tok =
+      let tok =
+        if String.length tok > 0 && tok.[String.length tok - 1] = '%' then
+          String.sub tok 0 (String.length tok - 1)
+        else tok
+      in
+      float_of_string_opt tok
+    in
+    let err = Printf.sprintf "cannot parse SLO %S (want e.g. \"read p99 < 6\" or \"availability >= 99.9%%\")" s in
+    let percentile tok =
+      if String.length tok > 1 && tok.[0] = 'p' then
+        match float_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+        | Some p when p > 0. && p < 100. -> Some p
+        | _ -> None
+      else None
+    in
+    match toks with
+    | [ "availability"; (">=" | ">"); pct ] -> (
+        match num pct with
+        | Some m when m > 0. && m <= 100. -> Result.Ok (Availability { min_pct = m })
+        | _ -> Result.Error err)
+    | [ ptok; ("<" | "<="); lim ] -> (
+        match (percentile ptok, num lim) with
+        | Some p, Some limit when limit > 0. ->
+            Result.Ok (Latency { kind = None; p; limit })
+        | _ -> Result.Error err)
+    | [ kind; ptok; ("<" | "<="); lim ] -> (
+        match (percentile ptok, num lim) with
+        | Some p, Some limit when limit > 0. ->
+            Result.Ok (Latency { kind = Some kind; p; limit })
+        | _ -> Result.Error err)
+    | _ -> Result.Error err
+
+  (* A kind selector matches the exact op kind or any "<kind>-…"
+     refinement, so "read" covers read-stripe/read-block/read-blocks. *)
+  let kind_matches sel op_kind =
+    sel = op_kind
+    || (let pre = sel ^ "-" in
+        String.length op_kind > String.length pre
+        && String.sub op_kind 0 (String.length pre) = pre)
+
+  type window_stat = {
+    window : int;
+    w_total : int;  (* observations governed by the objective *)
+    w_bad : int;  (* observations out of objective *)
+    w_compliant : bool;  (* vacuously true on an empty window *)
+    w_faults : string list;  (* chaos overlays active in the window *)
+  }
+
+  type report = {
+    objective : objective;
+    total : int;
+    bad : int;
+    budget_frac : float;  (* allowed bad fraction, in (0, 1) *)
+    burn : float;  (* bad / (budget_frac * total); > 1 = budget blown *)
+    compliant : bool;
+    windows : window_stat list;
+  }
+
+  let mk_report objective ~budget_frac windows =
+    let total = List.fold_left (fun a w -> a + w.w_total) 0 windows in
+    let bad = List.fold_left (fun a w -> a + w.w_bad) 0 windows in
+    let burn =
+      if total = 0 then 0.
+      else float_of_int bad /. (budget_frac *. float_of_int total)
+    in
+    {
+      objective;
+      total;
+      bad;
+      budget_frac;
+      burn;
+      compliant =
+        (total = 0 || float_of_int bad <= budget_frac *. float_of_int total);
+      windows;
+    }
+
+  let evaluate tl objective =
+    let ts = Timeline.series tl in
+    let windows =
+      match Metrics.Timeseries.span ts with
+      | None -> []
+      | Some (w0, w1) -> List.init (w1 - w0 + 1) (fun i -> w0 + i)
+    in
+    match objective with
+    | Latency { kind; p; limit } ->
+        let budget_frac = (100. -. p) /. 100. in
+        let names =
+          match kind with
+          | None -> [ "lat.all" ]
+          | Some sel ->
+              List.filter
+                (fun n ->
+                  String.length n > 4
+                  && String.sub n 0 4 = "lat."
+                  && kind_matches sel (String.sub n 4 (String.length n - 4)))
+                (Metrics.Timeseries.hist_names ts)
+        in
+        let stats =
+          List.map
+            (fun w ->
+              let total, bad =
+                List.fold_left
+                  (fun (t, b) name ->
+                    match Metrics.Timeseries.hist ts name w with
+                    | None -> (t, b)
+                    | Some h ->
+                        ( t + Metrics.Hist.count h,
+                          b + Metrics.Hist.count_above h limit ))
+                  (0, 0) names
+              in
+              {
+                window = w;
+                w_total = total;
+                w_bad = bad;
+                w_compliant =
+                  total = 0
+                  || float_of_int bad <= budget_frac *. float_of_int total;
+                w_faults = Timeline.faults_in tl w;
+              })
+            windows
+        in
+        mk_report objective ~budget_frac stats
+    | Availability { min_pct } ->
+        let budget_frac = (100. -. min_pct) /. 100. in
+        let stats =
+          List.map
+            (fun w ->
+              let c name =
+                int_of_float (Metrics.Timeseries.counter ts name w)
+              in
+              (* Retries are re-attempted, not failures; aborts and
+                 unavailable verdicts burn the budget. *)
+              let ok = c "out.ok" in
+              let failed = c "out.abort" + c "out.unavailable" in
+              let total = ok + failed in
+              {
+                window = w;
+                w_total = total;
+                w_bad = failed;
+                w_compliant =
+                  total = 0
+                  || float_of_int failed <= budget_frac *. float_of_int total;
+                w_faults = Timeline.faults_in tl w;
+              })
+            windows
+        in
+        mk_report objective ~budget_frac stats
 end
 
 (* ------------------------------------------------------------------ *)

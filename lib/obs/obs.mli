@@ -230,22 +230,43 @@ module Stats : sig
 
   type stats
 
-  val create : unit -> stats
+  val create : ?retain:int -> unit -> stats
+  (** All derived distributions are folded into constant-size
+      aggregates the moment a span completes, so statistics stay exact
+      regardless of run length. [retain] bounds how many completed
+      per-op records are additionally kept for listing (0, the
+      default, keeps all of them — needed by [fab_sim explain]'s
+      per-op table; workload runs pass a bound so million-op runs hold
+      memory constant). @raise Invalid_argument if [retain < 0]. *)
+
   val sink : stats -> Sink.t
   (** Feed the aggregator from a hub, or replay a parsed trace into it
       via {!feed}. *)
 
   val feed : stats -> event -> unit
   val completed : stats -> op_stat list
-  (** Completed operations, oldest first. *)
+  (** Retained completed operations, oldest first — only the most
+      recent [retain] if bounded. *)
 
   val unfinished : stats -> int
   (** Spans started but not ended (crashed coordinators, horizon). *)
+
+  val evicted : stats -> int
+  (** Completed records dropped under the [retain] bound (their
+      contribution to every aggregate below is preserved). *)
 
   val latency : op_stat -> float
 
   val by_kind : stats -> (string * Metrics.Summary.t) list
   (** Latency distribution per operation kind. *)
+
+  val hist_by_kind : stats -> (string * Metrics.Hist.t) list
+  (** Latency histogram per operation kind: exact counts and bounded
+      rank error at any op count, where the summaries above thin their
+      reservoirs past {!val-create}'s capacity. *)
+
+  val outcome_counts : stats -> (string * (int * int * int * int)) list
+  (** Per op kind: [(ok, aborts, retries, unavailable)] tallies. *)
 
   val by_phase : stats -> (phase * Metrics.Summary.t) list
   (** Time-in-phase distribution across all completed operations. *)
@@ -261,9 +282,101 @@ module Stats : sig
 
   val materialize : stats -> Metrics.Registry.t -> unit
   (** Write the derived distributions into a registry:
-      ["op.<kind>.latency"], ["phase.<name>.latency"],
-      ["queue.<actor>.depth"] summaries plus ["obs.ops"],
-      ["obs.aborts"], ["obs.retries"], ["obs.unavailable"] counters. *)
+      ["op.<kind>.latency"] summaries {e and} histograms,
+      ["phase.<name>.latency"] and ["queue.<actor>.depth"] summaries,
+      plus ["obs.ops"], ["obs.aborts"], ["obs.retries"],
+      ["obs.unavailable"] counters. When [retain] is bounded, the
+      remaining completed records are evicted afterwards and
+      ["obs.evictions"] records the overall eviction count. *)
+end
+
+(** {1 Windowed time series and SLOs} *)
+
+module Timeline : sig
+  type overlay = [ `Begin of string | `End of string | `Point of string ]
+  (** How a fault label maps onto the report's fault overlay: open an
+      interval under a key, close the matching interval, or mark an
+      instantaneous point. *)
+
+  type t
+  (** A sink that buckets the event stream into a
+      {!Metrics.Timeseries} per fixed window of simulated time —
+      latency-over-time ([lat.all], [lat.<kind>] histograms), in-flight
+      ops ([inflight]), per-actor queue depth ([queue.<actor>]),
+      outcome counters ([ops.all], [out.ok|abort|retry|unavailable],
+      per-kind goodput [ops.<kind>] counting ok completions), message
+      and I/O counters ([msgs], [bytes], [drops], [retransmits],
+      [io.read], [io.write]), and chaos fault overlays — without
+      changing any instrumentation call-site. *)
+
+  val create :
+    ?hist_bits:int ->
+    ?classify:(string -> overlay) ->
+    width:float ->
+    unit ->
+    t
+  (** [width] is the window length in sim-time units. [classify] maps a
+      {!kind.Fault} label to an overlay action; the default treats
+      every fault as a point. [Chaos.Plan.overlay_of_label] is the
+      classifier for nemesis-generated labels (plugged in by the
+      caller — this library does not depend on [lib/chaos]).
+      @raise Invalid_argument if [width <= 0]. *)
+
+  val sink : t -> Sink.t
+  val series : t -> Metrics.Timeseries.t
+
+  val faults : t -> (string * float * float) list
+  (** Fault overlay intervals [(label, t0, t1)] ordered by start time.
+      Intervals still open at the last observed event extend to that
+      event's time; points have [t0 = t1]. *)
+
+  val faults_in : t -> int -> string list
+  (** Overlay labels intersecting a window, sorted and deduplicated. *)
+end
+
+module Slo : sig
+  (** Service-level objectives over a {!Timeline}, with SRE-style
+      error budgets: a latency objective ["read p99 < 6"] lets 1% of
+      requests exceed the limit; ["availability >= 99.9%"] lets 0.1%
+      of requests fail. Burn is the fraction of that budget spent. *)
+
+  type objective =
+    | Latency of { kind : string option; p : float; limit : float }
+        (** [kind = None] governs every op; [Some "read"] covers kind
+            ["read"] and any ["read-…"] refinement. *)
+    | Availability of { min_pct : float }
+
+  val name : objective -> string
+  (** Canonical rendering, parseable by {!parse}. *)
+
+  val parse : string -> (objective, string) result
+  (** ["<kind> p<P> < <limit>"], ["p<P> <= <limit>"], or
+      ["availability >= <pct>%"]. *)
+
+  type window_stat = {
+    window : int;
+    w_total : int;  (** observations governed by the objective *)
+    w_bad : int;  (** observations out of objective *)
+    w_compliant : bool;  (** vacuously true on an empty window *)
+    w_faults : string list;  (** chaos overlays active in the window *)
+  }
+
+  type report = {
+    objective : objective;
+    total : int;
+    bad : int;
+    budget_frac : float;  (** allowed bad fraction, in (0, 1) *)
+    burn : float;  (** bad / (budget_frac * total); > 1 = budget blown *)
+    compliant : bool;
+    windows : window_stat list;
+  }
+
+  val evaluate : Timeline.t -> objective -> report
+  (** Whole-run and per-window compliance. Latency objectives count
+      bucket-granularity exceedances in the matching [lat.*]
+      histograms ({!Metrics.Hist.count_above}); availability counts
+      aborts + unavailable against ok completions (retries are
+      re-attempted, not failures). *)
 end
 
 module Check : sig

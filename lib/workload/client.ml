@@ -6,7 +6,12 @@ type stats = {
   mutable unavailable : int;
   mutable blocks_moved : int;
   latency : Metrics.Summary.t;
+  latency_hist : Metrics.Hist.t;
 }
+
+(* Bound the reservoir so long-running clients hold constant memory;
+   the paired histogram keeps tail percentiles exact-rank anyway. *)
+let latency_capacity = 8192
 
 let fresh_stats () =
   {
@@ -16,7 +21,8 @@ let fresh_stats () =
     aborts = 0;
     unavailable = 0;
     blocks_moved = 0;
-    latency = Metrics.Summary.create ();
+    latency = Metrics.Summary.create ~capacity:latency_capacity ();
+    latency_hist = Metrics.Hist.create ();
   }
 
 let spawn volume ~coord ~gen ~ops ?(think_time = 0.) ?(payload_tag = 'w')
@@ -68,7 +74,9 @@ let spawn volume ~coord ~gen ~ops ?(think_time = 0.) ?(payload_tag = 'w')
         | `Ok -> stats.blocks_moved <- stats.blocks_moved + op.Gen.count
         | `Aborted -> stats.aborts <- stats.aborts + 1
         | `Unavailable -> stats.unavailable <- stats.unavailable + 1);
-        Metrics.Summary.add stats.latency (Dessim.Engine.now engine -. started);
+        let elapsed = Dessim.Engine.now engine -. started in
+        Metrics.Summary.add stats.latency elapsed;
+        if elapsed >= 0. then Metrics.Hist.add stats.latency_hist elapsed;
         if think_time > 0. then sleep think_time
       done)
 

@@ -31,4 +31,33 @@ dune build @bench-protocol-smoke
 echo "== @chaos-smoke (fault plans clean, unsafe variant caught) =="
 dune build @chaos-smoke
 
+echo "== @report-smoke (geometry matrix report, deterministic + valid) =="
+dune build @report-smoke
+
+echo "== bench_diff self-test (exit codes 0 / 1 / 2) =="
+# Three tiny fixtures: a baseline, a regressed copy (p99 doubled,
+# throughput halved), and an incompatible copy (different gf_kernel).
+# bench_diff must pass the identical pair, fail the regressed pair,
+# and refuse the incompatible pair — each with its documented exit
+# code, since scripts/ci-style wiring keys off exactly those.
+BD="$(pwd)/_build/default/scripts/bench_diff.exe"
+dune build scripts/bench_diff.exe
+T="$(mktemp -d)"
+trap 'rm -rf "$T"' EXIT
+cat > "$T/base.json" <<'EOF'
+{"meta": {"date": "2026-01-01T00:00:00Z", "gf_kernel": "table", "simd_level": 0, "seed": 1},
+ "cells": [{"name": "rep-2/web", "latency": {"p50": 2.0, "p99": 6.0}, "throughput": 0.5, "slo": [{"name": "read p99 < 6", "compliant": true}]}]}
+EOF
+sed -e 's/"p99": 6.0/"p99": 12.0/' -e 's/"throughput": 0.5/"throughput": 0.2/' \
+    -e 's/"compliant": true/"compliant": false/' "$T/base.json" > "$T/worse.json"
+sed -e 's/"gf_kernel": "table"/"gf_kernel": "ref"/' "$T/base.json" > "$T/alien.json"
+"$BD" "$T/base.json" "$T/base.json" --exact
+rc=0; "$BD" "$T/base.json" "$T/worse.json" --threshold 10 || rc=$?
+[ "$rc" -eq 1 ] || { echo "bench_diff: expected exit 1 on regression, got $rc"; exit 1; }
+rc=0; "$BD" "$T/base.json" "$T/alien.json" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "bench_diff: expected exit 2 on meta mismatch, got $rc"; exit 1; }
+rc=0; "$BD" "$T/base.json" "$T/worse.json" --threshold 10 --rule p99:-1 --rule throughput:-1 --rule compliant:-1 >/dev/null || rc=$?
+[ "$rc" -eq 0 ] || { echo "bench_diff: expected exit 0 with rules disabled, got $rc"; exit 1; }
+echo "bench_diff self-test OK"
+
 echo "CI OK"

@@ -131,6 +131,193 @@ let test_summary_capacity_exact_below () =
   List.iter (Metrics.Summary.add s) [ 5.; 1.; 9.; 3. ];
   Alcotest.(check (float 0.0)) "exact p50" 3. (Metrics.Summary.percentile s 50.)
 
+(* ---- HDR histogram ---- *)
+
+let test_hist_basics () =
+  let h = Metrics.Hist.create () in
+  Alcotest.(check int) "empty" 0 (Metrics.Hist.count h);
+  List.iter (Metrics.Hist.add h) [ 0.; 1.; 2.; 4.; 1000. ];
+  Metrics.Hist.add ~count:3 h 2.;
+  Alcotest.(check int) "count" 8 (Metrics.Hist.count h);
+  Alcotest.(check (float 0.0)) "min" 0. (Metrics.Hist.min h);
+  Alcotest.(check (float 0.0)) "max" 1000. (Metrics.Hist.max h);
+  (* p0 / p100 clamp to the exact observed extremes. *)
+  Alcotest.(check (float 0.0)) "p0" 0. (Metrics.Hist.percentile h 0.);
+  Alcotest.(check (float 0.0)) "p100" 1000. (Metrics.Hist.percentile h 100.);
+  (* count_above is strictly-above at bucket granularity: a threshold
+     sharing the top value's bucket excludes it. *)
+  Alcotest.(check int) "above 500" 1 (Metrics.Hist.count_above h 500.);
+  Alcotest.(check int) "above 999 (same bucket as 1000)" 0
+    (Metrics.Hist.count_above h 999.);
+  Alcotest.(check int) "above 1000" 0 (Metrics.Hist.count_above h 1000.);
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Metrics.Hist.add: value must be finite and >= 0")
+    (fun () -> Metrics.Hist.add h (-1.));
+  Alcotest.check_raises "nan"
+    (Invalid_argument "Metrics.Hist.add: value must be finite and >= 0")
+    (fun () -> Metrics.Hist.add h Float.nan);
+  Metrics.Hist.clear h;
+  Alcotest.(check int) "cleared" 0 (Metrics.Hist.count h)
+
+let test_hist_merge_precision_mismatch () =
+  let a = Metrics.Hist.create ~sub_bits:4 () in
+  let b = Metrics.Hist.create ~sub_bits:5 () in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Metrics.Hist.merge: sub_bits differ") (fun () ->
+      ignore (Metrics.Hist.merge a b))
+
+(* Exact nearest-rank percentile over a sorted array, the ground truth
+   the histogram approximates. *)
+let exact_percentile sorted p =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+(* Every reported percentile must sit within the histogram's
+   advertised relative error of the true sample at the same rank —
+   the property that makes p99.9 trustworthy at millions of ops. *)
+let check_percentiles name h sorted =
+  let tol = Metrics.Hist.relative_error h in
+  List.iter
+    (fun p ->
+      let truth = exact_percentile sorted p in
+      let approx = Metrics.Hist.percentile h p in
+      let rel =
+        if truth = 0. then Float.abs approx
+        else Float.abs (approx -. truth) /. truth
+      in
+      if rel > tol +. 1e-12 then
+        Alcotest.failf "%s p%g: hist %g vs exact %g (rel err %.5f > %.5f)"
+          name p approx truth rel tol)
+    [ 50.; 90.; 99.; 99.9; 99.99 ]
+
+let adversarial_cases =
+  (* Each case: a name and a generator of one sample from a seeded
+     PRNG state. A million draws per case. *)
+  [
+    ( "bimodal",
+      fun st ->
+        (* fast path near 1 delta, stragglers near 1000 delta — the
+           shape a crashed brick induces on reads *)
+        if Random.State.bool st then 0.5 +. Random.State.float st 1.
+        else 900. +. Random.State.float st 200. );
+    ( "heavy-tail",
+      fun st ->
+        (* Pareto alpha=1.1: infinite-variance tail, the worst case
+           for sampling reservoirs *)
+        let u = 1. -. Random.State.float st 0.999999 in
+        1. /. (u ** (1. /. 1.1)) );
+    ( "nine-nines-spike",
+      fun st ->
+        (* uniform bulk with a 0.05% spike three decades out — p99.9
+           sits right at the cliff edge *)
+        if Random.State.int st 2000 = 0 then 5000. +. Random.State.float st 1.
+        else Random.State.float st 5. );
+  ]
+
+let test_hist_property () =
+  let n = 1_000_000 in
+  List.iter
+    (fun (name, gen) ->
+      let st = Random.State.make [| 0xFAB; String.length name |] in
+      let h = Metrics.Hist.create () in
+      let values = Array.init n (fun _ -> gen st) in
+      Array.iter (Metrics.Hist.add h) values;
+      Alcotest.(check int) (name ^ " exact count") n (Metrics.Hist.count h);
+      Array.sort compare values;
+      check_percentiles name h values;
+      (* The sampling Summary at the same capacity the clients use
+         would be allowed to drift here; the histogram may not. *)
+      Alcotest.(check (float 0.0))
+        (name ^ " exact min") values.(0) (Metrics.Hist.min h);
+      Alcotest.(check (float 0.0))
+        (name ^ " exact max") values.(n - 1) (Metrics.Hist.max h))
+    adversarial_cases
+
+let test_hist_merge_property () =
+  (* Merging shards must agree with one histogram over the union, and
+     must be associative: (a+b)+c = a+(b+c) on every observable except
+     float mean (checked to tolerance). *)
+  let st = Random.State.make [| 42 |] in
+  let parts =
+    List.map
+      (fun (_, gen) ->
+        let h = Metrics.Hist.create () in
+        let vs = Array.init 50_000 (fun _ -> gen st) in
+        Array.iter (Metrics.Hist.add h) vs;
+        (h, vs))
+      adversarial_cases
+  in
+  let a, b, c =
+    match parts with [ a; b; c ] -> (a, b, c) | _ -> assert false
+  in
+  let flat = Metrics.Hist.create () in
+  List.iter (fun (_, vs) -> Array.iter (Metrics.Hist.add flat) vs) parts;
+  let left = Metrics.Hist.merge (Metrics.Hist.merge (fst a) (fst b)) (fst c) in
+  let right = Metrics.Hist.merge (fst a) (Metrics.Hist.merge (fst b) (fst c)) in
+  List.iter
+    (fun (name, m) ->
+      Alcotest.(check int) (name ^ " count") (Metrics.Hist.count flat)
+        (Metrics.Hist.count m);
+      Alcotest.(check (float 0.0)) (name ^ " min") (Metrics.Hist.min flat)
+        (Metrics.Hist.min m);
+      Alcotest.(check (float 0.0)) (name ^ " max") (Metrics.Hist.max flat)
+        (Metrics.Hist.max m);
+      Alcotest.(check (float 1e-6)) (name ^ " mean") (Metrics.Hist.mean flat)
+        (Metrics.Hist.mean m);
+      List.iter
+        (fun p ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s p%g" name p)
+            (Metrics.Hist.percentile flat p)
+            (Metrics.Hist.percentile m p))
+        [ 50.; 99.; 99.9 ];
+      (* bucket-exact equality with the flat histogram *)
+      Alcotest.(check bool) (name ^ " buckets") true
+        (Metrics.Hist.buckets flat = Metrics.Hist.buckets m))
+    [ ("left assoc", left); ("right assoc", right) ];
+  (* inputs unchanged *)
+  Alcotest.(check int) "a untouched" 50_000 (Metrics.Hist.count (fst a))
+
+(* ---- time series ---- *)
+
+let test_timeseries_windows () =
+  let ts = Metrics.Timeseries.create ~width:10. () in
+  Alcotest.(check (option (pair int int))) "empty span" None
+    (Metrics.Timeseries.span ts);
+  Alcotest.(check int) "window_of" 2 (Metrics.Timeseries.window_of ts 25.);
+  Alcotest.(check (float 0.0)) "window_start" 20.
+    (Metrics.Timeseries.window_start ts 2);
+  Metrics.Timeseries.incr ts ~time:5. "ops";
+  Metrics.Timeseries.incr ts ~time:25. ~by:3. "ops";
+  Metrics.Timeseries.observe ts ~time:25. "lat" 4.;
+  Metrics.Timeseries.observe ts ~time:27. "lat" 8.;
+  Alcotest.(check (option (pair int int))) "span" (Some (0, 2))
+    (Metrics.Timeseries.span ts);
+  (* counter series is zero-filled over the span *)
+  Alcotest.(check (list (pair int (float 0.0))))
+    "series" [ (0, 1.); (1, 0.); (2, 3.) ]
+    (Metrics.Timeseries.counter_series ts "ops");
+  Alcotest.(check (float 0.0)) "total" 4. (Metrics.Timeseries.total ts "ops");
+  (* per-window percentile: None where the window has no data *)
+  (match Metrics.Timeseries.percentile_series ts "lat" 50. with
+  | [ (0, None); (1, None); (2, Some p) ] ->
+      Alcotest.(check bool) "p50 near 4" true (Float.abs (p -. 4.) /. 4. < 0.05)
+  | other ->
+      Alcotest.failf "unexpected percentile series (%d entries)"
+        (List.length other));
+  (* pooled histogram sees both observations *)
+  match Metrics.Timeseries.merged_hist ts "lat" with
+  | None -> Alcotest.fail "merged_hist"
+  | Some h ->
+      Alcotest.(check int) "merged count" 2 (Metrics.Hist.count h);
+      Alcotest.(check (float 0.0)) "merged max" 8. (Metrics.Hist.max h)
+
+let test_timeseries_validation () =
+  Alcotest.check_raises "width"
+    (Invalid_argument "Metrics.Timeseries.create: width <= 0")
+    (fun () -> ignore (Metrics.Timeseries.create ~width:0. ()))
+
 let () =
   Alcotest.run "metrics"
     [
@@ -152,5 +339,20 @@ let () =
           Alcotest.test_case "bounded reservoir" `Quick test_summary_capacity;
           Alcotest.test_case "reservoir exact below capacity" `Quick
             test_summary_capacity_exact_below;
+        ] );
+      ( "hist",
+        [
+          Alcotest.test_case "basics" `Quick test_hist_basics;
+          Alcotest.test_case "merge precision mismatch" `Quick
+            test_hist_merge_precision_mismatch;
+          Alcotest.test_case "percentile error bound (1e6 adversarial)" `Slow
+            test_hist_property;
+          Alcotest.test_case "merge associative + exact" `Quick
+            test_hist_merge_property;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "windows" `Quick test_timeseries_windows;
+          Alcotest.test_case "validation" `Quick test_timeseries_validation;
         ] );
     ]

@@ -382,6 +382,213 @@ let test_property_rounds () =
   done;
   Alcotest.(check bool) "spans observed across rounds" true (!grand > 50)
 
+(* ------------------------------------------------------------------ *)
+(* Timeline sink                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A miniature chaos classifier so these tests stay independent of
+   lib/chaos (the real wiring uses Chaos.Plan.overlay_of_label). *)
+let classify label =
+  match String.split_on_char ' ' label with
+  | [ "crash"; i ] -> `Begin ("crash b" ^ i)
+  | [ "recover"; i ] -> `End ("crash b" ^ i)
+  | _ -> `Point label
+
+let ev ?(actor = Obs.Coord 0) ?(op = -1) ?phase time kind =
+  { Obs.time; actor; op; phase; kind }
+
+let mk_timeline () =
+  let tl = Obs.Timeline.create ~classify ~width:10. () in
+  let push = (Obs.Timeline.sink tl).Obs.Sink.emit in
+  let open Obs in
+  (* op 0: a read completing in window 0 with latency 2 *)
+  push (ev ~op:0 1. (Span_start { op_kind = "read-stripe"; stripe = 0 }));
+  push (ev ~op:0 ~actor:(Brick 1) 1.5
+          (Msg_send { dst = 2; bytes = 96; label = "read"; bg = false }));
+  push (ev ~op:0 ~actor:(Brick 2) 2. (Io_read { blocks = 2 }));
+  push (ev ~op:0 2.5 (Timeout { missing = 1; attempt = 1 }));
+  push (ev ~op:0 3. (Span_end { op_kind = "read-stripe"; stripe = 0; outcome = Ok }));
+  (* a fault interval opening in window 0, closing in window 2 *)
+  push (ev 5. (Fault { label = "crash 1" }));
+  (* op 1: a write aborting in window 1 with latency 5 *)
+  push (ev ~op:1 12. (Span_start { op_kind = "write-stripe"; stripe = 1 }));
+  push (ev ~op:1 ~actor:(Brick 0) 13. (Io_write { blocks = 1 }));
+  push (ev ~op:1 ~actor:(Brick 0) 13.5 (Msg_drop { dst = 3; bytes = 32; bg = false }));
+  push (ev ~op:1 17. (Span_end { op_kind = "write-stripe"; stripe = 1; outcome = Abort }));
+  push (ev ~actor:Sim 18. (Queue_depth { depth = 4 }));
+  (* a point fault and the interval close *)
+  push (ev 21. (Fault { label = "bit-rot 0 1" }));
+  push (ev 25. (Fault { label = "recover 1" }));
+  tl
+
+let test_timeline_series () =
+  let tl = mk_timeline () in
+  let ts = Obs.Timeline.series tl in
+  let counter name w = Metrics.Timeseries.counter ts name w in
+  Alcotest.(check (float 0.0)) "ops w0" 1. (counter "ops.all" 0);
+  Alcotest.(check (float 0.0)) "ops w1" 1. (counter "ops.all" 1);
+  Alcotest.(check (float 0.0)) "ok lands in w0" 1. (counter "out.ok" 0);
+  Alcotest.(check (float 0.0)) "abort lands in w1" 1. (counter "out.abort" 1);
+  (* goodput counts only ok completions *)
+  Alcotest.(check (float 0.0)) "read goodput" 1. (counter "ops.read-stripe" 0);
+  Alcotest.(check (float 0.0)) "aborted write is not goodput" 0.
+    (Metrics.Timeseries.total ts "ops.write-stripe");
+  Alcotest.(check (float 0.0)) "msgs" 1. (counter "msgs" 0);
+  Alcotest.(check (float 0.0)) "bytes" 96. (counter "bytes" 0);
+  Alcotest.(check (float 0.0)) "retransmits" 1. (counter "retransmits" 0);
+  Alcotest.(check (float 0.0)) "drops" 1. (counter "drops" 1);
+  Alcotest.(check (float 0.0)) "io.read" 2. (counter "io.read" 0);
+  Alcotest.(check (float 0.0)) "io.write" 1. (counter "io.write" 1);
+  Alcotest.(check (float 0.0)) "faults w0" 1. (counter "faults" 0);
+  (* latency histogram: op 0 took 2 delta in window 0 *)
+  match Metrics.Timeseries.hist ts "lat.all" 0 with
+  | None -> Alcotest.fail "no latency hist in w0"
+  | Some h ->
+      Alcotest.(check int) "one op" 1 (Metrics.Hist.count h);
+      Alcotest.(check (float 0.0)) "latency 2" 2. (Metrics.Hist.max h)
+
+let test_timeline_overlays () =
+  let tl = mk_timeline () in
+  (match Obs.Timeline.faults tl with
+  | [ ("crash b1", t0, t1); ("bit-rot 0 1", p0, p1) ] ->
+      Alcotest.(check (float 0.0)) "interval opens" 5. t0;
+      Alcotest.(check (float 0.0)) "interval closes" 25. t1;
+      Alcotest.(check (float 0.0)) "point" 21. p0;
+      Alcotest.(check (float 0.0)) "point zero-width" p0 p1
+  | fs ->
+      Alcotest.failf "unexpected overlays: %s"
+        (String.concat ", " (List.map (fun (l, _, _) -> l) fs)));
+  Alcotest.(check (list string)) "active in w0" [ "crash b1" ]
+    (Obs.Timeline.faults_in tl 0);
+  Alcotest.(check (list string)) "active in w1" [ "crash b1" ]
+    (Obs.Timeline.faults_in tl 1);
+  Alcotest.(check (list string)) "both in w2" [ "bit-rot 0 1"; "crash b1" ]
+    (Obs.Timeline.faults_in tl 2)
+
+(* ------------------------------------------------------------------ *)
+(* SLO engine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let slo_timeline () =
+  (* 10 reads in window 0: nine at 2 delta, one at 100 delta; then one
+     abort in window 1. *)
+  let tl = Obs.Timeline.create ~classify ~width:10. () in
+  let push = (Obs.Timeline.sink tl).Obs.Sink.emit in
+  let open Obs in
+  for op = 0 to 9 do
+    let lat = if op = 9 then 8. else 2. in
+    push (ev ~op 0.5 (Span_start { op_kind = "read-stripe"; stripe = 0 }));
+    push (ev ~op (0.5 +. lat)
+            (Span_end { op_kind = "read-stripe"; stripe = 0; outcome = Ok }))
+  done;
+  push (ev ~op:10 12. (Span_start { op_kind = "write-stripe"; stripe = 0 }));
+  push (ev ~op:10 14.
+          (Span_end { op_kind = "write-stripe"; stripe = 0; outcome = Abort }));
+  tl
+
+let test_slo_parse () =
+  List.iter
+    (fun s ->
+      match Obs.Slo.parse s with
+      | Error e -> Alcotest.failf "parse %S: %s" s e
+      | Ok o -> (
+          (* canonical name re-parses to the same objective *)
+          match Obs.Slo.parse (Obs.Slo.name o) with
+          | Ok o' ->
+              Alcotest.(check string) ("round-trip " ^ s) (Obs.Slo.name o)
+                (Obs.Slo.name o')
+          | Error e -> Alcotest.failf "re-parse %S: %s" (Obs.Slo.name o) e))
+    [ "read p99 < 6"; "p50 <= 3.5"; "availability >= 99.9%"; "write p99.9 < 40" ];
+  List.iter
+    (fun s ->
+      match Obs.Slo.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "p200 < 6"; "availability >= 101%"; "read p99" ]
+
+let test_slo_latency () =
+  let tl = slo_timeline () in
+  (* p50 < 6: one of ten reads is slow, well inside the 50% budget *)
+  let ok_report =
+    Obs.Slo.evaluate tl (Latency { kind = Some "read"; p = 50.; limit = 6. })
+  in
+  Alcotest.(check int) "governs the 10 reads" 10 ok_report.Obs.Slo.total;
+  Alcotest.(check int) "one exceedance" 1 ok_report.Obs.Slo.bad;
+  Alcotest.(check bool) "within budget" true ok_report.Obs.Slo.compliant;
+  (* p99 < 6: the same exceedance blows the 1% budget tenfold *)
+  let blown =
+    Obs.Slo.evaluate tl (Latency { kind = Some "read"; p = 99.; limit = 6. })
+  in
+  Alcotest.(check (float 1e-9)) "burn 10x" 10. blown.Obs.Slo.burn;
+  Alcotest.(check bool) "blown" false blown.Obs.Slo.compliant;
+  (* kind prefix matching: "read" covers "read-stripe"; "write" sees
+     only the one write span (its latency is recorded even though it
+     aborted), none of the reads *)
+  let writes =
+    Obs.Slo.evaluate tl (Latency { kind = Some "write"; p = 99.; limit = 6. })
+  in
+  Alcotest.(check int) "writes governed separately" 1 writes.Obs.Slo.total;
+  Alcotest.(check int) "no write exceedance" 0 writes.Obs.Slo.bad;
+  (* per-window stats: the slow read is in window 0 *)
+  match ok_report.Obs.Slo.windows with
+  | { Obs.Slo.window = 0; w_total = 10; w_bad = 1; _ } :: _ -> ()
+  | _ -> Alcotest.fail "unexpected window stats"
+
+let test_slo_availability () =
+  let tl = slo_timeline () in
+  let strict = Obs.Slo.evaluate tl (Availability { min_pct = 99.9 }) in
+  (* 10 ok + 1 abort: availability 90.9%, budget 0.1% *)
+  Alcotest.(check int) "total" 11 strict.Obs.Slo.total;
+  Alcotest.(check int) "bad" 1 strict.Obs.Slo.bad;
+  Alcotest.(check bool) "blown" false strict.Obs.Slo.compliant;
+  let lax = Obs.Slo.evaluate tl (Availability { min_pct = 50. }) in
+  Alcotest.(check bool) "within a lax budget" true lax.Obs.Slo.compliant;
+  Alcotest.(check (float 1e-9)) "burn"
+    (1. /. (0.5 *. 11.))
+    lax.Obs.Slo.burn
+
+(* ------------------------------------------------------------------ *)
+(* Bounded retention                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_retention () =
+  let stats = Obs.Stats.create ~retain:2 () in
+  let open Obs in
+  for op = 0 to 4 do
+    let kind = if op mod 2 = 0 then "read-stripe" else "write-stripe" in
+    let outcome = if op = 4 then Abort else Ok in
+    Obs.Stats.feed stats
+      (ev ~op (float_of_int op) (Span_start { op_kind = kind; stripe = 0 }));
+    Obs.Stats.feed stats
+      (ev ~op (float_of_int op +. 2.)
+         (Span_end { op_kind = kind; stripe = 0; outcome }))
+  done;
+  (* only the newest [retain] records are listable... *)
+  Alcotest.(check int) "retained" 2 (List.length (Obs.Stats.completed stats));
+  Alcotest.(check int) "evicted" 3 (Obs.Stats.evicted stats);
+  Alcotest.(check (list int)) "newest kept" [ 3; 4 ]
+    (List.map (fun s -> s.Obs.Stats.op) (Obs.Stats.completed stats));
+  (* ...but every aggregate still covers all five ops *)
+  (match List.assoc_opt "read-stripe" (Obs.Stats.outcome_counts stats) with
+  | Some (ok, ab, _, _) ->
+      Alcotest.(check int) "read oks" 2 ok;
+      Alcotest.(check int) "read aborts" 1 ab
+  | None -> Alcotest.fail "read-stripe aggregate missing");
+  (match List.assoc_opt "read-stripe" (Obs.Stats.hist_by_kind stats) with
+  | Some h -> Alcotest.(check int) "hist count" 3 (Metrics.Hist.count h)
+  | None -> Alcotest.fail "read-stripe hist missing");
+  let reg = Metrics.Registry.create () in
+  Obs.Stats.materialize stats reg;
+  Alcotest.(check (float 0.0)) "obs.ops covers evicted" 5.
+    (Metrics.Registry.value reg "obs.ops");
+  Alcotest.(check (float 0.0)) "obs.aborts" 1.
+    (Metrics.Registry.value reg "obs.aborts");
+  Alcotest.(check (float 0.0)) "eviction counter" 5.
+    (Metrics.Registry.value reg "obs.evictions");
+  (* a straggler event for an evicted op must not re-open a live span *)
+  Obs.Stats.feed stats (ev ~op:0 ~phase:Obs.Write 99. Obs.Phase_start);
+  Alcotest.(check int) "no zombie span" 0 (Obs.Stats.unfinished stats)
+
 let () =
   Alcotest.run "obs"
     [
@@ -396,5 +603,22 @@ let () =
           Alcotest.test_case "well-formedness checker" `Quick test_well_formed;
           Alcotest.test_case "retry outcome" `Quick test_retry_outcome;
           Alcotest.test_case "randomized rounds" `Slow test_property_rounds;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "series" `Quick test_timeline_series;
+          Alcotest.test_case "fault overlays" `Quick test_timeline_overlays;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "parse" `Quick test_slo_parse;
+          Alcotest.test_case "latency objectives" `Quick test_slo_latency;
+          Alcotest.test_case "availability objectives" `Quick
+            test_slo_availability;
+        ] );
+      ( "retention",
+        [
+          Alcotest.test_case "bounded completed table" `Quick
+            test_stats_retention;
         ] );
     ]
