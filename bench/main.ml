@@ -3,11 +3,12 @@
    studies and compute microbenchmarks.
 
    Usage:  dune exec bench/main.exe [-- section ... [--json] [--smoke]]
-   where section is any of: t1 f2 f3 f5 a1 x1..x6 protocol micro.
-   With no section every section runs. --json makes the micro and
-   protocol sections write BENCH_micro.json / BENCH_protocol.json next
-   to the textual report; --smoke shrinks the measurement quotas so the
-   smoke aliases stay fast. *)
+   where section is any of: t1 f2 f3 f5 a1 x1..x6 protocol micro
+   parallel. With no section every section runs. --json makes the
+   micro, protocol and parallel sections write BENCH_micro.json /
+   BENCH_protocol.json / BENCH_parallel.json next to the textual
+   report; --smoke shrinks the measurement quotas so the smoke aliases
+   stay fast. *)
 
 let sections =
   [
@@ -24,6 +25,7 @@ let sections =
     ("x6", Ablations.x6);
     ("protocol", Protocol.run);
     ("micro", Micro.run);
+    ("parallel", Parallel.run);
   ]
 
 let () =
@@ -48,10 +50,12 @@ let () =
         | "--json" ->
             Micro.json_out := Some "BENCH_micro.json";
             Protocol.json_out := Some "BENCH_protocol.json";
+            Parallel.json_out := Some "BENCH_parallel.json";
             false
         | "--smoke" ->
             Micro.smoke := true;
             Protocol.smoke := true;
+            Parallel.smoke := true;
             false
         | _ -> true)
       args

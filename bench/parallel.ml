@@ -1,0 +1,170 @@
+(* Wall-clock throughput of the FAB protocol on the OCaml 5 multicore
+   backend (lib/runtime_mc): the same mixed OLTP workload is driven
+   against identical m-of-n deployments at increasing worker-domain
+   counts, and every row reports real ops/sec, exact-rank latency
+   percentiles (pooled {!Metrics.Hist}) and the speedup over the
+   one-domain run.
+
+   Unlike every other section of this harness, time here is measured
+   by the monotonic clock, not in delta units — the numbers depend on
+   the machine (core count is stamped into the meta as [hw_cores]; on
+   a single-core host the sweep degenerates to scheduling overhead and
+   speedups near 1x are expected). Protocol behavior is identical to
+   the sim backend by construction (lib/runtime); verify correctness
+   there, measure wall-clock here.
+
+   [json_out] (set by bench/main.ml's --json flag) writes
+   BENCH_parallel.json; [smoke] shrinks the sweep and the op quota so
+   the @parallel-smoke alias stays fast. *)
+
+let json_out : string option ref = ref None
+let smoke : bool ref = ref false
+
+let m = 2
+let n = 4
+let stripes = 32
+
+type run_result = {
+  domains : int;
+  ops_done : int;
+  aborted : int;
+  unavailable : int;
+  elapsed : float; (* wall-clock seconds *)
+  ops_per_sec : float;
+  lat : Metrics.Hist.t; (* pooled per-op latency, seconds *)
+}
+
+(* One deployment, [clients] concurrent clients of [ops] ops each.
+   Every client gets its own coordinator brick so logical (time, pid)
+   timestamps stay unique under real concurrency. *)
+let run_one ~domains ~clients ~ops ~block_size =
+  let nbricks = max n clients in
+  let layout_kind = if nbricks = n then Fab.Layout.Fixed else Fab.Layout.Rotating in
+  let cluster =
+    Core.Cluster.create_mc ~domains ~bricks:nbricks
+      ~layout:(Fab.Layout.make layout_kind ~bricks:nbricks ~n)
+      ~block_size ~ts_cache:true ~m ~n ()
+  in
+  let volume =
+    Fab.Volume.of_cluster ~cluster ~m ~stripes ~block_size ~op_retries:8
+      ~pipeline_window:4 ~stripe_offset:0 ()
+  in
+  let rt = cluster.Core.Cluster.runtime in
+  let stats = Array.init clients (fun _ -> Workload.Client.fresh_stats ()) in
+  let started = Runtime.now rt in
+  for c = 0 to clients - 1 do
+    let gen =
+      Workload.Gen.make Workload.Gen.oltp
+        ~capacity_blocks:(Fab.Volume.capacity_blocks volume)
+        ~rng:(Random.State.make [| 7; c |])
+    in
+    Workload.Client.spawn volume ~coord:(c mod nbricks) ~gen ~ops
+      ~payload_tag:(Char.chr (97 + (c mod 26)))
+      stats.(c)
+  done;
+  Core.Cluster.await_quiesce cluster;
+  let elapsed = Runtime.now rt -. started in
+  Core.Cluster.shutdown cluster;
+  let total field = Array.fold_left (fun acc s -> acc + field s) 0 stats in
+  let ops_done = total (fun s -> s.Workload.Client.ops) in
+  let lat =
+    Array.fold_left
+      (fun acc s -> Metrics.Hist.merge acc s.Workload.Client.latency_hist)
+      (Metrics.Hist.create ()) stats
+  in
+  {
+    domains;
+    ops_done;
+    aborted = total (fun s -> s.Workload.Client.aborts);
+    unavailable = total (fun s -> s.Workload.Client.unavailable);
+    elapsed;
+    ops_per_sec =
+      (if elapsed > 0. then float_of_int ops_done /. elapsed else 0.);
+    lat;
+  }
+
+let pct r p =
+  if Metrics.Hist.count r.lat = 0 then 0. else Metrics.Hist.percentile r.lat p
+
+let run () =
+  let sweep = if !smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let clients = if !smoke then 2 else 4 in
+  let ops = if !smoke then 15 else 150 in
+  let block_size = if !smoke then 1024 else 8192 in
+  let hw = Runtime_mc.hw_cores () in
+  Util.section "Parallel backend (wall clock)";
+  Printf.printf
+    "  runtime mc: %d-of-%d code, %d clients x %d ops, %dB blocks, %d \
+     hardware core%s\n"
+    m n clients ops block_size hw
+    (if hw = 1 then "" else "s");
+  if hw < List.fold_left max 1 sweep then
+    Printf.printf
+    "  note: sweep exceeds the core count; speedups are bounded by %d \
+     hardware core%s\n"
+      hw
+      (if hw = 1 then "" else "s");
+  let results = List.map (fun d -> run_one ~domains:d ~clients ~ops ~block_size) sweep in
+  let base = List.hd results in
+  Printf.printf "  %-8s | %10s | %12s | %10s | %10s | %8s\n" "domains"
+    "ops done" "ops/sec" "p50 (ms)" "p99 (ms)" "speedup";
+  Printf.printf "  %s\n" (String.make 72 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "  %-8d | %10d | %12.0f | %10.3f | %10.3f | %7.2fx\n"
+        r.domains r.ops_done r.ops_per_sec
+        (pct r 50. *. 1e3)
+        (pct r 99. *. 1e3)
+        (if base.ops_per_sec > 0. then r.ops_per_sec /. base.ops_per_sec
+         else 0.))
+    results;
+  Option.iter
+    (fun path ->
+      let open Obs.Json in
+      let num k v = (k, F v) in
+      let doc =
+        ( "meta",
+          Obs.Meta.standard ~runtime:"mc"
+            ~domains:(List.fold_left max 1 sweep)
+            ~extra:
+              [
+                ("tool", S "bench parallel");
+                ("m", I m);
+                ("n", I n);
+                ("stripes", I stripes);
+                ("block_size", I block_size);
+                ("clients", I clients);
+                ("ops", I ops);
+                ("hw_cores", I hw);
+                ("smoke", B !smoke);
+                ("gf_kernel", S Gf256.Kernel.(name (default ())));
+              ]
+            () )
+        :: List.map
+             (fun r ->
+               ( Printf.sprintf "domains_%d" r.domains,
+                 [
+                   ("domains", I r.domains);
+                   ("ops_done", I r.ops_done);
+                   ("aborted", I r.aborted);
+                   ("unavailable", I r.unavailable);
+                   num "elapsed_s" r.elapsed;
+                   num "ops_per_sec" r.ops_per_sec;
+                   num "p50_ms" (pct r 50. *. 1e3);
+                   num "p99_ms" (pct r 99. *. 1e3);
+                   num "speedup_vs_1"
+                     (if base.ops_per_sec > 0. then
+                        r.ops_per_sec /. base.ops_per_sec
+                      else 0.);
+                 ] ))
+             results
+      in
+      let oc = open_out path in
+      Printf.fprintf oc "{%s}\n"
+        (String.concat ",\n "
+           (List.map
+              (fun (name, fields) -> render (S name) ^ ": " ^ obj fields)
+              doc));
+      close_out oc;
+      Printf.printf "  wrote %s\n" path)
+    !json_out

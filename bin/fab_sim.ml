@@ -126,26 +126,50 @@ let write_stats_json path ~meta ~metrics ~obs_stats ~client_latency ~elapsed
     (quote "breakdown") (nested breakdown);
   close_out oc
 
-let run_workload m n bricks stripes block_size clients ops profile drop seed
-    optimized pipeline_window no_ts_cache no_coalesce trace trace_out
-    trace_chrome stats_json =
+let run_workload runtime_name domains m n bricks stripes block_size clients
+    ops profile drop seed optimized pipeline_window no_ts_cache no_coalesce
+    trace trace_out trace_chrome stats_json =
   if m < 1 || n <= m then `Error (false, "need 1 <= m < n")
   else if pipeline_window < 1 then `Error (false, "need pipeline-window >= 1")
+  else if runtime_name <> "sim" && runtime_name <> "mc" then
+    `Error (false, "--runtime must be sim or mc")
+  else if runtime_name = "mc" && drop > 0. then
+    `Error (false, "--drop needs the simulated network (--runtime sim)")
+  else if domains < 1 then `Error (false, "need domains >= 1")
   else begin
     let volume =
-      Fab.Volume.create ~m ~n
-        ?bricks:(if bricks = 0 then None else Some bricks)
-        ~stripes ~block_size ~seed ~optimized_modify:optimized
-        ~ts_cache:(not no_ts_cache) ~coalesce:(not no_coalesce)
-        ~pipeline_window
-        ~net_config:{ Simnet.Net.default_config with drop }
-        ()
+      if runtime_name = "sim" then
+        Fab.Volume.create ~m ~n
+          ?bricks:(if bricks = 0 then None else Some bricks)
+          ~stripes ~block_size ~seed ~optimized_modify:optimized
+          ~ts_cache:(not no_ts_cache) ~coalesce:(not no_coalesce)
+          ~pipeline_window
+          ~net_config:{ Simnet.Net.default_config with drop }
+          ()
+      else begin
+        (* Multicore backend: every concurrent client gets its own
+           coordinator brick so logical (time, pid) timestamps stay
+           unique; message coalescing is a same-instant notion and is
+           left off under wall-clock time. *)
+        let nbricks = if bricks = 0 then max n clients else bricks in
+        let layout_kind =
+          if nbricks = n then Fab.Layout.Fixed else Fab.Layout.Rotating
+        in
+        let cluster =
+          Core.Cluster.create_mc ~domains ~bricks:nbricks
+            ~layout:(Fab.Layout.make layout_kind ~bricks:nbricks ~n)
+            ~block_size ~optimized_modify:optimized
+            ~ts_cache:(not no_ts_cache) ~m ~n ()
+        in
+        Fab.Volume.of_cluster ~cluster ~m ~stripes ~block_size ~op_retries:3
+          ~pipeline_window ~stripe_offset:0 ()
+      end
     in
     let cluster = Fab.Volume.cluster volume in
     let nbricks = Array.length cluster.Core.Cluster.bricks in
     let obs = cluster.Core.Cluster.obs in
     let meta =
-      Obs.Meta.standard
+      Obs.Meta.standard ~runtime:runtime_name ~domains
         ~extra:
           [
             ("tool", Obs.Json.S "fab_sim workload");
@@ -185,7 +209,7 @@ let run_workload m n bricks stripes block_size clients ops profile drop seed
       "volume: %d-of-%d code, %d bricks, %d stripes, %dB blocks, drop=%.2f\n"
       m n nbricks stripes block_size drop;
     let stats = Array.init clients (fun _ -> Workload.Client.fresh_stats ()) in
-    let started = Dessim.Engine.now cluster.Core.Cluster.engine in
+    let started = Runtime.now cluster.Core.Cluster.runtime in
     for c = 0 to clients - 1 do
       let gen =
         Workload.Gen.make profile
@@ -197,20 +221,28 @@ let run_workload m n bricks stripes block_size clients ops profile drop seed
         stats.(c)
     done;
     Fab.Volume.run ~horizon:10_000_000. volume;
-    let elapsed = Dessim.Engine.now cluster.Core.Cluster.engine -. started in
+    let elapsed = Runtime.now cluster.Core.Cluster.runtime -. started in
     let metrics = cluster.Core.Cluster.metrics in
     let total field = Array.fold_left (fun acc s -> acc + field s) 0 stats in
     let ops_done = total (fun s -> s.Workload.Client.ops) in
     let aborts = total (fun s -> s.Workload.Client.aborts) in
-    Printf.printf "clients: %d x %d ops, elapsed %.0f delta\n" clients ops
-      elapsed;
+    if Core.Cluster.is_mc cluster then
+      Printf.printf "clients: %d x %d ops, elapsed %.3f s (%d domains)\n"
+        clients ops elapsed domains
+    else
+      Printf.printf "clients: %d x %d ops, elapsed %.0f delta\n" clients ops
+        elapsed;
     Printf.printf "  completed ops : %d (%d reads, %d writes, %d aborted)\n"
       ops_done
       (total (fun s -> s.Workload.Client.reads))
       (total (fun s -> s.Workload.Client.writes))
       aborts;
-    Printf.printf "  throughput    : %.2f ops / kdelta\n"
-      (float_of_int ops_done /. elapsed *. 1000.);
+    if Core.Cluster.is_mc cluster then
+      Printf.printf "  throughput    : %.0f ops / sec (wall clock)\n"
+        (float_of_int ops_done /. elapsed)
+    else
+      Printf.printf "  throughput    : %.2f ops / kdelta\n"
+        (float_of_int ops_done /. elapsed *. 1000.);
     Array.iteri
       (fun i s ->
         Printf.printf "  client %d      : %s\n" i
@@ -258,10 +290,28 @@ let run_workload m n bricks stripes block_size clients ops profile drop seed
         write_stats_json path ~meta ~metrics ~obs_stats ~client_latency
           ~elapsed ~ops_done ~aborts)
       stats_json;
+    Core.Cluster.shutdown cluster;
     `Ok ()
   end
 
 let workload_cmd =
+  let runtime_name =
+    Arg.(
+      value
+      & opt string "sim"
+      & info [ "runtime" ] ~docv:"BACKEND"
+          ~doc:
+            "Execution backend: $(b,sim) (deterministic discrete-event \
+             simulator, virtual time) or $(b,mc) (OCaml 5 multicore \
+             domains, wall-clock time).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "domains" ]
+          ~doc:"Worker domains for $(b,--runtime mc); ignored under sim.")
+  in
   let m = Arg.(value & opt int 5 & info [ "m"; "data-blocks" ] ~doc:"Data blocks per stripe.") in
   let n = Arg.(value & opt int 8 & info [ "n"; "total-blocks" ] ~doc:"Total blocks per stripe.") in
   let bricks =
@@ -330,10 +380,10 @@ let workload_cmd =
     (Cmd.info "workload" ~doc:"Run a synthetic workload on a simulated volume")
     Term.(
       ret
-        (const run_workload $ m $ n $ bricks $ stripes $ block_size $ clients
-        $ ops $ profile $ drop $ seed $ optimized $ pipeline_window
-        $ no_ts_cache $ no_coalesce $ trace $ trace_out $ trace_chrome
-        $ stats_json))
+        (const run_workload $ runtime_name $ domains $ m $ n $ bricks
+        $ stripes $ block_size $ clients $ ops $ profile $ drop $ seed
+        $ optimized $ pipeline_window $ no_ts_cache $ no_coalesce $ trace
+        $ trace_out $ trace_chrome $ stats_json))
 
 (* ---------------- explain ---------------- *)
 

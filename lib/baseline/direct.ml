@@ -32,14 +32,16 @@ let create ?(seed = 42) ?(block_size = 1024) ~m ~n () =
     else Erasure.Codec.rs ~m ~n ()
   in
   let engine = Dessim.Engine.create ~seed () in
+  let runtime = Runtime_sim.of_engine engine in
   let metrics = Metrics.Registry.create () in
   let net =
     Simnet.Net.create ~metrics engine ~config:Simnet.Net.default_config ~n
   in
   let rpc =
-    Quorum.Rpc.create ~net ~req_bytes:bytes_on_wire ~rep_bytes:bytes_on_wire ()
+    Quorum.Rpc.create ~rt:runtime ~transport:(Quorum.Rpc.of_net net)
+      ~req_bytes:bytes_on_wire ~rep_bytes:bytes_on_wire ()
   in
-  let bricks = Array.init n (fun id -> Brick.create ~metrics engine ~id) in
+  let bricks = Array.init n (fun id -> Brick.create ~metrics runtime ~id) in
   let stores = Array.init n (fun _ -> Hashtbl.create 16) in
   let t = { engine; rpc; bricks; codec; stores; m; n; block_size } in
   Array.iteri

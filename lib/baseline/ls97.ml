@@ -75,14 +75,16 @@ let create ?(seed = 42) ?(net_config = Simnet.Net.default_config)
     ?(block_size = 1024) ~n:count () =
   if count < 2 then invalid_arg "Baseline.Ls97.create: n < 2";
   let engine = Dessim.Engine.create ~seed () in
+  let runtime = Runtime_sim.of_engine engine in
   let metrics = Metrics.Registry.create () in
   let net = Simnet.Net.create ~metrics engine ~config:net_config ~n:count in
   let rpc =
-    Quorum.Rpc.create ~net ~req_bytes:bytes_on_wire ~rep_bytes:bytes_on_wire
+    Quorum.Rpc.create ~rt:runtime ~transport:(Quorum.Rpc.of_net net)
+      ~req_bytes:bytes_on_wire ~rep_bytes:bytes_on_wire
       ~grace:(net_config.Simnet.Net.delay +. net_config.Simnet.Net.jitter)
       ()
   in
-  let bricks = Array.init count (fun id -> Brick.create ~metrics engine ~id) in
+  let bricks = Array.init count (fun id -> Brick.create ~metrics runtime ~id) in
   let clocks = Array.init count (fun pid -> Clock.logical ~pid) in
   let states = Array.init count (fun _ -> Hashtbl.create 16) in
   let t =

@@ -2,12 +2,13 @@ type hook = int
 
 type t = {
   id : int;
-  engine : Dessim.Engine.t;
+  runtime : Runtime.t;
   mutable alive : bool;
   mutable crash_count : int;
   mutable next_hook : int;
   crash_hooks : (int, unit -> unit) Hashtbl.t;
   scratch : (int, Bytes.t Stack.t) Hashtbl.t;
+  lk : Mutex.t;  (* guards crash_hooks / next_hook / scratch (mc backend) *)
   disk_reads : Metrics.Counter.t;
   disk_writes : Metrics.Counter.t;
   nvram_writes : Metrics.Counter.t;
@@ -15,15 +16,16 @@ type t = {
 }
 
 let create ?(metrics = Metrics.Registry.create ()) ?(obs = Obs.create ())
-    engine ~id =
+    runtime ~id =
   {
     id;
-    engine;
+    runtime;
     alive = true;
     crash_count = 0;
     next_hook = 0;
     crash_hooks = Hashtbl.create 8;
     scratch = Hashtbl.create 4;
+    lk = Mutex.create ();
     disk_reads = Metrics.Registry.counter metrics "disk.reads";
     disk_writes = Metrics.Registry.counter metrics "disk.writes";
     nvram_writes = Metrics.Registry.counter metrics "nvram.writes";
@@ -31,29 +33,43 @@ let create ?(metrics = Metrics.Registry.create ()) ?(obs = Obs.create ())
   }
 
 let id t = t.id
-let engine t = t.engine
+let runtime t = t.runtime
 let is_alive t = t.alive
 
 let crash t =
   if t.alive then begin
     t.alive <- false;
     t.crash_count <- t.crash_count + 1;
-    (* Collect first: a hook may (de)register hooks while running. *)
+    (* Collect first: a hook may (de)register hooks while running —
+       and hooks must run outside the lock, since cancelling a fiber
+       or aborting an ivar re-enters brick code. *)
+    Mutex.lock t.lk;
     let hooks = Hashtbl.fold (fun _ f acc -> f :: acc) t.crash_hooks [] in
     Hashtbl.reset t.crash_hooks;
+    Mutex.unlock t.lk;
     List.iter (fun f -> f ()) hooks
   end
 
 let recover t = t.alive <- true
 
 let add_crash_hook t f =
+  Mutex.lock t.lk;
   let h = t.next_hook in
   t.next_hook <- t.next_hook + 1;
   Hashtbl.replace t.crash_hooks h f;
+  Mutex.unlock t.lk;
   h
 
-let remove_crash_hook t h = Hashtbl.remove t.crash_hooks h
-let hook_count t = Hashtbl.length t.crash_hooks
+let remove_crash_hook t h =
+  Mutex.lock t.lk;
+  Hashtbl.remove t.crash_hooks h;
+  Mutex.unlock t.lk
+
+let hook_count t =
+  Mutex.lock t.lk;
+  let n = Hashtbl.length t.crash_hooks in
+  Mutex.unlock t.lk;
+  n
 
 (* Scratch pool: transient per-brick buffers for codec computation.
    Contents of a borrowed buffer are undefined; buffers must never be
@@ -63,12 +79,18 @@ let max_pooled_per_len = 16
 
 let scratch_take t ~len =
   if len <= 0 then invalid_arg "Brick.scratch_take: len <= 0";
-  match Hashtbl.find_opt t.scratch len with
-  | Some s when not (Stack.is_empty s) -> Stack.pop s
-  | _ -> Bytes.create len
+  Mutex.lock t.lk;
+  let b =
+    match Hashtbl.find_opt t.scratch len with
+    | Some s when not (Stack.is_empty s) -> Stack.pop s
+    | _ -> Bytes.create len
+  in
+  Mutex.unlock t.lk;
+  b
 
 let scratch_release t b =
   let len = Bytes.length b in
+  Mutex.lock t.lk;
   let s =
     match Hashtbl.find_opt t.scratch len with
     | Some s -> s
@@ -77,12 +99,13 @@ let scratch_release t b =
         Hashtbl.add t.scratch len s;
         s
   in
-  if Stack.length s < max_pooled_per_len then Stack.push b s
+  if Stack.length s < max_pooled_per_len then Stack.push b s;
+  Mutex.unlock t.lk
 
 let emit_io t (ctx : Obs.ctx) kind =
   Obs.emit t.obs
     {
-      Obs.time = Dessim.Engine.now t.engine;
+      Obs.time = Runtime.now t.runtime;
       actor = Obs.Brick t.id;
       op = ctx.Obs.op;
       phase = ctx.Obs.phase;

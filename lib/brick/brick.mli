@@ -23,9 +23,12 @@
 type t
 
 val create :
-  ?metrics:Metrics.Registry.t -> ?obs:Obs.t -> Dessim.Engine.t -> id:int -> t
+  ?metrics:Metrics.Registry.t -> ?obs:Obs.t -> Runtime.t -> id:int -> t
 val id : t -> int
-val engine : t -> Dessim.Engine.t
+
+val runtime : t -> Runtime.t
+(** The runtime this brick schedules on — the deterministic simulator
+    or the multicore backend; brick code never sees which. *)
 
 val is_alive : t -> bool
 (** Freshly created bricks are alive. *)

@@ -1,5 +1,16 @@
+type backend =
+  | Sim
+  | Mc of {
+      pool : Runtime_mc.t;
+      boxes :
+        (int * (Message.t, Message.t) Quorum.Rpc.envelope) Runtime.Mailbox.t
+        array;
+    }
+
 type t = {
   engine : Dessim.Engine.t;
+  runtime : Runtime.t;
+  backend : backend;
   net : ((Message.t, Message.t) Quorum.Rpc.envelope) Simnet.Net.t;
   rpc : (Message.t, Message.t) Quorum.Rpc.t;
   metrics : Metrics.Registry.t;
@@ -24,6 +35,7 @@ let default_codec ~m ~n =
 let wire ~seed ~net_config ~nbricks ~clock ~retry_every ?retry_backoff
     ?retry_cap ?coalesce ~make_cfg () =
   let engine = Dessim.Engine.create ~seed () in
+  let runtime = Runtime_sim.of_engine engine in
   let metrics = Metrics.Registry.create () in
   let obs = Obs.create () in
   (* Sample the engine's event-queue depth only when someone listens:
@@ -45,16 +57,16 @@ let wire ~seed ~net_config ~nbricks ~clock ~retry_every ?retry_backoff
     Simnet.Net.create ~metrics ~obs engine ~config:net_config ~n:nbricks
   in
   let rpc =
-    Quorum.Rpc.create ~net ~metrics ~req_bytes:Message.bytes_on_wire
-      ~rep_bytes:Message.bytes_on_wire ~req_label:Message.label
-      ~rep_label:Message.label ?retry_every ?retry_backoff ?retry_cap
-      ?coalesce
+    Quorum.Rpc.create ~rt:runtime ~transport:(Quorum.Rpc.of_net net) ~metrics
+      ~req_bytes:Message.bytes_on_wire ~rep_bytes:Message.bytes_on_wire
+      ~req_label:Message.label ~rep_label:Message.label ?retry_every
+      ?retry_backoff ?retry_cap ?coalesce
       ~grace:(net_config.Simnet.Net.delay +. net_config.Simnet.Net.jitter)
       ()
   in
-  let cfg = make_cfg ~engine ~rpc ~metrics ~obs in
+  let cfg = make_cfg ~runtime ~rpc ~metrics ~obs in
   let bricks =
-    Array.init nbricks (fun id -> Brick.create ~metrics ~obs engine ~id)
+    Array.init nbricks (fun id -> Brick.create ~metrics ~obs runtime ~id)
   in
   let replicas = Array.map (fun b -> Replica.create cfg ~brick:b) bricks in
   let coordinators =
@@ -70,7 +82,19 @@ let wire ~seed ~net_config ~nbricks ~clock ~retry_every ?retry_backoff
         Coordinator.create cfg ~brick:b ~clock:clk)
       bricks
   in
-  { engine; net; rpc; metrics; obs; cfg; bricks; replicas; coordinators }
+  {
+    engine;
+    runtime;
+    backend = Sim;
+    net;
+    rpc;
+    metrics;
+    obs;
+    cfg;
+    bricks;
+    replicas;
+    coordinators;
+  }
 
 let create ?(seed = 42) ?(net_config = Simnet.Net.default_config) ?bricks
     ?layout ?(block_size = 1024) ?(clock = Logical) ?gc_enabled
@@ -89,8 +113,8 @@ let create ?(seed = 42) ?(net_config = Simnet.Net.default_config) ?bricks
   let mq = Quorum.Mquorum.create ~n ~m in
   wire ~seed ~net_config ~nbricks ~clock ~retry_every ?retry_backoff
     ?retry_cap ?coalesce
-    ~make_cfg:(fun ~engine ~rpc ~metrics ~obs ->
-      Config.create ~codec ~mq ~block_size ~engine ~rpc ~metrics ~layout
+    ~make_cfg:(fun ~runtime ~rpc ~metrics ~obs ->
+      Config.create ~codec ~mq ~block_size ~runtime ~rpc ~metrics ~layout
         ~obs ?gc_enabled ?optimized_modify ?ts_cache ?deadline
         ?unsafe_skip_order ())
     ()
@@ -102,17 +126,153 @@ let create_policied ?(seed = 42) ?(net_config = Simnet.Net.default_config)
   if nbricks < 1 then invalid_arg "Core.Cluster.create_policied: no bricks";
   wire ~seed ~net_config ~nbricks ~clock ~retry_every ?retry_backoff
     ?retry_cap ?coalesce
-    ~make_cfg:(fun ~engine ~rpc ~metrics ~obs ->
-      Config.create_policied ~policy_of ~block_size ~engine ~rpc ~metrics
+    ~make_cfg:(fun ~runtime ~rpc ~metrics ~obs ->
+      Config.create_policied ~policy_of ~block_size ~runtime ~rpc ~metrics
         ~obs ?gc_enabled ?optimized_modify ?ts_cache ?deadline
         ?unsafe_skip_order ())
     ()
 
+(* --- multicore deployment ------------------------------------------ *)
+
+(* In-process transport for the multicore backend: one mailbox per
+   address, one daemon receive loop per registered address. The loop
+   serializes the address's handler invocations — replica state needs
+   no further locking — while loops of different bricks run on
+   different pool threads, in parallel across domains. *)
+let mc_transport rt pool ~metrics ~n =
+  let msgs = Metrics.Registry.counter metrics "net.msgs" in
+  let bytes = Metrics.Registry.counter metrics "net.bytes" in
+  let msgs_bg = Metrics.Registry.counter metrics "net.msgs.bg" in
+  let bytes_bg = Metrics.Registry.counter metrics "net.bytes.bg" in
+  let dead = Metrics.Registry.counter metrics "net.drops.dead" in
+  let boxes = Array.init n (fun _ -> Runtime.Mailbox.create rt) in
+  let handlers = Array.make n None in
+  let xregister addr h =
+    let fresh = handlers.(addr) = None in
+    handlers.(addr) <- Some h;
+    if fresh then
+      Runtime_mc.spawn_daemon pool (fun () ->
+          let rec loop () =
+            match Runtime.Mailbox.recv boxes.(addr) with
+            | None -> ()  (* closed: cluster shutdown *)
+            | Some (src, msg) ->
+                (match handlers.(addr) with
+                | None -> ()
+                | Some h -> (
+                    try h ~src msg with
+                    | Runtime.Cancelled -> ()
+                    | exn ->
+                        Printf.eprintf
+                          "cluster(mc): handler %d raised %s\n%!" addr
+                          (Printexc.to_string exn)));
+                loop ()
+          in
+          loop ())
+  in
+  let xsend ~background ~ctx:_ ~info:_ ~src ~dst ~bytes_on_wire msg =
+    Metrics.Counter.incr (if background then msgs_bg else msgs);
+    Metrics.Counter.incr
+      ~by:(float_of_int bytes_on_wire)
+      (if background then bytes_bg else bytes);
+    Runtime.Mailbox.send boxes.(dst) (src, msg)
+  in
+  let transport =
+    {
+      Quorum.Rpc.xn = n;
+      xobs = Obs.create ();
+      xsend;
+      xregister;
+      xdead_drop = (fun () -> Metrics.Counter.incr dead);
+    }
+  in
+  (transport, boxes)
+
+let create_mc ?(domains = 1) ?bricks ?layout ?(block_size = 1024) ?gc_enabled
+    ?optimized_modify ?ts_cache ?deadline ?(retry_every = 0.05)
+    ?retry_backoff ?retry_cap ~m ~n () =
+  let nbricks = match bricks with Some b -> b | None -> n in
+  if nbricks < n then invalid_arg "Core.Cluster.create_mc: bricks < n";
+  let layout =
+    match layout with
+    | Some f -> f
+    | None ->
+        if nbricks = n then fun _ -> Array.init n (fun i -> i)
+        else fun s -> Array.init n (fun i -> (s + i) mod nbricks)
+  in
+  let pool = Runtime_mc.create ~domains () in
+  let runtime = Runtime_mc.runtime pool in
+  let metrics = Metrics.Registry.create () in
+  let obs = Obs.create () in
+  let transport, boxes = mc_transport runtime pool ~metrics ~n:nbricks in
+  let transport = { transport with Quorum.Rpc.xobs = obs } in
+  let rpc =
+    Quorum.Rpc.create ~rt:runtime ~transport ~metrics
+      ~req_bytes:Message.bytes_on_wire ~rep_bytes:Message.bytes_on_wire
+      ~req_label:Message.label ~rep_label:Message.label ~retry_every
+      ?retry_backoff ?retry_cap ~grace:(retry_every /. 4.) ()
+  in
+  let codec = default_codec ~m ~n in
+  let mq = Quorum.Mquorum.create ~n ~m in
+  let cfg =
+    Config.create ~codec ~mq ~block_size ~runtime ~rpc ~metrics ~layout ~obs
+      ?gc_enabled ?optimized_modify ?ts_cache ?deadline ()
+  in
+  let bricks =
+    Array.init nbricks (fun id -> Brick.create ~metrics ~obs runtime ~id)
+  in
+  let replicas = Array.map (fun b -> Replica.create cfg ~brick:b) bricks in
+  let coordinators =
+    Array.map
+      (fun b ->
+        Coordinator.create cfg ~brick:b ~clock:(Clock.logical ~pid:(Brick.id b)))
+      bricks
+  in
+  (* Placeholder engine/net so the record keeps its sim-facing fields;
+     nothing ever runs or routes through them on this backend. *)
+  let engine = Dessim.Engine.create ~seed:0 () in
+  let net =
+    Simnet.Net.create
+      ~metrics:(Metrics.Registry.create ())
+      engine
+      ~config:Simnet.Net.default_config ~n:1
+  in
+  {
+    engine;
+    runtime;
+    backend = Mc { pool; boxes };
+    net;
+    rpc;
+    metrics;
+    obs;
+    cfg;
+    bricks;
+    replicas;
+    coordinators;
+  }
+
 let run ?(horizon = 100_000.) t =
-  Dessim.Engine.run ~until:(Dessim.Engine.now t.engine +. horizon) t.engine
+  match t.backend with
+  | Sim ->
+      Dessim.Engine.run ~until:(Dessim.Engine.now t.engine +. horizon)
+        t.engine
+  | Mc { pool; _ } -> Runtime_mc.await_idle pool
+
+let await_quiesce t =
+  match t.backend with
+  | Sim -> run t
+  | Mc { pool; _ } -> Runtime_mc.await_idle pool
+
+let shutdown t =
+  match t.backend with
+  | Sim -> ()
+  | Mc { pool; boxes } ->
+      Array.iter Runtime.Mailbox.close boxes;
+      Runtime_mc.shutdown pool
+
+let is_mc t = match t.backend with Sim -> false | Mc _ -> true
 
 let spawn ?(coord = 0) t f =
-  Dessim.Fiber.spawn (fun () -> f t.coordinators.(coord))
+  Runtime.spawn t.runtime (fun () -> f t.coordinators.(coord))
 
 let run_op ?(coord = 0) ?horizon t f =
   let result = ref None in

@@ -5,8 +5,19 @@
     This is the entry point used by tests, examples and benchmarks; the
     FAB volume layer builds on it with a multi-stripe layout. *)
 
+type backend
+(** Which substrate this deployment runs on: the deterministic
+    simulator, or the OCaml 5 multicore pool ({!create_mc}). *)
+
 type t = {
   engine : Dessim.Engine.t;
+      (** The simulation driver. On a {!create_mc} deployment this is
+          an idle placeholder — schedule nothing on it; use
+          [runtime]. *)
+  runtime : Runtime.t;
+      (** The substrate protocol code schedules on; identical
+          behavior to [engine] on the sim backend. *)
+  backend : backend;
   net : ((Message.t, Message.t) Quorum.Rpc.envelope) Simnet.Net.t;
   rpc : (Message.t, Message.t) Quorum.Rpc.t;
   metrics : Metrics.Registry.t;
@@ -89,9 +100,50 @@ val create_policied :
     table — multi-volume brick pools allocate stripe ranges on the
     fly, see {!Fab.Pool}). *)
 
+val create_mc :
+  ?domains:int ->
+  ?bricks:int ->
+  ?layout:(int -> Simnet.Net.addr array) ->
+  ?block_size:int ->
+  ?gc_enabled:bool ->
+  ?optimized_modify:bool ->
+  ?ts_cache:bool ->
+  ?deadline:float ->
+  ?retry_every:float ->
+  ?retry_backoff:float ->
+  ?retry_cap:float ->
+  m:int ->
+  n:int ->
+  unit ->
+  t
+(** [create_mc ~m ~n ()] deploys the same m-of-n system on the OCaml 5
+    multicore backend ({!Runtime_mc}): bricks exchange messages
+    through in-process mailboxes, each brick's handlers run serially
+    on its own receive loop, and loops run in parallel across
+    [domains] worker domains (default 1). Time-valued knobs
+    ([deadline], [retry_every] — default 50 ms — [retry_cap]) are
+    wall-clock seconds here, not simulated delta units. Coordinators
+    use logical clocks; give each concurrent client its own
+    coordinator (e.g. [~bricks:(max n clients)]) so (time, pid)
+    timestamps stay unique. No determinism, no virtual time, no fault
+    injection — benchmark wall-clock numbers on this backend, verify
+    protocol behavior on the sim one. Tear down with {!shutdown}. *)
+
 val run : ?horizon:float -> t -> unit
 (** Drive the simulation until quiescence (or until [horizon] virtual
-    time units from now, default 100_000). *)
+    time units from now, default 100_000). On a multicore deployment
+    [horizon] is ignored and this is {!await_quiesce}. *)
+
+val await_quiesce : t -> unit
+(** Block until every spawned task has finished (sim: run the engine
+    dry; mc: wait for the pool's non-daemon tasks). *)
+
+val shutdown : t -> unit
+(** Release backend resources. Multicore: close every brick mailbox,
+    stop the receive loops, join the worker domains. Sim: no-op.
+    Call once, after {!await_quiesce}. *)
+
+val is_mc : t -> bool
 
 val run_op : ?coord:int -> ?horizon:float -> t -> (Coordinator.t -> 'a) -> 'a option
 (** [run_op t f] spawns [f (coordinator coord)] as a fiber, runs the

@@ -16,7 +16,7 @@ let make_policy ~codec ~mq ~members =
 type t = {
   policy_of : int -> policy;
   block_size : int;
-  engine : Dessim.Engine.t;
+  runtime : Runtime.t;
   rpc : (Message.t, Message.t) Quorum.Rpc.t;
   metrics : Metrics.Registry.t;
   obs : Obs.t;
@@ -27,7 +27,7 @@ type t = {
   unsafe_skip_order : bool;
 }
 
-let create_policied ~policy_of ~block_size ~engine ~rpc ~metrics
+let create_policied ~policy_of ~block_size ~runtime ~rpc ~metrics
     ?(obs = Obs.create ()) ?(gc_enabled = true) ?(optimized_modify = false)
     ?(ts_cache = false) ?deadline ?(unsafe_skip_order = false) () =
   if block_size <= 0 then invalid_arg "Core.Config: block_size <= 0";
@@ -37,7 +37,7 @@ let create_policied ~policy_of ~block_size ~engine ~rpc ~metrics
   {
     policy_of;
     block_size;
-    engine;
+    runtime;
     rpc;
     metrics;
     obs;
@@ -48,12 +48,12 @@ let create_policied ~policy_of ~block_size ~engine ~rpc ~metrics
     unsafe_skip_order;
   }
 
-let create ~codec ~mq ~block_size ~engine ~rpc ~metrics ~layout ?obs
+let create ~codec ~mq ~block_size ~runtime ~rpc ~metrics ~layout ?obs
     ?gc_enabled ?optimized_modify ?ts_cache ?deadline ?unsafe_skip_order () =
   let policy_of stripe = make_policy ~codec ~mq ~members:(layout stripe) in
   (* Validate eagerly on a representative stripe. *)
   ignore (policy_of 0);
-  create_policied ~policy_of ~block_size ~engine ~rpc ~metrics ?obs
+  create_policied ~policy_of ~block_size ~runtime ~rpc ~metrics ?obs
     ?gc_enabled ?optimized_modify ?ts_cache ?deadline ?unsafe_skip_order ()
 
 let policy t ~stripe = t.policy_of stripe

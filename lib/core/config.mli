@@ -29,7 +29,9 @@ val make_policy :
 type t = {
   policy_of : int -> policy;  (** stripe -> its policy *)
   block_size : int;
-  engine : Dessim.Engine.t;
+  runtime : Runtime.t;
+      (** The execution substrate every layer schedules on: the
+          deterministic simulator or the multicore backend. *)
   rpc : (Message.t, Message.t) Quorum.Rpc.t;
   metrics : Metrics.Registry.t;
   obs : Obs.t;
@@ -76,7 +78,7 @@ val create :
   codec:Erasure.Codec.t ->
   mq:Quorum.Mquorum.t ->
   block_size:int ->
-  engine:Dessim.Engine.t ->
+  runtime:Runtime.t ->
   rpc:(Message.t, Message.t) Quorum.Rpc.t ->
   metrics:Metrics.Registry.t ->
   layout:(int -> Simnet.Net.addr array) ->
@@ -96,7 +98,7 @@ val create :
 val create_policied :
   policy_of:(int -> policy) ->
   block_size:int ->
-  engine:Dessim.Engine.t ->
+  runtime:Runtime.t ->
   rpc:(Message.t, Message.t) Quorum.Rpc.t ->
   metrics:Metrics.Registry.t ->
   ?obs:Obs.t ->

@@ -105,7 +105,7 @@ let hint_retry t = t.retry_hint <- true
 let emit_span t ~op kind =
   Obs.emit t.cfg.Config.obs
     {
-      Obs.time = Dessim.Engine.now t.cfg.Config.engine;
+      Obs.time = Runtime.now t.cfg.Config.runtime;
       actor = Obs.Coord (Brick.id t.brick);
       op;
       phase = None;
@@ -131,7 +131,7 @@ let traced t ~stripe name f =
   let dl =
     match t.cfg.Config.deadline with
     | None -> None
-    | Some d -> Some (Dessim.Engine.now t.cfg.Config.engine +. d)
+    | Some d -> Some (Runtime.now t.cfg.Config.runtime +. d)
   in
   let will_retry = t.retry_hint in
   t.retry_hint <- false;
@@ -176,7 +176,7 @@ let observe_replies t replies =
 let emit_phase t ~op ~phase kind =
   Obs.emit t.cfg.Config.obs
     {
-      Obs.time = Dessim.Engine.now t.cfg.Config.engine;
+      Obs.time = Runtime.now t.cfg.Config.runtime;
       actor = Obs.Coord (Brick.id t.brick);
       op;
       phase = Some phase;
@@ -221,7 +221,7 @@ let notify_gc t ~stripe ~op ts =
 (* Pick m distinct random members as read targets. *)
 let pick_targets t ~stripe =
   let members = Array.copy (Config.members_array t.cfg ~stripe) in
-  let rng = Dessim.Engine.rng t.cfg.Config.engine in
+  let rng = Runtime.rng t.cfg.Config.runtime in
   let n = Array.length members in
   for i = n - 1 downto 1 do
     let j = Random.State.int rng (i + 1) in

@@ -1,4 +1,7 @@
-exception Cancelled
+(* Rebound, not fresh: the runtime abstraction (lib/runtime) and the
+   fibers raise the same constructor, so protocol code ported to
+   Runtime catches cancellation identically on both backends. *)
+exception Cancelled = Runtime.Cancelled
 
 type 'a resumer = {
   mutable state : 'a state;

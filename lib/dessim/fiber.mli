@@ -12,7 +12,9 @@
 
 exception Cancelled
 (** Raised inside a fiber whose pending suspension was {!cancel}ed;
-    models the coordinator process crashing mid-operation. *)
+    models the coordinator process crashing mid-operation. The same
+    constructor as {!Runtime.Cancelled}, so runtime-generic code needs
+    only one handler. *)
 
 type 'a resumer
 (** A one-shot capability to wake a suspended fiber with an ['a]. *)

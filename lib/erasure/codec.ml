@@ -48,6 +48,11 @@ type plan_cache = {
   mutable hits : int;
   mutable misses : int;
   capacity : int;
+  lock : Mutex.t;
+      (* The cache is shared by every coordinator of a deployment; on
+         the multicore backend concurrent decodes race on it. Plans
+         themselves are immutable once built (the per-index recon rows
+         are memoized under this same lock). *)
 }
 
 (* Big enough to hold every m-subset of common codes (C(8,5) = 56) but
@@ -100,6 +105,7 @@ let make ~kind ?kernel ~m ~n gen =
         hits = 0;
         misses = 0;
         capacity = plan_cache_capacity;
+        lock = Mutex.create ();
       };
   }
 
@@ -224,28 +230,38 @@ let evict_lru cache =
 (* [idxs] must be sorted ascending (the cache key is the index set). *)
 let plan_for t idxs =
   let cache = t.plans in
+  Mutex.lock cache.lock;
   cache.tick <- cache.tick + 1;
   let key = plan_key idxs in
-  match Hashtbl.find_opt cache.tbl key with
-  | Some cp ->
-      cache.hits <- cache.hits + 1;
-      cp.last_use <- cache.tick;
-      cp.plan
-  | None ->
-      cache.misses <- cache.misses + 1;
-      let plan = build_plan t idxs in
-      if Hashtbl.length cache.tbl >= cache.capacity then evict_lru cache;
-      Hashtbl.replace cache.tbl key { plan; last_use = cache.tick };
-      plan
+  let plan =
+    match Hashtbl.find_opt cache.tbl key with
+    | Some cp ->
+        cache.hits <- cache.hits + 1;
+        cp.last_use <- cache.tick;
+        cp.plan
+    | None ->
+        cache.misses <- cache.misses + 1;
+        let plan = build_plan t idxs in
+        if Hashtbl.length cache.tbl >= cache.capacity then evict_lru cache;
+        Hashtbl.replace cache.tbl key { plan; last_use = cache.tick };
+        plan
+  in
+  Mutex.unlock cache.lock;
+  plan
 
 let reset_plan_cache t =
+  Mutex.lock t.plans.lock;
   Hashtbl.reset t.plans.tbl;
   t.plans.tick <- 0;
   t.plans.hits <- 0;
-  t.plans.misses <- 0
+  t.plans.misses <- 0;
+  Mutex.unlock t.plans.lock
 
 let plan_cache_stats t =
-  (t.plans.hits, t.plans.misses, Hashtbl.length t.plans.tbl)
+  Mutex.lock t.plans.lock;
+  let r = (t.plans.hits, t.plans.misses, Hashtbl.length t.plans.tbl) in
+  Mutex.unlock t.plans.lock;
+  r
 
 (* Sort the inputs by index so the plan key and row order are canonical
    regardless of the order blocks arrived in. *)
@@ -348,7 +364,10 @@ let modify t ~data_idx ~parity_idx ~old_data ~new_data ~old_parity =
    memoized on the plan, so steady-state recovery of the same block
    from the same survivors pays no setup. *)
 let recon_rows t plan ~idx =
-  match plan.p_recon.(idx) with
+  Mutex.lock t.plans.lock;
+  let cached = plan.p_recon.(idx) in
+  Mutex.unlock t.plans.lock;
+  match cached with
   | Some rows -> rows
   | None ->
       let coeffs =
@@ -363,7 +382,16 @@ let recon_rows t plan ~idx =
               !acc)
       in
       let rows = K.make_rows t.kernel [| coeffs |] in
-      plan.p_recon.(idx) <- Some rows;
+      Mutex.lock t.plans.lock;
+      (* A racing builder produced an equivalent map; keep either. *)
+      let rows =
+        match plan.p_recon.(idx) with
+        | Some prior -> prior
+        | None ->
+            plan.p_recon.(idx) <- Some rows;
+            rows
+      in
+      Mutex.unlock t.plans.lock;
       rows
 
 let reconstruct_into t ~idx blocks ~into =

@@ -127,6 +127,6 @@ let run ?horizon t = Core.Cluster.run ?horizon t.cluster
 
 let run_op ?horizon t f =
   let result = ref None in
-  Dessim.Fiber.spawn (fun () -> result := Some (f ()));
+  Runtime.spawn t.cluster.Core.Cluster.runtime (fun () -> result := Some (f ()));
   run ?horizon t;
   !result

@@ -78,7 +78,17 @@ let coordinator t coord = t.cluster.Core.Cluster.coordinators.(coord)
 (* Every constituent register operation is retried on abort: an
    aborted attempt taught the coordinator's clock the replicas' newest
    timestamps, so a retry lost only to a stale clock succeeds (the
-   usual client retry loop of a disk driver). *)
+   usual client retry loop of a disk driver).
+
+   Retries are at-least-once, not strictly linearizable: each attempt
+   is a fresh protocol write at a new timestamp, and an earlier
+   attempt may already have been rolled forward by a concurrent
+   reader's recovery. Under write/write contention the retried value
+   can therefore become visible, be superseded, and resurface when a
+   later attempt commits — exactly the semantics of a SCSI driver
+   re-issuing a timed-out write. Callers that need the paper's
+   single-operation guarantee (e.g. linearizability harnesses) must
+   run with op_retries = 1. *)
 let retrying t c f = Core.Coordinator.with_retries ~attempts:t.op_retries c f
 
 (* Block writes need one extra remedy: if a fast-path Modify applied
@@ -108,7 +118,10 @@ let retrying_block_write t c ~stripe f =
    the joined verdict — it tells the caller the deployment, not just
    this request, is in trouble. *)
 let scatter t thunks =
-  let outcomes = Dessim.Fiber.all ~window:t.pipeline_window thunks in
+  let outcomes =
+    Runtime.all t.cluster.Core.Cluster.runtime ~window:t.pipeline_window
+      thunks
+  in
   if List.exists (fun o -> o = Error `Unavailable) outcomes then
     Error `Unavailable
   else if List.exists Result.is_error outcomes then Error `Aborted
@@ -186,7 +199,7 @@ let run ?horizon t = Core.Cluster.run ?horizon t.cluster
 
 let run_op ?horizon t f =
   let result = ref None in
-  Dessim.Fiber.spawn (fun () -> result := Some (f ()));
+  Runtime.spawn t.cluster.Core.Cluster.runtime (fun () -> result := Some (f ()));
   run ?horizon t;
   !result
 

@@ -465,17 +465,37 @@ module Sink = struct
   type t = { emit : event -> unit; close : unit -> unit }
 
   let make ?(close = fun () -> ()) emit = { emit; close }
+
+  (* Multicore backend: events arrive from many domains at once, and
+     most sinks mutate unguarded state (a channel, a ring). Serialize
+     per sink, not at the hub — a sim run keeps its zero-lock path
+     only if it never wraps. *)
+  let serialized s =
+    let m = Mutex.create () in
+    let guard f x =
+      Mutex.lock m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f x)
+    in
+    { emit = guard s.emit; close = (fun () -> guard s.close ()) }
 end
 
 type t = {
   mutable sinks : Sink.t list;
   mutable is_enabled : bool;
-  mutable next_op_id : int;
+  next_op_id : int Atomic.t;
+      (* Atomic so concurrent clients on the multicore backend draw
+         unique operation ids; uncontended fetch-and-add is as cheap
+         as the old increment on the sim path. *)
   mutable on_enable_hooks : (unit -> unit) list;
 }
 
 let create () =
-  { sinks = []; is_enabled = false; next_op_id = 0; on_enable_hooks = [] }
+  {
+    sinks = [];
+    is_enabled = false;
+    next_op_id = Atomic.make 0;
+    on_enable_hooks = [];
+  }
 
 let enabled t = t.is_enabled
 
@@ -493,10 +513,7 @@ let on_enable t f =
 
 let emit t ev = List.iter (fun (s : Sink.t) -> s.Sink.emit ev) t.sinks
 
-let next_op t =
-  let op = t.next_op_id in
-  t.next_op_id <- op + 1;
-  op
+let next_op t = Atomic.fetch_and_add t.next_op_id 1
 
 let close t = List.iter (fun (s : Sink.t) -> s.Sink.close ()) t.sinks
 
@@ -524,7 +541,8 @@ module Ring = struct
     r.next <- (r.next + 1) mod r.capacity;
     if r.len < r.capacity then r.len <- r.len + 1 else r.dropped <- r.dropped + 1
 
-  let sink r = Sink.make (add r)
+  (* Serialized: rings collect from all domains on the mc backend. *)
+  let sink r = Sink.serialized (Sink.make (add r))
 
   let contents r =
     List.init r.len (fun i ->
@@ -588,8 +606,15 @@ module Meta = struct
       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
       tm.Unix.tm_sec
 
-  let standard ?(extra = []) () =
-    [ ("git", Json.S (git_commit ())); ("date", Json.S (iso_date ())) ] @ extra
+  let standard ?(runtime = "sim") ?(domains = 1) ?(extra = []) () =
+    [
+      ("git", Json.S (git_commit ()));
+      ("date", Json.S (iso_date ()));
+      ("runtime", Json.S runtime);
+      ("domains", Json.I domains);
+      ("ocaml_version", Json.S Sys.ocaml_version);
+    ]
+    @ extra
 
   let line t = Json.obj (("ev", Json.S "meta") :: t)
 end
@@ -604,11 +629,12 @@ let jsonl ?meta oc =
       output_string oc (Meta.line m);
       output_char oc '\n'
   | None -> ());
-  Sink.make
-    ~close:(fun () -> flush oc)
-    (fun ev ->
-      output_string oc (to_json ev);
-      output_char oc '\n')
+  Sink.serialized
+    (Sink.make
+       ~close:(fun () -> flush oc)
+       (fun ev ->
+         output_string oc (to_json ev);
+         output_char oc '\n'))
 
 (* Chrome trace_event JSON array. Spans and phases are emitted as async
    "b"/"e" events keyed by op id, so concurrent operations that share a

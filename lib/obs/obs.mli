@@ -105,6 +105,11 @@ module Sink : sig
   type t = { emit : event -> unit; close : unit -> unit }
 
   val make : ?close:(unit -> unit) -> (event -> unit) -> t
+
+  val serialized : t -> t
+  (** Guard a sink with a private mutex so concurrent emitters (the
+      multicore backend) cannot interleave inside it. Sim-backed runs
+      need no wrapping and pay nothing. *)
 end
 
 type t
@@ -187,10 +192,13 @@ module Meta : sig
 
   val git_commit : unit -> string
   val iso_date : unit -> string
-  val standard : ?extra:t -> unit -> t
+  val standard : ?runtime:string -> ?domains:int -> ?extra:t -> unit -> t
   (** [git] (current commit, read from [.git] without spawning a
-      process; ["unknown"] outside a repository) and [date] (UTC ISO
-      8601), plus [extra]. *)
+      process; ["unknown"] outside a repository), [date] (UTC ISO
+      8601), [runtime] (backend name, default ["sim"]), [domains]
+      (default 1) and [ocaml_version], plus [extra]. Benchmark diffs
+      refuse to compare across different [runtime]/[domains] stamps
+      (scripts/bench_diff.ml). *)
 
   val line : t -> string
   (** Rendered as the JSONL header line [{"ev":"meta",...}]. *)

@@ -1,5 +1,3 @@
-module Engine = Dessim.Engine
-module Fiber = Dessim.Fiber
 module Net = Simnet.Net
 
 type ('req, 'rep) envelope =
@@ -12,22 +10,52 @@ type ('req, 'rep) envelope =
 
 exception Unavailable
 
+(* The RPC layer's view of a message fabric: enough to broadcast,
+   serve, and account — satisfied by the simulated lossy network and
+   by the multicore backend's in-process mailboxes alike. *)
+type 'msg transport = {
+  xn : int;
+  xobs : Obs.t;
+  xsend :
+    background:bool ->
+    ctx:Obs.ctx ->
+    info:string option ->
+    src:int ->
+    dst:int ->
+    bytes_on_wire:int ->
+    'msg ->
+    unit;
+  xregister : int -> (src:int -> 'msg -> unit) -> unit;
+  xdead_drop : unit -> unit;
+}
+
+let of_net net =
+  {
+    xn = Net.n net;
+    xobs = Net.obs net;
+    xsend =
+      (fun ~background ~ctx ~info ~src ~dst ~bytes_on_wire msg ->
+        Net.send net ~background ~ctx ?info ~src ~dst ~bytes_on_wire msg);
+    xregister = (fun addr handler -> Net.register net addr handler);
+    xdead_drop = (fun () -> Net.count_dead_drop net);
+  }
+
 type ('req, 'rep) pending = {
-  members : Net.addr list;
+  members : int list;
   nmembers : int;
   quorum : int;
-  until : (Net.addr * 'rep) list -> bool;
-  mutable replies : (Net.addr * 'rep) list;  (* newest first *)
-  seen : Bytes.t;  (* per-address reply flag, indexed by Net.addr *)
+  until : (int * 'rep) list -> bool;
+  mutable replies : (int * 'rep) list;  (* newest first *)
+  seen : Bytes.t;  (* per-address reply flag, indexed by address *)
   mutable reply_count : int;
-  resumer : (Net.addr * 'rep) list Fiber.resumer;
-  mutable retry_timer : Engine.timer option;
-  mutable grace_timer : Engine.timer option;
-  mutable deadline_timer : Engine.timer option;
+  iv : (int * 'rep) list Runtime.Ivar.t;
+  mutable retry_timer : Runtime.timer option;
+  mutable grace_timer : Runtime.timer option;
+  mutable deadline_timer : Runtime.timer option;
   mutable attempt : int;  (* retransmission rounds so far *)
   crash_hook : Brick.hook;
   coord : Brick.t;
-  make_req : Net.addr -> 'req;
+  make_req : int -> 'req;
   ctx : Obs.ctx;
 }
 
@@ -40,7 +68,8 @@ type ('req, 'rep) item = {
 }
 
 type ('req, 'rep) t = {
-  net : (('req, 'rep) envelope) Net.t;
+  rt : Runtime.t;
+  transport : ('req, 'rep) envelope transport;
   req_bytes : 'req -> int;
   rep_bytes : 'rep -> int;
   req_label : 'req -> string;
@@ -50,19 +79,20 @@ type ('req, 'rep) t = {
   retry_cap : float;
   grace : float;
   coalesce : bool;
-  staged :
-    (Net.addr * Net.addr * bool, ('req, 'rep) item list ref) Hashtbl.t;
+  staged : (int * int * bool, ('req, 'rep) item list ref) Hashtbl.t;
       (* (src, dst, background) -> items newest-first; the first item
          staged for a key schedules that key's same-instant flush. *)
+  slock : Mutex.t;  (* guards staged *)
   retries : Metrics.Counter.t;
   obs : Obs.t;
   mutable next_rid : int;
   pending : (int, ('req, 'rep) pending) Hashtbl.t;
-  handlers : (src:Net.addr -> ctx:Obs.ctx -> 'req -> 'rep option) option array;
+  lk : Mutex.t;  (* guards next_rid / pending / pending's mutable fields *)
+  handlers : (src:int -> ctx:Obs.ctx -> 'req -> 'rep option) option array;
 }
 
-let create ~net ?(metrics = Metrics.Registry.create ()) ~req_bytes ~rep_bytes
-    ?(req_label = fun _ -> "req") ?(rep_label = fun _ -> "rep")
+let create ~rt ~transport ?(metrics = Metrics.Registry.create ()) ~req_bytes
+    ~rep_bytes ?(req_label = fun _ -> "req") ?(rep_label = fun _ -> "rep")
     ?(retry_every = 8.0) ?(retry_backoff = 2.0) ?retry_cap ?(grace = 1.0)
     ?(coalesce = false) () =
   if retry_backoff < 1.0 then
@@ -71,7 +101,8 @@ let create ~net ?(metrics = Metrics.Registry.create ()) ~req_bytes ~rep_bytes
     match retry_cap with Some c -> c | None -> retry_every *. 8.
   in
   {
-    net;
+    rt;
+    transport;
     req_bytes;
     rep_bytes;
     req_label;
@@ -82,33 +113,39 @@ let create ~net ?(metrics = Metrics.Registry.create ()) ~req_bytes ~rep_bytes
     grace;
     coalesce;
     staged = Hashtbl.create 16;
+    slock = Mutex.create ();
     retries = Metrics.Registry.counter metrics "rpc.retries";
-    obs = Net.obs net;
+    obs = transport.xobs;
     next_rid = 0;
     pending = Hashtbl.create 32;
-    handlers = Array.make (Net.n net) None;
+    lk = Mutex.create ();
+    handlers = Array.make transport.xn None;
   }
 
 (* --- per-destination coalescing ------------------------------------ *)
 
 let flush t ((src, dst, background) as key) =
-  match Hashtbl.find_opt t.staged key with
+  Mutex.lock t.slock;
+  let found = Hashtbl.find_opt t.staged key in
+  (match found with Some _ -> Hashtbl.remove t.staged key | None -> ());
+  Mutex.unlock t.slock;
+  match found with
   | None -> ()
   | Some items -> (
-      Hashtbl.remove t.staged key;
       match List.rev !items with
       | [] -> ()
       | [ it ] ->
           (* A lone message goes out exactly as an uncoalesced send. *)
-          Net.send t.net ~background ~ctx:it.it_ctx ~info:it.it_label ~src
-            ~dst ~bytes_on_wire:it.it_bytes it.it_env
+          t.transport.xsend ~background ~ctx:it.it_ctx
+            ~info:(Some it.it_label) ~src ~dst ~bytes_on_wire:it.it_bytes
+            it.it_env
       | its ->
           let bytes = List.fold_left (fun a it -> a + it.it_bytes) 0 its in
           (* The batch envelope pays one delay/drop sample and carries
              the summed payload; each constituent is attributed to its
              own operation with a Msg_queued event. *)
           if Obs.enabled t.obs then begin
-            let now = Engine.now (Net.engine t.net) in
+            let now = Runtime.now t.rt in
             List.iter
               (fun it ->
                 Obs.emit t.obs
@@ -128,36 +165,43 @@ let flush t ((src, dst, background) as key) =
               Some (Printf.sprintf "batch[%d]" (List.length its))
             else None
           in
-          Net.send t.net ~background ~ctx:Obs.no_ctx ?info ~src ~dst
+          t.transport.xsend ~background ~ctx:Obs.no_ctx ~info ~src ~dst
             ~bytes_on_wire:bytes
             (Batch (List.map (fun it -> it.it_env) its)))
 
 (* Route every outgoing message through the per-destination staging
-   buffer. The flush runs as a fresh engine event at the same instant,
+   buffer. The flush runs as a fresh timer event at the same instant,
    after the currently-running event has staged everything it wants to
    send, so all same-instant messages for one destination share one
-   envelope. With coalescing off this is exactly [Net.send]. *)
+   envelope. With coalescing off this is exactly a transport send. *)
 let stage t ~src ~dst ~background ~ctx ~label ~bytes env =
   if not t.coalesce then
-    Net.send t.net ~background ~ctx ~info:label ~src ~dst
+    t.transport.xsend ~background ~ctx ~info:(Some label) ~src ~dst
       ~bytes_on_wire:bytes env
   else begin
     let key = (src, dst, background) in
-    let it = { it_env = env; it_bytes = bytes; it_label = label; it_ctx = ctx }
+    let it =
+      { it_env = env; it_bytes = bytes; it_label = label; it_ctx = ctx }
     in
-    match Hashtbl.find_opt t.staged key with
-    | Some items -> items := it :: !items
-    | None ->
-        Hashtbl.replace t.staged key (ref [ it ]);
-        ignore
-          (Engine.schedule (Net.engine t.net) ~delay:0. (fun () ->
-               flush t key))
+    Mutex.lock t.slock;
+    let first =
+      match Hashtbl.find_opt t.staged key with
+      | Some items ->
+          items := it :: !items;
+          false
+      | None ->
+          Hashtbl.replace t.staged key (ref [ it ]);
+          true
+    in
+    Mutex.unlock t.slock;
+    if first then
+      ignore (Runtime.timer t.rt ~delay:0. (fun () -> flush t key))
   end
 
 let cancel_timers p =
-  (match p.retry_timer with Some tm -> Engine.cancel tm | None -> ());
-  (match p.grace_timer with Some tm -> Engine.cancel tm | None -> ());
-  match p.deadline_timer with Some tm -> Engine.cancel tm | None -> ()
+  (match p.retry_timer with Some tm -> Runtime.cancel tm | None -> ());
+  (match p.grace_timer with Some tm -> Runtime.cancel tm | None -> ());
+  match p.deadline_timer with Some tm -> Runtime.cancel tm | None -> ()
 
 (* Deterministic retransmission jitter in [0.75, 1.25), hashed from
    (request id, attempt) rather than drawn from the engine rng: faulty
@@ -179,31 +223,66 @@ let retry_delay t rid attempt =
   in
   base *. jitter_factor rid attempt
 
-let count_dead_drop t = Net.count_dead_drop t.net
+let count_dead_drop t = t.transport.xdead_drop ()
+
+(* Claim a pending entry: remove it under the lock so exactly one
+   concurrent completion path (reply quorum, grace expiry, deadline,
+   coordinator crash) tears it down and wakes the caller. The
+   wake-up itself — Ivar fill/abort — always runs OUTSIDE the lock:
+   on the sim backend it resumes the coordinator fiber synchronously,
+   which may immediately issue the next call into this module. *)
+let claim t rid =
+  Mutex.lock t.lk;
+  let po = Hashtbl.find_opt t.pending rid in
+  (match po with Some _ -> Hashtbl.remove t.pending rid | None -> ());
+  Mutex.unlock t.lk;
+  po
+
+let complete p =
+  cancel_timers p;
+  Brick.remove_crash_hook p.coord p.crash_hook;
+  Runtime.Ivar.fill p.iv (List.rev p.replies)
 
 let deliver_reply t rid src rep =
-  match Hashtbl.find_opt t.pending rid with
-  | None -> ()  (* stale reply: the call completed or the coordinator crashed *)
-  | Some p ->
-      if Bytes.get p.seen src = '\000' then begin
-        Bytes.set p.seen src '\001';
-        p.replies <- (src, rep) :: p.replies;
-        p.reply_count <- p.reply_count + 1;
-        let everyone = p.reply_count = p.nmembers in
-        let complete () =
-          Hashtbl.remove t.pending rid;
-          cancel_timers p;
-          Brick.remove_crash_hook p.coord p.crash_hook;
-          Fiber.resume p.resumer (List.rev p.replies)
-        in
-        if p.reply_count >= p.quorum then
-          if p.until p.replies || everyone then complete ()
-          else if p.grace_timer = None then
-            p.grace_timer <-
-              Some
-                (Engine.schedule (Brick.engine p.coord) ~delay:t.grace
-                   (fun () -> complete ()))
-      end
+  Mutex.lock t.lk;
+  let action =
+    match Hashtbl.find_opt t.pending rid with
+    | None ->
+        (* stale reply: the call completed or the coordinator crashed *)
+        `Nothing
+    | Some p ->
+        if Bytes.get p.seen src <> '\000' then `Nothing
+        else begin
+          Bytes.set p.seen src '\001';
+          p.replies <- (src, rep) :: p.replies;
+          p.reply_count <- p.reply_count + 1;
+          let everyone = p.reply_count = p.nmembers in
+          if p.reply_count >= p.quorum then
+            if p.until p.replies || everyone then begin
+              Hashtbl.remove t.pending rid;
+              `Complete p
+            end
+            else if p.grace_timer = None then `Arm_grace p
+            else `Nothing
+          else `Nothing
+        end
+  in
+  Mutex.unlock t.lk;
+  match action with
+  | `Nothing -> ()
+  | `Complete p -> complete p
+  | `Arm_grace p ->
+      let tm =
+        Runtime.timer t.rt ~delay:t.grace (fun () ->
+            match claim t rid with None -> () | Some p -> complete p)
+      in
+      Mutex.lock t.lk;
+      p.grace_timer <- Some tm;
+      let gone = not (Hashtbl.mem t.pending rid) in
+      Mutex.unlock t.lk;
+      (* The call may have completed in the window before the timer was
+         recorded; the claimer saw grace_timer = None, so reap it here. *)
+      if gone then Runtime.cancel tm
 
 let install_dispatcher t addr =
   let rec handle ~src env =
@@ -227,7 +306,7 @@ let install_dispatcher t addr =
     | Reply (rid, _ctx, rep) -> deliver_reply t rid src rep
     | Batch items -> List.iter (handle ~src) items
   in
-  Net.register t.net addr handle
+  t.transport.xregister addr handle
 
 let serve t ~addr handler =
   t.handlers.(addr) <- Some handler;
@@ -257,104 +336,114 @@ let call t ~coord ~members ~quorum ?(until = fun _ -> true)
   if quorum > List.length members then
     invalid_arg "Quorum.Rpc.call: quorum larger than member count";
   if quorum < 1 then invalid_arg "Quorum.Rpc.call: quorum < 1";
+  let rt = t.rt in
+  Mutex.lock t.lk;
   let rid = t.next_rid in
   t.next_rid <- t.next_rid + 1;
-  let engine = Brick.engine coord in
+  Mutex.unlock t.lk;
   let src = Brick.id coord in
   ensure_dispatcher t src;
   (match deadline with
-  | Some d when Engine.now engine >= d -> raise Unavailable
+  | Some d when Runtime.now rt >= d -> raise Unavailable
   | Some _ | None -> ());
   let deadline_hit = ref false in
-  let replies =
-    Fiber.suspend (fun resumer ->
-        (* A coordinator crash abandons the call: drop the pending entry
-           (so late replies are ignored) and cancel the fiber, turning
-           the operation into a partial operation. *)
-        let crash_hook =
-          Brick.add_crash_hook coord (fun () ->
-              match Hashtbl.find_opt t.pending rid with
-              | None -> ()
-              | Some p ->
-                  Hashtbl.remove t.pending rid;
-                  cancel_timers p;
-                  Fiber.cancel p.resumer)
-        in
-        let p =
-          {
-            members;
-            nmembers = List.length members;
-            quorum;
-            until;
-            replies = [];
-            seen = Bytes.make (Net.n t.net) '\000';
-            reply_count = 0;
-            resumer;
-            retry_timer = None;
-            grace_timer = None;
-            deadline_timer = None;
-            attempt = 0;
-            crash_hook;
-            coord;
-            make_req;
-            ctx;
-          }
-        in
-        Hashtbl.replace t.pending rid p;
-        (* At the deadline the call stops retransmitting and fails fast:
-           the pending entry and crash hook go away exactly as on
-           completion, and the fiber is resumed to raise {!Unavailable}
-           (below, outside the suspension). *)
-        (match deadline with
+  let iv = Runtime.Ivar.create rt in
+  (* A coordinator crash abandons the call: drop the pending entry
+     (so late replies are ignored) and cancel the caller, turning
+     the operation into a partial operation. *)
+  let crash_hook =
+    Brick.add_crash_hook coord (fun () ->
+        match claim t rid with
         | None -> ()
-        | Some d ->
-            p.deadline_timer <-
-              Some
-                (Engine.schedule engine ~delay:(d -. Engine.now engine)
-                   (fun () ->
-                     if Hashtbl.mem t.pending rid then begin
-                       Hashtbl.remove t.pending rid;
-                       cancel_timers p;
-                       Brick.remove_crash_hook p.coord p.crash_hook;
-                       deadline_hit := true;
-                       Fiber.resume p.resumer []
-                     end)));
-        let rec arm_retry () =
-          let delay = retry_delay t rid (p.attempt + 1) in
-          p.retry_timer <-
-            Some
-              (Engine.schedule engine ~delay (fun () ->
-                   if Brick.is_alive coord && Hashtbl.mem t.pending rid
-                   then begin
-                     let missing =
-                       List.filter
-                         (fun a -> Bytes.get p.seen a = '\000')
-                         p.members
-                     in
-                     p.attempt <- p.attempt + 1;
-                     Metrics.Counter.incr t.retries;
-                     if Obs.enabled t.obs then
-                       Obs.emit t.obs
-                         {
-                           Obs.time = Engine.now engine;
-                           actor = Obs.Coord src;
-                           op = p.ctx.Obs.op;
-                           phase = p.ctx.Obs.phase;
-                           kind =
-                             Obs.Timeout
-                               {
-                                 missing = List.length missing;
-                                 attempt = p.attempt;
-                               };
-                         };
-                     broadcast t ~src ~ctx:p.ctx ~targets:missing p.make_req
-                       rid;
-                     arm_retry ()
-                   end))
-        in
-        broadcast t ~src ~ctx ~targets:members make_req rid;
-        arm_retry ())
+        | Some p ->
+            cancel_timers p;
+            Runtime.Ivar.abort p.iv)
   in
+  let p =
+    {
+      members;
+      nmembers = List.length members;
+      quorum;
+      until;
+      replies = [];
+      seen = Bytes.make t.transport.xn '\000';
+      reply_count = 0;
+      iv;
+      retry_timer = None;
+      grace_timer = None;
+      deadline_timer = None;
+      attempt = 0;
+      crash_hook;
+      coord;
+      make_req;
+      ctx;
+    }
+  in
+  Mutex.lock t.lk;
+  Hashtbl.replace t.pending rid p;
+  Mutex.unlock t.lk;
+  (* At the deadline the call stops retransmitting and fails fast:
+     the pending entry and crash hook go away exactly as on
+     completion, and the caller is woken to raise {!Unavailable}
+     (below, outside the wait). *)
+  (match deadline with
+  | None -> ()
+  | Some d ->
+      let tm =
+        Runtime.timer rt ~delay:(d -. Runtime.now rt) (fun () ->
+            match claim t rid with
+            | None -> ()
+            | Some p ->
+                cancel_timers p;
+                Brick.remove_crash_hook p.coord p.crash_hook;
+                deadline_hit := true;
+                Runtime.Ivar.fill p.iv [])
+      in
+      Mutex.lock t.lk;
+      p.deadline_timer <- Some tm;
+      Mutex.unlock t.lk);
+  let rec arm_retry () =
+    let delay = retry_delay t rid (p.attempt + 1) in
+    let tm =
+      Runtime.timer rt ~delay (fun () ->
+          Mutex.lock t.lk;
+          let fire =
+            Brick.is_alive coord && Hashtbl.mem t.pending rid
+          in
+          let missing =
+            if fire then begin
+              p.attempt <- p.attempt + 1;
+              List.filter (fun a -> Bytes.get p.seen a = '\000') p.members
+            end
+            else []
+          in
+          let attempt = p.attempt in
+          Mutex.unlock t.lk;
+          if fire then begin
+            Metrics.Counter.incr t.retries;
+            if Obs.enabled t.obs then
+              Obs.emit t.obs
+                {
+                  Obs.time = Runtime.now rt;
+                  actor = Obs.Coord src;
+                  op = p.ctx.Obs.op;
+                  phase = p.ctx.Obs.phase;
+                  kind =
+                    Obs.Timeout { missing = List.length missing; attempt };
+                };
+            broadcast t ~src ~ctx:p.ctx ~targets:missing p.make_req rid;
+            arm_retry ()
+          end)
+    in
+    Mutex.lock t.lk;
+    p.retry_timer <- Some tm;
+    let gone = not (Hashtbl.mem t.pending rid) in
+    Mutex.unlock t.lk;
+    if gone then Runtime.cancel tm
+  in
+  broadcast t ~src ~ctx ~targets:members make_req rid;
+  arm_retry ();
+  let replies = Runtime.Ivar.await iv in
   if !deadline_hit then raise Unavailable;
   replies
 
@@ -363,6 +452,6 @@ let notify t ~coord ~members ?(ctx = Obs.no_ctx) req =
   let label = if Obs.enabled t.obs then t.req_label req else "msg" in
   List.iter
     (fun dst ->
-      stage t ~src ~dst ~background:true ~ctx ~label
-        ~bytes:(t.req_bytes req) (Oneway (ctx, req)))
+      stage t ~src ~dst ~background:true ~ctx ~label ~bytes:(t.req_bytes req)
+        (Oneway (ctx, req)))
     members

@@ -2,24 +2,54 @@
     section 2.2), built on retransmission over fair-lossy channels.
 
     A coordinator broadcasts a request to the members of a stripe's
-    replica group and suspends its fiber until enough replies arrive.
+    replica group and blocks its task until enough replies arrive.
     Lost messages are retransmitted periodically, so under fair loss
     the call eventually completes as long as a quorum of members is
-    correct. If the coordinator brick crashes first, the fiber is
+    correct. If the coordinator brick crashes first, the task is
     cancelled — the operation becomes a {e partial} operation, exactly
     the failure mode the register algorithm's recovery path handles.
 
     Request/reply matching uses globally unique request ids, and the
     server side is expected to be idempotent: a retransmitted request
     may be re-executed, and the register layer's handlers are written
-    so that re-execution returns the same answer. *)
+    so that re-execution returns the same answer.
+
+    The layer is runtime-generic (DESIGN 4g): it schedules
+    retransmissions and blocks callers through a {!Runtime.t}, and
+    moves messages through a {!transport} — the simulated lossy
+    network ({!of_net}) or the multicore backend's mailboxes. *)
 
 type ('req, 'rep) envelope
-(** Wire message type; instantiate the network as
-    [(('req, 'rep) Rpc.envelope) Simnet.Net.t]. *)
+(** Wire message type; instantiate the fabric as carrying
+    [('req, 'rep) Rpc.envelope] values. *)
+
+type 'msg transport = {
+  xn : int;  (** Address space size; addresses are [0 .. xn-1]. *)
+  xobs : Obs.t;  (** Hub message events are emitted to. *)
+  xsend :
+    background:bool ->
+    ctx:Obs.ctx ->
+    info:string option ->
+    src:int ->
+    dst:int ->
+    bytes_on_wire:int ->
+    'msg ->
+    unit;
+      (** Fire-and-forget delivery attempt; may drop, delay,
+          reorder. *)
+  xregister : int -> (src:int -> 'msg -> unit) -> unit;
+      (** Install the handler for an address, replacing any previous
+          one. The transport must invoke handlers of one address
+          sequentially (never two concurrently). *)
+  xdead_drop : unit -> unit;  (** Count a message to a dead process. *)
+}
+(** What the RPC layer needs from a message fabric. *)
+
+val of_net : 'msg Simnet.Net.t -> 'msg transport
+(** The simulated network as a transport (sim backend). *)
 
 type ('req, 'rep) t
-(** An RPC endpoint layer shared by all processes on one network. *)
+(** An RPC endpoint layer shared by all processes on one fabric. *)
 
 exception Unavailable
 (** Raised by {!call} when its deadline expires before enough replies
@@ -28,7 +58,8 @@ exception Unavailable
     instead of retransmitting forever. *)
 
 val create :
-  net:(('req, 'rep) envelope) Simnet.Net.t ->
+  rt:Runtime.t ->
+  transport:(('req, 'rep) envelope) transport ->
   ?metrics:Metrics.Registry.t ->
   req_bytes:('req -> int) ->
   rep_bytes:('rep -> int) ->
@@ -41,10 +72,10 @@ val create :
   ?coalesce:bool ->
   unit ->
   ('req, 'rep) t
-(** [create ~net ~req_bytes ~rep_bytes ()] builds the layer.
+(** [create ~rt ~transport ~req_bytes ~rep_bytes ()] builds the layer.
     [req_bytes]/[rep_bytes] give the accounted payload size of a
     message (the block bytes it carries). [retry_every] (default 8
-    network delays) is the first retransmission delay; subsequent
+    time units) is the first retransmission delay; subsequent
     delays grow by a factor of [retry_backoff] (default 2, must be
     >= 1). [retry_cap] (default [8 * retry_every]) bounds the
     exponential base {e before} jitter: each delay is the capped base
@@ -55,12 +86,12 @@ val create :
     hashed from the request id and attempt number — never drawn from
     the engine rng, so fault injection does not perturb the rng stream
     fault-free code samples.
-    [grace] (default one network delay) is how long a call with an
+    [grace] (default one time unit) is how long a call with an
     [~until] predicate keeps waiting after reaching a bare quorum
     before settling for it. Retransmission rounds are counted in
     [metrics] under ["rpc.retries"]. [req_label]/[rep_label] give
     short human names for messages in traces (only evaluated when the
-    network's observability hub is enabled).
+    transport's observability hub is enabled).
 
     With [~coalesce:true] (default [false]), all messages one process
     sends to one destination at the same instant are batched into a
@@ -71,11 +102,14 @@ val create :
     are unaffected. The network's [Msg_send]/[Msg_recv] events and
     ["net.msgs"] counters count envelopes; each constituent of a
     multi-message batch is additionally attributed to its own
-    operation with an [Obs.Msg_queued] event. *)
+    operation with an [Obs.Msg_queued] event. (On the wall-clock
+    multicore backend "the same instant" means "before the 0-delay
+    flush timer fires" — coalescing is best-effort there and is
+    normally left off.) *)
 
 val serve :
-  ('req, 'rep) t -> addr:Simnet.Net.addr ->
-  (src:Simnet.Net.addr -> ctx:Obs.ctx -> 'req -> 'rep option) -> unit
+  ('req, 'rep) t -> addr:int ->
+  (src:int -> ctx:Obs.ctx -> 'req -> 'rep option) -> unit
 (** [serve t ~addr handler] installs the request handler for [addr].
     Returning [None] drops the request silently (the brick is crashed);
     one-way notifications also invoke [handler] and ignore the
@@ -87,16 +121,16 @@ val serve :
 val call :
   ('req, 'rep) t ->
   coord:Brick.t ->
-  members:Simnet.Net.addr list ->
+  members:int list ->
   quorum:int ->
-  ?until:((Simnet.Net.addr * 'rep) list -> bool) ->
+  ?until:((int * 'rep) list -> bool) ->
   ?ctx:Obs.ctx ->
   ?deadline:float ->
-  (Simnet.Net.addr -> 'req) ->
-  (Simnet.Net.addr * 'rep) list
+  (int -> 'req) ->
+  (int * 'rep) list
 (** [call t ~coord ~members ~quorum make_req] is the paper's
-    [quorum(msg)]: send [make_req dst] to every member [dst], suspend
-    the current fiber, and return the replies once at least [quorum]
+    [quorum(msg)]: send [make_req dst] to every member [dst], block
+    the current task, and return the replies once at least [quorum]
     members answered. The per-destination builder lets a stripe write
     ship each replica only its own block (so a write costs nB on the
     wire, as Table 1 accounts it); most calls ignore the address and
@@ -112,24 +146,24 @@ val call :
     every retransmission emits a [Timeout] observability event naming
     how many members are still missing and which attempt this is.
 
-    [deadline] is an absolute sim-time bound: if the call has not
+    [deadline] is an absolute runtime-time bound: if the call has not
     completed by then, retransmission stops, the pending state and
     crash hook are torn down exactly as on completion, and
-    {!Unavailable} is raised in the calling fiber. Without a deadline
+    {!Unavailable} is raised in the calling task. Without a deadline
     the call retransmits forever (the paper's model).
 
-    Must run inside a {!Dessim.Fiber}; raises [Dessim.Fiber.Cancelled]
+    Must run inside a runtime task; raises [Runtime.Cancelled]
     if [coord] crashes while the call is pending.
     @raise Invalid_argument if [quorum] exceeds the member count. *)
 
 val count_dead_drop : ('req, 'rep) t -> unit
-(** Bump the network's ["net.drops.dead"] counter — called by a server
+(** Bump the fabric's ["net.drops.dead"] counter — called by a server
     layer when it receives a message for a crashed process (the RPC
     layer itself cannot distinguish that from a one-way request that
     simply has no reply). *)
 
 val notify :
-  ('req, 'rep) t -> coord:Brick.t -> members:Simnet.Net.addr list ->
+  ('req, 'rep) t -> coord:Brick.t -> members:int list ->
   ?ctx:Obs.ctx -> 'req -> unit
 (** One-way, best-effort broadcast (no retransmission, no replies);
     used for asynchronous garbage-collection messages. *)

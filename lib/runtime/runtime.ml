@@ -1,0 +1,259 @@
+(* The runtime abstraction the protocol layers program against.
+
+   A backend provides time, task spawning and one-shot gates; every
+   higher-level blocking structure (sleep, ivars, mailboxes, the
+   scatter-gather join) is built here, once, on top of those three.
+   Two backends exist: Runtime_sim wraps the deterministic
+   discrete-event engine (lib/dessim) and is the reproducible oracle;
+   Runtime_mc runs tasks on OCaml 5 domains against the real clock.
+
+   Thread-safety contract: on the sim backend everything runs in one
+   thread, so no synchronization is needed but none hurts; on the mc
+   backend gate operations, mailboxes and ivars are safe to call from
+   any domain. Code that must work on both backends therefore uses the
+   structures in this module rather than rolling its own. *)
+
+exception Cancelled
+(* Raised inside a task whose pending suspension was cancelled (a
+   coordinator crash tearing down its quorum calls). The sim backend
+   rebinds Dessim.Fiber.Cancelled to this same constructor, so a
+   single handler catches both worlds. *)
+
+(* Assertion mode: FAB_RUNTIME_DEBUG=1 turns on mailbox and gate
+   invariant checks on every operation (used by @parallel-smoke). *)
+let debug =
+  match Sys.getenv_opt "FAB_RUNTIME_DEBUG" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+type gate = {
+  await : unit -> unit;
+  open_ : unit -> unit;
+  abort : unit -> unit;
+  live : unit -> bool;
+}
+
+type timer = { tcancel : unit -> unit }
+
+type t = {
+  name : string;  (* "sim" | "mc" *)
+  now : unit -> float;
+  rng : unit -> Random.State.t;
+  spawn : (unit -> unit) -> unit;
+  yield : unit -> unit;
+  timer : delay:float -> (unit -> unit) -> timer;
+  gate : unit -> gate;
+  all : 'a. int option -> (unit -> 'a) list -> 'a list;
+}
+
+let name t = t.name
+let now t = t.now ()
+let rng t = t.rng ()
+let spawn t f = t.spawn f
+let yield t = t.yield ()
+let timer t ~delay f = t.timer ~delay f
+let cancel (tm : timer) = tm.tcancel ()
+let all t ?window thunks = t.all window thunks
+
+let sleep t delay =
+  let g = t.gate () in
+  ignore (t.timer ~delay (fun () -> g.open_ ()));
+  g.await ()
+
+(* One-shot write-once cell: the quorum call's "waiting for replies"
+   state. The filler writes the value before opening the gate, and the
+   gate's own synchronization publishes it to the awaiter. *)
+module Ivar = struct
+  type nonrec 'a t = { g : gate; mutable v : 'a option }
+
+  let create rt = { g = rt.gate (); v = None }
+
+  let fill iv v =
+    (match iv.v with None -> iv.v <- Some v | Some _ -> ());
+    iv.g.open_ ()
+
+  let abort iv = iv.g.abort ()
+
+  let await iv =
+    iv.g.await ();
+    match iv.v with Some v -> v | None -> raise Cancelled
+
+  let is_live iv = iv.g.live ()
+end
+
+(* Multi-producer mailbox with direct hand-off to blocked receivers.
+   FIFO per sender: one sender's messages are received in send order
+   (each send either appends to the queue or hands off to the
+   longest-waiting receiver, both under one lock). Closing wakes every
+   blocked receiver with [None] — that is how the mc transport's
+   per-brick receive loops are told to exit. *)
+module Mailbox = struct
+  type 'a waiter = { wg : gate; mutable slot : 'a option }
+
+  type nonrec 'a t = {
+    rt : t;
+    lock : Mutex.t;
+    q : 'a Queue.t;
+    mutable waiters : 'a waiter list;  (* oldest first *)
+    mutable closed : bool;
+  }
+
+  let create rt =
+    { rt; lock = Mutex.create (); q = Queue.create (); waiters = [];
+      closed = false }
+
+  (* Invariant: a mailbox never holds queued messages and waiting
+     receivers at the same time (a send hands off if anyone waits; a
+     receiver only waits when the queue is empty). Checked under the
+     mailbox lock in debug mode. *)
+  let check t =
+    if debug then
+      assert (Queue.is_empty t.q || t.waiters = [])
+
+  let send t v =
+    Mutex.lock t.lock;
+    if t.closed then (
+      check t;
+      Mutex.unlock t.lock)
+    else
+      match t.waiters with
+      | w :: rest ->
+          t.waiters <- rest;
+          if debug then assert (w.slot = None && Queue.is_empty t.q);
+          w.slot <- Some v;
+          check t;
+          Mutex.unlock t.lock;
+          w.wg.open_ ()
+      | [] ->
+          Queue.push v t.q;
+          check t;
+          Mutex.unlock t.lock
+
+  let recv ?timeout t =
+    Mutex.lock t.lock;
+    if not (Queue.is_empty t.q) then begin
+      let v = Queue.pop t.q in
+      check t;
+      Mutex.unlock t.lock;
+      Some v
+    end
+    else if t.closed then (
+      Mutex.unlock t.lock;
+      None)
+    else begin
+      let w = { wg = t.rt.gate (); slot = None } in
+      t.waiters <- t.waiters @ [ w ];
+      check t;
+      Mutex.unlock t.lock;
+      let tm =
+        match timeout with
+        | None -> None
+        | Some d ->
+            (* On expiry: claim the waiter back under the lock. If the
+               waiter is gone a sender already owns it (the message
+               wins the race and the timeout is lost). *)
+            Some
+              (t.rt.timer ~delay:d (fun () ->
+                   Mutex.lock t.lock;
+                   let mine = List.memq w t.waiters in
+                   if mine then
+                     t.waiters <- List.filter (fun x -> x != w) t.waiters;
+                   Mutex.unlock t.lock;
+                   if mine then w.wg.open_ ()))
+      in
+      w.wg.await ();
+      (match tm with Some tm -> tm.tcancel () | None -> ());
+      w.slot
+    end
+
+  let close t =
+    Mutex.lock t.lock;
+    t.closed <- true;
+    let ws = t.waiters in
+    t.waiters <- [];
+    Mutex.unlock t.lock;
+    List.iter (fun w -> w.wg.open_ ()) ws
+
+  let is_closed t =
+    Mutex.lock t.lock;
+    let c = t.closed in
+    Mutex.unlock t.lock;
+    c
+
+  let length t =
+    Mutex.lock t.lock;
+    let n = Queue.length t.q in
+    Mutex.unlock t.lock;
+    n
+end
+
+(* Generic scatter-gather join used by the mc backend (the sim backend
+   delegates to Dessim.Fiber.all, whose scheduling the dessim-path
+   tests pin down byte-for-byte). Same contract: launch in input
+   order, at most [window] in flight, next thunk starts as one
+   settles; a cancelled child stops further launches, the rest drain,
+   then Cancelled re-raises in the caller; any other child exception
+   is re-raised in the caller once every child settled. *)
+let all_generic rt window thunks =
+  let window = match window with None -> max_int | Some w -> w in
+  if window < 1 then invalid_arg "Runtime.all: window < 1";
+  match thunks with
+  | [] -> []
+  | _ ->
+      let thunks = Array.of_list thunks in
+      let n = Array.length thunks in
+      let results = Array.make n None in
+      let lock = Mutex.create () in
+      let g = rt.gate () in
+      let cancelled = ref false in
+      let failed = ref None in
+      let active = ref 0 in
+      let next = ref 0 in
+      let settled = ref false in
+      let settle_locked () =
+        !active = 0 && (!cancelled || !failed <> None || !next >= n)
+      in
+      let rec launch_ready () =
+        Mutex.lock lock;
+        let batch = ref [] in
+        while
+          !active < window && !next < n && (not !cancelled) && !failed = None
+        do
+          batch := !next :: !batch;
+          incr next;
+          incr active
+        done;
+        Mutex.unlock lock;
+        List.iter (fun i -> rt.spawn (fun () -> child i)) (List.rev !batch)
+      and child i =
+        (match thunks.(i) () with
+        | v ->
+            Mutex.lock lock;
+            results.(i) <- Some v;
+            decr active;
+            Mutex.unlock lock
+        | exception Cancelled ->
+            Mutex.lock lock;
+            cancelled := true;
+            decr active;
+            Mutex.unlock lock
+        | exception e ->
+            Mutex.lock lock;
+            if !failed = None then failed := Some e;
+            decr active;
+            Mutex.unlock lock);
+        launch_ready ();
+        maybe_open ()
+      and maybe_open () =
+        Mutex.lock lock;
+        let fire = settle_locked () && not !settled in
+        if fire then settled := true;
+        Mutex.unlock lock;
+        if fire then g.open_ ()
+      in
+      launch_ready ();
+      maybe_open ();
+      g.await ();
+      if !cancelled then raise Cancelled;
+      (match !failed with Some e -> raise e | None -> ());
+      Array.to_list (Array.map Option.get results)

@@ -1,0 +1,118 @@
+(** Runtime abstraction: the execution substrate the protocol layers
+    program against instead of calling the simulator directly.
+
+    A {!t} is a record of closures provided by a backend:
+
+    - [Runtime_sim.of_engine] wraps the deterministic discrete-event
+      engine — virtual time, cooperative fibers, reproducible runs;
+    - [Runtime_mc.create] runs tasks on OCaml 5 domains — wall-clock
+      time, real parallelism, no determinism and no virtual time.
+
+    Coordinators, replicas, the quorum RPC layer and the workload
+    clients are written against this interface, so the same protocol
+    code runs on both backends (DESIGN 4g). *)
+
+exception Cancelled
+(** Raised inside a task whose pending suspension was cancelled; the
+    sim backend's [Dessim.Fiber.Cancelled] is rebound to this same
+    constructor, so one handler catches both. *)
+
+val debug : bool
+(** True when [FAB_RUNTIME_DEBUG=1]: mailbox/gate invariants are
+    asserted on every operation. *)
+
+type gate = {
+  await : unit -> unit;
+      (** Block the calling task until the gate opens. One waiter per
+          gate. @raise Cancelled if the gate is aborted. *)
+  open_ : unit -> unit;  (** Open the gate (one-shot; later calls no-op). *)
+  abort : unit -> unit;  (** Cancel the waiter instead of waking it. *)
+  live : unit -> bool;  (** Neither opened nor aborted yet. *)
+}
+(** A one-shot suspension point: the primitive every blocking
+    structure in this module is built from. *)
+
+type timer = { tcancel : unit -> unit }
+(** Handle on a pending timer; cancelling a fired timer is a no-op. *)
+
+type t = {
+  name : string;  (** ["sim"] or ["mc"]. *)
+  now : unit -> float;
+      (** Sim: virtual time. Mc: wall-clock seconds since backend
+          creation. All span timestamps come from here. *)
+  rng : unit -> Random.State.t;
+      (** Sim: the engine's seeded stream (deterministic). Mc: a
+          domain-local self-seeded state. *)
+  spawn : (unit -> unit) -> unit;
+      (** Start a task. Sim: a fiber, run immediately to its first
+          suspension. Mc: a thread on one of the pool's domains. *)
+  yield : unit -> unit;
+  timer : delay:float -> (unit -> unit) -> timer;
+      (** Run a callback [delay] from now. Callbacks must not block. *)
+  gate : unit -> gate;
+  all : 'a. int option -> (unit -> 'a) list -> 'a list;
+      (** Scatter-gather join; see {!all} for the wrapper. *)
+}
+
+val name : t -> string
+val now : t -> float
+val rng : t -> Random.State.t
+val spawn : t -> (unit -> unit) -> unit
+val yield : t -> unit
+val timer : t -> delay:float -> (unit -> unit) -> timer
+val cancel : timer -> unit
+
+val sleep : t -> float -> unit
+(** Block the calling task for a duration (virtual or real). *)
+
+val all : t -> ?window:int -> (unit -> 'a) list -> 'a list
+(** [all rt ?window thunks] runs every thunk as a child task, at most
+    [window] in flight, launch order = input order, and returns the
+    results in input order. Cancellation semantics match
+    [Dessim.Fiber.all] (to which the sim backend delegates).
+    @raise Invalid_argument if [window < 1]. *)
+
+(** One-shot write-once cell: fill-before-open publishes the value to
+    the awaiting task through the gate's synchronization. *)
+module Ivar : sig
+  type rt := t
+  type 'a t
+
+  val create : rt -> 'a t
+
+  val fill : 'a t -> 'a -> unit
+  (** First fill wins; the value must be written by at most one task
+      at a time (callers serialize fills under their own lock). *)
+
+  val abort : 'a t -> unit
+  val await : 'a t -> 'a  (** @raise Cancelled if aborted. *)
+
+  val is_live : 'a t -> bool
+end
+
+(** Multi-producer mailbox with FIFO-per-sender ordering and direct
+    hand-off to blocked receivers. Safe from any domain on the mc
+    backend. *)
+module Mailbox : sig
+  type rt := t
+  type 'a t
+
+  val create : rt -> 'a t
+
+  val send : 'a t -> 'a -> unit
+  (** Sends to a closed mailbox are dropped silently. *)
+
+  val recv : ?timeout:float -> 'a t -> 'a option
+  (** Block until a message arrives ([Some m]), the timeout expires,
+      or the mailbox closes (both [None]). *)
+
+  val close : 'a t -> unit
+  (** Close and wake every blocked receiver with [None]. *)
+
+  val is_closed : 'a t -> bool
+  val length : 'a t -> int
+end
+
+val all_generic : t -> int option -> (unit -> 'a) list -> 'a list
+(** The portable join implementation (used by the mc backend; exposed
+    for backends that have no native one). *)

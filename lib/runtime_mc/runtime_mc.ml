@@ -1,0 +1,298 @@
+(* OCaml 5 multicore backend: a pool of worker domains, each hosting
+   blocking tasks as systhreads, plus one timer thread driving
+   wall-clock timers off a select(2) sleep with a self-pipe wakeup.
+
+   Scheduling model (DESIGN 4g): [spawn] places the task on a domain
+   chosen round-robin (work sharing); the domain's dispatcher starts
+   it as a thread, so a task may block (mailbox recv, gate await,
+   sleep) without stalling its domain — the other threads of that
+   domain keep running, and threads on different domains run in
+   parallel. Within one domain only one thread executes OCaml code at
+   a time; true parallelism equals the domain count.
+
+   What this backend does NOT give you: determinism (no seeded
+   schedule, no chooser), virtual time (now() is the wall clock),
+   fault injection (the chaos stack is sim-only), or message delay /
+   drop modelling. The sim backend remains the oracle; this one
+   reports what the hardware actually does. *)
+
+type task = { run : unit -> unit; daemon : bool }
+
+type worker = {
+  wq : task Queue.t;
+  wm : Mutex.t;
+  wc : Condition.t;
+}
+
+type tev = { at : float; mutable cancelled : bool; tf : unit -> unit }
+
+type t = {
+  workers : worker array;
+  rr : int Atomic.t;  (* round-robin spawn cursor *)
+  lock : Mutex.t;  (* guards live / stopping *)
+  idle : Condition.t;  (* signalled when live returns to 0 *)
+  mutable live : int;  (* non-daemon tasks queued or running *)
+  mutable stopping : bool;
+  tlock : Mutex.t;  (* guards timers *)
+  mutable timers : tev list;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  t0 : float;
+  mutable domains : unit Domain.t list;
+  mutable timer_thread : Thread.t option;
+  mutable runtime : Runtime.t option;
+}
+
+let wall () = Unix.gettimeofday ()
+let now t = wall () -. t.t0
+
+let report_exn where exn =
+  Printf.eprintf "runtime_mc: uncaught exception in %s: %s\n%!" where
+    (Printexc.to_string exn)
+
+(* ---- worker domains ------------------------------------------------ *)
+
+let finish_task t task =
+  if not task.daemon then begin
+    Mutex.lock t.lock;
+    t.live <- t.live - 1;
+    if t.live = 0 then Condition.broadcast t.idle;
+    Mutex.unlock t.lock
+  end
+
+let run_task t task =
+  (try task.run () with
+  | Runtime.Cancelled -> ()
+  | exn -> report_exn "task" exn);
+  finish_task t task
+
+(* Each worker domain loops popping tasks and starting them as
+   threads of this domain; the dispatcher thread itself never blocks
+   on task work, so a burst of spawns is absorbed promptly. *)
+let dispatcher t w =
+  let rec loop () =
+    Mutex.lock w.wm;
+    while Queue.is_empty w.wq && not t.stopping do
+      Condition.wait w.wc w.wm
+    done;
+    if Queue.is_empty w.wq then Mutex.unlock w.wm (* stopping: exit *)
+    else begin
+      let task = Queue.pop w.wq in
+      Mutex.unlock w.wm;
+      ignore (Thread.create (fun () -> run_task t task) ());
+      loop ()
+    end
+  in
+  loop ()
+
+let enqueue t ~daemon f =
+  if not daemon then begin
+    Mutex.lock t.lock;
+    t.live <- t.live + 1;
+    Mutex.unlock t.lock
+  end;
+  let i = Atomic.fetch_and_add t.rr 1 mod Array.length t.workers in
+  let w = t.workers.(i) in
+  Mutex.lock w.wm;
+  Queue.push { run = f; daemon } w.wq;
+  Condition.signal w.wc;
+  Mutex.unlock w.wm
+
+(* ---- timers -------------------------------------------------------- *)
+
+let wake_timer t =
+  try ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
+
+let drain_pipe t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.pipe_r buf 0 64 with
+    | n when n = 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let add_timer t ~delay f =
+  let ev = { at = now t +. Float.max 0. delay; cancelled = false; tf = f } in
+  Mutex.lock t.tlock;
+  t.timers <- ev :: t.timers;
+  Mutex.unlock t.tlock;
+  wake_timer t;
+  { Runtime.tcancel = (fun () -> ev.cancelled <- true) }
+
+(* Timer callbacks run inline on the timer thread; the runtime's own
+   callbacks (gate opens, RPC retransmissions into mailboxes) never
+   block, which keeps timer latency at select(2) wakeup cost. *)
+let timer_loop t =
+  let rec loop () =
+    Mutex.lock t.tlock;
+    let stop = t.stopping in
+    t.timers <- List.filter (fun ev -> not ev.cancelled) t.timers;
+    let next =
+      List.fold_left
+        (fun acc ev ->
+          match acc with
+          | None -> Some ev.at
+          | Some a -> Some (Float.min a ev.at))
+        None t.timers
+    in
+    Mutex.unlock t.tlock;
+    if stop then ()
+    else begin
+      let wait =
+        match next with
+        | None -> 0.25
+        | Some at -> Float.min 0.25 (at -. now t)
+      in
+      if wait > 0. then
+        (try ignore (Unix.select [ t.pipe_r ] [] [] wait)
+         with Unix.Unix_error _ -> ());
+      drain_pipe t;
+      let nw = now t in
+      Mutex.lock t.tlock;
+      let due, rest =
+        List.partition (fun ev -> (not ev.cancelled) && ev.at <= nw) t.timers
+      in
+      t.timers <- rest;
+      Mutex.unlock t.tlock;
+      List.iter
+        (fun ev ->
+          try ev.tf () with
+          | Runtime.Cancelled -> ()
+          | exn -> report_exn "timer" exn)
+        (List.sort (fun a b -> compare a.at b.at) due);
+      loop ()
+    end
+  in
+  loop ()
+
+(* ---- gates --------------------------------------------------------- *)
+
+type gate_state = Empty | Opened | Aborted
+
+let gate () =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let state = ref Empty in
+  let settle s =
+    Mutex.lock m;
+    if !state = Empty then state := s;
+    Condition.broadcast c;
+    Mutex.unlock m
+  in
+  {
+    Runtime.await =
+      (fun () ->
+        Mutex.lock m;
+        while !state = Empty do
+          Condition.wait c m
+        done;
+        let s = !state in
+        Mutex.unlock m;
+        if s = Aborted then raise Runtime.Cancelled);
+    open_ = (fun () -> settle Opened);
+    abort = (fun () -> settle Aborted);
+    live =
+      (fun () ->
+        Mutex.lock m;
+        let l = !state = Empty in
+        Mutex.unlock m;
+        l);
+  }
+
+(* ---- pool construction / lifecycle -------------------------------- *)
+
+(* Domain-local rng: threads of one domain never run concurrently, so
+   an unsynchronized per-domain state is race-free; cross-domain each
+   has its own. No determinism is promised on this backend. *)
+let rng_key = Domain.DLS.new_key (fun () -> Random.State.make_self_init ())
+
+let hw_cores () = Domain.recommended_domain_count ()
+
+let runtime t =
+  match t.runtime with Some rt -> rt | None -> assert false
+
+let create ?(domains = 1) () =
+  if domains < 1 then invalid_arg "Runtime_mc.create: domains < 1";
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  let t =
+    {
+      workers =
+        Array.init domains (fun _ ->
+            {
+              wq = Queue.create ();
+              wm = Mutex.create ();
+              wc = Condition.create ();
+            });
+      rr = Atomic.make 0;
+      lock = Mutex.create ();
+      idle = Condition.create ();
+      live = 0;
+      stopping = false;
+      tlock = Mutex.create ();
+      timers = [];
+      pipe_r;
+      pipe_w;
+      t0 = wall ();
+      domains = [];
+      timer_thread = None;
+      runtime = None;
+    }
+  in
+  t.domains <-
+    Array.to_list
+      (Array.map (fun w -> Domain.spawn (fun () -> dispatcher t w)) t.workers);
+  t.timer_thread <- Some (Thread.create (fun () -> timer_loop t) ());
+  let rec rt =
+    {
+      Runtime.name = "mc";
+      now = (fun () -> now t);
+      rng = (fun () -> Domain.DLS.get rng_key);
+      spawn = (fun f -> enqueue t ~daemon:false f);
+      yield = Thread.yield;
+      timer = (fun ~delay f -> add_timer t ~delay f);
+      gate;
+      all = (fun window thunks -> Runtime.all_generic rt window thunks);
+    }
+  in
+  t.runtime <- Some rt;
+  t
+
+let spawn_daemon t f = enqueue t ~daemon:true f
+
+(* Wait for every non-daemon task to finish (daemon tasks — the
+   transport's receive loops — are excluded, or this would never
+   return). *)
+let await_idle t =
+  Mutex.lock t.lock;
+  while t.live > 0 do
+    Condition.wait t.idle t.lock
+  done;
+  Mutex.unlock t.lock
+
+(* Stop dispatchers and the timer thread, then join the domains. The
+   caller must first unblock its daemon tasks (close their mailboxes):
+   a domain only terminates once all of its threads have. *)
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.stopping then Mutex.unlock t.lock
+  else begin
+    t.stopping <- true;
+    Mutex.unlock t.lock;
+    Array.iter
+      (fun w ->
+        Mutex.lock w.wm;
+        Condition.broadcast w.wc;
+        Mutex.unlock w.wm)
+      t.workers;
+    wake_timer t;
+    (match t.timer_thread with Some th -> Thread.join th | None -> ());
+    List.iter Domain.join t.domains;
+    t.domains <- [];
+    (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+    try Unix.close t.pipe_w with Unix.Unix_error _ -> ()
+  end

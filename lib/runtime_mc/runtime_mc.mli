@@ -1,0 +1,37 @@
+(** OCaml 5 multicore runtime backend: a pool of worker domains with a
+    work-sharing dispatcher (tasks are threads of their domain, so
+    they may block without stalling it), wall-clock timers on a
+    dedicated select(2)-driven thread, and mutex+condvar gates.
+
+    Gives real parallelism; gives up determinism, virtual time, and
+    fault injection — the sim backend stays the oracle for those. *)
+
+type t
+(** A running pool of worker domains. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains] worker domains (default 1)
+    plus one timer thread. @raise Invalid_argument if [domains < 1]. *)
+
+val runtime : t -> Runtime.t
+(** The pool as a {!Runtime.t} (name ["mc"]). *)
+
+val spawn_daemon : t -> (unit -> unit) -> unit
+(** Like the runtime's [spawn] but excluded from {!await_idle}: used
+    for the transport's per-brick receive loops, which run until their
+    mailbox closes. *)
+
+val await_idle : t -> unit
+(** Block until every non-daemon task has finished. *)
+
+val shutdown : t -> unit
+(** Stop dispatchers and the timer thread and join the domains.
+    Unblock daemon tasks first (close their mailboxes) — a domain only
+    terminates once all its threads have. Idempotent. *)
+
+val now : t -> float
+(** Wall-clock seconds since {!create}. *)
+
+val hw_cores : unit -> int
+(** [Domain.recommended_domain_count ()] — what the hardware can
+    actually run in parallel; stamped into benchmark metadata. *)

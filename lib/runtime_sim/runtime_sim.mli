@@ -1,0 +1,10 @@
+(** The deterministic runtime backend: Dessim wrapped as a
+    {!Runtime.t}. Virtual time, cooperative fibers, all randomness
+    from the engine's seeded stream — the reproducible oracle the
+    chaos and linearizability harnesses run on. *)
+
+val of_engine : Dessim.Engine.t -> Runtime.t
+(** [of_engine e] is a runtime whose [now]/[rng]/[spawn]/[timer]
+    compile to exactly the corresponding [Dessim] calls; code ported
+    from direct engine use to the runtime produces byte-identical
+    runs. *)

@@ -27,7 +27,7 @@ let fresh_stats () =
 
 let spawn volume ~coord ~gen ~ops ?(think_time = 0.) ?(payload_tag = 'w')
     stats =
-  let engine = (Fab.Volume.cluster volume).Core.Cluster.engine in
+  let rt = (Fab.Volume.cluster volume).Core.Cluster.runtime in
   let block_size = Fab.Volume.block_size volume in
   let seq = ref 0 in
   let payload count =
@@ -38,16 +38,10 @@ let spawn volume ~coord ~gen ~ops ?(think_time = 0.) ?(payload_tag = 'w')
     Bytes.blit_string stamp 0 b 0 (min (String.length stamp) (Bytes.length b));
     b
   in
-  let sleep delay =
-    Dessim.Fiber.suspend (fun r ->
-        ignore
-          (Dessim.Engine.schedule engine ~delay (fun () ->
-               Dessim.Fiber.resume r ())))
-  in
-  Dessim.Fiber.spawn (fun () ->
+  Runtime.spawn rt (fun () ->
       for _ = 1 to ops do
         let op = Gen.next gen in
-        let started = Dessim.Engine.now engine in
+        let started = Runtime.now rt in
         let outcome =
           match op.Gen.kind with
           | `Read ->
@@ -74,10 +68,10 @@ let spawn volume ~coord ~gen ~ops ?(think_time = 0.) ?(payload_tag = 'w')
         | `Ok -> stats.blocks_moved <- stats.blocks_moved + op.Gen.count
         | `Aborted -> stats.aborts <- stats.aborts + 1
         | `Unavailable -> stats.unavailable <- stats.unavailable + 1);
-        let elapsed = Dessim.Engine.now engine -. started in
+        let elapsed = Runtime.now rt -. started in
         Metrics.Summary.add stats.latency elapsed;
         if elapsed >= 0. then Metrics.Hist.add stats.latency_hist elapsed;
-        if think_time > 0. then sleep think_time
+        if think_time > 0. then Runtime.sleep rt think_time
       done)
 
 let throughput stats ~elapsed =

@@ -17,10 +17,12 @@
      determinism gate (same seed, same commit => identical report).
 
    Meta stamps guard against apples-to-oranges comparisons: if the two
-   files disagree on gf_kernel / simd_level / geometry / workload shape
-   the diff refuses to run (exit 2) unless --force is given.
-   meta.date and meta.git are always ignored (they differ by commit,
-   not by behaviour).
+   files disagree on gf_kernel / simd_level / geometry / workload
+   shape / runtime backend / domain count the diff refuses to run
+   (exit 2) unless --force is given — sim delta units and mc
+   wall-clock seconds must never be compared as if commensurable.
+   meta.date, meta.git and meta.ocaml_version are always ignored (they
+   differ by commit or toolchain, not by behaviour).
 
    Exit codes: 0 = no regression, 1 = regression (or --exact
    difference), 2 = incompatible meta / unreadable input / usage. *)
@@ -274,7 +276,7 @@ let () =
   let threshold = ref 10. in
   let rules = ref [] in
   let exact = ref false in
-  let ignored = ref [ "meta.date"; "meta.git" ] in
+  let ignored = ref [ "meta.date"; "meta.git"; "meta.ocaml_version" ] in
   let force = ref false in
   let quiet = ref false in
   let rec parse_args = function
@@ -335,7 +337,7 @@ let () =
       "meta.gf_kernel"; "meta.simd_level"; "meta.geometries"; "meta.profiles";
       "meta.m"; "meta.n"; "meta.bricks"; "meta.stripes"; "meta.block_size";
       "meta.clients"; "meta.ops"; "meta.window"; "meta.faults"; "meta.slos";
-      "meta.seed"; "meta.tool";
+      "meta.seed"; "meta.tool"; "meta.runtime"; "meta.domains";
     ]
   in
   let incompatible =

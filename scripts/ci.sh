@@ -28,6 +28,9 @@ dune build @obs-smoke
 echo "== @bench-protocol-smoke (pipelining / elision / coalescing) =="
 dune build @bench-protocol-smoke
 
+echo "== @parallel-smoke (multicore backend, runtime assertions armed) =="
+dune build @parallel-smoke
+
 echo "== @chaos-smoke (fault plans clean, unsafe variant caught) =="
 dune build @chaos-smoke
 

@@ -2,14 +2,15 @@
 
 let make () =
   let e = Dessim.Engine.create () in
+  let rt = Runtime_sim.of_engine e in
   let metrics = Metrics.Registry.create () in
-  (e, metrics, Brick.create ~metrics e ~id:3)
+  (rt, metrics, Brick.create ~metrics rt ~id:3)
 
 let test_identity () =
-  let e, _, b = make () in
+  let rt, _, b = make () in
   Alcotest.(check int) "id" 3 (Brick.id b);
   Alcotest.(check bool) "alive initially" true (Brick.is_alive b);
-  Alcotest.(check bool) "engine threading" true (Brick.engine b == e)
+  Alcotest.(check bool) "runtime threading" true (Brick.runtime b == rt)
 
 let test_crash_recover_cycle () =
   let _, _, b = make () in

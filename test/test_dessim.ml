@@ -257,6 +257,19 @@ let test_all_window_one_is_serial () =
   let expect = List.concat_map (fun i -> [ `Start i; `End i ]) [ 0; 1; 2; 3 ] in
   Alcotest.(check bool) "strictly sequential" true (List.rev !log = expect)
 
+let test_all_rejects_nonpositive_window () =
+  (* The window bounds in-flight children; zero or negative can never
+     launch anything and must be rejected up front, not hang. *)
+  List.iter
+    (fun w ->
+      Alcotest.check_raises
+        (Printf.sprintf "window=%d" w)
+        (Invalid_argument "Dessim.Fiber.all: window < 1")
+        (fun () ->
+          Fiber.spawn (fun () ->
+              ignore (Fiber.all ~window:w [ (fun () -> ()) ]))))
+    [ 0; -1; -7 ]
+
 let test_all_cancellation () =
   let e = E.create () in
   let resumers = ref [] in
@@ -321,6 +334,8 @@ let () =
             test_all_window_bounds_inflight;
           Alcotest.test_case "window=1 is serial" `Quick
             test_all_window_one_is_serial;
+          Alcotest.test_case "window < 1 rejected" `Quick
+            test_all_rejects_nonpositive_window;
           Alcotest.test_case "cancellation drains and re-raises" `Quick
             test_all_cancellation;
         ] );

@@ -135,12 +135,13 @@ type harness = {
 let harness ?(n = 5) ?(config = Simnet.Net.default_config) () =
   let e = E.create () in
   let metrics = Metrics.Registry.create () in
+  let rt = Runtime_sim.of_engine e in
   let net = Simnet.Net.create ~metrics e ~config ~n in
   let rpc =
-    Rpc.create ~net ~req_bytes:String.length ~rep_bytes:String.length
-      ~retry_every:8. ~grace:1. ()
+    Rpc.create ~rt ~transport:(Rpc.of_net net) ~req_bytes:String.length
+      ~rep_bytes:String.length ~retry_every:8. ~grace:1. ()
   in
-  let bricks = Array.init n (fun id -> Brick.create ~metrics e ~id) in
+  let bricks = Array.init n (fun id -> Brick.create ~metrics rt ~id) in
   (* Each server echoes with its address unless its brick is down. *)
   Array.iteri
     (fun i b ->

@@ -1,0 +1,365 @@
+(* Conformance tests for the Runtime abstraction (DESIGN 4g): the same
+   suite runs on both backends — the deterministic simulator
+   (Runtime_sim) and the OCaml 5 multicore pool (Runtime_mc) — pinning
+   down the contract protocol code relies on: FIFO-per-sender
+   mailboxes, monotone clocks, timer ordering and cancellation, sleep
+   ordering, and the scatter-gather join. Plus a multicore soak: four
+   domains hammer one erasure-coded register and the recorded history
+   must be strictly linearizable (lib/linearize). *)
+
+(* Each test gets a fresh backend: [rt] to program against, [go] to
+   run a root task to quiescence, [teardown] to release resources.
+   Real-time gaps below are generous (tens of ms apart) so the mc
+   backend's timer-thread granularity cannot flake the suite. *)
+type harness = {
+  rt : Runtime.t;
+  go : (unit -> unit) -> unit;
+  teardown : unit -> unit;
+}
+
+let sim_harness () =
+  let e = Dessim.Engine.create ~seed:7 () in
+  let rt = Runtime_sim.of_engine e in
+  {
+    rt;
+    go =
+      (fun f ->
+        Runtime.spawn rt f;
+        Dessim.Engine.run e);
+    teardown = ignore;
+  }
+
+let mc_harness () =
+  let pool = Runtime_mc.create ~domains:2 () in
+  let rt = Runtime_mc.runtime pool in
+  {
+    rt;
+    go =
+      (fun f ->
+        Runtime.spawn rt f;
+        Runtime_mc.await_idle pool);
+    teardown = (fun () -> Runtime_mc.shutdown pool);
+  }
+
+let with_harness make f =
+  let h = make () in
+  Fun.protect ~finally:h.teardown (fun () -> f h)
+
+(* Test-side accumulator, safe from any domain (uncontended on sim). *)
+let locked_list () =
+  let lk = Mutex.create () in
+  let items = ref [] in
+  let push x =
+    Mutex.lock lk;
+    items := x :: !items;
+    Mutex.unlock lk
+  in
+  let contents () =
+    Mutex.lock lk;
+    let l = List.rev !items in
+    Mutex.unlock lk;
+    l
+  in
+  (push, contents)
+
+(* ------------------------------------------------------------------ *)
+(* Conformance: the same tests run on both backends                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_mailbox_fifo_per_sender make () =
+  (* Three senders interleave 20 sends each (staggered sleeps force
+     interleaving on the sim backend too); the per-sender sequence
+     numbers must arrive in order even though the global order is
+     arbitrary. *)
+  with_harness make (fun h ->
+      let senders = 3 and per_sender = 20 in
+      let box = Runtime.Mailbox.create h.rt in
+      let got = Array.make senders (-1) in
+      let violations = ref 0 in
+      h.go (fun () ->
+          for s = 0 to senders - 1 do
+            Runtime.spawn h.rt (fun () ->
+                for i = 0 to per_sender - 1 do
+                  Runtime.Mailbox.send box (s, i);
+                  Runtime.sleep h.rt (0.001 *. float_of_int (1 + s))
+                done)
+          done;
+          for _ = 1 to senders * per_sender do
+            match Runtime.Mailbox.recv box with
+            | None -> Alcotest.fail "mailbox closed early"
+            | Some (s, i) ->
+                if i <> got.(s) + 1 then incr violations;
+                got.(s) <- i
+          done);
+      Alcotest.(check int) "per-sender FIFO violations" 0 !violations;
+      Array.iteri
+        (fun s last ->
+          Alcotest.(check int)
+            (Printf.sprintf "sender %d drained" s)
+            (per_sender - 1) last)
+        got;
+      Alcotest.(check int) "mailbox empty" 0 (Runtime.Mailbox.length box))
+
+let test_now_monotone_and_timer_order make () =
+  (* now() never goes backwards; timers fire no earlier than their
+     delay and in delay order (delays 40 ms apart so the mc timer
+     thread cannot reorder them). *)
+  with_harness make (fun h ->
+      let push, contents = locked_list () in
+      let t0 = Runtime.now h.rt in
+      h.go (fun () ->
+          List.iter
+            (fun d ->
+              ignore
+                (Runtime.timer h.rt ~delay:d (fun () ->
+                     push (d, Runtime.now h.rt))))
+            [ 0.09; 0.01; 0.13; 0.05 ];
+          Runtime.sleep h.rt 0.3);
+      let fired = contents () in
+      Alcotest.(check int) "all timers fired" 4 (List.length fired);
+      List.iter
+        (fun (d, at) ->
+          if at -. t0 < d -. 1e-9 then
+            Alcotest.failf "timer %.2f fired %.4fs early" d (d -. (at -. t0)))
+        fired;
+      Alcotest.(check (list (float 1e-9)))
+        "fired in delay order" [ 0.01; 0.05; 0.09; 0.13 ] (List.map fst fired);
+      let rec monotone = function
+        | (_, a) :: ((_, b) :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "now non-decreasing" true (monotone fired))
+
+let test_timer_cancellation make () =
+  with_harness make (fun h ->
+      let fired = ref false in
+      h.go (fun () ->
+          let t = Runtime.timer h.rt ~delay:0.02 (fun () -> fired := true) in
+          Runtime.cancel t;
+          Runtime.sleep h.rt 0.1;
+          (* Cancelling an already-fired timer is a no-op. *)
+          let u = Runtime.timer h.rt ~delay:0.01 (fun () -> ()) in
+          Runtime.sleep h.rt 0.05;
+          Runtime.cancel u);
+      Alcotest.(check bool) "cancelled timer never fired" false !fired)
+
+let test_gate_abort_cancels_waiter make () =
+  with_harness make (fun h ->
+      let outcome = ref `Pending in
+      h.go (fun () ->
+          let g = h.rt.Runtime.gate () in
+          ignore
+            (Runtime.timer h.rt ~delay:0.02 (fun () -> g.Runtime.abort ()));
+          Runtime.spawn h.rt (fun () ->
+              match g.Runtime.await () with
+              | () -> outcome := `Opened
+              | exception Runtime.Cancelled -> outcome := `Cancelled);
+          Runtime.sleep h.rt 0.1);
+      Alcotest.(check bool) "waiter saw Cancelled" true (!outcome = `Cancelled))
+
+let test_ivar_fill_and_abort make () =
+  with_harness make (fun h ->
+      let got = ref 0 and aborted = ref false in
+      h.go (fun () ->
+          let iv = Runtime.Ivar.create h.rt in
+          ignore
+            (Runtime.timer h.rt ~delay:0.01 (fun () -> Runtime.Ivar.fill iv 42));
+          got := Runtime.Ivar.await iv;
+          let dead = Runtime.Ivar.create h.rt in
+          ignore
+            (Runtime.timer h.rt ~delay:0.01 (fun () -> Runtime.Ivar.abort dead));
+          (try ignore (Runtime.Ivar.await dead : int)
+           with Runtime.Cancelled -> aborted := true));
+      Alcotest.(check int) "filled value" 42 !got;
+      Alcotest.(check bool) "abort raises Cancelled" true !aborted)
+
+let test_mailbox_timeout_and_close make () =
+  with_harness make (fun h ->
+      let timed_out = ref false and woke_none = ref false in
+      h.go (fun () ->
+          let box = Runtime.Mailbox.create h.rt in
+          (match Runtime.Mailbox.recv ~timeout:0.02 box with
+          | None -> timed_out := true
+          | Some () -> ());
+          let box2 = Runtime.Mailbox.create h.rt in
+          Runtime.spawn h.rt (fun () ->
+              match Runtime.Mailbox.recv box2 with
+              | None -> woke_none := true
+              | Some () -> ());
+          Runtime.sleep h.rt 0.02;
+          Runtime.Mailbox.close box2;
+          Runtime.sleep h.rt 0.02;
+          Alcotest.(check bool) "closed" true (Runtime.Mailbox.is_closed box2);
+          (* Sends to a closed mailbox are dropped. *)
+          Runtime.Mailbox.send box2 ();
+          Alcotest.(check int) "drop on closed" 0 (Runtime.Mailbox.length box2));
+      Alcotest.(check bool) "empty recv times out" true !timed_out;
+      Alcotest.(check bool) "close wakes receiver with None" true !woke_none)
+
+let test_sleep_ordering make () =
+  with_harness make (fun h ->
+      let push, contents = locked_list () in
+      h.go (fun () ->
+          List.iter
+            (fun d ->
+              Runtime.spawn h.rt (fun () ->
+                  Runtime.sleep h.rt d;
+                  push d))
+            [ 0.13; 0.01; 0.09; 0.05 ]);
+      Alcotest.(check (list (float 1e-9)))
+        "woken in delay order" [ 0.01; 0.05; 0.09; 0.13 ] (contents ()))
+
+let test_all_join make () =
+  with_harness make (fun h ->
+      let results = ref [] in
+      h.go (fun () ->
+          (* Results come back in input order even when later thunks
+             finish first. *)
+          results :=
+            Runtime.all h.rt ~window:2
+              (List.map
+                 (fun (d, v) () ->
+                   Runtime.sleep h.rt d;
+                   v)
+                 [ (0.05, "a"); (0.01, "b"); (0.03, "c"); (0.0, "d") ]));
+      Alcotest.(check (list string))
+        "input order" [ "a"; "b"; "c"; "d" ] !results)
+
+let test_all_rejects_bad_window make () =
+  with_harness make (fun h ->
+      let raised = ref false in
+      h.go (fun () ->
+          try ignore (Runtime.all h.rt ~window:0 [ (fun () -> ()) ])
+          with Invalid_argument _ -> raised := true);
+      Alcotest.(check bool) "window < 1 rejected" true !raised)
+
+(* ------------------------------------------------------------------ *)
+(* Multicore soak: 4 domains, one register, strict linearizability     *)
+(* ------------------------------------------------------------------ *)
+
+let test_mc_soak_linearizable () =
+  (* Four clients on four domains hammer the same logical block of a
+     2-of-4 volume; every operation is recorded in a Linearize history
+     (timestamps taken under the history lock so invocation/return
+     order is consistent) and the result must admit a conforming total
+     order. Aborted writes are expected under this contention and are
+     fine — the checker constrains them only if their value is
+     observed.
+
+     op_retries is pinned to 1 so one recorded operation is one
+     protocol-level write. The volume-layer retry loop re-submits an
+     aborted write's value as a fresh protocol write at a new
+     timestamp; if a concurrent reader's recovery already rolled the
+     first attempt forward, the value becomes visible, is superseded
+     by other writers, then resurfaces when the retry commits — two
+     visibility windows for one recorded op, which the unique-value
+     strict checker rightly rejects. The paper's guarantee (and this
+     soak) covers single protocol operations; driver-style retries
+     deliberately trade that for at-least-once block semantics. *)
+  let m = 2 and n = 4 and clients = 4 and ops = 25 in
+  let block_size = 512 in
+  let cluster =
+    Core.Cluster.create_mc ~domains:4 ~bricks:n
+      ~layout:(Fab.Layout.make Fab.Layout.Fixed ~bricks:n ~n)
+      ~block_size ~m ~n ()
+  in
+  let volume =
+    Fab.Volume.of_cluster ~cluster ~m ~stripes:1 ~block_size ~op_retries:1
+      ~stripe_offset:0 ()
+  in
+  let rt = cluster.Core.Cluster.runtime in
+  let hist = Linearize.History.create () in
+  let hlock = Mutex.create () in
+  let record f =
+    Mutex.lock hlock;
+    let r = f (Runtime.now rt) in
+    Mutex.unlock hlock;
+    r
+  in
+  let value_of_block b =
+    if Bytes.for_all (fun c -> c = '\000') b then Linearize.History.nil
+    else Bytes.to_string b
+  in
+  let payload c i =
+    let b = Bytes.make block_size '\000' in
+    let stamp = Printf.sprintf "%d:%d" c i in
+    Bytes.blit_string stamp 0 b 0 (String.length stamp);
+    b
+  in
+  for c = 0 to clients - 1 do
+    Runtime.spawn rt (fun () ->
+        let rng = Random.State.make [| 11; c |] in
+        for i = 0 to ops - 1 do
+          if Random.State.bool rng then begin
+            let data = payload c i in
+            let id =
+              record (fun now ->
+                  Linearize.History.invoke hist ~client:c ~kind:Write
+                    ~written:(value_of_block data) ~now ())
+            in
+            match Fab.Volume.write volume ~coord:c ~lba:0 data with
+            | Ok () ->
+                record (fun now -> Linearize.History.complete_write hist id ~now)
+            | Error (`Aborted | `Unavailable) ->
+                record (fun now -> Linearize.History.abort hist id ~now)
+          end
+          else begin
+            let id =
+              record (fun now ->
+                  Linearize.History.invoke hist ~client:c ~kind:Read ~now ())
+            in
+            match Fab.Volume.read volume ~coord:c ~lba:0 ~count:1 with
+            | Ok b ->
+                record (fun now ->
+                    Linearize.History.complete_read hist id
+                      ~value:(value_of_block b) ~now)
+            | Error (`Aborted | `Unavailable) ->
+                record (fun now -> Linearize.History.abort hist id ~now)
+          end
+        done)
+  done;
+  Core.Cluster.await_quiesce cluster;
+  Core.Cluster.shutdown cluster;
+  Alcotest.(check int)
+    "all ops returned" (clients * ops)
+    (Linearize.History.size hist - Linearize.History.pending_count hist);
+  match Linearize.Check.strict hist with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "soak history not strictly linearizable: %s"
+        (Format.asprintf "%a" Linearize.Check.pp_violation v)
+
+(* ------------------------------------------------------------------ *)
+
+let conformance name make =
+  ( "conformance:" ^ name,
+    [
+      Alcotest.test_case "mailbox FIFO per sender" `Quick
+        (test_mailbox_fifo_per_sender make);
+      Alcotest.test_case "now monotone, timers fire in order" `Quick
+        (test_now_monotone_and_timer_order make);
+      Alcotest.test_case "timer cancellation" `Quick
+        (test_timer_cancellation make);
+      Alcotest.test_case "gate abort cancels waiter" `Quick
+        (test_gate_abort_cancels_waiter make);
+      Alcotest.test_case "ivar fill / abort" `Quick
+        (test_ivar_fill_and_abort make);
+      Alcotest.test_case "mailbox timeout / close" `Quick
+        (test_mailbox_timeout_and_close make);
+      Alcotest.test_case "sleep ordering" `Quick (test_sleep_ordering make);
+      Alcotest.test_case "all: join in input order" `Quick (test_all_join make);
+      Alcotest.test_case "all: window < 1 rejected" `Quick
+        (test_all_rejects_bad_window make);
+    ] )
+
+let () =
+  Alcotest.run "runtime"
+    [
+      conformance "sim" sim_harness;
+      conformance "mc" mc_harness;
+      ( "multicore soak",
+        [
+          Alcotest.test_case "4-domain register history linearizable" `Quick
+            test_mc_soak_linearizable;
+        ] );
+    ]
