@@ -29,6 +29,14 @@ let sections =
   ]
 
 let () =
+  (* A 32 MiB minor heap (set before any domain spawns, so every
+     worker domain inherits it) keeps the parallel microbenches from
+     triggering minor collections mid-measurement: on an oversubscribed
+     host each collection is a stop-the-world handshake with every
+     parked domain, worth 10-25 ms of scheduler latency — more than the
+     cells being measured. Benchmark hygiene only; the libraries never
+     touch GC parameters. *)
+  Gc.set { (Gc.get ()) with minor_heap_size = 4_194_304 };
   let args =
     match Array.to_list Sys.argv with _ :: args -> args | [] -> []
   in
@@ -43,14 +51,18 @@ let () =
     Micro.check_split ();
     exit 0
   end;
+  (* Smoke runs write *.smoke.json so they can never clobber the
+     committed full-run BENCH_*.json baselines (scripts/ci.sh diffs a
+     smoke run against bench/baseline_parallel_smoke.json). *)
+  let suffix = if List.mem "--smoke" args then ".smoke.json" else ".json" in
   let args =
     List.filter
       (fun a ->
         match a with
         | "--json" ->
-            Micro.json_out := Some "BENCH_micro.json";
-            Protocol.json_out := Some "BENCH_protocol.json";
-            Parallel.json_out := Some "BENCH_parallel.json";
+            Micro.json_out := Some ("BENCH_micro" ^ suffix);
+            Protocol.json_out := Some ("BENCH_protocol" ^ suffix);
+            Parallel.json_out := Some ("BENCH_parallel" ^ suffix);
             false
         | "--smoke" ->
             Micro.smoke := true;

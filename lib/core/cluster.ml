@@ -189,7 +189,7 @@ let mc_transport rt pool ~metrics ~n =
 
 let create_mc ?(domains = 1) ?bricks ?layout ?(block_size = 1024) ?gc_enabled
     ?optimized_modify ?ts_cache ?deadline ?(retry_every = 0.05)
-    ?retry_backoff ?retry_cap ~m ~n () =
+    ?retry_backoff ?retry_cap ?coalesce ?shards ~m ~n () =
   let nbricks = match bricks with Some b -> b | None -> n in
   if nbricks < n then invalid_arg "Core.Cluster.create_mc: bricks < n";
   let layout =
@@ -209,7 +209,8 @@ let create_mc ?(domains = 1) ?bricks ?layout ?(block_size = 1024) ?gc_enabled
     Quorum.Rpc.create ~rt:runtime ~transport ~metrics
       ~req_bytes:Message.bytes_on_wire ~rep_bytes:Message.bytes_on_wire
       ~req_label:Message.label ~rep_label:Message.label ~retry_every
-      ?retry_backoff ?retry_cap ~grace:(retry_every /. 4.) ()
+      ?retry_backoff ?retry_cap ?coalesce ?shards
+      ~grace:(retry_every /. 4.) ()
   in
   let codec = default_codec ~m ~n in
   let mq = Quorum.Mquorum.create ~n ~m in
@@ -267,7 +268,28 @@ let shutdown t =
   | Sim -> ()
   | Mc { pool; boxes } ->
       Array.iter Runtime.Mailbox.close boxes;
-      Runtime_mc.shutdown pool
+      Runtime_mc.shutdown pool;
+      (* Materialize the runtime's hot-path counters so snapshots and
+         benchmark reports see them alongside the protocol metrics.
+         reset+incr: shutdown is idempotent, the stats are absolutes. *)
+      let set name v =
+        let c = Metrics.Registry.counter t.metrics name in
+        Metrics.Counter.reset c;
+        Metrics.Counter.incr ~by:v c
+      in
+      let ws = Runtime_mc.wheel_stats pool in
+      set "runtime.wheel.max_depth" (float_of_int ws.Runtime_mc.max_depth);
+      set "runtime.wheel.fired" (float_of_int ws.Runtime_mc.fired);
+      set "runtime.wheel.purged" (float_of_int ws.Runtime_mc.purged);
+      let batches, drained =
+        Array.fold_left
+          (fun (b, m) box ->
+            let b', m' = Runtime.Mailbox.drain_stats box in
+            (b + b', m + m'))
+          (0, 0) boxes
+      in
+      set "runtime.mailbox.drain.batches" (float_of_int batches);
+      set "runtime.mailbox.drain.msgs" (float_of_int drained)
 
 let is_mc t = match t.backend with Sim -> false | Mc _ -> true
 

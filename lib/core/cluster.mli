@@ -112,6 +112,8 @@ val create_mc :
   ?retry_every:float ->
   ?retry_backoff:float ->
   ?retry_cap:float ->
+  ?coalesce:bool ->
+  ?shards:int ->
   m:int ->
   n:int ->
   unit ->
@@ -125,9 +127,13 @@ val create_mc :
     wall-clock seconds here, not simulated delta units. Coordinators
     use logical clocks; give each concurrent client its own
     coordinator (e.g. [~bricks:(max n clients)]) so (time, pid)
-    timestamps stay unique. No determinism, no virtual time, no fault
-    injection — benchmark wall-clock numbers on this backend, verify
-    protocol behavior on the sim one. Tear down with {!shutdown}. *)
+    timestamps stay unique. [coalesce] (default off) batches
+    same-destination sends behind a 0-delay flush timer, best-effort
+    under wall-clock time; [shards] sizes the RPC pending table's lock
+    sharding (see {!Quorum.Rpc.create}). No determinism, no virtual
+    time, no fault injection — benchmark wall-clock numbers on this
+    backend, verify protocol behavior on the sim one. Tear down with
+    {!shutdown}. *)
 
 val run : ?horizon:float -> t -> unit
 (** Drive the simulation until quiescence (or until [horizon] virtual
@@ -140,8 +146,13 @@ val await_quiesce : t -> unit
 
 val shutdown : t -> unit
 (** Release backend resources. Multicore: close every brick mailbox,
-    stop the receive loops, join the worker domains. Sim: no-op.
-    Call once, after {!await_quiesce}. *)
+    stop the receive loops, join the worker domains, then materialize
+    the runtime's hot-path stats into [metrics] —
+    ["runtime.wheel.max_depth"/".fired"/".purged"] (timer wheel) and
+    ["runtime.mailbox.drain.batches"/".msgs"] (batched drains); the
+    RPC layer's ["rpc.shard.contention"] counts shard-lock waits as
+    they happen. Sim: no-op. Idempotent; call after
+    {!await_quiesce}. *)
 
 val is_mc : t -> bool
 

@@ -606,7 +606,8 @@ module Meta = struct
       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
       tm.Unix.tm_sec
 
-  let standard ?(runtime = "sim") ?(domains = 1) ?(extra = []) () =
+  let standard ?(runtime = "sim") ?(domains = 1) ?gc_minor_words_per_op
+      ?(extra = []) () =
     [
       ("git", Json.S (git_commit ()));
       ("date", Json.S (iso_date ()));
@@ -614,6 +615,9 @@ module Meta = struct
       ("domains", Json.I domains);
       ("ocaml_version", Json.S Sys.ocaml_version);
     ]
+    @ (match gc_minor_words_per_op with
+      | Some w -> [ ("gc_minor_words_per_op", Json.F w) ]
+      | None -> [])
     @ extra
 
   let line t = Json.obj (("ev", Json.S "meta") :: t)

@@ -192,11 +192,20 @@ module Meta : sig
 
   val git_commit : unit -> string
   val iso_date : unit -> string
-  val standard : ?runtime:string -> ?domains:int -> ?extra:t -> unit -> t
+  val standard :
+    ?runtime:string ->
+    ?domains:int ->
+    ?gc_minor_words_per_op:float ->
+    ?extra:t ->
+    unit ->
+    t
   (** [git] (current commit, read from [.git] without spawning a
       process; ["unknown"] outside a repository), [date] (UTC ISO
       8601), [runtime] (backend name, default ["sim"]), [domains]
-      (default 1) and [ocaml_version], plus [extra]. Benchmark diffs
+      (default 1) and [ocaml_version], plus [extra].
+      [gc_minor_words_per_op] (when measured: minor-heap words
+      allocated per completed operation, single-domain runs) makes
+      allocation regressions visible in every perf PR. Benchmark diffs
       refuse to compare across different [runtime]/[domains] stamps
       (scripts/bench_diff.ml). *)
 

@@ -70,6 +70,7 @@ val create :
   ?retry_cap:float ->
   ?grace:float ->
   ?coalesce:bool ->
+  ?shards:int ->
   unit ->
   ('req, 'rep) t
 (** [create ~rt ~transport ~req_bytes ~rep_bytes ()] builds the layer.
@@ -105,7 +106,17 @@ val create :
     operation with an [Obs.Msg_queued] event. (On the wall-clock
     multicore backend "the same instant" means "before the 0-delay
     flush timer fires" — coalescing is best-effort there and is
-    normally left off.) *)
+    normally left off.)
+
+    The pending-call table is split into [shards] independently locked
+    slices (default 16; must be a power of two), call ids dealt
+    round-robin across them, so concurrent coordinators on the
+    multicore backend do not serialize on one mutex; acquisitions that
+    had to wait are counted in [metrics] under
+    ["rpc.shard.contention"]. [~shards:1] reproduces the single-mutex
+    table (the benchmark's before/after baseline). On the sim backend
+    sharding is behaviorally invisible: one fiber runs at a time, so
+    every lock is uncontended and completion order is unchanged. *)
 
 val serve :
   ('req, 'rep) t -> addr:int ->

@@ -90,9 +90,16 @@ module Ivar : sig
   val is_live : 'a t -> bool
 end
 
-(** Multi-producer mailbox with FIFO-per-sender ordering and direct
-    hand-off to blocked receivers. Safe from any domain on the mc
-    backend. *)
+(** MPSC mailbox with FIFO-per-sender ordering and batched drain
+    (DESIGN 4h). Sends land in one of eight per-sender segments
+    (indexed by the sending domain, each its own mutex + queue), so
+    concurrent senders rarely contend; the receiver swaps whole
+    segments into a private drained queue with [Queue.transfer] and
+    then pops with no lock at all, yielding briefly before parking.
+    FIFO holds per sender; the order across senders is unspecified.
+    At most one receiver may block at a time — every use in the tree
+    (transports, daemons) is single-consumer. Safe from any domain on
+    the mc backend. *)
 module Mailbox : sig
   type rt := t
   type 'a t
@@ -104,13 +111,31 @@ module Mailbox : sig
 
   val recv : ?timeout:float -> 'a t -> 'a option
   (** Block until a message arrives ([Some m]), the timeout expires,
-      or the mailbox closes (both [None]). *)
+      or the mailbox closes (both [None]). Messages queued before the
+      close remain receivable. *)
 
   val close : 'a t -> unit
   (** Close and wake every blocked receiver with [None]. *)
 
   val is_closed : 'a t -> bool
   val length : 'a t -> int
+
+  val drain_stats : 'a t -> int * int
+  (** [(batches, messages)] moved by non-empty inbox swaps so far:
+      [messages / batches] is the mean drain batch size — the mc
+      cluster materializes this as [runtime.mailbox.drain.*]. *)
+end
+
+(** Domain-local free lists of [Bytes.t], keyed by exact length: the
+    allocation-avoidance pool for per-call control buffers and codec
+    scratch on the mc hot path (no cross-domain contention; a buffer
+    released on another domain migrates to that domain's pool).
+    Acquired buffers have arbitrary contents — callers zero what they
+    need. Release a buffer at most once, and only when no other task
+    can still reach it. *)
+module Bufpool : sig
+  val acquire : int -> Bytes.t
+  val release : Bytes.t -> unit
 end
 
 val all_generic : t -> int option -> (unit -> 'a) list -> 'a list

@@ -3,12 +3,19 @@
    wall-clock timers off a select(2) sleep with a self-pipe wakeup.
 
    Scheduling model (DESIGN 4g): [spawn] places the task on a domain
-   chosen round-robin (work sharing); the domain's dispatcher starts
-   it as a thread, so a task may block (mailbox recv, gate await,
-   sleep) without stalling its domain — the other threads of that
-   domain keep running, and threads on different domains run in
-   parallel. Within one domain only one thread executes OCaml code at
-   a time; true parallelism equals the domain count.
+   chosen round-robin (work sharing); the domain's dispatcher hands it
+   to a parked slot thread (or starts a new one), so a task may block
+   (mailbox recv, gate await, sleep) without stalling its domain — the
+   other threads of that domain keep running, and threads on different
+   domains run in parallel. Within one domain only one thread executes
+   OCaml code at a time; true parallelism equals the domain count.
+
+   Hot-path design (DESIGN 4h): timers live in a hashed wheel (256
+   slots x 1ms ticks, O(1) arm/cancel, lazily purged cancellations,
+   batched expiry per sweep); the timer thread publishes how long it
+   intends to sleep so [timer] only writes the self-pipe when the new
+   deadline is earlier; slot threads are reused across tasks instead
+   of paying a Thread.create per spawn.
 
    What this backend does NOT give you: determinism (no seeded
    schedule, no chooser), virtual time (now() is the wall clock),
@@ -18,13 +25,34 @@
 
 type task = { run : unit -> unit; daemon : bool }
 
+(* A reusable thread: parks on its own condvar between tasks, so a
+   steady-state workload spawns no threads at all. *)
+type slot = {
+  sm : Mutex.t;
+  sc : Condition.t;
+  mutable job : task option;
+  mutable stop : bool;
+}
+
 type worker = {
   wq : task Queue.t;
-  wm : Mutex.t;
-  wc : Condition.t;
+  wm : Mutex.t;  (* guards wq / widle / nslots *)
+  wc : Condition.t;  (* new task, or a slot parked (reaped at shutdown) *)
+  mutable widle : slot list;
+  mutable nslots : int;  (* slot threads ever started on this worker *)
 }
 
 type tev = { at : float; mutable cancelled : bool; tf : unit -> unit }
+
+let wheel_slots = 256
+let wheel_mask = wheel_slots - 1
+
+let wheel_tick = 0.001
+(* 1ms granularity: a timer never fires early (the sweep tests [at]
+   directly), and fires at most one select(2) wakeup after it is due —
+   the wheel only bounds how coarsely the sweep walks time. *)
+
+type wheel_stats = { max_depth : int; fired : int; purged : int }
 
 type t = {
   workers : worker array;
@@ -33,8 +61,15 @@ type t = {
   idle : Condition.t;  (* signalled when live returns to 0 *)
   mutable live : int;  (* non-daemon tasks queued or running *)
   mutable stopping : bool;
-  tlock : Mutex.t;  (* guards timers *)
-  mutable timers : tev list;
+  tlock : Mutex.t;  (* guards the wheel and its stats *)
+  slots : tev list array;  (* slot = tick land wheel_mask *)
+  slot_min : float array;  (* earliest [at] per slot; infinity if none *)
+  slot_depth : int array;
+  mutable last_tick : int;  (* highest tick already swept *)
+  mutable sleep_until : float;  (* when the timer thread's sleep ends *)
+  mutable wmax_depth : int;
+  mutable wfired : int;
+  mutable wpurged : int;  (* cancelled events removed without firing *)
   pipe_r : Unix.file_descr;
   pipe_w : Unix.file_descr;
   t0 : float;
@@ -66,21 +101,80 @@ let run_task t task =
   | exn -> report_exn "task" exn);
   finish_task t task
 
-(* Each worker domain loops popping tasks and starting them as
-   threads of this domain; the dispatcher thread itself never blocks
-   on task work, so a burst of spawns is absorbed promptly. *)
+(* Run tasks handed over by the dispatcher, parking between them. The
+   broadcast on [w.wc] is what lets the dispatcher's shutdown reap
+   know every slot is back. *)
+let rec slot_loop t w s =
+  Mutex.lock s.sm;
+  while s.job = None && not s.stop do
+    Condition.wait s.sc s.sm
+  done;
+  match s.job with
+  | None -> Mutex.unlock s.sm (* stop *)
+  | Some task ->
+      s.job <- None;
+      Mutex.unlock s.sm;
+      run_task t task;
+      Mutex.lock w.wm;
+      w.widle <- s :: w.widle;
+      Condition.broadcast w.wc;
+      Mutex.unlock w.wm;
+      slot_loop t w s
+
+let assign s task =
+  Mutex.lock s.sm;
+  s.job <- Some task;
+  Condition.signal s.sc;
+  Mutex.unlock s.sm
+
+(* Each worker domain loops popping tasks and handing them to a parked
+   slot thread (creating one only when all are busy); the dispatcher
+   itself never blocks on task work, so a burst of spawns is absorbed
+   promptly. On shutdown it drains the queue, waits for every slot to
+   park, and stops them — after which the domain can be joined. *)
 let dispatcher t w =
   let rec loop () =
     Mutex.lock w.wm;
     while Queue.is_empty w.wq && not t.stopping do
       Condition.wait w.wc w.wm
     done;
-    if Queue.is_empty w.wq then Mutex.unlock w.wm (* stopping: exit *)
-    else begin
+    if not (Queue.is_empty w.wq) then begin
       let task = Queue.pop w.wq in
+      match w.widle with
+      | s :: rest ->
+          w.widle <- rest;
+          Mutex.unlock w.wm;
+          assign s task;
+          loop ()
+      | [] ->
+          w.nslots <- w.nslots + 1;
+          Mutex.unlock w.wm;
+          let s =
+            {
+              sm = Mutex.create ();
+              sc = Condition.create ();
+              job = Some task;
+              stop = false;
+            }
+          in
+          ignore (Thread.create (fun () -> slot_loop t w s) ());
+          loop ()
+    end
+    else begin
+      (* stopping: every slot must park before the domain can exit *)
+      while List.length w.widle < w.nslots do
+        Condition.wait w.wc w.wm
+      done;
+      let slots = w.widle in
+      w.widle <- [];
       Mutex.unlock w.wm;
-      ignore (Thread.create (fun () -> run_task t task) ());
-      loop ()
+      List.iter
+        (fun s ->
+          Mutex.lock s.sm;
+          s.stop <- true;
+          Condition.signal s.sc;
+          Mutex.unlock s.sm)
+        slots
     end
   in
   loop ()
@@ -91,83 +185,150 @@ let enqueue t ~daemon f =
     t.live <- t.live + 1;
     Mutex.unlock t.lock
   end;
-  let i = Atomic.fetch_and_add t.rr 1 mod Array.length t.workers in
+  (* [land max_int] keeps the index non-negative after the counter
+     wraps past max_int (fetch_and_add returns min_int there, and
+     min_int mod 3 = -1). *)
+  let i = Atomic.fetch_and_add t.rr 1 land max_int mod Array.length t.workers in
   let w = t.workers.(i) in
   Mutex.lock w.wm;
   Queue.push { run = f; daemon } w.wq;
   Condition.signal w.wc;
   Mutex.unlock w.wm
 
+let set_spawn_cursor t v = Atomic.set t.rr v
+
 (* ---- timers -------------------------------------------------------- *)
 
-let wake_timer t =
-  try ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1)
-  with Unix.Unix_error _ -> ()
+let wake_byte = Bytes.make 1 '!'
+
+(* Both pipe ends are non-blocking. EAGAIN means the pipe is full — a
+   wakeup is already pending, so dropping the byte is correct (this is
+   what used to raise out of [timer ~delay]). *)
+let rec wake_timer t =
+  match Unix.write t.pipe_w wake_byte 0 1 with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wake_timer t
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error _ -> ()
+
+(* Only the timer thread reads the pipe, so one static buffer is safe. *)
+let drain_buf = Bytes.create 256
 
 let drain_pipe t =
-  let buf = Bytes.create 64 in
   let rec go () =
-    match Unix.read t.pipe_r buf 0 64 with
-    | n when n = 64 -> go ()
-    | _ -> ()
+    match Unix.read t.pipe_r drain_buf 0 (Bytes.length drain_buf) with
+    | 0 -> ()
+    | _ -> go () (* keep reading until the pipe is empty *)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error _ -> ()
   in
   go ()
 
+let tick_of at = int_of_float (at /. wheel_tick)
+
+(* O(1) arm: push onto the event's slot, bump the slot's minimum, and
+   wake the timer thread only if it is asleep past the new deadline. *)
 let add_timer t ~delay f =
   let ev = { at = now t +. Float.max 0. delay; cancelled = false; tf = f } in
   Mutex.lock t.tlock;
-  t.timers <- ev :: t.timers;
+  let s = tick_of ev.at land wheel_mask in
+  t.slots.(s) <- ev :: t.slots.(s);
+  t.slot_depth.(s) <- t.slot_depth.(s) + 1;
+  if t.slot_depth.(s) > t.wmax_depth then t.wmax_depth <- t.slot_depth.(s);
+  if ev.at < t.slot_min.(s) then t.slot_min.(s) <- ev.at;
+  let must_wake = ev.at < t.sleep_until in
   Mutex.unlock t.tlock;
-  wake_timer t;
+  if must_wake then wake_timer t;
   { Runtime.tcancel = (fun () -> ev.cancelled <- true) }
+  (* O(1) cancel: the flag is purged lazily at the slot's next sweep.
+     A stale slot_min can cause one spurious early wakeup, never a
+     missed or early fire. *)
+
+(* Walk the ticks since the last sweep (clamped to one revolution —
+   each slot needs scanning at most once, since dueness is tested per
+   event) and collect due events. Ends on [target - 1] so the current
+   tick's slot is re-swept next pass: an event due later within this
+   same tick must not wait a full revolution. Called with tlock held. *)
+let sweep t nw =
+  let target = tick_of nw in
+  let first = max (t.last_tick + 1) (target - wheel_mask) in
+  let due = ref [] in
+  for tick = first to target do
+    let s = tick land wheel_mask in
+    if t.slot_depth.(s) > 0 && t.slot_min.(s) <= nw then begin
+      let keep = ref [] and kmin = ref infinity and kn = ref 0 in
+      List.iter
+        (fun ev ->
+          if ev.cancelled then t.wpurged <- t.wpurged + 1
+          else if ev.at <= nw then due := ev :: !due
+          else begin
+            keep := ev :: !keep;
+            incr kn;
+            if ev.at < !kmin then kmin := ev.at
+          end)
+        t.slots.(s);
+      t.slots.(s) <- !keep;
+      t.slot_min.(s) <- !kmin;
+      t.slot_depth.(s) <- !kn
+    end
+  done;
+  t.last_tick <- target - 1;
+  let due = List.sort (fun a b -> compare a.at b.at) !due in
+  t.wfired <- t.wfired + List.length due;
+  due
+
+(* Earliest deadline across the wheel; stale minima from cancelled
+   events only make this conservative (earlier). tlock held. *)
+let next_deadline t =
+  let best = ref infinity in
+  for s = 0 to wheel_mask do
+    if t.slot_min.(s) < !best then best := t.slot_min.(s)
+  done;
+  !best
 
 (* Timer callbacks run inline on the timer thread; the runtime's own
    callbacks (gate opens, RPC retransmissions into mailboxes) never
-   block, which keeps timer latency at select(2) wakeup cost. *)
+   block, which keeps timer latency at select(2) wakeup cost. While
+   firing, [sleep_until] is -inf so callbacks arming new timers never
+   write the pipe — the next deadline is recomputed right after. *)
 let timer_loop t =
   let rec loop () =
     Mutex.lock t.tlock;
-    let stop = t.stopping in
-    t.timers <- List.filter (fun ev -> not ev.cancelled) t.timers;
-    let next =
-      List.fold_left
-        (fun acc ev ->
-          match acc with
-          | None -> Some ev.at
-          | Some a -> Some (Float.min a ev.at))
-        None t.timers
-    in
-    Mutex.unlock t.tlock;
-    if stop then ()
+    if t.stopping then Mutex.unlock t.tlock
     else begin
+      let nw = now t in
+      let next = next_deadline t in
       let wait =
-        match next with
-        | None -> 0.25
-        | Some at -> Float.min 0.25 (at -. now t)
+        if next = infinity then 0.25 else Float.min 0.25 (next -. nw)
       in
+      t.sleep_until <- (if wait > 0. then nw +. wait else nw);
+      Mutex.unlock t.tlock;
       if wait > 0. then
         (try ignore (Unix.select [ t.pipe_r ] [] [] wait)
          with Unix.Unix_error _ -> ());
       drain_pipe t;
       let nw = now t in
       Mutex.lock t.tlock;
-      let due, rest =
-        List.partition (fun ev -> (not ev.cancelled) && ev.at <= nw) t.timers
-      in
-      t.timers <- rest;
+      let due = sweep t nw in
+      t.sleep_until <- neg_infinity;
       Mutex.unlock t.tlock;
       List.iter
         (fun ev ->
           try ev.tf () with
           | Runtime.Cancelled -> ()
           | exn -> report_exn "timer" exn)
-        (List.sort (fun a b -> compare a.at b.at) due);
+        due;
       loop ()
     end
   in
   loop ()
+
+let wheel_stats t =
+  Mutex.lock t.tlock;
+  let s = { max_depth = t.wmax_depth; fired = t.wfired; purged = t.wpurged } in
+  Mutex.unlock t.tlock;
+  s
 
 (* ---- gates --------------------------------------------------------- *)
 
@@ -219,6 +380,7 @@ let create ?(domains = 1) () =
   if domains < 1 then invalid_arg "Runtime_mc.create: domains < 1";
   let pipe_r, pipe_w = Unix.pipe () in
   Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
   let t =
     {
       workers =
@@ -227,6 +389,8 @@ let create ?(domains = 1) () =
               wq = Queue.create ();
               wm = Mutex.create ();
               wc = Condition.create ();
+              widle = [];
+              nslots = 0;
             });
       rr = Atomic.make 0;
       lock = Mutex.create ();
@@ -234,7 +398,14 @@ let create ?(domains = 1) () =
       live = 0;
       stopping = false;
       tlock = Mutex.create ();
-      timers = [];
+      slots = Array.make wheel_slots [];
+      slot_min = Array.make wheel_slots infinity;
+      slot_depth = Array.make wheel_slots 0;
+      last_tick = -1;
+      sleep_until = infinity (* wake on any arm until the first sleep *);
+      wmax_depth = 0;
+      wfired = 0;
+      wpurged = 0;
       pipe_r;
       pipe_w;
       t0 = wall ();
@@ -276,7 +447,8 @@ let await_idle t =
 
 (* Stop dispatchers and the timer thread, then join the domains. The
    caller must first unblock its daemon tasks (close their mailboxes):
-   a domain only terminates once all of its threads have. *)
+   a dispatcher only reaps its slots — and its domain only terminates —
+   once every slot thread has parked. *)
 let shutdown t =
   Mutex.lock t.lock;
   if t.stopping then Mutex.unlock t.lock

@@ -1,7 +1,8 @@
 (** OCaml 5 multicore runtime backend: a pool of worker domains with a
-    work-sharing dispatcher (tasks are threads of their domain, so
-    they may block without stalling it), wall-clock timers on a
-    dedicated select(2)-driven thread, and mutex+condvar gates.
+    work-sharing dispatcher (tasks run on reusable slot threads of
+    their domain, so they may block without stalling it), wall-clock
+    timers in a hashed wheel driven by a dedicated select(2) thread,
+    and mutex+condvar gates (DESIGN 4g, hot paths 4h).
 
     Gives real parallelism; gives up determinism, virtual time, and
     fault injection — the sim backend stays the oracle for those. *)
@@ -35,3 +36,17 @@ val now : t -> float
 val hw_cores : unit -> int
 (** [Domain.recommended_domain_count ()] — what the hardware can
     actually run in parallel; stamped into benchmark metadata. *)
+
+val set_spawn_cursor : t -> int -> unit
+(** Force the round-robin spawn cursor (tests only: lets a wrap past
+    [max_int] be exercised without 2^62 spawns). *)
+
+type wheel_stats = {
+  max_depth : int;  (** deepest any wheel slot has been *)
+  fired : int;
+  purged : int;  (** cancelled timers lazily removed without firing *)
+}
+
+val wheel_stats : t -> wheel_stats
+(** Timer-wheel counters since {!create}; the mc cluster materializes
+    them as [runtime.wheel.*] metrics at shutdown. *)

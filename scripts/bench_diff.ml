@@ -242,11 +242,18 @@ let direction path =
   in
   match seg with
   | "throughput" | "goodput" | "ok" | "mb_per_s" | "blocks_per_s" -> Worse_down
+  (* BENCH_parallel.json rate fields: higher is better. Only the new
+     implementation's cells are gated; the legacy-twin columns
+     (single_calls_per_sec, legacy_msgs_per_sec) stay informational. *)
+  | "ops_per_sec" | "sharded_calls_per_sec" | "batched_msgs_per_sec"
+  | "arms_per_sec" | "speedup" | "speedup_vs_1" ->
+      Worse_down
   | "mean" | "max" | "p50" | "p90" | "p95" | "p99" | "p999" | "stddev"
   | "aborts" | "unavailable" | "bad" | "burn" | "retransmits" | "drops"
   | "timeouts" | "elapsed" | "evicted" | "ns_per_block" | "msgs" | "bytes"
   | "net_blocks" | "disk_reads" | "disk_writes" | "nvram_writes" ->
       Worse_up
+  | "p50_ms" | "p99_ms" | "elapsed_s" | "gc_minor_words_per_op" -> Worse_up
   | _ ->
       (* cost trees are worse-up whatever the field name *)
       if contains path "cost_per_op" || contains path "table1" then Worse_up

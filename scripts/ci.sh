@@ -63,4 +63,20 @@ rc=0; "$BD" "$T/base.json" "$T/worse.json" --threshold 10 --rule p99:-1 --rule t
 [ "$rc" -eq 0 ] || { echo "bench_diff: expected exit 0 with rules disabled, got $rc"; exit 1; }
 echo "bench_diff self-test OK"
 
+echo "== parallel contention gate (smoke run vs committed baseline) =="
+# A debug-armed smoke run of the parallel section, diffed against the
+# committed baseline. Wall-clock rates on a shared 1-core CI host are
+# noisy, so the gate is deliberately generous (fail only when a rate
+# drops by more than 75%) and skips the noisiest fields entirely:
+# latency percentiles, speedup ratios, and the 2-domain mailbox cell
+# (dominated by scheduler luck when domains exceed hardware cores).
+# Per-op minor allocation is deterministic, so it gets a tight 25%.
+FAB_RUNTIME_DEBUG=1 dune exec bench/main.exe -- parallel --smoke --json
+"$BD" bench/baseline_parallel_smoke.json BENCH_parallel.smoke.json \
+  --threshold 75 \
+  --rule gc_minor_words_per_op:25 \
+  --rule p50_ms:-1 --rule p99_ms:-1 --rule elapsed_s:-1 \
+  --rule speedup:-1 \
+  --rule micro_mailbox_d2:-1
+
 echo "CI OK"

@@ -233,6 +233,133 @@ let test_all_rejects_bad_window make () =
           with Invalid_argument _ -> raised := true);
       Alcotest.(check bool) "window < 1 rejected" true !raised)
 
+let test_mailbox_fifo_fuzz make () =
+  (* Heavier FIFO-per-sender fuzz than the smoke test above: four
+     senders, hundreds of messages, random yields instead of sleeps so
+     the interleaving is scheduler-driven on mc and trace-driven on
+     sim. Exercises the per-sender segments of the batched mailbox
+     under genuinely mixed arrival orders. *)
+  with_harness make (fun h ->
+      let senders = 4 and per_sender = 400 in
+      let box = Runtime.Mailbox.create h.rt in
+      let got = Array.make senders (-1) in
+      let violations = ref 0 in
+      h.go (fun () ->
+          for s = 0 to senders - 1 do
+            let rng = Random.State.make [| 97; s |] in
+            Runtime.spawn h.rt (fun () ->
+                for i = 0 to per_sender - 1 do
+                  Runtime.Mailbox.send box (s, i);
+                  if Random.State.int rng 4 = 0 then Runtime.yield h.rt
+                done)
+          done;
+          for _ = 1 to senders * per_sender do
+            match Runtime.Mailbox.recv box with
+            | None -> Alcotest.fail "mailbox closed early"
+            | Some (s, i) ->
+                if i <> got.(s) + 1 then incr violations;
+                got.(s) <- i
+          done);
+      Alcotest.(check int) "fuzz FIFO violations" 0 !violations;
+      Array.iteri
+        (fun s last ->
+          Alcotest.(check int)
+            (Printf.sprintf "sender %d drained" s)
+            (per_sender - 1) last)
+        got)
+
+let test_mailbox_timeout_mid_stream make () =
+  (* Timeout timers racing live traffic: the producer delivers at
+     30 ms intervals while the consumer polls with a 10 ms timeout, so
+     most recvs arm a timer that fires mid-stream and the rest must
+     claim the waiter back before the message lands. No message may be
+     lost or reordered whichever side of the race wins. *)
+  with_harness make (fun h ->
+      let n = 8 in
+      let box = Runtime.Mailbox.create h.rt in
+      let timeouts = ref 0 and got = ref [] in
+      h.go (fun () ->
+          Runtime.spawn h.rt (fun () ->
+              for i = 1 to n do
+                Runtime.sleep h.rt 0.03;
+                Runtime.Mailbox.send box i
+              done);
+          let rec loop () =
+            if List.length !got < n then begin
+              (match Runtime.Mailbox.recv ~timeout:0.01 box with
+              | Some v -> got := v :: !got
+              | None -> incr timeouts);
+              loop ()
+            end
+          in
+          loop ());
+      Alcotest.(check (list int))
+        "all delivered in order"
+        (List.init n (fun i -> n - i))
+        !got;
+      Alcotest.(check bool) "timeouts fired mid-stream" true (!timeouts >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* mc-specific races: real domains only                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_mc_mailbox_close_race () =
+  (* Three sender domains spam sends while a fourth task closes the
+     mailbox mid-stream. The receiver must terminate with None (close
+     drains stragglers, then reports closure), per-sender FIFO must
+     hold for everything that did arrive, and sends that lose the race
+     with close are dropped, never crashed on. *)
+  let pool = Runtime_mc.create ~domains:4 () in
+  Fun.protect ~finally:(fun () -> Runtime_mc.shutdown pool) @@ fun () ->
+  let rt = Runtime_mc.runtime pool in
+  let senders = 3 and iters = 20_000 in
+  let box = Runtime.Mailbox.create rt in
+  let got = Array.make senders (-1) in
+  let violations = ref 0 and received = ref 0 and finished = ref false in
+  Runtime.spawn rt (fun () ->
+      let rec loop () =
+        match Runtime.Mailbox.recv box with
+        | Some (s, i) ->
+            incr received;
+            if i <> got.(s) + 1 then incr violations;
+            got.(s) <- i;
+            loop ()
+        | None -> finished := true
+      in
+      loop ());
+  for s = 0 to senders - 1 do
+    Runtime.spawn rt (fun () ->
+        for i = 0 to iters - 1 do
+          Runtime.Mailbox.send box (s, i)
+        done)
+  done;
+  Runtime.spawn rt (fun () ->
+      Runtime.sleep rt 0.005;
+      Runtime.Mailbox.close box);
+  Runtime_mc.await_idle pool;
+  Alcotest.(check bool) "receiver saw None" true !finished;
+  Alcotest.(check int) "per-sender FIFO violations" 0 !violations;
+  Alcotest.(check bool) "received bounded by sent" true
+    (!received <= senders * iters);
+  Runtime.Mailbox.send box (0, 0);
+  Alcotest.(check int) "send after close dropped" 0 (Runtime.Mailbox.length box)
+
+let test_mc_spawn_cursor_wrap () =
+  (* With three workers, the pre-fix cursor arithmetic turned the wrap
+     past max_int into a negative array index (fetch_and_add returns
+     min_int at the wrap, and min_int mod 3 = -1): pin the cursor just
+     below the wrap and spawn enough tasks to cross it. *)
+  let pool = Runtime_mc.create ~domains:3 () in
+  Fun.protect ~finally:(fun () -> Runtime_mc.shutdown pool) @@ fun () ->
+  let rt = Runtime_mc.runtime pool in
+  Runtime_mc.set_spawn_cursor pool (max_int - 2);
+  let ran = Atomic.make 0 in
+  for _ = 1 to 64 do
+    Runtime.spawn rt (fun () -> Atomic.incr ran)
+  done;
+  Runtime_mc.await_idle pool;
+  Alcotest.(check int) "all tasks ran across the wrap" 64 (Atomic.get ran)
+
 (* ------------------------------------------------------------------ *)
 (* Multicore soak: 4 domains, one register, strict linearizability     *)
 (* ------------------------------------------------------------------ *)
@@ -350,6 +477,10 @@ let conformance name make =
       Alcotest.test_case "all: join in input order" `Quick (test_all_join make);
       Alcotest.test_case "all: window < 1 rejected" `Quick
         (test_all_rejects_bad_window make);
+      Alcotest.test_case "mailbox FIFO fuzz" `Quick
+        (test_mailbox_fifo_fuzz make);
+      Alcotest.test_case "mailbox timeout racing live traffic" `Quick
+        (test_mailbox_timeout_mid_stream make);
     ] )
 
 let () =
@@ -357,6 +488,13 @@ let () =
     [
       conformance "sim" sim_harness;
       conformance "mc" mc_harness;
+      ( "mc races",
+        [
+          Alcotest.test_case "mailbox close races concurrent senders" `Quick
+            test_mc_mailbox_close_race;
+          Alcotest.test_case "spawn cursor wraps past max_int" `Quick
+            test_mc_spawn_cursor_wrap;
+        ] );
       ( "multicore soak",
         [
           Alcotest.test_case "4-domain register history linearizable" `Quick
