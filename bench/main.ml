@@ -4,11 +4,11 @@
 
    Usage:  dune exec bench/main.exe [-- section ... [--json] [--smoke]]
    where section is any of: t1 f2 f3 f5 a1 x1..x6 protocol micro
-   parallel. With no section every section runs. --json makes the
-   micro, protocol and parallel sections write BENCH_micro.json /
-   BENCH_protocol.json / BENCH_parallel.json next to the textual
-   report; --smoke shrinks the measurement quotas so the smoke aliases
-   stay fast. *)
+   parallel chaos. With no section every section runs. --json makes
+   the micro, protocol, parallel and chaos sections write
+   BENCH_micro.json / BENCH_protocol.json / BENCH_parallel.json /
+   BENCH_chaos.json next to the textual report; --smoke shrinks the
+   measurement quotas so the smoke aliases stay fast. *)
 
 let sections =
   [
@@ -26,6 +26,7 @@ let sections =
     ("protocol", Protocol.run);
     ("micro", Micro.run);
     ("parallel", Parallel.run);
+    ("chaos", Bench_chaos.run);
   ]
 
 let () =
@@ -63,11 +64,13 @@ let () =
             Micro.json_out := Some ("BENCH_micro" ^ suffix);
             Protocol.json_out := Some ("BENCH_protocol" ^ suffix);
             Parallel.json_out := Some ("BENCH_parallel" ^ suffix);
+            Bench_chaos.json_out := Some ("BENCH_chaos" ^ suffix);
             false
         | "--smoke" ->
             Micro.smoke := true;
             Protocol.smoke := true;
             Parallel.smoke := true;
+            Bench_chaos.smoke := true;
             false
         | _ -> true)
       args

@@ -1205,11 +1205,18 @@ let resolve_plan spec =
              "unknown plan %S (bundled: %s; or give a plan-file path)" spec
              (String.concat ", " (List.map fst Chaos.Plan.builtins))))
 
-let run_chaos plans seeds seed_base m n stripes clients ops deadline
-    unsafe_skip_order shrink_out =
+let run_chaos runtime domains time_scale plans random_plans seeds seed_base m
+    n stripes clients ops deadline unsafe_skip_order shrink_out =
   if seeds < 1 then `Error (false, "need --seeds >= 1")
+  else if runtime <> "sim" && runtime <> "mc" then
+    `Error (false, "--runtime must be sim or mc")
   else
-    let specs = if plans = [] then List.map fst Chaos.Plan.builtins else plans in
+    let mc = runtime = "mc" in
+    let specs =
+      if plans = [] && random_plans = 0 then
+        if mc then [ "mc-mixed" ] else List.map fst Chaos.Plan.builtins
+      else plans
+    in
     let resolved = List.map resolve_plan specs in
     match
       List.find_map (function Error e -> Some e | Ok _ -> None) resolved
@@ -1219,12 +1226,26 @@ let run_chaos plans seeds seed_base m n stripes clients ops deadline
         let plans =
           List.filter_map (function Ok p -> Some p | Error _ -> None) resolved
         in
+        let plans =
+          plans
+          @ List.init random_plans (fun i ->
+                (* Derived from seed_base so a sweep is reproducible on
+                   sim; horizon matches the bundled plans. *)
+                let rng = Random.State.make [| seed_base; i; 0x9a7d |] in
+                let p = Chaos.Plan.random ~rng ~bricks:n ~horizon:600. in
+                { p with Chaos.Plan.name = Printf.sprintf "%s.%d" p.Chaos.Plan.name i })
+        in
+        let backend =
+          if mc then Chaos.Harness.Mc { domains; time_scale }
+          else Chaos.Harness.Sim
+        in
         let harness_run ~seed plan =
-          Chaos.Harness.run ~m ~n ~stripes ~clients ~ops_per_client:ops
-            ~deadline ~unsafe_skip_order ~seed plan
+          Chaos.Harness.run ~backend ~m ~n ~stripes ~clients
+            ~ops_per_client:ops ~deadline ~unsafe_skip_order ~seed plan
         in
         let failure = ref None in
         let totals = ref (0, 0, 0, 0) in
+        try
         List.iter
           (fun (plan : Chaos.Plan.t) ->
             let failures = ref 0 in
@@ -1264,35 +1285,83 @@ let run_chaos plans seeds seed_base m n stripes clients ops deadline
             Printf.printf "\nFAILURE: plan %s seed %d\n  %s\n"
               plan.Chaos.Plan.name seed
               (Format.asprintf "%a" Chaos.Harness.pp_result r);
-            Printf.printf "shrinking...\n%!";
-            let shrunk =
-              Chaos.Shrink.shrink
-                ~check:(fun p -> Chaos.Harness.failed (harness_run ~seed p))
-                plan
-            in
-            Printf.printf
-              "minimal reproducer (%d of %d events; replay with --plan \
-               FILE --seeds 1 --seed-base %d):\n%s"
-              (List.length shrunk.Chaos.Plan.events)
-              (List.length plan.Chaos.Plan.events)
-              seed
-              (Chaos.Plan.to_string shrunk);
-            Option.iter
-              (fun path ->
-                let oc = open_out path in
-                output_string oc (Chaos.Plan.to_string shrunk);
-                close_out oc;
-                Printf.printf "wrote %s\n" path)
-              shrink_out;
+            if mc then begin
+              (* Shrinking needs reproducibility, which mc gives up:
+                 ddmin against a racy oracle converges on noise. Hand
+                 the plan over for a deterministic sim replay instead. *)
+              Printf.printf
+                "mc runs are not reproducible; skipping shrink. Replay \
+                 deterministically with:\n\
+                \  fab_sim chaos --runtime sim --plan %s --seeds 1 \
+                 --seed-base %d\n"
+                plan.Chaos.Plan.name seed;
+              Option.iter
+                (fun path ->
+                  let oc = open_out path in
+                  output_string oc (Chaos.Plan.to_string plan);
+                  close_out oc;
+                  Printf.printf "wrote failing plan to %s\n" path)
+                shrink_out
+            end
+            else begin
+              Printf.printf "shrinking...\n%!";
+              let shrunk =
+                Chaos.Shrink.shrink
+                  ~check:(fun p -> Chaos.Harness.failed (harness_run ~seed p))
+                  plan
+              in
+              Printf.printf
+                "minimal reproducer (%d of %d events; replay with --plan \
+                 FILE --seeds 1 --seed-base %d):\n%s"
+                (List.length shrunk.Chaos.Plan.events)
+                (List.length plan.Chaos.Plan.events)
+                seed
+                (Chaos.Plan.to_string shrunk);
+              Option.iter
+                (fun path ->
+                  let oc = open_out path in
+                  output_string oc (Chaos.Plan.to_string shrunk);
+                  close_out oc;
+                  Printf.printf "wrote %s\n" path)
+                shrink_out
+            end;
             `Error (false, "chaos sweep failed"))
+        with Invalid_argument msg ->
+          (* E.g. a sim-only fault in a plan handed to --runtime mc: the
+             nemesis rejects it per variant, by name. *)
+          `Error (false, msg)
 
 let chaos_cmd =
+  let runtime =
+    Arg.(value & opt string "sim"
+         & info [ "runtime" ] ~docv:"sim|mc"
+             ~doc:"Backend: $(b,sim) (deterministic, shrinkable — the \
+                   oracle) or $(b,mc) (OCaml 5 domains: real \
+                   parallelism, wall-clock time, races).")
+  in
+  let domains =
+    Arg.(value & opt int 4
+         & info [ "domains" ] ~doc:"Worker domains (mc runtime only).")
+  in
+  let time_scale =
+    Arg.(value & opt float 0.001
+         & info [ "time-scale" ]
+             ~doc:"Wall-clock seconds per plan time unit (mc runtime \
+                   only): 0.001 runs a 600-unit plan in 0.6s.")
+  in
+  let random_plans =
+    Arg.(value & opt int 0
+         & info [ "random-plans" ] ~docv:"N"
+             ~doc:"Also sweep $(docv) randomized plans (mc-safe fault \
+                   episodes, derived from --seed-base).")
+  in
   let plans =
     Arg.(value & opt_all string []
          & info [ "plan" ] ~docv:"PLAN"
              ~doc:"Fault plan: a bundled name (crash-storm, \
-                   rolling-partition, torn-writes, bit-rot) or a plan-file \
-                   path. Repeatable; default: all bundled plans.")
+                   rolling-partition, torn-writes, bit-rot, mc-mixed) or \
+                   a plan-file path. Repeatable; default: all bundled \
+                   plans on sim, mc-mixed on mc.")
   in
   let seeds =
     Arg.(value & opt int 10 & info [ "seeds" ] ~doc:"Seeds per plan.")
@@ -1331,8 +1400,9 @@ let chaos_cmd =
        ~doc:"Sweep fault plans x seeds under a strict-linearizability check")
     Term.(
       ret
-        (const run_chaos $ plans $ seeds $ seed_base $ m $ n $ stripes
-        $ clients $ ops $ deadline $ unsafe $ shrink_out))
+        (const run_chaos $ runtime $ domains $ time_scale $ plans
+        $ random_plans $ seeds $ seed_base $ m $ n $ stripes $ clients
+        $ ops $ deadline $ unsafe $ shrink_out))
 
 (* ---------------- mttdl ---------------- *)
 

@@ -3,6 +3,8 @@ module Coordinator = Core.Coordinator
 module H = Linearize.History
 module Check = Linearize.Check
 
+type backend = Sim | Mc of { domains : int; time_scale : float }
+
 type result = {
   ok : int;
   aborted : int;
@@ -48,24 +50,74 @@ type op_record = {
   mutable done_ : bool;
 }
 
-let run ?(m = 2) ?(n = 5) ?(stripes = 4) ?(clients = 3)
+(* One pre-drawn client operation. The workload shape is drawn from the
+   harness rng {e before} any client starts, sequentially per client:
+   on the mc backend clients run on different threads, and sharing a
+   [Random.State.t] across them would make the workload depend on the
+   race rather than on [seed]. *)
+type op_desc = {
+  gap : float;  (* sleep before the op, in plan time units *)
+  op_stripe : int;
+  shape :
+    [ `Write_stripe of string list
+    | `Read_stripe
+    | `Write_block of int * string
+    | `Read_block of int
+    | `Write_blocks of int * string list
+    | `Read_blocks of int * int ];
+}
+
+let run ?(backend = Sim) ?(m = 2) ?(n = 5) ?(stripes = 4) ?(clients = 3)
     ?(ops_per_client = 12) ?(deadline = 200.) ?(unsafe_skip_order = false)
     ?(capture_trace = false) ~seed (plan : Plan.t) =
-  (* Harness-local randomness: the engine's rng drives the simulated
+  (* Harness-local randomness: the backend's rng drives the simulated
      system, this one drives the workload shape. Both derive from
-     [seed] so a run is a pure function of (plan, seed, knobs). *)
+     [seed] so a sim run is a pure function of (plan, seed, knobs). *)
   let rng = Random.State.make [| seed; 0xc4a05 |] in
+  let ts = match backend with Sim -> 1. | Mc { time_scale; _ } -> time_scale in
+  (match backend with
+  | Sim -> ()
+  | Mc { domains; time_scale } ->
+      if domains < 1 then invalid_arg "Chaos.Harness.run: domains < 1";
+      if time_scale <= 0. then
+        invalid_arg "Chaos.Harness.run: time_scale <= 0";
+      if clients > n then
+        (* Each mc client needs its own coordinator: logical (time, pid)
+           timestamps are only unique with one concurrent client per
+           coordinator. *)
+        invalid_arg "Chaos.Harness.run: mc backend needs clients <= n");
   let cl =
-    Cluster.create ~seed ~m ~n ~block_size ~deadline ~unsafe_skip_order ()
+    match backend with
+    | Sim ->
+        Cluster.create ~seed ~m ~n ~block_size ~deadline ~unsafe_skip_order
+          ()
+    | Mc { domains; time_scale } ->
+        Cluster.create_mc ~domains ~m ~n ~block_size
+          ~deadline:(deadline *. time_scale)
+          ~retry_every:(8. *. time_scale) ~unsafe_skip_order ()
   in
-  let engine = cl.Cluster.engine in
+  let rt = cl.Cluster.runtime in
+  let now () = Runtime.now rt in
+  (* One lock for everything the clients share: histories, op records,
+     counters, the written-values table and the trace buffer. Clients
+     only hold it around bookkeeping, never across a protocol call.
+     Uncontended (and semantically inert) on the sim backend. *)
+  let lock = Mutex.create () in
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  in
   let trace_buf =
     if capture_trace then begin
       let buf = Buffer.create 4096 in
+      let buf_lock = Mutex.create () in
       Obs.add_sink cl.Cluster.obs
         (Obs.Sink.make (fun e ->
-             Buffer.add_string buf (Obs.to_json e);
-             Buffer.add_char buf '\n'));
+             let line = Obs.to_json e in
+             Mutex.lock buf_lock;
+             Buffer.add_string buf line;
+             Buffer.add_char buf '\n';
+             Mutex.unlock buf_lock));
       Some buf
     end
     else None
@@ -73,7 +125,6 @@ let run ?(m = 2) ?(n = 5) ?(stripes = 4) ?(clients = 3)
   let histories = Array.init (stripes * m) (fun _ -> H.create ()) in
   let hist ~stripe ~j = histories.((stripe * m) + j) in
   let ops : op_record list ref = ref [] in
-  let uid = ref 0 in
   let counts = ref (0, 0, 0) in
   (* ok, aborted, unavailable *)
   let corrupt_reads = ref 0 in
@@ -83,33 +134,62 @@ let run ?(m = 2) ?(n = 5) ?(stripes = 4) ?(clients = 3)
       (fun e -> match e.Plan.fault with Plan.Bit_rot _ -> true | _ -> false)
       plan.Plan.events
   in
+  let hook_baseline = Array.map Brick.hook_count cl.Cluster.bricks in
 
-  let sleep delay =
-    Dessim.Fiber.suspend (fun r ->
-        ignore
-          (Dessim.Engine.schedule engine ~delay (fun () ->
-               Dessim.Fiber.resume r ())))
+  (* Pre-draw every client's workload (see [op_desc]). *)
+  let uid = ref 0 in
+  let mean_gap = plan.Plan.horizon /. float_of_int (ops_per_client + 1) in
+  let fresh_values blocks =
+    incr uid;
+    List.map (fun j -> Printf.sprintf "s%d.u%d.b%d" seed !uid j) blocks
+  in
+  let gen_op () =
+    let gap = Random.State.float rng (2. *. mean_gap) in
+    let op_stripe = Random.State.int rng stripes in
+    let shape =
+      match Random.State.int rng 6 with
+      | 0 -> `Write_stripe (fresh_values (List.init m Fun.id))
+      | 1 -> `Read_stripe
+      | 2 ->
+          let j = Random.State.int rng m in
+          `Write_block (j, List.hd (fresh_values [ j ]))
+      | 3 -> `Read_block (Random.State.int rng m)
+      | 4 ->
+          let j0 = Random.State.int rng m in
+          let len = 1 + Random.State.int rng (m - j0) in
+          `Write_blocks (j0, fresh_values (List.init len (fun i -> j0 + i)))
+      | _ ->
+          let j0 = Random.State.int rng m in
+          let len = 1 + Random.State.int rng (m - j0) in
+          `Read_blocks (j0, len)
+    in
+    { gap; op_stripe; shape }
+  in
+  let workloads =
+    Array.init clients (fun _ -> List.init ops_per_client (fun _ -> gen_op ()))
   in
 
   let record_op ~coord ~stripe ~blocks ~kind ~values =
-    let now = Dessim.Engine.now engine in
-    let ids =
-      List.map2
-        (fun j v ->
-          let id =
-            match kind with
-            | H.Write ->
-                Hashtbl.replace written v ();
-                H.invoke (hist ~stripe ~j) ~client:coord ~kind ~written:v
-                  ~now ()
-            | H.Read -> H.invoke (hist ~stripe ~j) ~client:coord ~kind ~now ()
-          in
-          (j, id))
-        blocks values
-    in
-    let r = { ids; stripe; coord; invoked_at = now; done_ = false } in
-    ops := r :: !ops;
-    r
+    locked (fun () ->
+        let now = now () in
+        let ids =
+          List.map2
+            (fun j v ->
+              let id =
+                match kind with
+                | H.Write ->
+                    Hashtbl.replace written v ();
+                    H.invoke (hist ~stripe ~j) ~client:coord ~kind
+                      ~written:v ~now ()
+                | H.Read ->
+                    H.invoke (hist ~stripe ~j) ~client:coord ~kind ~now ()
+              in
+              (j, id))
+            blocks values
+        in
+        let r = { ids; stripe; coord; invoked_at = now; done_ = false } in
+        ops := r :: !ops;
+        r)
   in
 
   let bump o =
@@ -122,35 +202,37 @@ let run ?(m = 2) ?(n = 5) ?(stripes = 4) ?(clients = 3)
   in
 
   let finish_op ~stripe r outcome =
-    let now = Dessim.Engine.now engine in
-    r.done_ <- true;
-    (* Under a bit-rot plan a read may surface a value no client ever
-       wrote (silent corruption below the checksum). Count it and
-       record an abort: storage damage, not an ordering bug. *)
-    let outcome =
-      match outcome with
-      | `ReadValues values
-        when bit_rot_plan
-             && List.exists
-                  (fun (_, v) -> v <> H.nil && not (Hashtbl.mem written v))
-                  values ->
-          incr corrupt_reads;
-          `Corrupt
-      | o -> o
-    in
-    (match outcome with
-    | `Wrote | `ReadValues _ -> bump `Ok
-    | `Corrupt | `Aborted -> bump `Aborted
-    | `Unavailable -> bump `Unavailable);
-    List.iter
-      (fun (j, id) ->
-        let h = hist ~stripe ~j in
-        match outcome with
-        | `Wrote -> H.complete_write h id ~now
-        | `ReadValues values ->
-            H.complete_read h id ~value:(List.assoc j values) ~now
-        | `Corrupt | `Aborted | `Unavailable -> H.abort h id ~now)
-      r.ids
+    locked (fun () ->
+        let now = now () in
+        r.done_ <- true;
+        (* Under a bit-rot plan a read may surface a value no client ever
+           wrote (silent corruption below the checksum). Count it and
+           record an abort: storage damage, not an ordering bug. *)
+        let outcome =
+          match outcome with
+          | `ReadValues values
+            when bit_rot_plan
+                 && List.exists
+                      (fun (_, v) ->
+                        v <> H.nil && not (Hashtbl.mem written v))
+                      values ->
+              incr corrupt_reads;
+              `Corrupt
+          | o -> o
+        in
+        (match outcome with
+        | `Wrote | `ReadValues _ -> bump `Ok
+        | `Corrupt | `Aborted -> bump `Aborted
+        | `Unavailable -> bump `Unavailable);
+        List.iter
+          (fun (j, id) ->
+            let h = hist ~stripe ~j in
+            match outcome with
+            | `Wrote -> H.complete_write h id ~now
+            | `ReadValues values ->
+                H.complete_read h id ~value:(List.assoc j values) ~now
+            | `Corrupt | `Aborted | `Unavailable -> H.abort h id ~now)
+          r.ids)
   in
 
   let finish r result ~stripe ~blocks =
@@ -165,158 +247,175 @@ let run ?(m = 2) ?(n = 5) ?(stripes = 4) ?(clients = 3)
         finish_op ~stripe r `Aborted
   in
 
-  let client coord =
-    Dessim.Fiber.spawn (fun () ->
-        let c = cl.Cluster.coordinators.(coord) in
-        (* Spread the client's operations across the chaos window. *)
-        let mean_gap = plan.Plan.horizon /. float_of_int (ops_per_client + 1) in
-        for _ = 1 to ops_per_client do
-          sleep (Random.State.float rng (2. *. mean_gap));
-          let stripe = Random.State.int rng stripes in
-          match Random.State.int rng 6 with
-          | 0 ->
-              incr uid;
-              let values =
-                List.init m (fun j -> Printf.sprintf "s%d.u%d.b%d" seed !uid j)
-              in
-              let data = Array.of_list (List.map value_block values) in
-              let blocks = List.init m Fun.id in
-              let r =
-                record_op ~coord ~stripe ~blocks ~kind:H.Write ~values
-              in
-              finish r ~stripe ~blocks
-                (`Write (Coordinator.write_stripe c ~stripe data))
-          | 1 ->
-              let blocks = List.init m Fun.id in
-              let r =
-                record_op ~coord ~stripe ~blocks ~kind:H.Read
-                  ~values:(List.init m (fun _ -> ""))
-              in
-              finish r ~stripe ~blocks
-                (`Read
-                  (match Coordinator.read_stripe c ~stripe with
-                  | Ok data ->
-                      Ok (List.init m (fun j -> block_value data.(j)))
-                  | Error _ as e -> (e :> (string list, _) Stdlib.result)))
-          | 2 ->
-              incr uid;
-              let j = Random.State.int rng m in
-              let v = Printf.sprintf "s%d.u%d.b%d" seed !uid j in
-              let r =
-                record_op ~coord ~stripe ~blocks:[ j ] ~kind:H.Write
-                  ~values:[ v ]
-              in
-              finish r ~stripe ~blocks:[ j ]
-                (`Write (Coordinator.write_block c ~stripe j (value_block v)))
-          | 3 ->
-              let j = Random.State.int rng m in
-              let r =
-                record_op ~coord ~stripe ~blocks:[ j ] ~kind:H.Read
-                  ~values:[ "" ]
-              in
-              finish r ~stripe ~blocks:[ j ]
-                (`Read
-                  (match Coordinator.read_block c ~stripe j with
-                  | Ok b -> Ok [ block_value b ]
-                  | Error _ as e -> (e :> (string list, _) Stdlib.result)))
-          | 4 ->
-              incr uid;
-              let j0 = Random.State.int rng m in
-              let len = 1 + Random.State.int rng (m - j0) in
-              let values =
-                List.init len (fun i ->
-                    Printf.sprintf "s%d.u%d.b%d" seed !uid (j0 + i))
-              in
-              let news = Array.of_list (List.map value_block values) in
-              let blocks = List.init len (fun i -> j0 + i) in
-              let r =
-                record_op ~coord ~stripe ~blocks ~kind:H.Write ~values
-              in
-              finish r ~stripe ~blocks
-                (`Write (Coordinator.write_blocks c ~stripe j0 news))
-          | _ ->
-              let j0 = Random.State.int rng m in
-              let len = 1 + Random.State.int rng (m - j0) in
-              let blocks = List.init len (fun i -> j0 + i) in
-              let r =
-                record_op ~coord ~stripe ~blocks ~kind:H.Read
-                  ~values:(List.init len (fun _ -> ""))
-              in
-              finish r ~stripe ~blocks
-                (`Read
-                  (match Coordinator.read_blocks c ~stripe j0 ~len with
-                  | Ok bs ->
-                      Ok (List.init len (fun i -> block_value bs.(i)))
-                  | Error _ as e -> (e :> (string list, _) Stdlib.result)))
-        done)
+  let run_desc ~coord c d =
+    let stripe = d.op_stripe in
+    match d.shape with
+    | `Write_stripe values ->
+        let data = Array.of_list (List.map value_block values) in
+        let blocks = List.init m Fun.id in
+        let r = record_op ~coord ~stripe ~blocks ~kind:H.Write ~values in
+        finish r ~stripe ~blocks
+          (`Write (Coordinator.write_stripe c ~stripe data))
+    | `Read_stripe ->
+        let blocks = List.init m Fun.id in
+        let r =
+          record_op ~coord ~stripe ~blocks ~kind:H.Read
+            ~values:(List.init m (fun _ -> ""))
+        in
+        finish r ~stripe ~blocks
+          (`Read
+            (match Coordinator.read_stripe c ~stripe with
+            | Ok data -> Ok (List.init m (fun j -> block_value data.(j)))
+            | Error _ as e -> (e :> (string list, _) Stdlib.result)))
+    | `Write_block (j, v) ->
+        let r =
+          record_op ~coord ~stripe ~blocks:[ j ] ~kind:H.Write ~values:[ v ]
+        in
+        finish r ~stripe ~blocks:[ j ]
+          (`Write (Coordinator.write_block c ~stripe j (value_block v)))
+    | `Read_block j ->
+        let r =
+          record_op ~coord ~stripe ~blocks:[ j ] ~kind:H.Read ~values:[ "" ]
+        in
+        finish r ~stripe ~blocks:[ j ]
+          (`Read
+            (match Coordinator.read_block c ~stripe j with
+            | Ok b -> Ok [ block_value b ]
+            | Error _ as e -> (e :> (string list, _) Stdlib.result)))
+    | `Write_blocks (j0, values) ->
+        let news = Array.of_list (List.map value_block values) in
+        let blocks = List.init (List.length values) (fun i -> j0 + i) in
+        let r = record_op ~coord ~stripe ~blocks ~kind:H.Write ~values in
+        finish r ~stripe ~blocks
+          (`Write (Coordinator.write_blocks c ~stripe j0 news))
+    | `Read_blocks (j0, len) ->
+        let blocks = List.init len (fun i -> j0 + i) in
+        let r =
+          record_op ~coord ~stripe ~blocks ~kind:H.Read
+            ~values:(List.init len (fun _ -> ""))
+        in
+        finish r ~stripe ~blocks
+          (`Read
+            (match Coordinator.read_blocks c ~stripe j0 ~len with
+            | Ok bs -> Ok (List.init len (fun i -> block_value bs.(i)))
+            | Error _ as e -> (e :> (string list, _) Stdlib.result)))
   in
 
-  for c = 0 to clients - 1 do
-    client (c mod n)
-  done;
+  let client coord descs =
+    Runtime.spawn rt (fun () ->
+        let c = cl.Cluster.coordinators.(coord) in
+        (* A coordinator crash cancels the client's in-flight call; the
+           op stays pending in its history and is marked partial at the
+           crash instant below. The client itself dies quietly, as a
+           crashed process would. *)
+        try
+          List.iter
+            (fun d ->
+              Runtime.sleep rt (d.gap *. ts);
+              run_desc ~coord c d)
+            descs
+        with Runtime.Cancelled -> ())
+  in
 
-  let nemesis = Nemesis.install plan cl in
-  Cluster.run ~horizon:plan.Plan.horizon cl;
-  Nemesis.restore nemesis;
-  (* Settle: with the environment healthy again, every surviving fiber
-     must finish. Anything still pending afterwards is stuck. *)
-  Cluster.run ~horizon:20_000. cl;
+  Array.iteri (fun c descs -> client (c mod n) descs) workloads;
 
-  (* Crash instants, straight from the plan (the nemesis schedule is
-     deterministic): used to mark pending operations of crashed
-     coordinators as partial. *)
+  let nemesis = Nemesis.install ~time_scale:ts plan cl in
+  let quiesced =
+    match backend with
+    | Sim ->
+        Cluster.run ~horizon:plan.Plan.horizon cl;
+        Nemesis.restore nemesis;
+        (* Settle: with the environment healthy again, every surviving
+           fiber must finish. Anything still pending afterwards is
+           stuck. *)
+        Cluster.run ~horizon:20_000. cl;
+        true
+    | Mc _ ->
+        (* Real time: wait out the chaos window on the wall clock (the
+           harness thread is not a pool task, but gates block any
+           thread), then heal and give in-flight operations a bounded
+           settle. [deadline] caps every operation, so a generous
+           multiple of it only elapses in full when something is truly
+           stuck. *)
+        Runtime.sleep rt (plan.Plan.horizon *. ts);
+        Nemesis.restore nemesis;
+        Cluster.try_quiesce ~timeout:(Float.max 5. (20. *. deadline *. ts)) cl
+  in
+
+  (* Crash instants, straight from the nemesis's applied-fault log
+     (identical to the plan times on sim; wall-clock instants on mc,
+     comparable with [invoked_at]): used to mark pending operations of
+     crashed coordinators as partial. *)
   let crashes =
     List.filter_map
-      (fun e ->
-        match e.Plan.fault with
-        | Plan.Crash i | Plan.Torn_crash i -> Some (i, e.Plan.at)
+      (fun (at, fault) ->
+        match fault with
+        | Plan.Crash i | Plan.Torn_crash i -> Some (i, at)
         | _ -> None)
-      plan.Plan.events
+      (Nemesis.applied nemesis)
   in
-  let stuck = ref 0 in
-  List.iter
-    (fun r ->
-      if not r.done_ then begin
-        let crash_time =
-          List.fold_left
-            (fun acc (b, t) ->
-              if b = r.coord && t >= r.invoked_at then
-                match acc with
-                | None -> Some t
-                | Some t' -> Some (Float.min t t')
-              else acc)
-            None crashes
-        in
-        match crash_time with
-        | Some t ->
-            List.iter
-              (fun (j, id) -> H.crash (hist ~stripe:r.stripe ~j) id ~now:t)
-              r.ids
-        | None -> incr stuck
-      end)
-    !ops;
+  locked (fun () ->
+      let stuck = ref 0 in
+      List.iter
+        (fun r ->
+          if not r.done_ then begin
+            let crash_time =
+              List.fold_left
+                (fun acc (b, t) ->
+                  if b = r.coord && t >= r.invoked_at then
+                    match acc with
+                    | None -> Some t
+                    | Some t' -> Some (Float.min t t')
+                  else acc)
+                None crashes
+            in
+            match crash_time with
+            | Some t ->
+                List.iter
+                  (fun (j, id) ->
+                    H.crash (hist ~stripe:r.stripe ~j) id ~now:t)
+                  r.ids
+            | None -> incr stuck
+          end)
+        !ops;
 
-  let violations = ref [] in
-  Array.iteri
-    (fun idx h ->
-      match Check.strict h with
-      | Ok () -> ()
-      | Error v -> violations := (idx, v) :: !violations)
-    histories;
+      let violations = ref [] in
+      Array.iteri
+        (fun idx h ->
+          match Check.strict h with
+          | Ok () -> ()
+          | Error v -> violations := (idx, v) :: !violations)
+        histories;
 
-  let hook_leaks =
-    Array.fold_left
-      (fun acc b -> acc + max 0 (Brick.hook_count b - 1))
-      0 cl.Cluster.bricks
-  in
-  let ok, aborted, unavailable = !counts in
-  {
-    ok;
-    aborted;
-    unavailable;
-    stuck = !stuck;
-    corrupt_reads = !corrupt_reads;
-    violations = List.rev !violations;
-    hook_leaks;
-    trace = Option.map Buffer.contents trace_buf;
-  }
+      let hook_leaks =
+        ref
+          (if quiesced then 0
+           else begin
+             (* A pool that failed to quiesce cannot be shut down
+                (reaping would hang on the stuck slot thread); leak it
+                loudly and let [stuck] fail the run. *)
+             Printf.eprintf
+               "chaos: harness: mc pool failed to quiesce (plan %s seed \
+                %d); leaking the pool\n\
+                %!"
+               plan.Plan.name seed;
+             0
+           end)
+      in
+      Array.iteri
+        (fun i b ->
+          hook_leaks :=
+            !hook_leaks + max 0 (Brick.hook_count b - hook_baseline.(i)))
+        cl.Cluster.bricks;
+      if quiesced then Cluster.shutdown cl;
+      let ok, aborted, unavailable = !counts in
+      {
+        ok;
+        aborted;
+        unavailable;
+        stuck = !stuck;
+        corrupt_reads = !corrupt_reads;
+        violations = List.rev !violations;
+        hook_leaks = !hook_leaks;
+        trace = Option.map Buffer.contents trace_buf;
+      })

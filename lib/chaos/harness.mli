@@ -1,12 +1,23 @@
 (** One chaos round: a cluster, concurrent clients, a nemesis running
-    a {!Plan}, and a strict-linearizability verdict.
+    a {!Plan}, and a strict-linearizability verdict — on either
+    backend.
 
-    The harness is a deterministic function of [(plan, seed, knobs)]:
-    the cluster's engine is seeded with [seed], the client mix is drawn
-    from a harness-local generator also derived from [seed], and the
-    nemesis schedule is the plan itself — so the same inputs replay the
-    same run, down to a byte-identical event trace
-    ([capture_trace:true] twice and compare).
+    On the default [Sim] backend the harness is a deterministic
+    function of [(plan, seed, knobs)]: the cluster's engine is seeded
+    with [seed], the client mix is drawn from a harness-local
+    generator also derived from [seed], and the nemesis schedule is
+    the plan itself — so the same inputs replay the same run, down to
+    a byte-identical event trace ([capture_trace:true] twice and
+    compare).
+
+    On the [Mc] backend the {e workload} is still drawn from [seed]
+    (every client's operations are pre-generated before any thread
+    starts), but scheduling is real parallelism on OCaml 5 domains:
+    runs are not reproducible, plan times are scaled to wall-clock
+    seconds by [time_scale], crashes really tear down the brick's
+    receive loop, and recovery replays the paper's section 4 path.
+    Use sim to verify and shrink; use mc to hunt races. A failing mc
+    seed is worth replaying on sim with the same plan.
 
     Per-block histories are recorded exactly as in the fuzz suite
     (invocations at call time, completions/aborts at return, pending
@@ -24,21 +35,29 @@
     surface as orderings of {e genuinely written} values and are still
     caught at full strength. *)
 
+type backend =
+  | Sim  (** deterministic discrete-event backend (the oracle) *)
+  | Mc of { domains : int; time_scale : float }
+      (** OCaml 5 multicore backend: [domains] worker domains, plan
+          times scaled by [time_scale] seconds per unit (0.001 runs a
+          600-unit plan in 0.6 s) *)
+
 type result = {
   ok : int;  (** operations that completed successfully *)
   aborted : int;
   unavailable : int;  (** fail-fast deadline expiries *)
   stuck : int;
       (** operations still pending at the end of the settle phase whose
-          coordinator never crashed — a liveness bug *)
+          coordinator never crashed — a liveness bug. On mc this also
+          absorbs a pool that failed to quiesce in the settle window. *)
   corrupt_reads : int;
       (** reads of never-written values under a [Bit_rot] plan *)
   violations : (int * Linearize.Check.violation) list;
       (** (block-history index, violation) for every non-linearizable
           per-block history *)
   hook_leaks : int;
-      (** crash hooks above the per-brick baseline of 1 (the
-          coordinator cache hook) — leaked registrations *)
+      (** crash hooks above the per-brick count at deployment time —
+          leaked registrations *)
   trace : string option;
       (** JSONL event trace when [capture_trace] was set *)
 }
@@ -51,6 +70,7 @@ val failed : result -> bool
 val pp_result : Format.formatter -> result -> unit
 
 val run :
+  ?backend:backend ->
   ?m:int ->
   ?n:int ->
   ?stripes:int ->
@@ -62,9 +82,16 @@ val run :
   seed:int ->
   Plan.t ->
   result
-(** Defaults: [m = 2], [n = 5] (so q = 4, f = 1), [stripes = 4],
-    [clients = 3], [ops_per_client = 12], [deadline = 200.],
-    [unsafe_skip_order = false], [capture_trace = false]. The run
-    lasts the plan's horizon, then the nemesis restores the
-    environment and the engine runs to quiescence so in-flight
-    retries either finish or are exposed as stuck. *)
+(** Defaults: [backend = Sim], [m = 2], [n = 5] (so q = 4, f = 1),
+    [stripes = 4], [clients = 3], [ops_per_client = 12],
+    [deadline = 200.], [unsafe_skip_order = false],
+    [capture_trace = false]. The run lasts the plan's horizon, then
+    the nemesis restores the environment and the backend settles (sim:
+    run to quiescence; mc: bounded wall-clock wait) so in-flight
+    retries either finish or are exposed as stuck. [deadline] and the
+    plan's times are in plan units on both backends; [Mc]'s
+    [time_scale] converts them to seconds.
+    @raise Invalid_argument on [Mc] with [clients > n] (each
+    concurrent mc client needs a dedicated coordinator for timestamp
+    uniqueness), [domains < 1], [time_scale <= 0], or a plan
+    containing sim-only faults ({!Nemesis.install}'s rejections). *)

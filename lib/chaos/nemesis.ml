@@ -1,13 +1,20 @@
 module Cluster = Core.Cluster
+module Faultnet = Core.Faultnet
 module Net = Simnet.Net
 
 type t = {
   cluster : Cluster.t;
   base_drop : float;
-  mutable timers : Dessim.Engine.timer list;
+  time_scale : float;
+  base_config : Net.config;
+      (* sim network config at install; [Slow] stacks on top of it and
+         [restore] returns to it *)
+  lock : Mutex.t;
+  mutable timers : Runtime.timer list;
   (* directed links the plan took down and has not yet revived *)
   mutable downed : (int * int) list;
   mutable skewed : int list;
+  mutable applied : (float * Plan.fault) list;
   mutable restored : bool;
 }
 
@@ -16,7 +23,7 @@ let emit_fault cl fault =
   if Obs.enabled obs then
     Obs.emit obs
       {
-        Obs.time = Dessim.Engine.now cl.Cluster.engine;
+        Obs.time = Runtime.now cl.Cluster.runtime;
         actor = Obs.Sim;
         op = -1;
         phase = None;
@@ -33,54 +40,168 @@ let torn_crash cl i =
       | Some slog -> ignore (Core.Slog.tear_last slog)
       | None -> ())
     (Core.Replica.stripes replica);
-  Brick.crash cl.Cluster.bricks.(i)
+  Cluster.crash cl i
 
 let on_log cl brick stripe f =
   match Core.Replica.log cl.Cluster.replicas.(brick) ~stripe with
   | Some slog -> f slog
   | None -> ()
 
-let apply t fault =
-  let cl = t.cluster in
-  (match fault with
-  | Plan.Crash i -> Brick.crash cl.Cluster.bricks.(i)
-  | Plan.Recover i -> Brick.recover cl.Cluster.bricks.(i)
-  | Plan.Partition groups -> Net.partition cl.Cluster.net groups
-  | Plan.Heal -> Net.heal cl.Cluster.net
-  | Plan.Drop p -> Net.set_drop cl.Cluster.net p
-  | Plan.Link_down (src, dst) ->
-      t.downed <- (src, dst) :: t.downed;
-      Net.set_link_down cl.Cluster.net ~src ~dst true
-  | Plan.Link_up (src, dst) ->
-      t.downed <- List.filter (fun l -> l <> (src, dst)) t.downed;
-      Net.set_link_down cl.Cluster.net ~src ~dst false
-  | Plan.Skew (i, skew) ->
-      if not (List.mem i t.skewed) then t.skewed <- i :: t.skewed;
-      Core.Clock.set_skew (Core.Coordinator.clock cl.Cluster.coordinators.(i)) skew
-  | Plan.Torn_crash i -> torn_crash cl i
-  | Plan.Bit_rot (brick, stripe) ->
-      on_log cl brick stripe Core.Slog.corrupt_newest
-  | Plan.Sector_error (brick, stripe) ->
-      on_log cl brick stripe (fun slog ->
-          ignore (Core.Slog.damage_newest slog)));
-  emit_fault cl fault
+(* Which plan faults have no faithful multicore implementation, and
+   why. Skew would silently do nothing (mc coordinators run logical
+   clocks, whose [Clock.set_skew] is a no-op); the storage faults
+   mutate a brick's stripe logs from the nemesis timer thread, which
+   on mc would race the brick's live replica handlers. Every other
+   variant executes on mc. *)
+let fault_error cl fault =
+  if not (Cluster.is_mc cl) then None
+  else
+    match fault with
+    | Plan.Skew _ ->
+        Some
+          "skew: mc coordinators use logical clocks, on which \
+           Clock.set_skew is a silent no-op (sim Realtime clocks only)"
+    | Plan.Torn_crash _ ->
+        Some
+          "torn-crash: storage faults mutate stripe logs from outside \
+           the brick's receive loop and would race live handlers on mc \
+           (sim only)"
+    | Plan.Bit_rot _ ->
+        Some
+          "bit-rot: storage faults mutate stripe logs from outside the \
+           brick's receive loop and would race live handlers on mc \
+           (sim only)"
+    | Plan.Sector_error _ ->
+        Some
+          "sector-error: storage faults mutate stripe logs from \
+           outside the brick's receive loop and would race live \
+           handlers on mc (sim only)"
+    | Plan.Crash _ | Plan.Recover _ | Plan.Partition _ | Plan.Heal
+    | Plan.Drop _ | Plan.Link_down _ | Plan.Link_up _ | Plan.Slow _ ->
+        None
 
-let install ?(base_drop = 0.) plan cluster =
+(* Apply one fault to the environment. [base] is the sim network's
+   pre-chaos config ([Slow] adds on top of it); [time_scale] converts
+   a [Slow]'s plan units into mc wall-clock seconds. *)
+let apply_env ~time_scale ~base cl fault =
+  match Cluster.faultnet cl with
+  | None -> (
+      let net = cl.Cluster.net in
+      match fault with
+      | Plan.Crash i -> Cluster.crash cl i
+      | Plan.Recover i -> Cluster.recover cl i
+      | Plan.Partition groups -> Net.partition net groups
+      | Plan.Heal -> Net.heal net
+      | Plan.Drop p -> Net.set_drop net p
+      | Plan.Link_down (src, dst) -> Net.set_link_down net ~src ~dst true
+      | Plan.Link_up (src, dst) -> Net.set_link_down net ~src ~dst false
+      | Plan.Slow (d, j) ->
+          Net.set_delay net
+            ~delay:(base.Net.delay +. d)
+            ~jitter:(base.Net.jitter +. j)
+      | Plan.Skew (i, skew) ->
+          Core.Clock.set_skew
+            (Core.Coordinator.clock cl.Cluster.coordinators.(i))
+            skew
+      | Plan.Torn_crash i -> torn_crash cl i
+      | Plan.Bit_rot (brick, stripe) ->
+          on_log cl brick stripe Core.Slog.corrupt_newest
+      | Plan.Sector_error (brick, stripe) ->
+          on_log cl brick stripe (fun slog ->
+              ignore (Core.Slog.damage_newest slog)))
+  | Some fnet -> (
+      match fault with
+      | Plan.Crash i -> Cluster.crash cl i
+      | Plan.Recover i -> Cluster.recover cl i
+      | Plan.Partition groups -> Faultnet.partition fnet groups
+      | Plan.Heal -> Faultnet.heal fnet
+      | Plan.Drop p -> Faultnet.set_drop fnet p
+      | Plan.Link_down (src, dst) ->
+          Faultnet.set_link_down fnet ~src ~dst true
+      | Plan.Link_up (src, dst) ->
+          Faultnet.set_link_down fnet ~src ~dst false
+      | Plan.Slow (d, j) ->
+          Faultnet.set_delay fnet ~delay:(d *. time_scale)
+            ~jitter:(j *. time_scale)
+      | Plan.Skew _ | Plan.Torn_crash _ | Plan.Bit_rot _
+      | Plan.Sector_error _ ->
+          (* install/inject reject these on mc; never silently no-op *)
+          Printf.eprintf "chaos: nemesis: BUG: %s reached mc apply\n%!"
+            (Plan.fault_label fault))
+
+let apply t fault =
+  Mutex.lock t.lock;
+  (* A timer can race [restore]: the timer fires, [restore] wins the
+     lock, cancels (too late) and heals, then the callback runs. The
+     [restored] check makes the race harmless. *)
+  if t.restored then Mutex.unlock t.lock
+  else
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        (match fault with
+        | Plan.Link_down (s, d) -> t.downed <- (s, d) :: t.downed
+        | Plan.Link_up (s, d) ->
+            t.downed <- List.filter (( <> ) (s, d)) t.downed
+        | Plan.Skew (i, _) ->
+            if not (List.mem i t.skewed) then t.skewed <- i :: t.skewed
+        | _ -> ());
+        apply_env ~time_scale:t.time_scale ~base:t.base_config t.cluster
+          fault;
+        t.applied <-
+          (Runtime.now t.cluster.Cluster.runtime, fault) :: t.applied;
+        emit_fault t.cluster fault)
+
+let validate_events ~lenient ~rt ~plan_name cluster events =
+  List.filter
+    (fun { Plan.fault; _ } ->
+      match fault_error cluster fault with
+      | None -> true
+      | Some msg ->
+          if lenient then begin
+            Printf.eprintf "chaos: nemesis: skipping [%s] on %s: %s\n%!"
+              (Plan.fault_label fault) (Runtime.name rt) msg;
+            false
+          end
+          else
+            invalid_arg
+              (Printf.sprintf "Chaos.Nemesis.install: plan %S: %s"
+                 plan_name msg))
+    events
+
+let install ?(base_drop = 0.) ?(time_scale = 1.) ?(lenient = false) plan
+    cluster =
   let n = Array.length cluster.Cluster.bricks in
   if Plan.max_brick plan >= n then
     invalid_arg
-      (Printf.sprintf "Chaos.Nemesis.install: plan %S touches brick %d, \
-                       deployment has %d"
+      (Printf.sprintf
+         "Chaos.Nemesis.install: plan %S touches brick %d, deployment \
+          has %d"
          plan.Plan.name (Plan.max_brick plan) n);
-  let engine = cluster.Cluster.engine in
-  let now = Dessim.Engine.now engine in
+  if time_scale <= 0. then
+    invalid_arg "Chaos.Nemesis.install: time_scale <= 0";
+  let rt = cluster.Cluster.runtime in
+  let events =
+    validate_events ~lenient ~rt ~plan_name:plan.Plan.name cluster
+      plan.Plan.events
+  in
+  let now0 = Runtime.now rt in
+  (* Plan times are relative to install on mc (the pool's clock started
+     at pool creation, not at install) and absolute engine time on sim,
+     where installing at engine time 0 makes the two readings agree —
+     and keeps sim delays byte-identical to the pre-runtime nemesis. *)
+  let epoch = if Cluster.is_mc cluster then now0 else 0. in
   let t =
     {
       cluster;
       base_drop;
+      time_scale;
+      base_config = Net.config cluster.Cluster.net;
+      lock = Mutex.create ();
       timers = [];
       downed = [];
       skewed = [];
+      applied = [];
       restored = false;
     }
   in
@@ -88,33 +209,63 @@ let install ?(base_drop = 0.) plan cluster =
      handed to [restore]: rebuilding it with [{ t with timers }] would
      leave restore looking at empty [downed]/[skewed] lists while the
      closures mutate the original's. *)
+  let now_units = (now0 -. epoch) /. time_scale in
   t.timers <-
     List.map
       (fun { Plan.at; fault } ->
-        Dessim.Engine.schedule engine ~delay:(Float.max 0. (at -. now))
+        Runtime.timer rt
+          ~delay:(Float.max 0. ((at -. now_units) *. time_scale))
           (fun () -> apply t fault))
-      plan.Plan.events;
+      events;
   t
 
+let applied t =
+  Mutex.lock t.lock;
+  let l = List.rev t.applied in
+  Mutex.unlock t.lock;
+  l
+
 let restore t =
-  if not t.restored then begin
+  Mutex.lock t.lock;
+  if t.restored then Mutex.unlock t.lock
+  else begin
     t.restored <- true;
-    List.iter Dessim.Engine.cancel t.timers;
-    let cl = t.cluster in
-    Net.heal cl.Cluster.net;
-    Net.set_drop cl.Cluster.net t.base_drop;
-    List.iter
-      (fun (src, dst) -> Net.set_link_down cl.Cluster.net ~src ~dst false)
-      t.downed;
-    t.downed <- [];
-    List.iter
-      (fun i ->
-        Core.Clock.set_skew
-          (Core.Coordinator.clock cl.Cluster.coordinators.(i))
-          0.)
-      t.skewed;
-    t.skewed <- [];
-    Array.iter
-      (fun b -> if not (Brick.is_alive b) then Brick.recover b)
-      cl.Cluster.bricks
+    let timers = t.timers in
+    t.timers <- [];
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        List.iter Runtime.cancel timers;
+        let cl = t.cluster in
+        (match Cluster.faultnet cl with
+        | None ->
+            let net = cl.Cluster.net in
+            Net.heal net;
+            Net.set_drop net t.base_drop;
+            List.iter
+              (fun (src, dst) -> Net.set_link_down net ~src ~dst false)
+              t.downed;
+            t.downed <- [];
+            Net.set_delay net ~delay:t.base_config.Net.delay
+              ~jitter:t.base_config.Net.jitter;
+            List.iter
+              (fun i ->
+                Core.Clock.set_skew
+                  (Core.Coordinator.clock cl.Cluster.coordinators.(i))
+                  0.)
+              t.skewed;
+            t.skewed <- []
+        | Some fnet -> Faultnet.reset fnet ~drop:t.base_drop);
+        Array.iteri
+          (fun i b -> if not (Brick.is_alive b) then Cluster.recover cl i)
+          cl.Cluster.bricks)
   end
+
+let inject ?(time_scale = 1.) cluster fault =
+  (match fault_error cluster fault with
+  | Some msg ->
+      invalid_arg (Printf.sprintf "Chaos.Nemesis.inject: %s" msg)
+  | None -> ());
+  apply_env ~time_scale ~base:(Net.config cluster.Cluster.net) cluster
+    fault;
+  emit_fault cluster fault

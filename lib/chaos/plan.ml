@@ -6,6 +6,7 @@ type fault =
   | Drop of float
   | Link_down of int * int
   | Link_up of int * int
+  | Slow of float * float
   | Skew of int * float
   | Torn_crash of int
   | Bit_rot of int * int
@@ -44,6 +45,7 @@ let fault_label = function
   | Drop p -> Printf.sprintf "drop %s" (fl p)
   | Link_down (s, d) -> Printf.sprintf "link-down %d %d" s d
   | Link_up (s, d) -> Printf.sprintf "link-up %d %d" s d
+  | Slow (d, j) -> Printf.sprintf "slow %s %s" (fl d) (fl j)
   | Skew (i, f) -> Printf.sprintf "skew %d %s" i (fl f)
   | Torn_crash i -> Printf.sprintf "torn-crash %d" i
   | Bit_rot (b, s) -> Printf.sprintf "bit-rot %d %d" b s
@@ -75,6 +77,7 @@ let parse_fault = function
   | [ "drop"; p ] -> Drop (float_of_string p)
   | [ "link-down"; s; d ] -> Link_down (int_of_string s, int_of_string d)
   | [ "link-up"; s; d ] -> Link_up (int_of_string s, int_of_string d)
+  | [ "slow"; d; j ] -> Slow (float_of_string d, float_of_string j)
   | [ "skew"; i; f ] -> Skew (int_of_string i, float_of_string f)
   | [ "torn-crash"; i ] -> Torn_crash (int_of_string i)
   | [ "bit-rot"; b; s ] -> Bit_rot (int_of_string b, int_of_string s)
@@ -141,6 +144,7 @@ let overlay_of_fault = function
   | Drop p -> if p > 0. then `Begin "drop" else `End "drop"
   | Link_down (s, d) -> `Begin (Printf.sprintf "link b%d-b%d" s d)
   | Link_up (s, d) -> `End (Printf.sprintf "link b%d-b%d" s d)
+  | Slow (d, j) -> if d > 0. || j > 0. then `Begin "slow" else `End "slow"
   | Skew (i, f) ->
       if f <> 0. then `Begin (Printf.sprintf "skew b%d" i)
       else `End (Printf.sprintf "skew b%d" i)
@@ -162,7 +166,7 @@ let max_brick t =
         | Bit_rot (b, _) | Sector_error (b, _) -> [ b ]
         | Link_down (s, d) | Link_up (s, d) -> [ s; d ]
         | Partition groups -> List.concat groups
-        | Heal | Drop _ -> []
+        | Heal | Drop _ | Slow _ -> []
       in
       List.fold_left max acc touched)
     (-1) t.events
@@ -242,12 +246,80 @@ let bit_rot =
       ev 380. (Skew (1, 0.));
     ]
 
+(* The canned plan for the multicore backend: crashes, a partition,
+   background drop and slow links — every fault here has a faithful mc
+   implementation (no storage faults, no clock skew), so the same text
+   runs on both backends. *)
+let mc_mixed =
+  make ~name:"mc-mixed" ~horizon:600.
+    [
+      ev 30. (Drop 0.05);
+      ev 60. (Crash 1);
+      ev 120. (Recover 1);
+      ev 160. (Partition [ [ 0; 1; 2 ]; [ 3; 4 ] ]);
+      ev 230. Heal;
+      ev 270. (Link_down (0, 3));
+      ev 330. (Link_up (0, 3));
+      ev 360. (Slow (2., 1.));
+      ev 430. (Slow (0., 0.));
+      ev 460. (Crash 3);
+      ev 520. (Recover 3);
+      ev 560. (Drop 0.);
+    ]
+
 let builtins =
   [
     ("crash-storm", crash_storm);
     ("rolling-partition", rolling_partition);
     ("torn-writes", torn_writes);
     ("bit-rot", bit_rot);
+    ("mc-mixed", mc_mixed);
   ]
 
 let builtin name = List.assoc name builtins
+
+(* ------------------------------------------------------------------ *)
+(* Randomized plans                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Sequential non-overlapping fault episodes: each picks a fault with a
+   clear undo, holds it for a random window, then undoes it before the
+   next begins. Keeping episodes disjoint means a random plan never
+   stacks a partition on top of a crashed majority, so the soak probes
+   recovery paths rather than guaranteed-unavailable windows. Only
+   mc-faithful faults are drawn — the same plan text replays on the sim
+   backend for diagnosis. *)
+let random ~rng ~bricks ~horizon =
+  if bricks < 2 then invalid_arg "Chaos.Plan.random: bricks < 2";
+  if horizon <= 0. then invalid_arg "Chaos.Plan.random: horizon <= 0";
+  let frand lo hi = lo +. Random.State.float rng (hi -. lo) in
+  let events = ref [] in
+  let t = ref (frand (horizon /. 20.) (horizon /. 10.)) in
+  while !t < horizon *. 0.8 do
+    let hold = frand (horizon /. 12.) (horizon /. 6.) in
+    let fin = !t +. hold in
+    if fin <= horizon then begin
+      let begin_fault, end_fault =
+        match Random.State.int rng 5 with
+        | 0 ->
+            let b = Random.State.int rng bricks in
+            (Crash b, Recover b)
+        | 1 ->
+            let cut = 1 + Random.State.int rng (bricks - 1) in
+            let left = List.init cut Fun.id
+            and right = List.init (bricks - cut) (fun i -> cut + i) in
+            (Partition [ left; right ], Heal)
+        | 2 ->
+            let s = Random.State.int rng bricks in
+            let d = (s + 1 + Random.State.int rng (bricks - 1)) mod bricks in
+            (Link_down (s, d), Link_up (s, d))
+        | 3 -> (Drop (frand 0.02 0.25), Drop 0.)
+        | _ -> (Slow (frand 0.5 3., frand 0. 2.), Slow (0., 0.))
+      in
+      events := ev fin end_fault :: ev !t begin_fault :: !events
+    end;
+    t := fin +. frand (horizon /. 20.) (horizon /. 10.)
+  done;
+  make
+    ~name:(Printf.sprintf "random-%db" bricks)
+    ~horizon (List.rev !events)

@@ -20,6 +20,7 @@
     at 240 drop 0
     at 260 link-down 0 3
     at 280 link-up 0 3
+    at 290 slow 2 1
     at 300 skew 1 25
     at 330 torn-crash 2
     at 360 bit-rot 0 1
@@ -36,6 +37,12 @@ type fault =
   | Drop of float  (** set the per-message drop probability *)
   | Link_down of int * int  (** kill the directed link src -> dst *)
   | Link_up of int * int  (** revive the directed link *)
+  | Slow of float * float
+      (** [Slow (delay, jitter)]: add [delay] (± uniform [jitter]) to
+          every message; [Slow (0, 0)] restores the baseline. On the
+          sim backend the extra is in delta units on top of the
+          network's base config; on mc it is wall-clock units scaled
+          by the nemesis's [time_scale]. *)
   | Skew of int * float
       (** step brick [i]'s real-time clock skew (no-op on logical
           clocks) *)
@@ -102,8 +109,20 @@ val builtins : (string * t) list
     ["rolling-partition"] (minority/majority splits sweeping the
     brick set, then a loss burst), ["torn-writes"] (repeated
     torn-write power cuts), ["bit-rot"] (silent corruption plus
-    latent sector errors under clock skew). All are written for a
+    latent sector errors under clock skew), ["mc-mixed"] (crashes, a
+    partition, background drop, a degraded-link window and a slow
+    spell — only faults with a faithful multicore implementation, so
+    the same text runs on both backends). All are written for a
     deployment of 5 bricks and at least 4 stripes. *)
 
 val builtin : string -> t
 (** @raise Not_found if no bundled plan has that name. *)
+
+val random : rng:Random.State.t -> bricks:int -> horizon:float -> t
+(** Generate a randomized mc-safe plan: sequential non-overlapping
+    fault episodes (crash/recover, partition/heal, link-down/up,
+    drop/stop, slow/restore), each held for a random window then
+    undone before the next begins. Draws only faults both backends
+    implement — no storage faults, no skew — so a failing random soak
+    replays on the sim backend.
+    @raise Invalid_argument if [bricks < 2] or [horizon <= 0]. *)

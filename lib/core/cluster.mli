@@ -109,6 +109,7 @@ val create_mc :
   ?optimized_modify:bool ->
   ?ts_cache:bool ->
   ?deadline:float ->
+  ?unsafe_skip_order:bool ->
   ?retry_every:float ->
   ?retry_backoff:float ->
   ?retry_cap:float ->
@@ -130,10 +131,14 @@ val create_mc :
     timestamps stay unique. [coalesce] (default off) batches
     same-destination sends behind a 0-delay flush timer, best-effort
     under wall-clock time; [shards] sizes the RPC pending table's lock
-    sharding (see {!Quorum.Rpc.create}). No determinism, no virtual
-    time, no fault injection — benchmark wall-clock numbers on this
-    backend, verify protocol behavior on the sim one. Tear down with
-    {!shutdown}. *)
+    sharding (see {!Quorum.Rpc.create}); [unsafe_skip_order] enables
+    the deliberately broken protocol variant so the chaos soak can
+    prove its checker bites under real parallelism too. No determinism
+    and no virtual time — but fault injection works here: every send
+    passes through a {!Faultnet} ({!faultnet}), and {!crash}/{!recover}
+    really tear down and restart the brick's receive loop (DESIGN 4i).
+    Verify protocol behavior on the sim backend; benchmark wall-clock
+    numbers and hunt races on this one. Tear down with {!shutdown}. *)
 
 val run : ?horizon:float -> t -> unit
 (** Drive the simulation until quiescence (or until [horizon] virtual
@@ -143,6 +148,13 @@ val run : ?horizon:float -> t -> unit
 val await_quiesce : t -> unit
 (** Block until every spawned task has finished (sim: run the engine
     dry; mc: wait for the pool's non-daemon tasks). *)
+
+val try_quiesce : ?timeout:float -> t -> bool
+(** {!await_quiesce} with an optional wall-clock bound (mc only; the
+    sim engine always quiesces). Returns [false] if tasks are still
+    live at the timeout — a stuck operation. Do not {!shutdown} after
+    a [false] return: reaping a pool with a stuck slot thread blocks
+    forever. *)
 
 val shutdown : t -> unit
 (** Release backend resources. Multicore: close every brick mailbox,
@@ -167,7 +179,28 @@ val spawn : ?coord:int -> t -> (Coordinator.t -> unit) -> unit
     {!Dessim.Engine.schedule}. *)
 
 val crash : t -> int -> unit
+(** Crash brick [i]. Sim: flip the brick (the deterministic network
+    models the rest). Mc: additionally run a real process death —
+    crash hooks cancel the brick's pending quorum calls, its mailbox
+    closes, and its receive loop drains out and exits; messages sent
+    while down are lost. Idempotent. *)
+
 val recover : t -> int -> unit
+(** Bring brick [i] back. Sim: flip the brick. Mc: asynchronous
+    restart — a spawned task awaits the dead receive loop's exit,
+    installs a fresh mailbox, respawns the loop, marks the brick
+    alive, then replays the paper's section 4 recovery path (a
+    recovery read per hosted stripe, completing ongoing timestamps and
+    writing the reconstructed version back at a fresh timestamp;
+    skipped when the deployment has no [deadline], since recovery
+    quorum calls could then retransmit forever). {!await_quiesce} /
+    {!try_quiesce} wait for the restart to finish. No-op if the brick
+    is already alive. *)
+
+val faultnet : t -> Faultnet.t option
+(** The mc backend's fault-injection layer; [None] on sim (use
+    {!Simnet.Net}'s mutators there). The chaos nemesis dispatches on
+    this. *)
 
 val snapshot : t -> Metrics.Snapshot.t
 (** Snapshot all counters (messages, bytes, disk I/O). *)

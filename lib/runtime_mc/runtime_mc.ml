@@ -445,6 +445,25 @@ let await_idle t =
   done;
   Mutex.unlock t.lock
 
+(* Bounded variant for chaos soaks: a stuck task (a liveness bug —
+   exactly what the soak hunts) must fail the run, not hang it.
+   OCaml's Condition has no timed wait, so this polls; 2 ms of poll
+   granularity is far below the soak's time scale. *)
+let try_await_idle t ~timeout =
+  let deadline = wall () +. timeout in
+  let rec go () =
+    Mutex.lock t.lock;
+    let live = t.live in
+    Mutex.unlock t.lock;
+    if live = 0 then true
+    else if wall () >= deadline then false
+    else begin
+      Thread.delay 0.002;
+      go ()
+    end
+  in
+  go ()
+
 (* Stop dispatchers and the timer thread, then join the domains. The
    caller must first unblock its daemon tasks (close their mailboxes):
    a dispatcher only reaps its slots — and its domain only terminates —

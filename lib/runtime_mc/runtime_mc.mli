@@ -25,6 +25,13 @@ val spawn_daemon : t -> (unit -> unit) -> unit
 val await_idle : t -> unit
 (** Block until every non-daemon task has finished. *)
 
+val try_await_idle : t -> timeout:float -> bool
+(** Like {!await_idle} but gives up after [timeout] wall-clock
+    seconds, returning [false] with tasks still live. Used by the
+    chaos harness: a stuck task must fail the soak, not hang it. Do
+    not call {!shutdown} after a [false] return — reaping a pool with
+    a stuck slot thread blocks forever; report and exit instead. *)
+
 val shutdown : t -> unit
 (** Stop dispatchers and the timer thread and join the domains.
     Unblock daemon tasks first (close their mailboxes) — a domain only

@@ -155,6 +155,13 @@ let set_drop t p =
     invalid_arg "Simnet.Net.set_drop: need 0 <= p < 1 for fair loss";
   t.config <- { t.config with drop = p }
 
+let set_delay t ~delay ~jitter =
+  if delay < 0. || jitter < 0. then
+    invalid_arg "Simnet.Net.set_delay: negative delay";
+  t.config <- { t.config with delay; jitter }
+
+let config t = t.config
+
 let set_link_down t ~src ~dst down =
   check_addr t src;
   check_addr t dst;

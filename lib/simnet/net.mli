@@ -85,6 +85,16 @@ val set_link_down : 'msg t -> src:addr -> dst:addr -> bool -> unit
 (** [set_link_down t ~src ~dst down] kills or revives the directed
     link; used for fine-grained fault injection. *)
 
+val set_delay : 'msg t -> delay:float -> jitter:float -> unit
+(** Change the one-way delay and jitter for subsequently sent messages
+    (the chaos stack's [Slow] fault). In-flight messages keep the
+    delay they were sent with. @raise Invalid_argument on negative
+    values. *)
+
+val config : 'msg t -> config
+(** The current delay/jitter/drop configuration; the nemesis captures
+    it at install time so restore can put it back. *)
+
 val n : 'msg t -> int
 
 val obs : 'msg t -> Obs.t

@@ -254,6 +254,10 @@ let direction path =
   | "net_blocks" | "disk_reads" | "disk_writes" | "nvram_writes" ->
       Worse_up
   | "p50_ms" | "p99_ms" | "elapsed_s" | "gc_minor_words_per_op" -> Worse_up
+  (* BENCH_chaos.json: time-to-recover up = worse, availability under
+     fault down = worse. *)
+  | "ttr_p50" | "ttr_p99" | "ttr_max" | "ttr_mean" -> Worse_up
+  | "availability_pct" -> Worse_down
   | _ ->
       (* cost trees are worse-up whatever the field name *)
       if contains path "cost_per_op" || contains path "table1" then Worse_up

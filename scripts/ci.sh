@@ -34,6 +34,9 @@ dune build @parallel-smoke
 echo "== @chaos-smoke (fault plans clean, unsafe variant caught) =="
 dune build @chaos-smoke
 
+echo "== @chaos-mc-smoke (chaos under real parallelism, assertions armed) =="
+dune build @chaos-mc-smoke
+
 echo "== @report-smoke (geometry matrix report, deterministic + valid) =="
 dune build @report-smoke
 
@@ -78,5 +81,18 @@ FAB_RUNTIME_DEBUG=1 dune exec bench/main.exe -- parallel --smoke --json
   --rule p50_ms:-1 --rule p99_ms:-1 --rule elapsed_s:-1 \
   --rule speedup:-1 \
   --rule micro_mailbox_d2:-1
+
+echo "== chaos recovery-latency gate (smoke run vs committed baseline) =="
+# Writes BENCH_chaos.smoke.json (never the committed BENCH_chaos.json
+# baseline). The sim cells are deterministic (seeded engine, unit
+# delays) and get the default threshold; the mc cells' time-to-recover
+# percentiles are wall-clock on a shared host and are excluded from
+# the gate (@chaos-mc-smoke already gates mc correctness). The
+# faults-actually-bite property is not a bench_diff concern — it is
+# pinned deterministically by the Faultnet-counter tests in
+# test_chaos and by the sim cells' exact availability/ttr values.
+dune exec bench/main.exe -- chaos --smoke --json
+"$BD" bench/baseline_chaos_smoke.json BENCH_chaos.smoke.json \
+  --rule mc_crash.ttr:-1 --rule mc_partition.ttr:-1
 
 echo "CI OK"

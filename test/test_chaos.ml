@@ -285,6 +285,195 @@ let test_nemesis_restore () =
         (block_value got.(0))
   | _ -> Alcotest.fail "read after restore failed"
 
+(* --- plans on the multicore backend (DESIGN 4i) --- *)
+
+let test_plan_slow_roundtrip () =
+  let src = "name slowplan\nhorizon 100\nat 10 slow 2 1\nat 20 slow 0 0\n" in
+  match Plan.of_string src with
+  | Error e -> Alcotest.failf "slow plan failed to parse: %s" e
+  | Ok p ->
+      (match List.map (fun e -> e.Plan.fault) p.Plan.events with
+      | [ Plan.Slow (2., 1.); Plan.Slow (0., 0.) ] -> ()
+      | _ -> Alcotest.fail "slow events parsed to the wrong faults");
+      (match Plan.of_string (Plan.to_string p) with
+      | Ok p' ->
+          Alcotest.(check string) "slow round-trips" (Plan.to_string p)
+            (Plan.to_string p')
+      | Error e -> Alcotest.failf "printed slow plan failed to re-parse: %s" e)
+
+let test_plan_random_wellformed () =
+  let rng = Random.State.make [| 42 |] in
+  for i = 0 to 4 do
+    let p = Plan.random ~rng ~bricks:5 ~horizon:600. in
+    Alcotest.(check bool)
+      (Printf.sprintf "random plan %d has events" i)
+      true
+      (List.length p.Plan.events > 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "random plan %d stays on-deployment" i)
+      true
+      (Plan.max_brick p <= 4);
+    match Plan.of_string (Plan.to_string p) with
+    | Ok p' ->
+        Alcotest.(check string)
+          (Printf.sprintf "random plan %d round-trips" i)
+          (Plan.to_string p) (Plan.to_string p')
+    | Error e -> Alcotest.failf "random plan %d invalid: %s" i e
+  done;
+  (match Plan.random ~rng ~bricks:1 ~horizon:600. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bricks < 2 accepted");
+  match Plan.random ~rng ~bricks:5 ~horizon:0. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "horizon <= 0 accepted"
+
+(* A small mc deployment for the nemesis tests: fast deadline so
+   fault-induced failures surface in milliseconds, not seconds. *)
+let with_mc_cluster f =
+  let cl =
+    Cluster.create_mc ~domains:2 ~m:2 ~n:5 ~block_size:bs ~deadline:0.05
+      ~retry_every:0.01 ()
+  in
+  let fnet =
+    match Cluster.faultnet cl with
+    | Some fnet -> fnet
+    | None -> Alcotest.fail "mc cluster has no faultnet"
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Cluster.try_quiesce ~timeout:30. cl then Cluster.shutdown cl
+      else Alcotest.fail "mc cluster failed to quiesce")
+    (fun () -> f cl fnet)
+
+let mc_write cl ~coord tag =
+  Coordinator.write_block
+    cl.Cluster.coordinators.(coord)
+    ~stripe:0 0 (value_block tag)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i =
+    i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_mc_rejects_sim_only_faults () =
+  with_mc_cluster (fun cl _fnet ->
+      let reject name fault =
+        let plan =
+          Plan.make ~name:"simonly" ~horizon:10. [ { Plan.at = 1.; fault } ]
+        in
+        match Chaos.Nemesis.install plan cl with
+        | exception Invalid_argument msg ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s error names the variant" name)
+              true
+              (contains ~needle:name msg)
+        | _ -> Alcotest.failf "%s accepted on mc" name
+      in
+      reject "skew" (Plan.Skew (1, 5.));
+      reject "torn-crash" (Plan.Torn_crash 1);
+      reject "bit-rot" (Plan.Bit_rot (1, 0));
+      reject "sector-error" (Plan.Sector_error (1, 0));
+      (match Chaos.Nemesis.inject cl (Plan.Skew (1, 5.)) with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "inject skew accepted on mc");
+      (* lenient: the sim-only event is skipped, the rest scheduled —
+         and restore tears it all back down. *)
+      let mixed =
+        Plan.make ~name:"lenient" ~horizon:10.
+          [
+            { Plan.at = 1.; fault = Plan.Bit_rot (1, 0) };
+            { Plan.at = 2.; fault = Plan.Drop 0.5 };
+          ]
+      in
+      let nem = Chaos.Nemesis.install ~lenient:true mixed cl in
+      Chaos.Nemesis.restore nem)
+
+let test_mc_restore_cancels_pending () =
+  (* Install a plan whose events are all far in the future, restore
+     immediately: every timer is cancelled, nothing is ever applied,
+     and the Faultnet counters prove no fault ever bit. *)
+  with_mc_cluster (fun cl fnet ->
+      let plan =
+        Plan.make ~name:"pending" ~horizon:200.
+          [
+            { Plan.at = 100.; fault = Plan.Crash 1 };
+            { Plan.at = 100.; fault = Plan.Drop 0.9 };
+            { Plan.at = 100.; fault = Plan.Partition [ [ 0 ]; [ 1; 2; 3; 4 ] ] };
+          ]
+      in
+      let nem = Chaos.Nemesis.install plan cl in
+      Chaos.Nemesis.restore nem;
+      Chaos.Nemesis.restore nem;
+      (* idempotent *)
+      Alcotest.(check int) "nothing applied" 0
+        (List.length (Chaos.Nemesis.applied nem));
+      let s = Core.Faultnet.stats fnet in
+      Alcotest.(check int) "no drops" 0 s.Core.Faultnet.dropped;
+      Alcotest.(check int) "no cuts" 0 s.Core.Faultnet.cut;
+      let snap = Core.Faultnet.snapshot fnet in
+      Alcotest.(check bool) "no partition" true (snap.Core.Faultnet.groups = None);
+      Alcotest.(check (float 0.)) "no drop rate" 0. snap.Core.Faultnet.drop;
+      match mc_write cl ~coord:0 "pending-ok" with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "write failed on a healthy deployment")
+
+let test_mc_faults_bite_and_heal () =
+  (* The PR 4 review bug, asserted on mc with the Faultnet counters: a
+     scheduled partition must actually suppress messages (cut counter
+     grows, quorum-cut writes fail), and restore must actually heal it
+     (writes succeed again, configuration snapshot back to health). *)
+  with_mc_cluster (fun cl fnet ->
+      let rt = cl.Cluster.runtime in
+      let plan =
+        Plan.make ~name:"bite" ~horizon:400.
+          [ { Plan.at = 0.; fault = Plan.Partition [ [ 0 ]; [ 1; 2; 3; 4 ] ] } ]
+      in
+      let nem = Chaos.Nemesis.install ~time_scale:0.001 plan cl in
+      let rec wait_applied tries =
+        if Chaos.Nemesis.applied nem = [] then
+          if tries = 0 then Alcotest.fail "partition event never fired"
+          else begin
+            Runtime.sleep rt 0.01;
+            wait_applied (tries - 1)
+          end
+      in
+      wait_applied 500;
+      let cut0 = (Core.Faultnet.stats fnet).Core.Faultnet.cut in
+      (* Coordinator 0 is alone on its side: 1 < q = 4. *)
+      (match mc_write cl ~coord:0 "partitioned" with
+      | Error (`Unavailable | `Aborted) -> ()
+      | Ok () -> Alcotest.fail "write reached a quorum across the partition");
+      let cut1 = (Core.Faultnet.stats fnet).Core.Faultnet.cut in
+      Alcotest.(check bool)
+        (Printf.sprintf "partition suppressed messages (%d > %d)" cut1 cut0)
+        true (cut1 > cut0);
+      Chaos.Nemesis.restore nem;
+      (match mc_write cl ~coord:0 "healed" with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "write failed after restore");
+      let snap = Core.Faultnet.snapshot fnet in
+      Alcotest.(check bool) "partition gone" true
+        (snap.Core.Faultnet.groups = None);
+      Alcotest.(check int) "applied exactly the partition" 1
+        (List.length (Chaos.Nemesis.applied nem)))
+
+let test_mc_harness_smoke () =
+  (* One seed of the canned mc plan through the full chaos harness
+     under real parallelism: crash with real mailbox teardown,
+     recovery with the section 4 replay, partition, drop, slow — and
+     the per-block histories must come back strictly linearizable with
+     no stuck ops and no leaked crash hooks. *)
+  let plan = Plan.builtin "mc-mixed" in
+  let r =
+    Harness.run
+      ~backend:(Harness.Mc { domains = 2; time_scale = 0.001 })
+      ~seed:1 plan
+  in
+  if Harness.failed r then
+    Alcotest.failf "mc harness run failed: %a" Harness.pp_result r
+
 (* --- harness determinism --- *)
 
 let test_trace_determinism () =
@@ -349,6 +538,9 @@ let () =
           Alcotest.test_case "builtin round-trip" `Quick test_plan_roundtrip;
           Alcotest.test_case "parse" `Quick test_plan_parse;
           Alcotest.test_case "parse errors" `Quick test_plan_parse_errors;
+          Alcotest.test_case "slow round-trip" `Quick test_plan_slow_roundtrip;
+          Alcotest.test_case "random plans well-formed" `Quick
+            test_plan_random_wellformed;
         ] );
       ( "liveness",
         [
@@ -363,6 +555,17 @@ let () =
         [
           Alcotest.test_case "restore heals links and skew" `Quick
             test_nemesis_restore;
+        ] );
+      ( "mc",
+        [
+          Alcotest.test_case "sim-only faults rejected by name" `Quick
+            test_mc_rejects_sim_only_faults;
+          Alcotest.test_case "restore cancels pending timers" `Quick
+            test_mc_restore_cancels_pending;
+          Alcotest.test_case "faults bite and heal (faultnet counters)"
+            `Quick test_mc_faults_bite_and_heal;
+          Alcotest.test_case "harness smoke under real parallelism" `Slow
+            test_mc_harness_smoke;
         ] );
       ( "harness",
         [

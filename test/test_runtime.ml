@@ -299,6 +299,79 @@ let test_mailbox_timeout_mid_stream make () =
         !got;
       Alcotest.(check bool) "timeouts fired mid-stream" true (!timeouts >= 1))
 
+let test_mailbox_crash_reopen make () =
+  (* Lost-wakeup regression for the Cluster crash/recover pattern
+     (DESIGN 4i): brick crash closes the mailbox out from under a
+     receive loop that may be parked on it empty — close must wake the
+     parked receiver with None, never leave it asleep forever — and
+     recovery swaps a fresh mailbox into the shared slot and restarts
+     the loop while senders keep flooding through that slot across the
+     whole swap. Sends that lose the race land on the closed box and
+     are dropped; sends that win land on the replacement and must be
+     delivered. *)
+  with_harness make (fun h ->
+      let box = ref (Runtime.Mailbox.create h.rt) in
+      let gen1_end = ref `Asleep and gen2_end = ref `Asleep in
+      let gen2_got = ref 0 in
+      h.go (fun () ->
+          (* Generation 1: the receive loop drains whatever arrives,
+             then parks on the empty box. *)
+          let b1 = !box in
+          Runtime.spawn h.rt (fun () ->
+              let rec loop () =
+                match Runtime.Mailbox.recv b1 with
+                | Some _ -> loop ()
+                | None -> gen1_end := `Woke_none
+              in
+              loop ());
+          (* A burst that lands before the crash... *)
+          for s = 0 to 1 do
+            Runtime.spawn h.rt (fun () ->
+                for i = 0 to 99 do
+                  Runtime.Mailbox.send !box (s, i);
+                  if i mod 16 = 0 then Runtime.yield h.rt
+                done)
+          done;
+          (* ...and a slow flood that straddles crash and recovery,
+             always sending through the shared slot. *)
+          Runtime.spawn h.rt (fun () ->
+              for i = 0 to 19 do
+                Runtime.Mailbox.send !box (2, i);
+                Runtime.sleep h.rt 0.005
+              done);
+          (* Let the receiver drain the burst and park empty. *)
+          Runtime.sleep h.rt 0.04;
+          (* Crash: close the box under the parked receiver. *)
+          Runtime.Mailbox.close !box;
+          Runtime.sleep h.rt 0.02;
+          (* Recover: fresh mailbox in the slot, restarted loop. *)
+          box := Runtime.Mailbox.create h.rt;
+          let b2 = !box in
+          Runtime.spawn h.rt (fun () ->
+              let rec loop () =
+                match Runtime.Mailbox.recv b2 with
+                | Some _ ->
+                    incr gen2_got;
+                    loop ()
+                | None -> gen2_end := `Woke_none
+              in
+              loop ());
+          (* Post-recovery traffic must flow. *)
+          for i = 0 to 49 do
+            Runtime.Mailbox.send !box (9, i)
+          done;
+          (* Outlive the straddling flood, then shut generation 2
+             down cleanly — its parked receiver must wake too. *)
+          Runtime.sleep h.rt 0.12;
+          Runtime.Mailbox.close !box);
+      Alcotest.(check bool) "crash woke the parked receiver with None" true
+        (!gen1_end = `Woke_none);
+      Alcotest.(check bool) "reopened receiver woken with None" true
+        (!gen2_end = `Woke_none);
+      Alcotest.(check bool)
+        (Printf.sprintf "reopened mailbox delivered (%d >= 50)" !gen2_got)
+        true (!gen2_got >= 50))
+
 (* ------------------------------------------------------------------ *)
 (* mc-specific races: real domains only                                *)
 (* ------------------------------------------------------------------ *)
@@ -481,6 +554,9 @@ let conformance name make =
         (test_mailbox_fifo_fuzz make);
       Alcotest.test_case "mailbox timeout racing live traffic" `Quick
         (test_mailbox_timeout_mid_stream make);
+      Alcotest.test_case "mailbox close + crash-reopen, parked receiver"
+        `Quick
+        (test_mailbox_crash_reopen make);
     ] )
 
 let () =
